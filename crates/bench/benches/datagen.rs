@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the synthetic generator: corpus construction
+//! and customer-sequence assembly throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqpat_datagen::corpus::Corpus;
+use seqpat_datagen::generator::generate_with_corpus;
+use seqpat_datagen::{generate, GenParams};
+
+fn bench_corpus_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_build");
+    group.sample_size(10);
+    for (ns, ni) in [(500usize, 2_500usize), (5_000, 25_000)] {
+        let params = GenParams::default().corpus_size(ns, ni);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("NS{ns}_NI{ni}")),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    Corpus::build(black_box(p), &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_customer_assembly(c: &mut Criterion) {
+    let params = GenParams::default().customers(1_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus = Corpus::build(&params, &mut rng);
+    let mut group = c.benchmark_group("customer_assembly");
+    group.sample_size(10);
+    group.bench_function("1000_customers_C10_T2.5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            generate_with_corpus(black_box(&params), &corpus, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_end_to_end");
+    group.sample_size(10);
+    for name in ["C10-T2.5-S4-I1.25", "C20-T2.5-S8-I1.25"] {
+        let params = GenParams::paper_dataset(name)
+            .expect("paper dataset")
+            .customers(500)
+            .corpus_size(500, 2_500);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            b.iter(|| generate(black_box(p), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    datagen,
+    bench_corpus_build,
+    bench_customer_assembly,
+    bench_end_to_end_shapes
+);
+criterion_main!(datagen);

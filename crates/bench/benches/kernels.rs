@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the hot kernels: containment tests,
+//! candidate generation, and the two hash trees.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqpat_core::contain::{customer_contains, id_subsequence, sequence_contains};
+use seqpat_core::hash_tree::{SequenceHashTree, VisitSet};
+use seqpat_core::types::transformed::TransformedCustomer;
+use seqpat_core::Itemset;
+
+fn pseudo_random(seed: u32) -> impl FnMut(u32) -> u32 {
+    let mut x = seed | 1;
+    move |m: u32| {
+        x = x.wrapping_mul(48271) % 0x7fffffff;
+        x % m
+    }
+}
+
+fn bench_sequence_contains(c: &mut Criterion) {
+    let mut rnd = pseudo_random(11);
+    let hay: Vec<Itemset> = (0..50)
+        .map(|_| Itemset::new((0..3).map(|_| rnd(100)).collect()))
+        .collect();
+    let needle: Vec<Itemset> = (0..5)
+        .map(|_| Itemset::new(vec![rnd(100)]))
+        .collect();
+    c.bench_function("sequence_contains/50x5", |b| {
+        b.iter(|| sequence_contains(black_box(&hay), black_box(&needle)))
+    });
+}
+
+fn bench_id_subsequence(c: &mut Criterion) {
+    let mut rnd = pseudo_random(13);
+    let hay: Vec<u32> = (0..200).map(|_| rnd(50)).collect();
+    let needle: Vec<u32> = (0..8).map(|_| rnd(50)).collect();
+    c.bench_function("id_subsequence/200x8", |b| {
+        b.iter(|| id_subsequence(black_box(&hay), black_box(&needle)))
+    });
+}
+
+fn make_customer(n_trans: usize, ids_per_trans: usize, universe: u32) -> TransformedCustomer {
+    let mut rnd = pseudo_random(17);
+    TransformedCustomer {
+        customer_id: 0,
+        elements: (0..n_trans)
+            .map(|_| {
+                let mut e: Vec<u32> = (0..ids_per_trans).map(|_| rnd(universe)).collect();
+                e.sort_unstable();
+                e.dedup();
+                e
+            })
+            .collect(),
+    }
+}
+
+fn bench_customer_contains(c: &mut Criterion) {
+    let customer = make_customer(20, 5, 64);
+    let mut rnd = pseudo_random(19);
+    let candidates: Vec<Vec<u32>> = (0..64).map(|_| (0..3).map(|_| rnd(64)).collect()).collect();
+    c.bench_function("customer_contains/20x5/64cands", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for cand in &candidates {
+                if customer_contains(black_box(&customer), black_box(cand)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_sequence_hash_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_hash_tree");
+    for n_candidates in [256usize, 2048] {
+        let mut rnd = pseudo_random(23);
+        let mut candidates: Vec<Vec<u32>> = (0..n_candidates)
+            .map(|_| (0..3).map(|_| rnd(128)).collect())
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        let customer = make_customer(15, 4, 128);
+        group.bench_with_input(
+            BenchmarkId::new("build", n_candidates),
+            &candidates,
+            |b, cands| b.iter(|| SequenceHashTree::build(black_box(cands), 16, 32)),
+        );
+        let tree = SequenceHashTree::build(&candidates, 16, 32);
+        group.bench_with_input(
+            BenchmarkId::new("probe", n_candidates),
+            &candidates,
+            |b, cands| {
+                let mut seen = VisitSet::new(cands.len());
+                b.iter(|| {
+                    let mut verify = 0u64;
+                    let mut hits = 0u32;
+                    tree.for_each_contained(
+                        black_box(&customer),
+                        cands,
+                        &mut seen,
+                        &mut verify,
+                        &mut |_| hits += 1,
+                    );
+                    (verify, hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    // L2 over a 40-litemset alphabet → a realistic join input.
+    let mut rnd = pseudo_random(29);
+    let mut l2: Vec<Vec<u32>> = (0..400).map(|_| vec![rnd(40), rnd(40)]).collect();
+    l2.sort();
+    l2.dedup();
+    c.bench_function("apriori_generate_sequences/L2~400", |b| {
+        b.iter(|| seqpat_core::algorithms::candidate::generate(black_box(&l2)))
+    });
+
+    let mut l3: Vec<Vec<u32>> = (0..300)
+        .map(|_| vec![rnd(20), rnd(20), rnd(20)])
+        .collect();
+    l3.sort();
+    l3.dedup();
+    c.bench_function("apriori_generate_sequences/L3~300", |b| {
+        b.iter(|| seqpat_core::algorithms::candidate::generate(black_box(&l3)))
+    });
+}
+
+fn bench_itemset_hash_tree(c: &mut Criterion) {
+    let mut rnd = pseudo_random(31);
+    let mut candidates: Vec<Vec<u32>> = (0..1000)
+        .map(|_| {
+            let a = rnd(200);
+            let b = a + 1 + rnd(50);
+            vec![a, b]
+        })
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    let tree = seqpat_itemset::HashTree::build(&candidates, 16, 32);
+    let transaction: Vec<u32> = {
+        let mut t: Vec<u32> = (0..12).map(|_| rnd(250)).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    c.bench_function("itemset_hash_tree/probe_1000", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            tree.for_each_contained(black_box(&transaction), &candidates, &mut |_| hits += 1);
+            hits
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_sequence_contains,
+    bench_id_subsequence,
+    bench_customer_contains,
+    bench_sequence_hash_tree,
+    bench_candidate_generation,
+    bench_itemset_hash_tree
+);
+criterion_main!(kernels);

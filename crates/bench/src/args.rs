@@ -1,0 +1,144 @@
+//! Minimal command-line parsing shared by the experiment binaries (no
+//! external dependency; the flags are few and uniform).
+
+/// Common experiment options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// `--customers N` — database size `|D|` (default 2 000).
+    pub customers: usize,
+    /// `--seed S` — generator seed (default 42).
+    pub seed: u64,
+    /// `--out DIR` — directory for CSV output (default `results`).
+    pub out_dir: String,
+    /// `--quick` — shrink sweeps for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            customers: 2_000,
+            seed: 42,
+            out_dir: "results".into(),
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`, panicking with a usage message on malformed
+    /// input (these are experiment drivers, not user-facing tools).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--customers" => out.customers = expect_value(&mut iter, &flag),
+                "--seed" => out.seed = expect_value(&mut iter, &flag),
+                "--out" => {
+                    out.out_dir = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("{flag} requires a value"))
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --customers N  --seed S  --out DIR  --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Writes `rows` as CSV (with `header`) to `<out_dir>/<name>.csv`,
+    /// creating the directory if needed. Returns the path written.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &str,
+        rows: &[String],
+    ) -> std::io::Result<std::path::PathBuf> {
+        use std::io::Write;
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = std::path::Path::new(&self.out_dir).join(format!("{name}.csv"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{header}")?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(
+    iter: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    iter.next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("invalid value for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.customers, 2_000);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.out_dir, "results");
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--customers", "500", "--seed", "7", "--out", "/tmp/x", "--quick"]);
+        assert_eq!(a.customers, 500);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert!(a.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn missing_value_panics() {
+        let _ = parse(&["--seed"]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("seqpat_bench_args_test");
+        let a = Args {
+            out_dir: dir.to_string_lossy().into_owned(),
+            ..Args::default()
+        };
+        let path = a
+            .write_csv("t", "a,b", &["1,2".into(), "3,4".into()])
+            .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! **E7 — ablations** of the implementation choices DESIGN.md calls out:
+//!
+//! * counting strategy: the paper's candidate hash tree vs the direct
+//!   bitmap-prefiltered scan;
+//! * hash-tree shape: fanout × leaf-capacity grid.
+//!
+//! Results are identical across all cells by construction (the property
+//! tests pin that); only the time and the number of exact containment
+//! tests move.
+
+use seqpat_bench::harness::measure_config;
+use seqpat_bench::table::fmt_secs;
+use seqpat_bench::{Args, Table};
+use seqpat_core::counting::TreeParams;
+use seqpat_core::{CountingStrategy, MinerConfig, MinSupport};
+use seqpat_datagen::{generate, GenParams};
+
+fn main() {
+    let args = Args::parse();
+    let minsup = if args.quick { 0.01 } else { 0.005 };
+    let dataset = "C10-T2.5-S4-I1.25";
+    let params = GenParams::paper_dataset(dataset)
+        .expect("paper dataset")
+        .customers(args.customers);
+    let db = generate(&params, args.seed);
+
+    println!(
+        "E7: counting ablation on {dataset} (|D| = {}, minsup {:.2}%)\n",
+        args.customers,
+        minsup * 100.0
+    );
+    let mut table = Table::new(&[
+        "strategy", "fanout", "leaf cap", "time s", "containment tests", "patterns",
+    ]);
+    let mut rows = Vec::new();
+
+    let direct = measure_config(
+        &db,
+        dataset,
+        minsup,
+        MinerConfig::new(MinSupport::Fraction(minsup)).counting(CountingStrategy::Direct),
+    );
+    table.row(vec![
+        "direct".into(),
+        "-".into(),
+        "-".into(),
+        fmt_secs(direct.seconds),
+        direct.containment_tests.to_string(),
+        direct.patterns.to_string(),
+    ]);
+    rows.push(format!(
+        "direct,,,{:.6},{},{}",
+        direct.seconds, direct.containment_tests, direct.patterns
+    ));
+
+    for fanout in [4usize, 16, 64] {
+        for leaf_capacity in [8usize, 32, 128] {
+            let mut config =
+                MinerConfig::new(MinSupport::Fraction(minsup)).counting(CountingStrategy::HashTree);
+            config.tree_params = TreeParams {
+                fanout,
+                leaf_capacity,
+            };
+            let m = measure_config(&db, dataset, minsup, config);
+            assert_eq!(
+                m.patterns, direct.patterns,
+                "strategies must agree on the answer"
+            );
+            table.row(vec![
+                "hash-tree".into(),
+                fanout.to_string(),
+                leaf_capacity.to_string(),
+                fmt_secs(m.seconds),
+                m.containment_tests.to_string(),
+                m.patterns.to_string(),
+            ]);
+            rows.push(format!(
+                "hash-tree,{},{},{:.6},{},{}",
+                fanout, leaf_capacity, m.seconds, m.containment_tests, m.patterns
+            ));
+        }
+    }
+    table.print();
+    let path = args
+        .write_csv(
+            "e7_ablation",
+            "strategy,fanout,leaf_capacity,seconds,containment_tests,patterns",
+            &rows,
+        )
+        .expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! **E0 — the synthetic dataset table** (paper §5.1, "Synthetic datasets").
+//!
+//! Generates the five datasets of the evaluation and prints the table the
+//! paper reports: shape parameters, realized transaction statistics, and
+//! size. The paper used `|D|` = 250 000 on an RS/6000; the default here is
+//! laptop-scale (`--customers` overrides; the statistics per customer are
+//! `|D|`-invariant).
+
+use seqpat_bench::{Args, Table};
+use seqpat_datagen::{generate, GenParams};
+use seqpat_io::DatasetStats;
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(&[
+        "dataset", "|D|", "transactions", "avg|C|", "avg|T|", "distinct items", "size MB",
+    ]);
+    let mut rows = Vec::new();
+    for name in GenParams::paper_dataset_names() {
+        let params = GenParams::paper_dataset(name)
+            .expect("paper dataset")
+            .customers(args.customers);
+        let db = generate(&params, args.seed);
+        let stats = DatasetStats::compute(&db);
+        table.row(vec![
+            name.to_string(),
+            stats.customers.to_string(),
+            stats.transactions.to_string(),
+            format!("{:.2}", stats.avg_transactions_per_customer),
+            format!("{:.2}", stats.avg_items_per_transaction),
+            stats.distinct_items.to_string(),
+            format!("{:.1}", stats.size_mb),
+        ]);
+        rows.push(format!(
+            "{},{},{},{:.4},{:.4},{},{:.3}",
+            name,
+            stats.customers,
+            stats.transactions,
+            stats.avg_transactions_per_customer,
+            stats.avg_items_per_transaction,
+            stats.distinct_items,
+            stats.size_mb
+        ));
+    }
+    println!("E0: synthetic datasets (seed {})\n", args.seed);
+    table.print();
+    let path = args
+        .write_csv(
+            "e0_datasets",
+            "dataset,customers,transactions,avg_c,avg_t,distinct_items,size_mb",
+            &rows,
+        )
+        .expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

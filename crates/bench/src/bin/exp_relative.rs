@@ -1,0 +1,53 @@
+//! **E2 — relative execution times** (the paper's relative-time figure):
+//! AprioriSome and DynamicSome normalized to AprioriAll = 1.0 at each
+//! support threshold.
+//!
+//! The headline shape: AprioriSome's relative time drops below 1.0 as
+//! minsup decreases; DynamicSome's rises past it and then explodes.
+
+use seqpat_bench::harness::{measure, paper_algorithms, paper_minsup_grid};
+use seqpat_bench::{Args, Table};
+use seqpat_datagen::{generate, GenParams};
+
+fn main() {
+    let args = Args::parse();
+    let minsups = paper_minsup_grid(args.quick);
+    let dataset = "C10-T2.5-S4-I1.25";
+    let params = GenParams::paper_dataset(dataset)
+        .expect("paper dataset")
+        .customers(args.customers);
+    let db = generate(&params, args.seed);
+
+    println!("E2: relative execution time on {dataset} (AprioriAll = 1.0)\n");
+    let mut table = Table::new(&["minsup", "apriori-all", "apriori-some", "dynamic-some(2)"]);
+    let mut rows = Vec::new();
+    for &minsup in &minsups {
+        let times: Vec<f64> = paper_algorithms()
+            .into_iter()
+            .map(|alg| measure(&db, dataset, minsup, alg).seconds)
+            .collect();
+        let base = times[0].max(1e-9);
+        table.row(vec![
+            format!("{:.2}%", minsup * 100.0),
+            "1.00".to_string(),
+            format!("{:.2}", times[1] / base),
+            format!("{:.2}", times[2] / base),
+        ]);
+        rows.push(format!(
+            "{},{:.6},{:.6},{:.6}",
+            minsup,
+            1.0,
+            times[1] / base,
+            times[2] / base
+        ));
+    }
+    table.print();
+    let path = args
+        .write_csv(
+            "e2_relative",
+            "minsup,apriori_all,apriori_some,dynamic_some",
+            &rows,
+        )
+        .expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

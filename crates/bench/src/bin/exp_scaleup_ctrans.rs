@@ -1,0 +1,60 @@
+//! **E4 — scale-up with transactions per customer** (the paper's
+//! "Scale-up: Transactions per customer" figure).
+//!
+//! `|C|` sweeps {10, 20, 30, 40, 50} with the other shape parameters fixed
+//! (T2.5-S4-I1.25) at minsup 1%. Longer customer histories mean more work
+//! per containment test, so times grow somewhat super-linearly in `|C|` —
+//! the paper reports the same gentle curve upward.
+
+use seqpat_bench::harness::{measure, paper_algorithms};
+use seqpat_bench::table::fmt_secs;
+use seqpat_bench::{Args, Table};
+use seqpat_datagen::{generate, GenParams};
+
+fn main() {
+    let args = Args::parse();
+    let cs: &[f64] = if args.quick {
+        &[10.0, 20.0]
+    } else {
+        &[10.0, 20.0, 30.0, 40.0, 50.0]
+    };
+    let minsup = 0.01;
+
+    println!(
+        "E4: scale-up with |C| (|D| = {}, minsup 1%)\n",
+        args.customers
+    );
+    let mut table = Table::new(&["|C|", "algorithm", "time s", "relative"]);
+    let mut rows = Vec::new();
+    let mut baselines: Vec<f64> = Vec::new();
+    for (i, &c) in cs.iter().enumerate() {
+        let params = GenParams::shape(c, 2.5, 4.0, 1.25).customers(args.customers);
+        let db = generate(&params, args.seed);
+        for (ai, algorithm) in paper_algorithms().into_iter().enumerate() {
+            let m = measure(&db, &params.label(), minsup, algorithm);
+            if i == 0 {
+                baselines.push(m.seconds.max(1e-9));
+            }
+            let relative = m.seconds / baselines[ai];
+            table.row(vec![
+                format!("{c:.0}"),
+                m.algorithm.clone(),
+                fmt_secs(m.seconds),
+                format!("{relative:.2}"),
+            ]);
+            rows.push(format!(
+                "{},{},{:.6},{:.4}",
+                c, m.algorithm, m.seconds, relative
+            ));
+        }
+    }
+    table.print();
+    let path = args
+        .write_csv(
+            "e4_scaleup_ctrans",
+            "avg_transactions,algorithm,seconds,relative",
+            &rows,
+        )
+        .expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! **E3 — scale-up with the number of customers** (the paper's
+//! "Scale-up: Number of customers" figure).
+//!
+//! `|D|` sweeps over a 10× range with the C10-T2.5-S4-I1.25 shape at
+//! minsup 1%; times are reported relative to the smallest size. The paper
+//! shows near-linear scale-up for all three algorithms — support counting
+//! dominates and is linear in `|D|`.
+//!
+//! The corpus (pattern tables) is built once and shared across sizes, as
+//! the paper scales only the customer population.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqpat_bench::harness::{measure, paper_algorithms};
+use seqpat_bench::{Args, Table};
+use seqpat_datagen::corpus::Corpus;
+use seqpat_datagen::generator::generate_with_corpus;
+use seqpat_datagen::GenParams;
+
+fn main() {
+    let args = Args::parse();
+    let base = args.customers.max(500);
+    let multipliers: &[usize] = if args.quick { &[1, 2] } else { &[1, 2, 4, 7, 10] };
+    let minsup = 0.01;
+    let shape = GenParams::paper_dataset("C10-T2.5-S4-I1.25").expect("paper dataset");
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let corpus = Corpus::build(&shape, &mut rng);
+
+    println!(
+        "E3: scale-up with |D| (base {base}, shape {}, minsup 1%)\n",
+        shape.label()
+    );
+    let mut table = Table::new(&["|D|", "algorithm", "time s", "relative"]);
+    let mut rows = Vec::new();
+    let mut baselines: Vec<f64> = Vec::new();
+    for (i, &mult) in multipliers.iter().enumerate() {
+        let customers = base * mult;
+        let params = shape.clone().customers(customers);
+        let db = generate_with_corpus(&params, &corpus, &mut rng);
+        for (ai, algorithm) in paper_algorithms().into_iter().enumerate() {
+            let m = measure(&db, &params.label(), minsup, algorithm);
+            if i == 0 {
+                baselines.push(m.seconds.max(1e-9));
+            }
+            let relative = m.seconds / baselines[ai];
+            table.row(vec![
+                customers.to_string(),
+                m.algorithm.clone(),
+                seqpat_bench::table::fmt_secs(m.seconds),
+                format!("{relative:.2}"),
+            ]);
+            rows.push(format!(
+                "{},{},{:.6},{:.4}",
+                customers, m.algorithm, m.seconds, relative
+            ));
+        }
+    }
+    table.print();
+    println!("\n(relative = time / time at |D| = {base}; linear scale-up ⇒ relative ≈ |D|/{base})");
+    let path = args
+        .write_csv("e3_scaleup_customers", "customers,algorithm,seconds,relative", &rows)
+        .expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! Diagnostic: per-phase timing of one (minsup, dataset, |D|) cell.
+//!
+//! ```sh
+//! profile_cell [minsup] [dataset] [customers]   # e.g. 0.005 C10-T5-S4-I2.5 2000
+//! ```
+//!
+//! Prints litemset/transform/pass-2/sequence/maximal timings plus the full
+//! pass log — the tool used to find the hot phases documented in DESIGN.md.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let minsup: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let dataset = args.get(2).map(|s| s.as_str()).unwrap_or("C10-T5-S4-I2.5");
+    let customers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let params = seqpat_datagen::GenParams::paper_dataset(dataset)
+        .unwrap()
+        .customers(customers);
+    let db = seqpat_datagen::generate(&params, 42);
+    let min_count = seqpat_core::MinSupport::Fraction(minsup).to_count(db.num_customers());
+    println!("min_count {min_count}");
+    let t = std::time::Instant::now();
+    let lit = seqpat_core::phases::litemset::litemset_phase(
+        &db,
+        min_count,
+        &seqpat_itemset::AprioriConfig::default(),
+    );
+    println!("litemset: {:?}, {} litemsets, passes {:?}", t.elapsed(), lit.table.len(), lit.passes);
+    let t = std::time::Instant::now();
+    let tdb = seqpat_core::phases::transform::transform_phase(&db, lit.table);
+    let avg_ids: f64 = tdb.customers.iter().map(|c| c.elements.iter().map(|e| e.len()).sum::<usize>() as f64).sum::<f64>() / tdb.customers.len() as f64;
+    println!("transform: {:?}, avg ids/customer {:.1}", t.elapsed(), avg_ids);
+    let t = std::time::Instant::now();
+    let mut stats = seqpat_core::MiningStats::default();
+    let opts = seqpat_core::algorithms::apriori_all::SequencePhaseOptions::default();
+    let (gen2, l2) = seqpat_core::counting::large_two_sequences(&tdb, min_count, &mut stats.containment_tests);
+    println!("pass2: {:?}, C2 {} L2 {}", t.elapsed(), gen2, l2.len());
+    let t = std::time::Instant::now();
+    let large = seqpat_core::algorithms::apriori_all(&tdb, min_count, &opts, &mut stats);
+    println!("full sequence phase: {:?}, {} large", t.elapsed(), large.len());
+    for p in &stats.sequence_passes {
+        println!("  k={} gen={} counted={} large={}", p.k, p.generated, p.counted, p.large);
+    }
+    let t = std::time::Instant::now();
+    let maximal = seqpat_core::phases::maximal::maximal_phase(large, &tdb.table);
+    println!("maximal: {:?}, {} maximal", t.elapsed(), maximal.len());
+}

@@ -1,0 +1,154 @@
+//! Shared measurement plumbing: run one miner configuration over one
+//! database, collect wall time plus the machine-independent counters.
+
+use std::time::Instant;
+
+use seqpat_core::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+
+/// One measured mining run.
+#[derive(Debug, Clone)]
+pub struct MiningMeasurement {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Dataset label (e.g. `C10-T2.5-S4-I1.25`).
+    pub dataset: String,
+    /// Minimum support as a fraction.
+    pub minsup: f64,
+    /// End-to-end wall time in seconds (all five phases).
+    pub seconds: f64,
+    /// Maximal patterns found.
+    pub patterns: usize,
+    /// Candidate sequences generated.
+    pub candidates_generated: u64,
+    /// Candidate sequences counted against the database.
+    pub candidates_counted: u64,
+    /// Exact containment tests executed.
+    pub containment_tests: u64,
+    /// Large sequences retained by the sequence phase.
+    pub large_sequences: u64,
+    /// Large itemsets (the transformed alphabet size).
+    pub litemsets: u64,
+}
+
+impl MiningMeasurement {
+    /// CSV row matching [`CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.6},{},{},{},{},{},{}",
+            self.dataset,
+            self.algorithm,
+            self.minsup,
+            self.seconds,
+            self.patterns,
+            self.candidates_generated,
+            self.candidates_counted,
+            self.containment_tests,
+            self.large_sequences,
+            self.litemsets,
+        )
+    }
+}
+
+/// Header for [`MiningMeasurement::csv_row`].
+pub const CSV_HEADER: &str = "dataset,algorithm,minsup,seconds,patterns,candidates_generated,candidates_counted,containment_tests,large_sequences,litemsets";
+
+/// Runs `algorithm` on `db` at `minsup` and measures it.
+pub fn measure(
+    db: &Database,
+    dataset: &str,
+    minsup: f64,
+    algorithm: Algorithm,
+) -> MiningMeasurement {
+    measure_config(
+        db,
+        dataset,
+        minsup,
+        MinerConfig::new(MinSupport::Fraction(minsup)).algorithm(algorithm),
+    )
+}
+
+/// Runs an arbitrary configuration on `db` and measures it.
+pub fn measure_config(
+    db: &Database,
+    dataset: &str,
+    minsup: f64,
+    config: MinerConfig,
+) -> MiningMeasurement {
+    let name = config.algorithm.to_string();
+    let start = Instant::now();
+    let result = Miner::new(config).mine(db);
+    let seconds = start.elapsed().as_secs_f64();
+    MiningMeasurement {
+        algorithm: name,
+        dataset: dataset.to_string(),
+        minsup,
+        seconds,
+        patterns: result.patterns.len(),
+        candidates_generated: result.stats.candidates_generated,
+        candidates_counted: result.stats.candidates_counted,
+        containment_tests: result.stats.containment_tests,
+        large_sequences: result.stats.large_sequences,
+        litemsets: result.stats.num_litemsets,
+    }
+}
+
+/// The three algorithms of the paper, in its presentation order.
+/// DynamicSome runs with step 2, the setting the paper's plots use.
+pub fn paper_algorithms() -> [Algorithm; 3] {
+    [
+        Algorithm::AprioriAll,
+        Algorithm::AprioriSome,
+        Algorithm::DynamicSome { step: 2 },
+    ]
+}
+
+/// The minimum-support grid of the paper's execution-time figures.
+pub fn paper_minsup_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.01, 0.005]
+    } else {
+        vec![0.01, 0.0075, 0.005, 0.0033, 0.0025, 0.002]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> Database {
+        Database::from_rows(vec![
+            (1, 1, vec![1]),
+            (1, 2, vec![2]),
+            (2, 1, vec![1]),
+            (2, 2, vec![2]),
+            (3, 1, vec![3]),
+        ])
+    }
+
+    #[test]
+    fn measure_collects_counters() {
+        let m = measure(&tiny_db(), "tiny", 0.5, Algorithm::AprioriAll);
+        assert_eq!(m.dataset, "tiny");
+        assert_eq!(m.algorithm, "apriori-all");
+        assert_eq!(m.patterns, 1); // ⟨(1)(2)⟩
+        assert!(m.seconds >= 0.0);
+        assert!(m.candidates_generated > 0);
+        assert_eq!(m.litemsets, 2);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let m = measure(&tiny_db(), "tiny", 0.5, Algorithm::AprioriSome);
+        assert_eq!(
+            m.csv_row().split(',').count(),
+            CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn grids() {
+        assert_eq!(paper_minsup_grid(false).len(), 6);
+        assert_eq!(paper_minsup_grid(true).len(), 2);
+        assert_eq!(paper_algorithms().len(), 3);
+    }
+}

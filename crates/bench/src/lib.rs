@@ -1,0 +1,29 @@
+//! # seqpat-bench — experiment harness.
+//!
+//! One binary per table/figure of the ICDE'95 evaluation (see DESIGN.md §5
+//! for the experiment index):
+//!
+//! | bin | experiment |
+//! |---|---|
+//! | `exp_datasets` | E0 — the synthetic dataset table |
+//! | `exp_minsup_sweep` | E1 — execution time vs minimum support, per dataset |
+//! | `exp_relative` | E2 — times relative to AprioriAll |
+//! | `exp_scaleup_customers` | E3 — scale-up with `|D|` |
+//! | `exp_scaleup_ctrans` | E4 — scale-up with `|C|` |
+//! | `exp_passes` | E5 — per-pass candidate/large counts |
+//! | `exp_prefixspan` | E6 — PrefixSpan comparator (extension) |
+//! | `exp_ablation` | E7 — counting-strategy & hash-tree ablations |
+//!
+//! Every binary prints a paper-style table to stdout and writes a CSV under
+//! `results/`. All accept `--customers N` (default 2 000 — laptop scale;
+//! pass 250 000 for the paper's size), `--seed S` and `--out DIR`.
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+pub mod args;
+pub mod harness;
+pub mod table;
+
+pub use args::Args;
+pub use harness::{measure, MiningMeasurement};
+pub use table::Table;

@@ -1,0 +1,430 @@
+//! `seqmine` — command-line front end for the workspace.
+//!
+//! ```text
+//! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S] [--format spmf|csv]
+//! seqmine mine  --in data.spmf  --minsup 0.01 [--algorithm apriori-all|apriori-some|dynamic-some|prefixspan]
+//!               [--step K] [--all] [--max-length L] [--window W] [--format spmf|csv] [--stats]
+//! seqmine stats --in data.spmf [--format spmf|csv]
+//! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions)
+//! ```
+
+use std::process::ExitCode;
+
+use seqpat_core::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat_datagen::{generate, GenParams};
+use seqpat_io::{csv, spmf, DatasetStats};
+use seqpat_gsp::{gsp, gsp_maximal, GspConfig};
+use seqpat_prefixspan::{prefixspan, prefixspan_maximal, PrefixSpanConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(rest),
+        "mine" => cmd_mine(rest),
+        "stats" => cmd_stats(rest),
+        "convert" => cmd_convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+seqmine — sequential pattern mining (Agrawal & Srikant, ICDE 1995)
+
+commands:
+  gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv])
+  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--stats])
+  stats    print dataset statistics            (--in FILE)
+  convert  convert between spmf and csv        (--in FILE --out FILE)
+
+algorithms: apriori-all (default), apriori-some, dynamic-some, prefixspan,
+            gsp (supports --min-gap G --max-gap G --element-window W)";
+
+/// Tiny flag parser: `--key value` pairs plus boolean switches.
+struct Flags(Vec<(String, Option<String>)>);
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {flag:?}"));
+            };
+            if switches.contains(&name) {
+                out.push((name.to_string(), None));
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                out.push((name.to_string(), Some(value.clone())));
+            }
+        }
+        Ok(Self(out))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.get(name)
+            .map(|v| v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")))
+            .transpose()
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+/// File format selection, by flag or extension.
+fn detect_format(flags: &Flags, path: &str) -> Result<&'static str, String> {
+    if let Some(f) = flags.get("format") {
+        return match f {
+            "spmf" => Ok("spmf"),
+            "csv" => Ok("csv"),
+            other => Err(format!("unknown format {other:?} (use spmf or csv)")),
+        };
+    }
+    if path.ends_with(".csv") {
+        Ok("csv")
+    } else {
+        Ok("spmf")
+    }
+}
+
+fn load(path: &str, format: &str) -> Result<Database, String> {
+    let db = match format {
+        "csv" => csv::read_file(path),
+        _ => spmf::read_file(path),
+    };
+    db.map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn store(db: &Database, path: &str, format: &str) -> Result<(), String> {
+    let r = match format {
+        "csv" => csv::write_file(db, path),
+        _ => spmf::write_file(db, path),
+    };
+    r.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let out = flags.require("out")?;
+    let dataset = flags.get("dataset").unwrap_or("C10-T2.5-S4-I1.25");
+    let customers = flags.get_parsed::<usize>("customers")?.unwrap_or(1_000);
+    let seed = flags.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let params = GenParams::paper_dataset(dataset)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {dataset:?}; known: {}",
+                GenParams::paper_dataset_names().join(", ")
+            )
+        })?
+        .customers(customers);
+    let db = generate(&params, seed);
+    let format = detect_format(&flags, out)?;
+    store(&db, out, format)?;
+    println!(
+        "generated {dataset} with {} customers ({} transactions) → {out}",
+        db.num_customers(),
+        db.num_transactions()
+    );
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["all", "stats"])?;
+    let input = flags.require("in")?;
+    let minsup: f64 = flags
+        .get_parsed("minsup")?
+        .ok_or("--minsup is required")?;
+    if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
+        return Err("--minsup must be in (0, 1]".into());
+    }
+    let format = detect_format(&flags, input)?;
+    let mut db = load(input, format)?;
+    // Optional sliding-window re-grouping (paper's conclusion extension):
+    // transactions within --window time units merge into one element.
+    if let Some(window) = flags.get_parsed::<i64>("window")? {
+        if window < 0 {
+            return Err("--window must be non-negative".into());
+        }
+        db = Database::from_rows_windowed(db.to_rows(), window);
+    }
+    let algorithm_name = flags.get("algorithm").unwrap_or("apriori-all");
+    let include_all = flags.has("all");
+    let max_length = flags.get_parsed::<usize>("max-length")?;
+
+    if algorithm_name == "gsp" {
+        let mut config = GspConfig::default();
+        if let Some(g) = flags.get_parsed::<i64>("min-gap")? {
+            config = config.min_gap(g);
+        }
+        if let Some(g) = flags.get_parsed::<i64>("max-gap")? {
+            config = config.max_gap(g);
+        }
+        if let Some(w) = flags.get_parsed::<i64>("element-window")? {
+            config = config.window(w);
+        }
+        let patterns = if include_all {
+            gsp(&db, MinSupport::Fraction(minsup), &config)
+        } else {
+            gsp_maximal(&db, MinSupport::Fraction(minsup), &config)
+        };
+        for p in &patterns {
+            println!("{p} #SUP: {}", p.support);
+        }
+        eprintln!("{} patterns (gsp, {config:?})", patterns.len());
+        return Ok(());
+    }
+
+    if algorithm_name == "prefixspan" {
+        let config = PrefixSpanConfig {
+            max_length,
+            ..Default::default()
+        };
+        let patterns = if include_all {
+            prefixspan(&db, MinSupport::Fraction(minsup), &config)
+        } else {
+            prefixspan_maximal(&db, MinSupport::Fraction(minsup), &config)
+        };
+        for p in &patterns {
+            println!("{p} #SUP: {}", p.support);
+        }
+        eprintln!("{} patterns (prefixspan)", patterns.len());
+        return Ok(());
+    }
+
+    let step = flags.get_parsed::<usize>("step")?.unwrap_or(2);
+    let algorithm = match algorithm_name {
+        "apriori-all" => Algorithm::AprioriAll,
+        "apriori-some" => Algorithm::AprioriSome,
+        "dynamic-some" => Algorithm::DynamicSome { step },
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (apriori-all, apriori-some, dynamic-some, prefixspan, gsp)"
+            ))
+        }
+    };
+    let mut config = MinerConfig::new(MinSupport::Fraction(minsup))
+        .algorithm(algorithm)
+        .include_non_maximal(include_all);
+    if let Some(cap) = max_length {
+        config = config.max_length(cap);
+    }
+    let result = Miner::new(config).mine(&db);
+    for p in &result.patterns {
+        println!("{p} #SUP: {}", p.support);
+    }
+    eprintln!(
+        "{} patterns at minsup {minsup} (count ≥ {}) over {} customers [{algorithm}]",
+        result.patterns.len(),
+        result.min_support_count,
+        result.num_customers
+    );
+    if flags.has("stats") {
+        let s = &result.stats;
+        eprintln!(
+            "litemsets: {}  candidates generated/counted: {}/{}  containment tests: {}",
+            s.num_litemsets, s.candidates_generated, s.candidates_counted, s.containment_tests
+        );
+        eprintln!(
+            "times: litemset {:?}, transform {:?}, sequence {:?}, maximal {:?}",
+            s.litemset_time, s.transform_time, s.sequence_time, s.maximal_time
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let input = flags.require("in")?;
+    let format = detect_format(&flags, input)?;
+    let db = load(input, format)?;
+    println!("{}", DatasetStats::compute(&db));
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let input = flags.require("in")?;
+    let output = flags.require("out")?;
+    let in_format = if input.ends_with(".csv") { "csv" } else { "spmf" };
+    let out_format = if output.ends_with(".csv") { "csv" } else { "spmf" };
+    let db = load(input, in_format)?;
+    store(&db, output, out_format)?;
+    println!("converted {input} ({in_format}) → {output} ({out_format})");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str], switches: &[&str]) -> Flags {
+        Flags::parse(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            switches,
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let f = flags(&["--in", "x.spmf", "--all", "--minsup", "0.1"], &["all"]);
+        assert_eq!(f.get("in"), Some("x.spmf"));
+        assert!(f.has("all"));
+        assert_eq!(f.get_parsed::<f64>("minsup").unwrap(), Some(0.1));
+        assert_eq!(f.get("nope"), None);
+        assert!(f.require("in").is_ok());
+        assert!(f.require("nope").is_err());
+    }
+
+    #[test]
+    fn flags_reject_bare_words_and_missing_values() {
+        let args = vec!["oops".to_string()];
+        assert!(Flags::parse(&args, &[]).is_err());
+        let args = vec!["--in".to_string()];
+        assert!(Flags::parse(&args, &[]).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let f = flags(&["--minsup", "abc"], &[]);
+        assert!(f.get_parsed::<f64>("minsup").is_err());
+    }
+
+    #[test]
+    fn format_detection() {
+        let none = flags(&[], &[]);
+        assert_eq!(detect_format(&none, "data.csv").unwrap(), "csv");
+        assert_eq!(detect_format(&none, "data.spmf").unwrap(), "spmf");
+        assert_eq!(detect_format(&none, "data.txt").unwrap(), "spmf");
+        let forced = flags(&["--format", "csv"], &[]);
+        assert_eq!(detect_format(&forced, "data.spmf").unwrap(), "csv");
+        let bad = flags(&["--format", "xml"], &[]);
+        assert!(detect_format(&bad, "x").is_err());
+    }
+
+    #[test]
+    fn gen_mine_stats_end_to_end() {
+        let dir = std::env::temp_dir().join("seqmine_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.spmf");
+        let out = path.to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            out.clone(),
+            "--customers".into(),
+            "50".into(),
+            "--seed".into(),
+            "3".into(),
+        ])
+        .expect("gen");
+        cmd_stats(&["--in".into(), out.clone()]).expect("stats");
+        cmd_mine(&[
+            "--in".into(),
+            out.clone(),
+            "--minsup".into(),
+            "0.2".into(),
+            "--algorithm".into(),
+            "apriori-some".into(),
+        ])
+        .expect("mine");
+        let csv_out = dir.join("tiny.csv").to_string_lossy().into_owned();
+        cmd_convert(&["--in".into(), out, "--out".into(), csv_out.clone()]).expect("convert");
+        cmd_mine(&[
+            "--in".into(),
+            csv_out,
+            "--minsup".into(),
+            "0.2".into(),
+            "--algorithm".into(),
+            "prefixspan".into(),
+        ])
+        .expect("mine csv via prefixspan");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_rejects_bad_arguments() {
+        assert!(cmd_mine(&["--in".into(), "/nonexistent".into(), "--minsup".into(), "0.5".into()]).is_err());
+        assert!(cmd_mine(&["--minsup".into(), "0.5".into()]).is_err());
+        let dir = std::env::temp_dir().join("seqmine_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.spmf").to_string_lossy().into_owned();
+        cmd_gen(&["--out".into(), path.clone(), "--customers".into(), "10".into()]).unwrap();
+        assert!(cmd_mine(&["--in".into(), path.clone(), "--minsup".into(), "2.0".into()]).is_err());
+        assert!(cmd_mine(&[
+            "--in".into(),
+            path,
+            "--minsup".into(),
+            "0.5".into(),
+            "--algorithm".into(),
+            "bogus".into()
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_with_window_merges_elements() {
+        let dir = std::env::temp_dir().join("seqmine_cli_window_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.csv").to_string_lossy().into_owned();
+        std::fs::write(&path, "customer,time,items\n1,0,1\n1,1,2\n2,0,1\n2,1,2\n").unwrap();
+        cmd_mine(&[
+            "--in".into(),
+            path.clone(),
+            "--minsup".into(),
+            "1.0".into(),
+            "--window".into(),
+            "1".into(),
+        ])
+        .expect("windowed mine");
+        assert!(cmd_mine(&[
+            "--in".into(),
+            path,
+            "--minsup".into(),
+            "1.0".into(),
+            "--window".into(),
+            "-3".into(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_dataset() {
+        assert!(cmd_gen(&[
+            "--out".into(),
+            "/tmp/x.spmf".into(),
+            "--dataset".into(),
+            "NOPE".into()
+        ])
+        .is_err());
+    }
+}

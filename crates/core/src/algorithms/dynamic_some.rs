@@ -1,0 +1,278 @@
+//! **DynamicSome** (paper §4.3): jump by a fixed `step` with on-the-fly
+//! candidate generation.
+//!
+//! Four phases:
+//!
+//! 1. **Initialization** — lengths `1..=step` are mined exactly as in
+//!    AprioriAll.
+//! 2. **Jump** — from exact `L_k` (k a multiple of `step`), the candidates
+//!    of length `k + step` are generated *and counted in the same scan* by
+//!    [`otf::otf_generate`] pairing `L_k` with `L_step`; thresholding gives
+//!    exact `L_{k+step}`. Jumps continue while new large sequences appear.
+//! 3. **Intermediate** — candidates for the skipped lengths between the
+//!    multiples (and up to `step - 1` beyond the last jump) are generated
+//!    with the ordinary apriori join, from `L_{k-1}` when known, else from
+//!    `C_{k-1}`.
+//! 4. **Backward** — shared with AprioriSome: prune candidates contained in
+//!    longer large sequences, count the rest.
+
+use super::apriori_all::{large_one_sequences, SequencePhaseOptions};
+use super::backward::{backward, ForwardOutput};
+use super::candidate::{self, IdSeq};
+use super::otf::otf_generate;
+use crate::counting::{count_supports, large_two_sequences};
+use crate::phases::maximal::LargeIdSequence;
+use crate::stats::{MiningStats, SequencePassStats};
+use crate::types::transformed::TransformedDatabase;
+
+/// Runs DynamicSome with the given jump width (`step >= 1`; the paper's
+/// experiments use small steps such as 2 or 3).
+///
+/// Returns a superset of the maximal large sequences, like AprioriSome.
+pub fn dynamic_some(
+    tdb: &TransformedDatabase,
+    min_count: u64,
+    step: usize,
+    options: &SequencePhaseOptions,
+    stats: &mut MiningStats,
+) -> Vec<LargeIdSequence> {
+    assert!(step >= 1, "DynamicSome requires step >= 1");
+    let mut forward = ForwardOutput::default();
+
+    // --- Initialization phase: exact L_1 ..= L_step. ---
+    let l1 = large_one_sequences(tdb);
+    stats.record_pass(SequencePassStats {
+        k: 1,
+        generated: l1.len() as u64,
+        counted: 0,
+        large: l1.len() as u64,
+        backward: false,
+        pruned_by_containment: 0,
+    });
+    forward.counted.insert(1, l1);
+
+    for k in 2..=step.min(options.max_length.unwrap_or(usize::MAX)) {
+        // Pass 2 fast path (shared with the other algorithms).
+        if k == 2 {
+            let (generated, l2) =
+                large_two_sequences(tdb, min_count, &mut stats.containment_tests);
+            stats.record_pass(SequencePassStats {
+                k,
+                generated,
+                counted: generated,
+                large: l2.len() as u64,
+                backward: false,
+                pruned_by_containment: 0,
+            });
+            let empty = l2.is_empty();
+            forward.counted.insert(k, l2);
+            if empty {
+                break;
+            }
+            continue;
+        }
+        let prev: Vec<IdSeq> = forward.counted[&(k - 1)]
+            .iter()
+            .map(|s| s.ids.clone())
+            .collect();
+        let candidates = candidate::generate(&prev);
+        if candidates.is_empty() {
+            forward.counted.insert(k, Vec::new());
+            break;
+        }
+        let supports = count_supports(
+            tdb,
+            &candidates,
+            options.counting,
+            options.tree_params,
+            &mut stats.containment_tests,
+        );
+        let lk: Vec<LargeIdSequence> = candidates
+            .iter()
+            .zip(&supports)
+            .filter(|&(_, &s)| s >= min_count)
+            .map(|(ids, &support)| LargeIdSequence {
+                ids: ids.clone(),
+                support,
+            })
+            .collect();
+        stats.record_pass(SequencePassStats {
+            k,
+            generated: candidates.len() as u64,
+            counted: candidates.len() as u64,
+            large: lk.len() as u64,
+            backward: false,
+            pruned_by_containment: 0,
+        });
+        let empty = lk.is_empty();
+        forward.counted.insert(k, lk);
+        if empty {
+            break;
+        }
+    }
+
+    // --- Jump phase: L_k × L_step → L_{k+step}. ---
+    let l_step_ids: Vec<IdSeq> = forward
+        .counted
+        .get(&step)
+        .map(|l| l.iter().map(|s| s.ids.clone()).collect())
+        .unwrap_or_default();
+    if !l_step_ids.is_empty() {
+        let mut k = step;
+        loop {
+            let target = k + step;
+            if options.max_length.is_some_and(|cap| target > cap) {
+                break;
+            }
+            let lk_ids: Vec<IdSeq> = match forward.counted.get(&k) {
+                Some(l) if !l.is_empty() => l.iter().map(|s| s.ids.clone()).collect(),
+                _ => break,
+            };
+            let counted_pairs = otf_generate(tdb, &lk_ids, &l_step_ids, &mut stats.containment_tests);
+            let generated = counted_pairs.len() as u64;
+            let l_next: Vec<LargeIdSequence> = counted_pairs
+                .into_iter()
+                .filter(|&(_, s)| s >= min_count)
+                .map(|(ids, support)| LargeIdSequence { ids, support })
+                .collect();
+            stats.record_pass(SequencePassStats {
+                k: target,
+                generated,
+                counted: generated,
+                large: l_next.len() as u64,
+                backward: false,
+                pruned_by_containment: 0,
+            });
+            let empty = l_next.is_empty();
+            forward.counted.insert(target, l_next);
+            if empty {
+                break;
+            }
+            k = target;
+        }
+    }
+
+    // --- Intermediate phase: candidates for the skipped lengths. ---
+    let max_counted_nonempty = forward
+        .counted
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(&k, _)| k)
+        .max()
+        .unwrap_or(1);
+    let horizon = (max_counted_nonempty + step - 1)
+        .min(options.max_length.unwrap_or(usize::MAX));
+    for k in 2..=horizon {
+        if forward.counted.contains_key(&k) {
+            continue;
+        }
+        // Source: L_{k-1} when counted, else the C_{k-1} just stored.
+        let source: Vec<IdSeq> = if let Some(l) = forward.counted.get(&(k - 1)) {
+            l.iter().map(|s| s.ids.clone()).collect()
+        } else if let Some(c) = forward.skipped.get(&(k - 1)) {
+            c.clone()
+        } else {
+            Vec::new()
+        };
+        let ck = if source.is_empty() {
+            Vec::new()
+        } else {
+            candidate::generate(&source)
+        };
+        stats.record_pass(SequencePassStats {
+            k,
+            generated: ck.len() as u64,
+            counted: 0,
+            large: 0,
+            backward: false,
+            pruned_by_containment: 0,
+        });
+        forward.skipped.insert(k, ck);
+    }
+
+    // Empty counted entries would shadow nothing useful in the backward
+    // pass; drop them so only real large sets remain.
+    forward.counted.retain(|_, v| !v.is_empty());
+    forward.skipped.retain(|_, v| !v.is_empty());
+
+    // --- Backward phase (shared). ---
+    backward(tdb, min_count, options, stats, forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::apriori_all::{apriori_all, tests::paper_tdb};
+    use crate::algorithms::apriori_some::apriori_some;
+    use crate::phases::maximal::maximal_phase;
+
+    fn maximal_ids(tdb: &TransformedDatabase, seqs: Vec<LargeIdSequence>) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = maximal_phase(seqs, &tdb.table)
+            .into_iter()
+            .map(|s| s.ids)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn agrees_with_apriori_all_on_paper_example() {
+        let tdb = paper_tdb();
+        let opts = SequencePhaseOptions::default();
+        for step in 1..=4 {
+            let mut s1 = MiningStats::default();
+            let all = apriori_all(&tdb, 2, &opts, &mut s1);
+            let mut s2 = MiningStats::default();
+            let dyn_ = dynamic_some(&tdb, 2, step, &opts, &mut s2);
+            assert_eq!(
+                maximal_ids(&tdb, all),
+                maximal_ids(&tdb, dyn_),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori_some() {
+        let tdb = paper_tdb();
+        let opts = SequencePhaseOptions::default();
+        let mut s1 = MiningStats::default();
+        let some = apriori_some(&tdb, 2, &opts, &mut s1);
+        let mut s2 = MiningStats::default();
+        let dyn_ = dynamic_some(&tdb, 2, 2, &opts, &mut s2);
+        assert_eq!(maximal_ids(&tdb, some), maximal_ids(&tdb, dyn_));
+    }
+
+    #[test]
+    fn every_returned_sequence_is_large() {
+        let tdb = paper_tdb();
+        let mut stats = MiningStats::default();
+        let out = dynamic_some(&tdb, 2, 2, &SequencePhaseOptions::default(), &mut stats);
+        assert!(out.iter().all(|s| s.support >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "step >= 1")]
+    fn zero_step_rejected() {
+        let tdb = paper_tdb();
+        let mut stats = MiningStats::default();
+        let _ = dynamic_some(&tdb, 2, 0, &SequencePhaseOptions::default(), &mut stats);
+    }
+
+    #[test]
+    fn max_length_respected() {
+        let tdb = paper_tdb();
+        let mut stats = MiningStats::default();
+        let out = dynamic_some(
+            &tdb,
+            2,
+            2,
+            &SequencePhaseOptions {
+                max_length: Some(1),
+                ..Default::default()
+            },
+            &mut stats,
+        );
+        assert!(out.iter().all(|s| s.ids.len() == 1));
+    }
+}

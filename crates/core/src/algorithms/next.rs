@@ -1,0 +1,54 @@
+//! The `next()` step heuristic of AprioriSome (paper §4.2).
+//!
+//! After counting pass `k`, AprioriSome decides which length to count next
+//! from the *hit ratio* `hit_k = |L_k| / |C_k|`: when most candidates turn
+//! out large, larger sequences are likely and it pays to skip further ahead
+//! (skipped lengths are recovered cheaply in the backward phase); when few
+//! candidates are large, skipping wastes work on candidates generated from
+//! candidates. The thresholds below are the paper's.
+
+/// Returns the next length to count after counting length `k` with hit
+/// ratio `hit_k` (fraction of candidates that were large, in `[0, 1]`).
+pub fn next(k: usize, hit_k: f64) -> usize {
+    debug_assert!((0.0..=1.0).contains(&hit_k), "hit ratio out of range: {hit_k}");
+    if hit_k < 0.666 {
+        k + 1
+    } else if hit_k < 0.75 {
+        k + 2
+    } else if hit_k < 0.80 {
+        k + 3
+    } else if hit_k < 0.85 {
+        k + 4
+    } else {
+        k + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds() {
+        assert_eq!(next(3, 0.0), 4);
+        assert_eq!(next(3, 0.6), 4);
+        assert_eq!(next(3, 0.666), 5);
+        assert_eq!(next(3, 0.70), 5);
+        assert_eq!(next(3, 0.75), 6);
+        assert_eq!(next(3, 0.79), 6);
+        assert_eq!(next(3, 0.80), 7);
+        assert_eq!(next(3, 0.84), 7);
+        assert_eq!(next(3, 0.85), 8);
+        assert_eq!(next(3, 1.0), 8);
+    }
+
+    #[test]
+    fn monotone_in_hit_ratio() {
+        let mut last = 0;
+        for i in 0..=100 {
+            let n = next(10, i as f64 / 100.0);
+            assert!(n >= last);
+            last = n;
+        }
+    }
+}

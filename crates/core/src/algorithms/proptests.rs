@@ -1,0 +1,76 @@
+//! Property tests for the sequence candidate generation — soundness and
+//! completeness of `apriori-generate` (the anti-monotonicity backbone).
+
+use proptest::prelude::*;
+
+use super::candidate::{generate, IdSeq};
+
+fn arb_prev(k: usize) -> impl Strategy<Value = Vec<IdSeq>> {
+    proptest::collection::btree_set(proptest::collection::vec(0u32..5, k), 1..=25)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// All delete-one-element subsequences of `seq`.
+fn delete_one(seq: &[u32]) -> Vec<IdSeq> {
+    (0..seq.len())
+        .map(|drop| {
+            let mut sub = seq.to_vec();
+            sub.remove(drop);
+            sub
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn soundness_every_candidate_survives_its_own_prune(prev in arb_prev(2)) {
+        for cand in generate(&prev) {
+            prop_assert_eq!(cand.len(), 3);
+            for sub in delete_one(&cand) {
+                prop_assert!(
+                    prev.binary_search(&sub).is_ok(),
+                    "candidate {:?} emitted though subsequence {:?} is not in prev",
+                    cand,
+                    sub
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_all_fully_supported_extensions_are_generated(prev in arb_prev(2)) {
+        // Enumerate every 3-sequence over the alphabet; those whose
+        // delete-one subsequences are all in prev MUST be generated.
+        let out = generate(&prev);
+        for a in 0u32..5 {
+            for b in 0u32..5 {
+                for c in 0u32..5 {
+                    let cand = vec![a, b, c];
+                    let supported = delete_one(&cand)
+                        .into_iter()
+                        .all(|s| prev.binary_search(&s).is_ok());
+                    prop_assert_eq!(
+                        out.binary_search(&cand).is_ok(),
+                        supported,
+                        "mismatch for {:?}",
+                        cand
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_sorted_and_unique(prev in arb_prev(3)) {
+        let out = generate(&prev);
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn k2_is_the_full_ordered_square(prev in arb_prev(1)) {
+        let out = generate(&prev);
+        prop_assert_eq!(out.len(), prev.len() * prev.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Containment kernels — the paper's `⊑` relation in both spaces.
+//!
+//! All kernels use **greedy earliest-match** scanning, which is exact for
+//! the subsequence relation: if any embedding of the needle into the hay
+//! exists, the embedding that always picks the earliest feasible hay element
+//! also exists (a straightforward exchange argument — moving a match left
+//! never invalidates later matches).
+
+use crate::types::itemset::Itemset;
+use crate::types::transformed::{LitemsetId, LitemsetTable, TransformedCustomer};
+
+/// `needle ⊑ hay` over itemset sequences (paper §2): indices
+/// `i1 < … < in` must exist with `needle[j] ⊆ hay[i_j]`.
+pub fn sequence_contains(hay: &[Itemset], needle: &[Itemset]) -> bool {
+    let mut hi = 0;
+    'outer: for n in needle {
+        while hi < hay.len() {
+            let candidate = &hay[hi];
+            hi += 1;
+            if n.is_subset_of(candidate) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Plain subsequence over litemset ids with **equality** element matching.
+/// This is the relation used while *growing* candidates in the transformed
+/// space, where each sequence element is exactly one litemset.
+pub fn id_subsequence(hay: &[LitemsetId], needle: &[LitemsetId]) -> bool {
+    let mut hi = 0;
+    'outer: for &n in needle {
+        while hi < hay.len() {
+            let h = hay[hi];
+            hi += 1;
+            if h == n {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Subsequence over litemset ids with **subset-aware** element matching:
+/// `needle[j]` matches `hay[i]` when `itemset(needle[j]) ⊆ itemset(hay[i])`.
+/// This is the true `⊑` of the paper lifted to id space; the maximal phase
+/// and the backward passes of AprioriSome/DynamicSome need it because e.g.
+/// `⟨(30)(40)⟩ ⊑ ⟨(30)(40 70)⟩` even though the ids differ.
+pub fn id_subsequence_with_subsets(
+    hay: &[LitemsetId],
+    needle: &[LitemsetId],
+    table: &LitemsetTable,
+) -> bool {
+    let mut hi = 0;
+    'outer: for &n in needle {
+        let n_set = table.itemset(n);
+        while hi < hay.len() {
+            let h_set = table.itemset(hay[hi]);
+            hi += 1;
+            if n_set.is_subset_of(h_set) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Is the candidate id-sequence contained in a transformed customer
+/// sequence? `candidate[j]` must occur in some element (transaction) of the
+/// customer, at strictly increasing transaction positions. Elements store
+/// ascending ids, so membership is a binary search.
+pub fn customer_contains(customer: &TransformedCustomer, candidate: &[LitemsetId]) -> bool {
+    customer_contains_from(customer, candidate, 0).is_some()
+}
+
+/// Like [`customer_contains`] but starts matching at transaction index
+/// `start` and returns the index of the transaction that matched the *last*
+/// candidate element (earliest-match). Used by DynamicSome's on-the-fly
+/// join, which needs split positions.
+pub fn customer_contains_from(
+    customer: &TransformedCustomer,
+    candidate: &[LitemsetId],
+    start: usize,
+) -> Option<usize> {
+    let mut pos = start;
+    let mut last = None;
+    'outer: for &id in candidate {
+        while pos < customer.elements.len() {
+            let element = &customer.elements[pos];
+            pos += 1;
+            if element.binary_search(&id).is_ok() {
+                last = Some(pos - 1);
+                continue 'outer;
+            }
+        }
+        return None;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::itemset::Itemset;
+
+    fn isets(v: Vec<Vec<u32>>) -> Vec<Itemset> {
+        v.into_iter().map(Itemset::new).collect()
+    }
+
+    #[test]
+    fn sequence_contains_with_subsets() {
+        let hay = isets(vec![vec![7], vec![3, 8], vec![9], vec![4, 5, 6], vec![8]]);
+        let needle = isets(vec![vec![3], vec![4, 5], vec![8]]);
+        assert!(sequence_contains(&hay, &needle));
+        let bad = isets(vec![vec![3], vec![5], vec![9]]);
+        assert!(!sequence_contains(&hay, &bad)); // 9 occurs before the 5-match? 9 at idx 2, 5 at idx 3 → fails
+    }
+
+    #[test]
+    fn sequence_contains_empty_needle_is_true() {
+        let hay = isets(vec![vec![1]]);
+        assert!(sequence_contains(&hay, &[]));
+    }
+
+    #[test]
+    fn greedy_does_not_miss_later_embeddings() {
+        // Needle ⟨(1)(1 2)⟩ in hay ⟨(1 2)(1 2)⟩: greedy matches (1)→hay[0],
+        // then (1 2)→hay[1]. A naive non-greedy matcher could bind (1 2) to
+        // hay[0] and fail.
+        let hay = isets(vec![vec![1, 2], vec![1, 2]]);
+        let needle = isets(vec![vec![1], vec![1, 2]]);
+        assert!(sequence_contains(&hay, &needle));
+    }
+
+    #[test]
+    fn id_subsequence_basic() {
+        assert!(id_subsequence(&[1, 2, 3, 4], &[2, 4]));
+        assert!(!id_subsequence(&[1, 2, 3, 4], &[4, 2]));
+        assert!(id_subsequence(&[1, 1, 2], &[1, 1]));
+        assert!(!id_subsequence(&[1, 2], &[1, 1]));
+        assert!(id_subsequence(&[], &[]));
+        assert!(!id_subsequence(&[], &[1]));
+    }
+
+    #[test]
+    fn id_subsequence_with_subsets_uses_table() {
+        // ids: 0={1}, 1={2}, 2={1,2}
+        let table = LitemsetTable::new(vec![
+            (Itemset::new(vec![1]), 3),
+            (Itemset::new(vec![2]), 3),
+            (Itemset::new(vec![1, 2]), 2),
+        ]);
+        // ⟨{1}⟩ ⊑ ⟨{1,2}⟩
+        assert!(id_subsequence_with_subsets(&[2], &[0], &table));
+        // ⟨{1}{2}⟩ ⊑ ⟨{1,2}{1,2}⟩
+        assert!(id_subsequence_with_subsets(&[2, 2], &[0, 1], &table));
+        // ⟨{1,2}⟩ ⋢ ⟨{1}⟩
+        assert!(!id_subsequence_with_subsets(&[0], &[2], &table));
+        // order matters
+        assert!(!id_subsequence_with_subsets(&[1, 0], &[0, 1], &table));
+    }
+
+    #[test]
+    fn customer_contains_strictly_increasing_transactions() {
+        let c = TransformedCustomer {
+            customer_id: 1,
+            elements: vec![vec![0, 1], vec![2], vec![0]],
+        };
+        assert!(customer_contains(&c, &[0, 2]));
+        assert!(customer_contains(&c, &[1, 2, 0]));
+        assert!(customer_contains(&c, &[0, 0])); // elements 0 and 2
+        assert!(!customer_contains(&c, &[2, 1])); // wrong order
+        assert!(!customer_contains(&c, &[0, 1])); // 0 and 1 share one transaction
+    }
+
+    #[test]
+    fn customer_contains_from_reports_end_position() {
+        let c = TransformedCustomer {
+            customer_id: 1,
+            elements: vec![vec![5], vec![6], vec![5], vec![7]],
+        };
+        assert_eq!(customer_contains_from(&c, &[5], 0), Some(0));
+        assert_eq!(customer_contains_from(&c, &[5], 1), Some(2));
+        assert_eq!(customer_contains_from(&c, &[5, 7], 0), Some(3));
+        assert_eq!(customer_contains_from(&c, &[7, 5], 0), None);
+        assert_eq!(customer_contains_from(&c, &[5], 3), None);
+    }
+}

@@ -1,0 +1,403 @@
+//! Support counting for candidate sequences over the transformed database.
+//!
+//! Two interchangeable strategies (an ablation bench in `seqpat-bench`
+//! compares them):
+//!
+//! * [`CountingStrategy::Direct`] — for each customer, test every candidate
+//!   with the greedy containment scan, prefiltered by a litemset-presence
+//!   bitmap (a candidate using an id the customer never bought cannot
+//!   match).
+//! * [`CountingStrategy::HashTree`] — the paper's approach: put the
+//!   candidates in a [`SequenceHashTree`] and let each customer walk it,
+//!   touching only candidates whose prefix ids actually occur.
+//!
+//! Both produce identical counts (pinned by tests here and by property
+//! tests at the workspace level) and both report the number of exact
+//! containment tests performed, which the harness uses as a
+//! machine-independent cost measure.
+
+use crate::contain::customer_contains;
+use crate::hash_tree::{SequenceHashTree, VisitSet};
+use crate::types::transformed::{LitemsetId, TransformedDatabase};
+
+/// Strategy for counting candidate supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountingStrategy {
+    /// Per-candidate greedy scans with a presence-bitmap prefilter.
+    Direct,
+    /// The paper's candidate hash tree.
+    #[default]
+    HashTree,
+}
+
+/// Hash-tree shape parameters (shared with the litemset phase defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Interior fanout.
+    pub fanout: usize,
+    /// Leaf capacity before splitting.
+    pub leaf_capacity: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            fanout: 16,
+            leaf_capacity: 32,
+        }
+    }
+}
+
+/// Counts the support of every candidate. Returns per-candidate customer
+/// counts and adds the number of exact containment tests to
+/// `containment_tests`.
+///
+/// All candidates must share one length (the per-pass invariant of every
+/// algorithm in this crate).
+pub fn count_supports(
+    tdb: &TransformedDatabase,
+    candidates: &[Vec<LitemsetId>],
+    strategy: CountingStrategy,
+    tree_params: TreeParams,
+    containment_tests: &mut u64,
+) -> Vec<u64> {
+    match strategy {
+        CountingStrategy::Direct => count_direct(tdb, candidates, containment_tests),
+        CountingStrategy::HashTree => {
+            count_hash_tree(tdb, candidates, tree_params, containment_tests)
+        }
+    }
+}
+
+fn count_direct(
+    tdb: &TransformedDatabase,
+    candidates: &[Vec<LitemsetId>],
+    containment_tests: &mut u64,
+) -> Vec<u64> {
+    let num_litemsets = tdb.table.len();
+    let mut supports = vec![0u64; candidates.len()];
+    let mut bitmap = vec![false; num_litemsets];
+    for customer in &tdb.customers {
+        if customer.elements.is_empty() {
+            continue;
+        }
+        bitmap.iter_mut().for_each(|b| *b = false);
+        for element in &customer.elements {
+            for &id in element {
+                bitmap[id as usize] = true;
+            }
+        }
+        for (idx, cand) in candidates.iter().enumerate() {
+            if cand.len() > customer.elements.len() {
+                continue;
+            }
+            if !cand.iter().all(|&id| bitmap[id as usize]) {
+                continue;
+            }
+            *containment_tests += 1;
+            if customer_contains(customer, cand) {
+                supports[idx] += 1;
+            }
+        }
+    }
+    supports
+}
+
+/// Fast path for pass 2 (the candidate set is always **all** `|L1|²`
+/// ordered litemset pairs — the join over 1-sequences is total and the
+/// prune vacuous): count every pair `⟨a b⟩` directly while scanning each
+/// customer once, instead of probing millions of candidates through the
+/// hash tree. This mirrors the special-cased second pass of the original
+/// Apriori implementations (a count array instead of a tree).
+///
+/// Returns `(number_of_candidate_pairs, large_two_sequences)` with the
+/// large sequences in lexicographic id order. `containment_tests` is
+/// incremented once per distinct `(a, b)` pair observed per customer.
+pub fn large_two_sequences(
+    tdb: &TransformedDatabase,
+    min_count: u64,
+    containment_tests: &mut u64,
+) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
+    let n = tdb.table.len();
+    let candidates = (n as u64) * (n as u64);
+    let mut counts = PairCounts::new(n);
+    // Per-customer pair set: collect, sort, dedup, then bump global counts.
+    let mut pairs: Vec<(LitemsetId, LitemsetId)> = Vec::new();
+    let mut seen_before: Vec<LitemsetId> = Vec::new();
+    for customer in &tdb.customers {
+        if customer.elements.len() < 2 {
+            continue;
+        }
+        pairs.clear();
+        seen_before.clear();
+        for element in &customer.elements {
+            if !seen_before.is_empty() {
+                for &b in element {
+                    for &a in &seen_before {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            seen_before.extend_from_slice(element);
+            seen_before.sort_unstable();
+            seen_before.dedup();
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        *containment_tests += pairs.len() as u64;
+        for &(a, b) in &pairs {
+            counts.bump(a, b);
+        }
+    }
+    (candidates, counts.into_large(min_count))
+}
+
+/// Pair-count storage: dense `n×n` matrix for small alphabets, hash map
+/// beyond (a 4096-litemset alphabet already needs 64 MiB dense).
+enum PairCounts {
+    Dense { n: usize, counts: Vec<u32> },
+    Sparse(crate::fxhash::FxHashMap<(LitemsetId, LitemsetId), u32>),
+}
+
+impl PairCounts {
+    const DENSE_LIMIT: usize = 4096;
+
+    fn new(n: usize) -> Self {
+        if n <= Self::DENSE_LIMIT {
+            PairCounts::Dense {
+                n,
+                counts: vec![0; n * n],
+            }
+        } else {
+            PairCounts::Sparse(crate::fxhash::FxHashMap::default())
+        }
+    }
+
+    fn bump(&mut self, a: LitemsetId, b: LitemsetId) {
+        match self {
+            PairCounts::Dense { n, counts } => counts[a as usize * *n + b as usize] += 1,
+            PairCounts::Sparse(map) => *map.entry((a, b)).or_insert(0) += 1,
+        }
+    }
+
+    fn into_large(self, min_count: u64) -> Vec<crate::phases::maximal::LargeIdSequence> {
+        use crate::phases::maximal::LargeIdSequence;
+        let mut out = Vec::new();
+        match self {
+            PairCounts::Dense { n, counts } => {
+                for a in 0..n {
+                    for b in 0..n {
+                        let c = counts[a * n + b] as u64;
+                        if c >= min_count {
+                            out.push(LargeIdSequence {
+                                ids: vec![a as LitemsetId, b as LitemsetId],
+                                support: c,
+                            });
+                        }
+                    }
+                }
+            }
+            PairCounts::Sparse(map) => {
+                let mut entries: Vec<_> = map
+                    .into_iter()
+                    .filter(|&(_, c)| c as u64 >= min_count)
+                    .collect();
+                entries.sort_unstable_by_key(|&((a, b), _)| (a, b));
+                out.extend(entries.into_iter().map(|((a, b), c)| LargeIdSequence {
+                    ids: vec![a, b],
+                    support: c as u64,
+                }));
+            }
+        }
+        out
+    }
+}
+
+fn count_hash_tree(
+    tdb: &TransformedDatabase,
+    candidates: &[Vec<LitemsetId>],
+    params: TreeParams,
+    containment_tests: &mut u64,
+) -> Vec<u64> {
+    let tree = SequenceHashTree::build(candidates, params.fanout, params.leaf_capacity);
+    let mut supports = vec![0u64; candidates.len()];
+    let mut seen = VisitSet::new(candidates.len());
+    for customer in &tdb.customers {
+        tree.for_each_contained(customer, candidates, &mut seen, containment_tests, &mut |id| {
+            supports[id as usize] += 1;
+        });
+    }
+    supports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::itemset::Itemset;
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+
+    fn tdb() -> TransformedDatabase {
+        let table = LitemsetTable::new(
+            (0..5u32)
+                .map(|i| (Itemset::new(vec![i + 1]), 3))
+                .collect::<Vec<_>>(),
+        );
+        let mk = |id: u64, elements: Vec<Vec<LitemsetId>>| TransformedCustomer {
+            customer_id: id,
+            elements,
+        };
+        TransformedDatabase {
+            customers: vec![
+                mk(1, vec![vec![0], vec![4]]),
+                mk(2, vec![vec![0], vec![1, 2, 3]]),
+                mk(3, vec![vec![0, 3]]),
+                mk(4, vec![vec![0], vec![1, 2, 3], vec![4]]),
+                mk(5, vec![vec![4]]),
+                mk(6, vec![]), // empty after transformation
+            ],
+            table,
+            total_customers: 6,
+        }
+    }
+
+    #[test]
+    fn strategies_agree_and_count_correctly() {
+        let db = tdb();
+        let candidates: Vec<Vec<LitemsetId>> = vec![
+            vec![0, 4], // customers 1 and 4
+            vec![0, 1], // customers 2 and 4
+            vec![4, 0], // nobody
+            vec![0, 3], // customers 2, 4 (not 3: same transaction)
+        ];
+        let mut t1 = 0;
+        let direct = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::Direct,
+            TreeParams::default(),
+            &mut t1,
+        );
+        let mut t2 = 0;
+        let tree = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::HashTree,
+            TreeParams::default(),
+            &mut t2,
+        );
+        assert_eq!(direct, vec![2, 2, 0, 2]);
+        assert_eq!(tree, direct);
+        assert!(t1 > 0);
+        assert!(t2 > 0);
+    }
+
+    #[test]
+    fn bitmap_prefilter_skips_impossible_candidates() {
+        let db = tdb();
+        // Candidate needs ids {2, 4}; only customer 4 has both, so exactly
+        // one exact containment test may run.
+        let mut tests = 0;
+        let supports = count_supports(
+            &db,
+            &[vec![2, 4]],
+            CountingStrategy::Direct,
+            TreeParams::default(),
+            &mut tests,
+        );
+        assert_eq!(supports, vec![1]); // only customer 4
+        assert_eq!(tests, 1);
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let db = tdb();
+        let mut tests = 0;
+        let supports = count_supports(
+            &db,
+            &[],
+            CountingStrategy::HashTree,
+            TreeParams::default(),
+            &mut tests,
+        );
+        assert!(supports.is_empty());
+        assert_eq!(tests, 0);
+    }
+
+    #[test]
+    fn fast_pair_counting_matches_generic_counting() {
+        let db = tdb();
+        let mut t = 0;
+        let (n_candidates, l2) = large_two_sequences(&db, 2, &mut t);
+        assert_eq!(n_candidates, 25);
+        // Cross-check against generic counting of all ordered pairs.
+        let all_pairs: Vec<Vec<LitemsetId>> = (0..5)
+            .flat_map(|a| (0..5).map(move |b| vec![a, b]))
+            .collect();
+        let mut t2 = 0;
+        let generic = count_supports(
+            &db,
+            &all_pairs,
+            CountingStrategy::Direct,
+            TreeParams::default(),
+            &mut t2,
+        );
+        let expected: Vec<(Vec<LitemsetId>, u64)> = all_pairs
+            .into_iter()
+            .zip(generic)
+            .filter(|&(_, c)| c >= 2)
+            .collect();
+        let got: Vec<(Vec<LitemsetId>, u64)> =
+            l2.into_iter().map(|s| (s.ids, s.support)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fast_pair_counting_handles_repeats_within_customer() {
+        // One customer with id 0 in three transactions: pair (0,0) counted
+        // once for the customer.
+        use crate::types::itemset::Itemset;
+        use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+        let table = LitemsetTable::new(vec![(Itemset::new(vec![1]), 1)]);
+        let db = TransformedDatabase {
+            customers: vec![TransformedCustomer {
+                customer_id: 1,
+                elements: vec![vec![0], vec![0], vec![0]],
+            }],
+            table,
+            total_customers: 1,
+        };
+        let mut t = 0;
+        let (_, l2) = large_two_sequences(&db, 1, &mut t);
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].ids, vec![0, 0]);
+        assert_eq!(l2[0].support, 1);
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn small_fanout_and_leaf_capacity_still_agree() {
+        let db = tdb();
+        let candidates: Vec<Vec<LitemsetId>> =
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![1, 4]];
+        let mut t = 0;
+        let a = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::HashTree,
+            TreeParams {
+                fanout: 2,
+                leaf_capacity: 1,
+            },
+            &mut t,
+        );
+        let mut t2 = 0;
+        let b = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::Direct,
+            TreeParams::default(),
+            &mut t2,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hash tree over candidate **sequences** (paper §4, implementation).
+//!
+//! The sequence-phase analogue of the Apriori itemset hash tree: interior
+//! nodes hash on the litemset id at the node's depth; leaves hold candidate
+//! indices. To find the candidates contained in a transformed customer
+//! sequence, the walk explores, at each interior node, every `(transaction,
+//! id)` pair that could match the next candidate position — advancing the
+//! transaction cursor strictly, because consecutive sequence elements must
+//! come from distinct, later transactions. Leaf hits are verified with the
+//! exact containment test against the full customer sequence (hash
+//! collisions make path information insufficient, exactly as in the itemset
+//! tree).
+
+use crate::contain::customer_contains;
+use crate::types::transformed::{LitemsetId, TransformedCustomer};
+
+/// Hash tree over equal-length candidate id-sequences.
+#[derive(Debug)]
+pub struct SequenceHashTree {
+    root: Node,
+    fanout: usize,
+    candidate_len: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<u32>),
+    Interior(Vec<Node>),
+}
+
+impl SequenceHashTree {
+    /// Builds a tree over `candidates` (all of equal length ≥ 1).
+    pub fn build(candidates: &[Vec<LitemsetId>], fanout: usize, leaf_capacity: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        let candidate_len = candidates.first().map_or(0, |c| c.len());
+        assert!(
+            candidates.iter().all(|c| c.len() == candidate_len),
+            "all candidates in one tree must have equal length"
+        );
+        let mut tree = Self {
+            root: Node::Leaf(Vec::new()),
+            fanout,
+            candidate_len,
+            len: candidates.len(),
+        };
+        for (idx, cand) in candidates.iter().enumerate() {
+            insert(
+                &mut tree.root,
+                cand,
+                idx as u32,
+                0,
+                fanout,
+                leaf_capacity,
+                candidates,
+            );
+        }
+        tree
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `on_match(candidate_index)` for every candidate contained in
+    /// `customer`. Each contained candidate is reported **exactly once**
+    /// (deduplication is internal); `verify_calls` is incremented once per
+    /// exact containment test executed, feeding the harness's
+    /// machine-independent counters.
+    pub fn for_each_contained(
+        &self,
+        customer: &TransformedCustomer,
+        candidates: &[Vec<LitemsetId>],
+        seen: &mut VisitSet,
+        verify_calls: &mut u64,
+        on_match: &mut impl FnMut(u32),
+    ) {
+        if self.len == 0 || customer.elements.len() < self.candidate_len {
+            return;
+        }
+        seen.next_epoch();
+        walk(
+            &self.root,
+            customer,
+            0,
+            candidates,
+            self.fanout,
+            seen,
+            verify_calls,
+            on_match,
+        );
+    }
+}
+
+fn bucket(id: LitemsetId, fanout: usize) -> usize {
+    (id.wrapping_mul(2654435761) as usize) % fanout
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert(
+    node: &mut Node,
+    cand: &[LitemsetId],
+    idx: u32,
+    depth: usize,
+    fanout: usize,
+    leaf_capacity: usize,
+    candidates: &[Vec<LitemsetId>],
+) {
+    match node {
+        Node::Interior(children) => {
+            let b = bucket(cand[depth], fanout);
+            insert(
+                &mut children[b],
+                cand,
+                idx,
+                depth + 1,
+                fanout,
+                leaf_capacity,
+                candidates,
+            );
+        }
+        Node::Leaf(ids) => {
+            ids.push(idx);
+            if ids.len() > leaf_capacity && depth < cand.len() {
+                let old = std::mem::take(ids);
+                let mut children: Vec<Node> =
+                    (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
+                for id in old {
+                    let c = &candidates[id as usize];
+                    match &mut children[bucket(c[depth], fanout)] {
+                        Node::Leaf(v) => v.push(id),
+                        Node::Interior(_) => unreachable!(),
+                    }
+                }
+                *node = Node::Interior(children);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    node: &Node,
+    customer: &TransformedCustomer,
+    start_transaction: usize,
+    candidates: &[Vec<LitemsetId>],
+    fanout: usize,
+    seen: &mut VisitSet,
+    verify_calls: &mut u64,
+    on_match: &mut impl FnMut(u32),
+) {
+    match node {
+        Node::Leaf(ids) => {
+            for &id in ids {
+                if seen.first_visit(id) {
+                    *verify_calls += 1;
+                    if customer_contains(customer, &candidates[id as usize]) {
+                        on_match(id);
+                    }
+                }
+            }
+        }
+        Node::Interior(children) => {
+            for t in start_transaction..customer.elements.len() {
+                for &lid in &customer.elements[t] {
+                    walk(
+                        &children[bucket(lid, fanout)],
+                        customer,
+                        t + 1,
+                        candidates,
+                        fanout,
+                        seen,
+                        verify_calls,
+                        on_match,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Epoch-stamped visited set over candidate indices (one epoch per
+/// customer), so a candidate reachable along many tree paths is verified
+/// once per customer.
+#[derive(Debug)]
+pub struct VisitSet {
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl VisitSet {
+    /// Creates a set for `n` candidates.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamps: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn first_visit(&mut self, idx: u32) -> bool {
+        let slot = &mut self.stamps[idx as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer(elements: Vec<Vec<LitemsetId>>) -> TransformedCustomer {
+        TransformedCustomer {
+            customer_id: 0,
+            elements,
+        }
+    }
+
+    fn matched(
+        tree: &SequenceHashTree,
+        cands: &[Vec<LitemsetId>],
+        c: &TransformedCustomer,
+    ) -> Vec<u32> {
+        let mut seen = VisitSet::new(cands.len());
+        let mut verify = 0;
+        let mut out = Vec::new();
+        tree.for_each_contained(c, cands, &mut seen, &mut verify, &mut |id| out.push(id));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn finds_contained_sequences() {
+        let cands: Vec<Vec<LitemsetId>> = vec![
+            vec![0, 4], // contained
+            vec![4, 0], // wrong order
+            vec![0, 0], // needs two transactions with 0
+            vec![0, 1], // 1 absent
+        ];
+        let tree = SequenceHashTree::build(&cands, 4, 1);
+        let c = customer(vec![vec![0], vec![0, 4]]);
+        assert_eq!(matched(&tree, &cands, &c), vec![0, 2]);
+    }
+
+    #[test]
+    fn same_transaction_does_not_satisfy_order() {
+        let cands = vec![vec![1, 2]];
+        let tree = SequenceHashTree::build(&cands, 4, 2);
+        // Both ids in ONE transaction: ⟨1 2⟩ needs two transactions.
+        assert!(matched(&tree, &cands, &customer(vec![vec![1, 2]])).is_empty());
+        assert_eq!(
+            matched(&tree, &cands, &customer(vec![vec![1], vec![2]])),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_random_input() {
+        // Deterministic pseudo-random databases and candidates.
+        let mut x: u32 = 1234;
+        let mut rnd = move |m: u32| {
+            x = x.wrapping_mul(48271) % 0x7fffffff;
+            x % m
+        };
+        let mut cands: Vec<Vec<LitemsetId>> = Vec::new();
+        for _ in 0..80 {
+            cands.push(vec![rnd(8), rnd(8), rnd(8)]);
+        }
+        cands.sort();
+        cands.dedup();
+        let tree = SequenceHashTree::build(&cands, 4, 2);
+        for _ in 0..30 {
+            let n_trans = 2 + rnd(6) as usize;
+            let elements: Vec<Vec<LitemsetId>> = (0..n_trans)
+                .map(|_| {
+                    let mut e: Vec<LitemsetId> = (0..1 + rnd(4)).map(|_| rnd(8)).collect();
+                    e.sort_unstable();
+                    e.dedup();
+                    e
+                })
+                .collect();
+            let c = customer(elements);
+            let brute: Vec<u32> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, cand)| customer_contains(&c, cand))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(matched(&tree, &cands, &c), brute);
+        }
+    }
+
+    #[test]
+    fn short_customer_prefiltered() {
+        let cands = vec![vec![0, 1, 2]];
+        let tree = SequenceHashTree::build(&cands, 4, 2);
+        let mut seen = VisitSet::new(1);
+        let mut verify = 0;
+        let c = customer(vec![vec![0, 1, 2]]); // 1 transaction < candidate len 3
+        tree.for_each_contained(&c, &cands, &mut seen, &mut verify, &mut |_| {
+            panic!("nothing can match")
+        });
+        assert_eq!(verify, 0);
+    }
+
+    #[test]
+    fn each_candidate_verified_at_most_once_per_customer() {
+        let cands = vec![vec![3, 3]];
+        let tree = SequenceHashTree::build(&cands, 4, 1);
+        // Id 3 occurs in four transactions → many tree paths.
+        let c = customer(vec![vec![3], vec![3], vec![3], vec![3]]);
+        let mut seen = VisitSet::new(1);
+        let mut verify = 0;
+        let mut hits = 0;
+        tree.for_each_contained(&c, &cands, &mut seen, &mut verify, &mut |_| hits += 1);
+        assert_eq!(hits, 1);
+        assert_eq!(verify, 1);
+    }
+}

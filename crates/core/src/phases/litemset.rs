@@ -1,0 +1,112 @@
+//! Litemset phase (paper §3, phase 2): find all large itemsets and assign
+//! them contiguous integer ids.
+//!
+//! Support here is *customer* support — the number of customers with at
+//! least one transaction containing the itemset — so the reason every
+//! element of a large sequence must itself be a large itemset carries over:
+//! if `s = ⟨s1 … sn⟩` is large, each `si` is contained in at least
+//! `support(s)` customer sequences.
+//!
+//! The heavy lifting (Apriori with candidate hash trees) is done by the
+//! `seqpat-itemset` substrate crate; this module adapts the database view,
+//! orders the result deterministically, and builds the [`LitemsetTable`].
+
+use crate::types::database::Database;
+use crate::types::itemset::Itemset;
+use crate::types::transformed::LitemsetTable;
+use seqpat_itemset::{AprioriConfig, AprioriResult};
+
+/// Output of the litemset phase.
+#[derive(Debug, Clone)]
+pub struct LitemsetPhaseOutput {
+    /// Large itemsets with dense ids, in lexicographic itemset order.
+    pub table: LitemsetTable,
+    /// Per-pass counters from the Apriori run.
+    pub passes: Vec<seqpat_itemset::AprioriPassStats>,
+}
+
+/// Runs the litemset phase: all itemsets with customer support
+/// `>= min_count` get an id.
+pub fn litemset_phase(
+    db: &Database,
+    min_count: u64,
+    config: &AprioriConfig,
+) -> LitemsetPhaseOutput {
+    let matrix = db.as_item_matrix();
+    let AprioriResult { mut large, passes } =
+        seqpat_itemset::mine_large_itemsets_with_stats(&matrix, min_count, config);
+
+    // Deterministic id assignment: lexicographic order over item vectors.
+    // (The substrate returns pass order: all 1-itemsets, then 2-itemsets, …
+    // each pass internally sorted; a global sort makes ids independent of
+    // pass boundaries.)
+    large.sort_by(|a, b| a.items.cmp(&b.items));
+
+    let table = LitemsetTable::new(
+        large
+            .into_iter()
+            .map(|l| (Itemset::from_sorted(l.items), l.support))
+            .collect(),
+    );
+    LitemsetPhaseOutput { table, passes }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The paper's running example database (§2 Figure 1/2).
+    pub(crate) fn paper_db() -> Database {
+        Database::from_rows(vec![
+            (1, 1, vec![30]),
+            (1, 2, vec![90]),
+            (2, 1, vec![10, 20]),
+            (2, 2, vec![30]),
+            (2, 3, vec![40, 60, 70]),
+            (3, 1, vec![30, 50, 70]),
+            (4, 1, vec![30]),
+            (4, 2, vec![40, 70]),
+            (4, 3, vec![90]),
+            (5, 1, vec![90]),
+        ])
+    }
+
+    #[test]
+    fn paper_litemsets_at_25_percent() {
+        // minsup 25% of 5 customers → 2 customers. The paper's Figure 4
+        // lists the large itemsets: (30), (40), (70), (40 70), (90).
+        let out = litemset_phase(&paper_db(), 2, &AprioriConfig::default());
+        let sets: Vec<String> = out.table.iter().map(|(_, s, _)| s.to_string()).collect();
+        assert_eq!(sets, vec!["(30)", "(40)", "(40 70)", "(70)", "(90)"]);
+    }
+
+    #[test]
+    fn paper_litemset_supports() {
+        let out = litemset_phase(&paper_db(), 2, &AprioriConfig::default());
+        let support_of = |items: &[u32]| {
+            let id = out.table.id_of(items).unwrap();
+            out.table.support(id)
+        };
+        assert_eq!(support_of(&[30]), 4);
+        assert_eq!(support_of(&[40]), 2);
+        assert_eq!(support_of(&[70]), 3);
+        assert_eq!(support_of(&[40, 70]), 2);
+        assert_eq!(support_of(&[90]), 3);
+    }
+
+    #[test]
+    fn ids_are_lexicographic_and_dense() {
+        let out = litemset_phase(&paper_db(), 2, &AprioriConfig::default());
+        assert_eq!(out.table.id_of(&[30]), Some(0));
+        assert_eq!(out.table.id_of(&[40]), Some(1));
+        assert_eq!(out.table.id_of(&[40, 70]), Some(2));
+        assert_eq!(out.table.id_of(&[70]), Some(3));
+        assert_eq!(out.table.id_of(&[90]), Some(4));
+    }
+
+    #[test]
+    fn high_threshold_empties_the_table() {
+        let out = litemset_phase(&paper_db(), 6, &AprioriConfig::default());
+        assert!(out.table.is_empty());
+    }
+}

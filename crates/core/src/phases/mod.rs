@@ -1,0 +1,7 @@
+//! The five-phase pipeline of the paper (§3). The sequence phase lives in
+//! [`crate::algorithms`]; the other four phases are here.
+
+pub mod litemset;
+pub mod maximal;
+pub mod sort;
+pub mod transform;

@@ -1,0 +1,185 @@
+//! Sort phase (paper §3, phase 1): raw transaction rows → customer sequences.
+//!
+//! The paper sorts the transaction table with customer-id as the major key
+//! and transaction-time as the minor key, implicitly converting it into a
+//! database of customer sequences. Rows with identical `(customer, time)`
+//! are merged into one transaction: items bought at the same moment form a
+//! single itemset (this matches the paper's data model, where a transaction
+//! is *the set of items bought at one time*).
+
+use crate::types::database::{CustomerSequence, Database, Transaction};
+use crate::types::itemset::{Item, Itemset};
+
+/// Runs the sort phase over raw `(customer_id, time, items)` rows.
+///
+/// Rows may arrive in any order; items within a row may be unsorted and may
+/// contain duplicates. Rows with an empty item list are dropped (they carry
+/// no information for mining). Customers appear in ascending id order in
+/// the output.
+pub fn sort_phase(rows: Vec<(u64, i64, Vec<Item>)>) -> Database {
+    sort_phase_windowed(rows, 0)
+}
+
+/// Sort phase with a **sliding time window** — the extension the paper's
+/// conclusion proposes ("the elements of a sequential pattern need not come
+/// from a single transaction; a time window could define them instead").
+///
+/// Transactions of one customer whose times differ by at most `window` are
+/// merged into a single itemset: with `window = 0` only simultaneous rows
+/// merge (the paper's base model); with e.g. `window = 7` (days), purchases
+/// within a week act as one element, so patterns tolerate jitter in when
+/// items of one "shopping mission" were actually bought. Merging is greedy
+/// from the earliest transaction: a window opens at the first uncovered
+/// transaction time `t` and absorbs every transaction with time `≤ t +
+/// window` (the merged transaction keeps the opening time).
+pub fn sort_phase_windowed(mut rows: Vec<(u64, i64, Vec<Item>)>, window: i64) -> Database {
+    assert!(window >= 0, "window must be non-negative");
+    // Major key customer, minor key time; stable so that equal (customer,
+    // time) rows keep input order before merging.
+    rows.sort_by_key(|&(customer, time, _)| (customer, time));
+
+    let mut customers: Vec<CustomerSequence> = Vec::new();
+    for (customer_id, time, items) in rows {
+        if items.is_empty() {
+            continue;
+        }
+        let need_new_customer = customers
+            .last()
+            .is_none_or(|c| c.customer_id != customer_id);
+        if need_new_customer {
+            customers.push(CustomerSequence {
+                customer_id,
+                transactions: Vec::new(),
+            });
+        }
+        let customer = customers.last_mut().expect("just ensured non-empty");
+        match customer.transactions.last_mut() {
+            // Within the open window (or the same instant when window = 0):
+            // merge into one itemset; the window anchor time is kept.
+            Some(last) if time - last.time <= window => {
+                let mut merged = last.items.items().to_vec();
+                merged.extend(items);
+                last.items = Itemset::new(merged);
+            }
+            _ => customer.transactions.push(Transaction {
+                time,
+                items: Itemset::new(items),
+            }),
+        }
+    }
+    Database::new(customers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_customers_and_times() {
+        let db = sort_phase(vec![
+            (9, 2, vec![5]),
+            (1, 7, vec![2]),
+            (9, 1, vec![4]),
+            (1, 3, vec![1]),
+        ]);
+        let ids: Vec<u64> = db.customers().iter().map(|c| c.customer_id).collect();
+        assert_eq!(ids, vec![1, 9]);
+        let times: Vec<i64> = db.customers()[0]
+            .transactions
+            .iter()
+            .map(|t| t.time)
+            .collect();
+        assert_eq!(times, vec![3, 7]);
+    }
+
+    #[test]
+    fn merges_same_instant_rows() {
+        let db = sort_phase(vec![(1, 5, vec![3]), (1, 5, vec![1, 3]), (1, 6, vec![2])]);
+        let c = &db.customers()[0];
+        assert_eq!(c.transactions.len(), 2);
+        assert_eq!(c.transactions[0].items.items(), &[1, 3]);
+        assert_eq!(c.transactions[1].items.items(), &[2]);
+    }
+
+    #[test]
+    fn drops_empty_rows() {
+        let db = sort_phase(vec![(1, 1, vec![]), (1, 2, vec![4])]);
+        assert_eq!(db.num_transactions(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_database() {
+        let db = sort_phase(vec![]);
+        assert_eq!(db.num_customers(), 0);
+    }
+
+    #[test]
+    fn window_merges_nearby_transactions() {
+        // Times 0, 3, 5, 20 with window 5: {0,3,5} merge (3 ≤ 0+5 extends
+        // nothing — the anchor stays 0, and 5 ≤ 0+5), 20 starts fresh.
+        let db = sort_phase_windowed(
+            vec![
+                (1, 0, vec![1]),
+                (1, 3, vec![2]),
+                (1, 5, vec![3]),
+                (1, 20, vec![4]),
+            ],
+            5,
+        );
+        let c = &db.customers()[0];
+        assert_eq!(c.transactions.len(), 2);
+        assert_eq!(c.transactions[0].time, 0);
+        assert_eq!(c.transactions[0].items.items(), &[1, 2, 3]);
+        assert_eq!(c.transactions[1].items.items(), &[4]);
+    }
+
+    #[test]
+    fn window_zero_matches_plain_sort_phase() {
+        let rows = vec![
+            (1, 1, vec![1]),
+            (1, 2, vec![2]),
+            (2, 1, vec![3]),
+            (2, 1, vec![4]),
+        ];
+        assert_eq!(sort_phase(rows.clone()), sort_phase_windowed(rows, 0));
+    }
+
+    #[test]
+    fn window_changes_mined_patterns() {
+        // Two customers buy 1 then 2 a day apart. Without a window the
+        // pattern is ⟨(1)(2)⟩; with a 1-day window it becomes ⟨(1 2)⟩.
+        use crate::{Miner, MinerConfig, MinSupport};
+        let rows = vec![
+            (1, 0, vec![1]),
+            (1, 1, vec![2]),
+            (2, 0, vec![1]),
+            (2, 1, vec![2]),
+        ];
+        let plain = Miner::new(MinerConfig::new(MinSupport::Count(2)))
+            .mine(&sort_phase(rows.clone()));
+        let windowed = Miner::new(MinerConfig::new(MinSupport::Count(2)))
+            .mine(&sort_phase_windowed(rows, 1));
+        let strs = |r: &crate::MiningResult| {
+            r.patterns.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(strs(&plain), vec!["<(1)(2)>"]);
+        assert_eq!(strs(&windowed), vec!["<(1 2)>"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_window_rejected() {
+        let _ = sort_phase_windowed(vec![], -1);
+    }
+
+    #[test]
+    fn negative_times_sort_correctly() {
+        let db = sort_phase(vec![(1, 0, vec![2]), (1, -5, vec![1])]);
+        let items: Vec<&[Item]> = db.customers()[0]
+            .transactions
+            .iter()
+            .map(|t| t.items.items())
+            .collect();
+        assert_eq!(items, vec![&[1][..], &[2][..]]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Mining statistics: per-phase timings and per-pass counters.
+//!
+//! The ICDE'95 figures are wall-clock plots, but the paper's *analysis*
+//! talks in candidates generated, candidates counted, and passes skipped —
+//! machine-independent quantities. The harness reports both; these structs
+//! carry them out of the miner.
+
+use std::time::Duration;
+
+/// Counters for one pass of the sequence phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequencePassStats {
+    /// Sequence length handled by this pass.
+    pub k: usize,
+    /// Candidates newly generated in this pass. (Pass 1 reports the large
+    /// 1-sequences here; they come for free from the litemset phase.)
+    pub generated: u64,
+    /// Candidates whose support was counted against the database in this
+    /// pass. Forward passes that AprioriSome/DynamicSome skip report 0 and
+    /// the backward pass that picks the length up reports the number it
+    /// actually counted (after containment pruning).
+    pub counted: u64,
+    /// Candidates found large in this pass (0 when nothing was counted).
+    pub large: u64,
+    /// `true` when this pass ran in the backward direction.
+    pub backward: bool,
+    /// Candidates deleted before counting because they were contained in an
+    /// already-known larger large sequence (backward passes only).
+    pub pruned_by_containment: u64,
+}
+
+/// Aggregate statistics for one mining run.
+#[derive(Debug, Clone, Default)]
+pub struct MiningStats {
+    /// Wall time of the litemset phase (includes pass 1 counting).
+    pub litemset_time: Duration,
+    /// Wall time of the transformation phase.
+    pub transform_time: Duration,
+    /// Wall time of the sequence phase (all passes).
+    pub sequence_time: Duration,
+    /// Wall time of the maximal phase.
+    pub maximal_time: Duration,
+    /// Number of large itemsets (= alphabet size of the sequence phase).
+    pub num_litemsets: u64,
+    /// Per-pass counters of the litemset phase, in pass order.
+    pub litemset_passes: Vec<seqpat_itemset::AprioriPassStats>,
+    /// Per-pass counters of the sequence phase, in execution order
+    /// (forward passes first, then backward passes for the Some variants).
+    pub sequence_passes: Vec<SequencePassStats>,
+    /// Total candidate sequences generated across all passes.
+    pub candidates_generated: u64,
+    /// Total candidate sequences whose support was actually counted.
+    pub candidates_counted: u64,
+    /// Total customer-vs-candidate containment tests executed.
+    pub containment_tests: u64,
+    /// Large sequences found before the maximal phase.
+    pub large_sequences: u64,
+    /// Maximal large sequences (the answer size).
+    pub maximal_sequences: u64,
+}
+
+impl MiningStats {
+    /// Total wall time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.litemset_time + self.transform_time + self.sequence_time + self.maximal_time
+    }
+
+    /// Records a sequence-phase pass and keeps the aggregates consistent.
+    pub fn record_pass(&mut self, pass: SequencePassStats) {
+        self.candidates_generated += pass.generated;
+        self.candidates_counted += pass.counted;
+        self.sequence_passes.push(pass);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_pass_aggregates() {
+        let mut stats = MiningStats::default();
+        stats.record_pass(SequencePassStats {
+            k: 2,
+            generated: 10,
+            counted: 10,
+            large: 4,
+            backward: false,
+            pruned_by_containment: 0,
+        });
+        stats.record_pass(SequencePassStats {
+            k: 3,
+            generated: 6,
+            counted: 0, // skipped forward
+            large: 0,
+            backward: false,
+            pruned_by_containment: 0,
+        });
+        stats.record_pass(SequencePassStats {
+            k: 3,
+            generated: 0,
+            counted: 1, // 5 of the 6 pruned by containment
+            large: 1,
+            backward: true,
+            pruned_by_containment: 5,
+        });
+        assert_eq!(stats.candidates_generated, 16);
+        assert_eq!(stats.candidates_counted, 11);
+        assert_eq!(stats.sequence_passes.len(), 3);
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let stats = MiningStats {
+            litemset_time: Duration::from_millis(10),
+            transform_time: Duration::from_millis(5),
+            sequence_time: Duration::from_millis(20),
+            maximal_time: Duration::from_millis(1),
+            ..MiningStats::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(36));
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimum-support specification and threshold arithmetic.
+
+/// The user's minimum support, either as the paper's fraction of customers
+/// or as an absolute customer count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSupport {
+    /// Fraction of the total number of customers, in `(0, 1]`.
+    Fraction(f64),
+    /// Absolute number of supporting customers.
+    Count(u64),
+}
+
+impl MinSupport {
+    /// Resolves to an absolute customer count for a database of
+    /// `num_customers`. A fraction is rounded **up** (a sequence is large
+    /// when `support_count / num_customers >= fraction`), and the result is
+    /// clamped to at least 1 so empty thresholds cannot occur.
+    ///
+    /// ```
+    /// use seqpat_core::MinSupport;
+    /// assert_eq!(MinSupport::Fraction(0.25).to_count(5), 2);  // 1.25 → 2
+    /// assert_eq!(MinSupport::Fraction(0.4).to_count(5), 2);   // exactly 2
+    /// assert_eq!(MinSupport::Count(3).to_count(5), 3);
+    /// ```
+    pub fn to_count(self, num_customers: usize) -> u64 {
+        match self {
+            MinSupport::Fraction(f) => {
+                assert!(
+                    f > 0.0 && f <= 1.0,
+                    "support fraction must be in (0, 1], got {f}"
+                );
+                let raw = f * num_customers as f64;
+                // ceil with an epsilon so that e.g. 0.4 * 5 = 2.0000000000000004
+                // does not round up to 3.
+                let count = (raw - 1e-9).ceil() as u64;
+                count.max(1)
+            }
+            MinSupport::Count(c) => c.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rounds_up() {
+        assert_eq!(MinSupport::Fraction(0.25).to_count(5), 2);
+        assert_eq!(MinSupport::Fraction(0.25).to_count(4), 1);
+        assert_eq!(MinSupport::Fraction(0.01).to_count(1000), 10);
+        assert_eq!(MinSupport::Fraction(0.011).to_count(1000), 11);
+    }
+
+    #[test]
+    fn exact_multiples_do_not_round_up() {
+        assert_eq!(MinSupport::Fraction(0.4).to_count(5), 2);
+        assert_eq!(MinSupport::Fraction(0.2).to_count(10), 2);
+        assert_eq!(MinSupport::Fraction(1.0).to_count(7), 7);
+    }
+
+    #[test]
+    fn clamped_to_at_least_one() {
+        assert_eq!(MinSupport::Fraction(0.001).to_count(5), 1);
+        assert_eq!(MinSupport::Count(0).to_count(5), 1);
+        assert_eq!(MinSupport::Fraction(0.5).to_count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "support fraction")]
+    fn zero_fraction_rejected() {
+        let _ = MinSupport::Fraction(0.0).to_count(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "support fraction")]
+    fn over_one_fraction_rejected() {
+        let _ = MinSupport::Fraction(1.5).to_count(10);
+    }
+}

@@ -1,0 +1,160 @@
+//! The customer-transaction database (original, un-transformed space).
+
+use super::itemset::{Item, Itemset};
+
+/// One retail transaction: the purchase time and the items bought.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Transaction time; only the relative order per customer matters.
+    pub time: i64,
+    /// Items bought together.
+    pub items: Itemset,
+}
+
+/// A customer's complete, time-ordered transaction history — the *customer
+/// sequence* of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomerSequence {
+    /// Stable customer identifier (kept for I/O and debugging).
+    pub customer_id: u64,
+    /// Transactions sorted by `time` ascending (ties keep input order).
+    pub transactions: Vec<Transaction>,
+}
+
+impl CustomerSequence {
+    /// The customer's transactions viewed as a sequence of itemsets.
+    pub fn itemsets(&self) -> impl Iterator<Item = &Itemset> {
+        self.transactions.iter().map(|t| &t.items)
+    }
+}
+
+/// A database of customer sequences — the output of the sort phase and the
+/// input to every miner in this workspace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    customers: Vec<CustomerSequence>,
+}
+
+impl Database {
+    /// Builds a database from already-sorted customer sequences.
+    pub fn new(customers: Vec<CustomerSequence>) -> Self {
+        Self { customers }
+    }
+
+    /// Builds a database from raw `(customer_id, time, items)` rows in any
+    /// order — this is the paper's **sort phase**. Rows of one customer are
+    /// ordered by time; two rows with equal `(customer, time)` are merged
+    /// into a single transaction (simultaneous purchases form one itemset).
+    pub fn from_rows(rows: Vec<(u64, i64, Vec<Item>)>) -> Self {
+        crate::phases::sort::sort_phase(rows)
+    }
+
+    /// Like [`Database::from_rows`] but merging each customer's
+    /// transactions that fall within a sliding time `window` into single
+    /// itemsets — the extension proposed in the paper's conclusion. See
+    /// [`crate::phases::sort::sort_phase_windowed`].
+    pub fn from_rows_windowed(rows: Vec<(u64, i64, Vec<Item>)>, window: i64) -> Self {
+        crate::phases::sort::sort_phase_windowed(rows, window)
+    }
+
+    /// The customer sequences, ordered by customer id.
+    pub fn customers(&self) -> &[CustomerSequence] {
+        &self.customers
+    }
+
+    /// Number of customers — the denominator of every support computation.
+    pub fn num_customers(&self) -> usize {
+        self.customers.len()
+    }
+
+    /// Total number of transactions in the database.
+    pub fn num_transactions(&self) -> usize {
+        self.customers.iter().map(|c| c.transactions.len()).sum()
+    }
+
+    /// Total number of item occurrences.
+    pub fn num_item_occurrences(&self) -> usize {
+        self.customers
+            .iter()
+            .flat_map(|c| c.transactions.iter())
+            .map(|t| t.items.len())
+            .sum()
+    }
+
+    /// Flattens the database back into raw `(customer, time, items)` rows —
+    /// the inverse of [`Database::from_rows`] (up to row merging). Used to
+    /// re-run the sort phase with different options, e.g. a time window.
+    pub fn to_rows(&self) -> Vec<(u64, i64, Vec<Item>)> {
+        self.customers
+            .iter()
+            .flat_map(|c| {
+                c.transactions
+                    .iter()
+                    .map(move |t| (c.customer_id, t.time, t.items.items().to_vec()))
+            })
+            .collect()
+    }
+
+    /// View usable by the `seqpat-itemset` substrate: per customer, the raw
+    /// sorted item vectors of each transaction.
+    pub fn as_item_matrix(&self) -> Vec<Vec<Vec<Item>>> {
+        self.customers
+            .iter()
+            .map(|c| {
+                c.transactions
+                    .iter()
+                    .map(|t| t.items.items().to_vec())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_groups_and_sorts() {
+        let db = Database::from_rows(vec![
+            (2, 5, vec![9]),
+            (1, 2, vec![3, 1]),
+            (1, 1, vec![7]),
+            (2, 4, vec![8]),
+        ]);
+        assert_eq!(db.num_customers(), 2);
+        let c1 = &db.customers()[0];
+        assert_eq!(c1.customer_id, 1);
+        assert_eq!(c1.transactions[0].time, 1);
+        assert_eq!(c1.transactions[0].items.items(), &[7]);
+        assert_eq!(c1.transactions[1].items.items(), &[1, 3]);
+        let c2 = &db.customers()[1];
+        assert_eq!(c2.transactions[0].time, 4);
+        assert_eq!(c2.transactions[1].time, 5);
+    }
+
+    #[test]
+    fn equal_time_rows_merge_into_one_transaction() {
+        let db = Database::from_rows(vec![(1, 3, vec![1]), (1, 3, vec![2])]);
+        assert_eq!(db.num_transactions(), 1);
+        assert_eq!(db.customers()[0].transactions[0].items.items(), &[1, 2]);
+    }
+
+    #[test]
+    fn counters() {
+        let db = Database::from_rows(vec![
+            (1, 1, vec![1, 2]),
+            (1, 2, vec![3]),
+            (2, 1, vec![4]),
+        ]);
+        assert_eq!(db.num_customers(), 2);
+        assert_eq!(db.num_transactions(), 3);
+        assert_eq!(db.num_item_occurrences(), 4);
+    }
+
+    #[test]
+    fn item_matrix_roundtrip() {
+        let db = Database::from_rows(vec![(1, 1, vec![2, 1]), (1, 2, vec![3])]);
+        assert_eq!(db.as_item_matrix(), vec![vec![vec![1, 2], vec![3]]]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Itemsets: sorted, duplicate-free sets of items.
+
+use std::fmt;
+
+/// A raw item identifier (re-exported from the Apriori substrate so both
+/// crates agree on the representation).
+pub type Item = seqpat_itemset::Item;
+
+/// A non-empty set of items, stored sorted ascending without duplicates.
+///
+/// The sortedness invariant is established at construction and relied upon
+/// by every subset test in the pipeline, so the inner vector is private.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Itemset {
+    items: Vec<Item>,
+}
+
+impl Itemset {
+    /// Builds an itemset from arbitrary items: sorts and deduplicates.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty — the paper's itemsets are non-empty, and
+    /// an empty element would make containment semantics degenerate.
+    pub fn new(mut items: Vec<Item>) -> Self {
+        assert!(!items.is_empty(), "an itemset must contain at least one item");
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    /// Builds an itemset from a slice already known to be sorted and
+    /// duplicate-free (checked in debug builds only).
+    pub fn from_sorted(items: Vec<Item>) -> Self {
+        debug_assert!(!items.is_empty());
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly ascending");
+        Self { items }
+    }
+
+    /// Single-item convenience constructor.
+    pub fn single(item: Item) -> Self {
+        Self { items: vec![item] }
+    }
+
+    /// The items, sorted ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Always `false` (itemsets are non-empty by construction); provided for
+    /// clippy-idiomatic pairing with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Subset test: is every item of `self` in `other`?
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        seqpat_itemset::counting::sorted_subset(&self.items, &other.items)
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Consumes the itemset, returning the sorted item vector.
+    pub fn into_items(self) -> Vec<Item> {
+        self.items
+    }
+}
+
+impl fmt::Display for Itemset {
+    /// Paper notation: `(30 40 70)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Item>> for Itemset {
+    fn from(items: Vec<Item>) -> Self {
+        Itemset::new(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = Itemset::new(vec![3, 1, 2, 3, 1]);
+        assert_eq!(s.items(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_itemset_rejected() {
+        let _ = Itemset::new(vec![]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = Itemset::new(vec![40, 70]);
+        let big = Itemset::new(vec![40, 60, 70]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Itemset::new(vec![70, 40]).to_string(), "(40 70)");
+        assert_eq!(Itemset::single(30).to_string(), "(30)");
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = Itemset::new(vec![10, 20, 30]);
+        assert!(s.contains(20));
+        assert!(!s.contains(25));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Itemset::new(vec![1, 2]);
+        let b = Itemset::new(vec![1, 3]);
+        let c = Itemset::new(vec![1, 2, 3]);
+        assert!(a < b);
+        assert!(a < c); // prefix is smaller
+    }
+}

@@ -1,0 +1,7 @@
+//! Data model: items, itemsets, sequences, databases and their transformed
+//! (litemset-id) counterparts.
+
+pub mod database;
+pub mod itemset;
+pub mod sequence;
+pub mod transformed;

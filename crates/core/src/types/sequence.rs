@@ -1,0 +1,131 @@
+//! Sequences of itemsets — the objects the miner searches for.
+
+use std::fmt;
+
+use super::itemset::Itemset;
+
+/// An ordered list of itemsets, e.g. `⟨(30)(40 70)⟩`.
+///
+/// **Length** of a sequence is its number of itemsets (a *k-sequence* has
+/// `k` elements), exactly as the paper defines it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sequence {
+    elements: Vec<Itemset>,
+}
+
+impl Sequence {
+    /// Builds a sequence from its elements.
+    ///
+    /// # Panics
+    /// Panics when `elements` is empty; the paper's sequences have length ≥ 1.
+    pub fn new(elements: Vec<Itemset>) -> Self {
+        assert!(!elements.is_empty(), "a sequence must have at least one element");
+        Self { elements }
+    }
+
+    /// Convenience constructor from plain item vectors.
+    ///
+    /// ```
+    /// use seqpat_core::Sequence;
+    /// let s = Sequence::from_items(vec![vec![30], vec![40, 70]]);
+    /// assert_eq!(s.to_string(), "<(30)(40 70)>");
+    /// ```
+    pub fn from_items(elements: Vec<Vec<super::itemset::Item>>) -> Self {
+        Self::new(elements.into_iter().map(Itemset::new).collect())
+    }
+
+    /// The elements in order.
+    pub fn elements(&self) -> &[Itemset] {
+        &self.elements
+    }
+
+    /// Number of elements (the paper's sequence length).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Always `false`; sequences are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of items across all elements.
+    pub fn total_items(&self) -> usize {
+        self.elements.iter().map(Itemset::len).sum()
+    }
+
+    /// Containment test per the paper's definition: `self ⊑ other` iff there
+    /// are indices `i1 < … < in` with `self[j] ⊆ other[i_j]` for all `j`.
+    ///
+    /// Delegates to [`crate::contain::sequence_contains`].
+    pub fn is_contained_in(&self, other: &Sequence) -> bool {
+        crate::contain::sequence_contains(other.elements(), self.elements())
+    }
+
+    /// Consumes the sequence, returning its elements.
+    pub fn into_elements(self) -> Vec<Itemset> {
+        self.elements
+    }
+}
+
+impl fmt::Display for Sequence {
+    /// Paper notation: `<(30)(40 70)>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for e in &self.elements {
+            write!(f, "{e}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(v: Vec<Vec<u32>>) -> Sequence {
+        Sequence::from_items(v)
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(seq(vec![vec![30], vec![40, 70]]).to_string(), "<(30)(40 70)>");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_sequence_rejected() {
+        let _ = Sequence::new(vec![]);
+    }
+
+    #[test]
+    fn containment_paper_example() {
+        // ⟨(3)(4 5)(8)⟩ is contained in ⟨(7)(3 8)(9)(4 5 6)(8)⟩ (paper §2).
+        let small = seq(vec![vec![3], vec![4, 5], vec![8]]);
+        let big = seq(vec![vec![7], vec![3, 8], vec![9], vec![4, 5, 6], vec![8]]);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+    }
+
+    #[test]
+    fn containment_requires_order() {
+        // ⟨(3)(5)⟩ not contained in ⟨(3 5)⟩ (paper §2).
+        let a = seq(vec![vec![3], vec![5]]);
+        let b = seq(vec![vec![3, 5]]);
+        assert!(!a.is_contained_in(&b));
+        assert!(!b.is_contained_in(&a));
+    }
+
+    #[test]
+    fn containment_is_reflexive() {
+        let s = seq(vec![vec![1, 2], vec![3]]);
+        assert!(s.is_contained_in(&s));
+    }
+
+    #[test]
+    fn lengths() {
+        let s = seq(vec![vec![1, 2], vec![3], vec![4, 5, 6]]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_items(), 6);
+    }
+}

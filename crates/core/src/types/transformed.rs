@@ -1,0 +1,170 @@
+//! The transformed database (paper §3, transformation phase).
+//!
+//! After the litemset phase every large itemset gets a dense integer id
+//! ([`LitemsetId`]); the transformation phase replaces each transaction with
+//! the **set of litemset ids contained in it**. Containment of a candidate
+//! sequence in a customer sequence then reduces to matching ids against
+//! per-transaction id sets — no itemset subset tests in the inner loop.
+
+use crate::fxhash::FxHashMap;
+use crate::types::itemset::{Item, Itemset};
+
+/// Dense identifier of a large itemset, assigned by the litemset phase.
+pub type LitemsetId = u32;
+
+/// The mapping between large itemsets and their dense ids, plus supports.
+#[derive(Debug, Clone, Default)]
+pub struct LitemsetTable {
+    sets: Vec<Itemset>,
+    supports: Vec<u64>,
+    by_items: FxHashMap<Vec<Item>, LitemsetId>,
+}
+
+impl LitemsetTable {
+    /// Builds the table from the litemset-phase output. Ids are assigned in
+    /// the given order (the phase provides lexicographic order, which makes
+    /// ids deterministic run to run).
+    pub fn new(large: Vec<(Itemset, u64)>) -> Self {
+        let mut table = Self::default();
+        for (set, support) in large {
+            let id = table.sets.len() as LitemsetId;
+            table.by_items.insert(set.items().to_vec(), id);
+            table.sets.push(set);
+            table.supports.push(support);
+        }
+        table
+    }
+
+    /// Number of large itemsets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no itemset was large.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The itemset behind `id`.
+    pub fn itemset(&self, id: LitemsetId) -> &Itemset {
+        &self.sets[id as usize]
+    }
+
+    /// Customer support of the itemset behind `id`.
+    pub fn support(&self, id: LitemsetId) -> u64 {
+        self.supports[id as usize]
+    }
+
+    /// Looks up the id of an exact itemset, if it is large.
+    pub fn id_of(&self, items: &[Item]) -> Option<LitemsetId> {
+        self.by_items.get(items).copied()
+    }
+
+    /// Iterates `(id, itemset, support)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LitemsetId, &Itemset, u64)> {
+        self.sets
+            .iter()
+            .zip(&self.supports)
+            .enumerate()
+            .map(|(i, (s, &sup))| (i as LitemsetId, s, sup))
+    }
+
+    /// All ids whose itemset is a **subset** of the given id's itemset
+    /// (including the id itself). Used by subset-aware containment.
+    pub fn subset_ids(&self, id: LitemsetId) -> Vec<LitemsetId> {
+        let target = self.itemset(id);
+        self.iter()
+            .filter(|(_, s, _)| s.is_subset_of(target))
+            .map(|(i, _, _)| i)
+            .collect()
+    }
+}
+
+/// One customer after transformation: per transaction, the sorted set of
+/// litemset ids contained in it. Transactions containing no large itemset
+/// are dropped (the paper drops them too); customers may end up with an
+/// empty element list but still count toward the support denominator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformedCustomer {
+    /// The originating customer id.
+    pub customer_id: u64,
+    /// Per retained transaction, the ascending litemset ids it contains.
+    pub elements: Vec<Vec<LitemsetId>>,
+}
+
+impl TransformedCustomer {
+    /// Presence bitmap over all litemset ids: `bitmap[id] == true` iff the
+    /// id occurs in any element. Used as a cheap prefilter before the
+    /// containment scan.
+    pub fn presence_bitmap(&self, num_litemsets: usize) -> Vec<bool> {
+        let mut bitmap = vec![false; num_litemsets];
+        for element in &self.elements {
+            for &id in element {
+                bitmap[id as usize] = true;
+            }
+        }
+        bitmap
+    }
+}
+
+/// The full transformed database.
+#[derive(Debug, Clone)]
+pub struct TransformedDatabase {
+    /// Customers (possibly with empty `elements`), in original order.
+    pub customers: Vec<TransformedCustomer>,
+    /// The litemset id table.
+    pub table: LitemsetTable,
+    /// Total customers in the *original* database — the support denominator.
+    pub total_customers: usize,
+}
+
+impl TransformedDatabase {
+    /// Maps an id-sequence back to the original itemset sequence.
+    pub fn to_sequence(&self, ids: &[LitemsetId]) -> crate::types::sequence::Sequence {
+        crate::types::sequence::Sequence::new(
+            ids.iter().map(|&id| self.table.itemset(id).clone()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LitemsetTable {
+        LitemsetTable::new(vec![
+            (Itemset::new(vec![1]), 4),
+            (Itemset::new(vec![2]), 3),
+            (Itemset::new(vec![1, 2]), 2),
+        ])
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id_of(&[1]), Some(0));
+        assert_eq!(t.id_of(&[1, 2]), Some(2));
+        assert_eq!(t.id_of(&[3]), None);
+        assert_eq!(t.itemset(2).items(), &[1, 2]);
+        assert_eq!(t.support(1), 3);
+    }
+
+    #[test]
+    fn subset_ids_include_self_and_true_subsets() {
+        let t = table();
+        let mut ids = t.subset_ids(2); // subsets of {1,2}
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(t.subset_ids(0), vec![0]);
+    }
+
+    #[test]
+    fn presence_bitmap() {
+        let c = TransformedCustomer {
+            customer_id: 1,
+            elements: vec![vec![0, 2], vec![1]],
+        };
+        assert_eq!(c.presence_bitmap(4), vec![true, true, true, false]);
+    }
+}

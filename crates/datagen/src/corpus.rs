@@ -1,0 +1,252 @@
+//! The corpus tables: potentially large itemsets and potentially large
+//! sequences (paper §5.1 / VLDB'94 §4).
+
+use rand::Rng;
+
+use crate::distributions::{
+    clamped_normal, exponential, poisson_at_least_one, WeightedIndex,
+};
+use crate::params::GenParams;
+use seqpat_core::Item;
+
+/// One potentially large itemset with its sampling weight and corruption
+/// level.
+#[derive(Debug, Clone)]
+pub struct PotentialItemset {
+    /// Sorted, duplicate-free items.
+    pub items: Vec<Item>,
+    /// Normalized sampling probability weight.
+    pub weight: f64,
+    /// Corruption level `c`: while `U(0,1) < c`, drop another item.
+    pub corruption: f64,
+}
+
+/// One potentially large sequence: indices into the itemset table.
+#[derive(Debug, Clone)]
+pub struct PotentialSequence {
+    /// The member itemsets (indices into [`Corpus::itemsets`]).
+    pub elements: Vec<usize>,
+    /// Normalized sampling probability weight.
+    pub weight: f64,
+    /// Corruption level.
+    pub corruption: f64,
+}
+
+/// Both corpus tables plus their weighted samplers.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// `N_I` potentially large itemsets.
+    pub itemsets: Vec<PotentialItemset>,
+    /// `N_S` potentially large sequences.
+    pub sequences: Vec<PotentialSequence>,
+    sequence_sampler: WeightedIndex,
+    itemset_sampler: WeightedIndex,
+}
+
+impl Corpus {
+    /// Builds the corpus from the parameters.
+    pub fn build(params: &GenParams, rng: &mut impl Rng) -> Self {
+        let itemsets = build_itemsets(params, rng);
+        let sequences = build_sequences(params, &itemsets, rng);
+        let seq_weights: Vec<f64> = sequences.iter().map(|s| s.weight).collect();
+        let set_weights: Vec<f64> = itemsets.iter().map(|s| s.weight).collect();
+        Self {
+            itemsets,
+            sequences,
+            sequence_sampler: WeightedIndex::new(&seq_weights),
+            itemset_sampler: WeightedIndex::new(&set_weights),
+        }
+    }
+
+    /// Draws a potentially large sequence index by weight.
+    pub fn sample_sequence(&self, rng: &mut impl Rng) -> usize {
+        self.sequence_sampler.sample(rng)
+    }
+
+    /// Draws a potentially large itemset index by weight (used to pad
+    /// short transactions — the generator has no uniform noise source; all
+    /// content is skewed corpus content, as in the paper).
+    pub fn sample_itemset(&self, rng: &mut impl Rng) -> usize {
+        self.itemset_sampler.sample(rng)
+    }
+}
+
+fn build_itemsets(params: &GenParams, rng: &mut impl Rng) -> Vec<PotentialItemset> {
+    let n = params.num_potential_itemsets;
+    let mut out: Vec<PotentialItemset> = Vec::with_capacity(n);
+    let mut raw_weights: Vec<f64> = Vec::with_capacity(n);
+    for idx in 0..n {
+        let size = poisson_at_least_one(rng, params.avg_potential_itemset_size) as usize;
+        let mut items: Vec<Item> = Vec::with_capacity(size);
+        // Correlated fraction carried over from the previous itemset:
+        // exponentially distributed around the correlation level, capped
+        // at 1 (VLDB'94 §4).
+        if idx > 0 {
+            let frac = exponential(rng, params.correlation).min(1.0);
+            let prev = &out[idx - 1].items;
+            let carry = ((frac * size as f64).round() as usize).min(prev.len());
+            // Sample `carry` distinct positions from the previous itemset.
+            let mut positions: Vec<usize> = (0..prev.len()).collect();
+            for taken in 0..carry {
+                let pick = rng.gen_range(taken..positions.len());
+                positions.swap(taken, pick);
+                items.push(prev[positions[taken]]);
+            }
+        }
+        while items.len() < size {
+            items.push(rng.gen_range(0..params.num_items));
+        }
+        items.sort_unstable();
+        items.dedup();
+        raw_weights.push(exponential(rng, 1.0));
+        out.push(PotentialItemset {
+            items,
+            weight: 0.0,
+            corruption: clamped_normal(rng, params.corruption_mean, params.corruption_sd, 0.0, 1.0),
+        });
+    }
+    normalize_into(&mut out, &raw_weights, |p, w| p.weight = w);
+    out
+}
+
+fn build_sequences(
+    params: &GenParams,
+    itemsets: &[PotentialItemset],
+    rng: &mut impl Rng,
+) -> Vec<PotentialSequence> {
+    let n = params.num_potential_sequences;
+    let itemset_weights: Vec<f64> = itemsets.iter().map(|i| i.weight).collect();
+    let itemset_sampler = WeightedIndex::new(&itemset_weights);
+    let mut out: Vec<PotentialSequence> = Vec::with_capacity(n);
+    let mut raw_weights: Vec<f64> = Vec::with_capacity(n);
+    for idx in 0..n {
+        let len = poisson_at_least_one(rng, params.avg_potential_sequence_length) as usize;
+        let mut elements: Vec<usize> = Vec::with_capacity(len);
+        if idx > 0 {
+            let frac = exponential(rng, params.correlation).min(1.0);
+            let prev = &out[idx - 1].elements;
+            let carry = ((frac * len as f64).round() as usize).min(prev.len());
+            // Order is significant in sequences: keep the carried elements
+            // in their original relative order (take a prefix slice of a
+            // random rotation would break correlation; the paper carries a
+            // contiguous run — we take the first `carry` elements).
+            elements.extend_from_slice(&prev[..carry]);
+        }
+        while elements.len() < len {
+            elements.push(itemset_sampler.sample(rng));
+        }
+        raw_weights.push(exponential(rng, 1.0));
+        out.push(PotentialSequence {
+            elements,
+            weight: 0.0,
+            corruption: clamped_normal(rng, params.corruption_mean, params.corruption_sd, 0.0, 1.0),
+        });
+    }
+    normalize_into(&mut out, &raw_weights, |p, w| p.weight = w);
+    out
+}
+
+fn normalize_into<T>(entries: &mut [T], raw: &[f64], set: impl Fn(&mut T, f64)) {
+    let total: f64 = raw.iter().sum();
+    debug_assert!(total > 0.0);
+    for (entry, &w) in entries.iter_mut().zip(raw) {
+        set(entry, w / total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_params() -> GenParams {
+        GenParams::default().corpus_size(50, 200).items(500)
+    }
+
+    #[test]
+    fn corpus_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let corpus = Corpus::build(&small_params(), &mut rng);
+        assert_eq!(corpus.itemsets.len(), 200);
+        assert_eq!(corpus.sequences.len(), 50);
+        for set in &corpus.itemsets {
+            assert!(!set.items.is_empty());
+            assert!(set.items.windows(2).all(|w| w[0] < w[1]));
+            assert!(set.items.iter().all(|&i| i < 500));
+            assert!((0.0..=1.0).contains(&set.corruption));
+        }
+        for seq in &corpus.sequences {
+            assert!(!seq.elements.is_empty());
+            assert!(seq.elements.iter().all(|&e| e < 200));
+        }
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = Corpus::build(&small_params(), &mut rng);
+        let sum_i: f64 = corpus.itemsets.iter().map(|i| i.weight).sum();
+        let sum_s: f64 = corpus.sequences.iter().map(|s| s.weight).sum();
+        assert!((sum_i - 1.0).abs() < 1e-9);
+        assert!((sum_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_sizes_track_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = GenParams::shape(10.0, 2.5, 4.0, 2.5)
+            .corpus_size(2_000, 2_000)
+            .items(10_000);
+        let corpus = Corpus::build(&params, &mut rng);
+        let avg_len: f64 = corpus
+            .sequences
+            .iter()
+            .map(|s| s.elements.len() as f64)
+            .sum::<f64>()
+            / corpus.sequences.len() as f64;
+        // Poisson clamped at 1 shifts the mean up slightly.
+        assert!((avg_len - 4.0).abs() < 0.5, "avg sequence length {avg_len}");
+        let avg_size: f64 = corpus
+            .itemsets
+            .iter()
+            .map(|s| s.items.len() as f64)
+            .sum::<f64>()
+            / corpus.itemsets.len() as f64;
+        assert!((avg_size - 2.5).abs() < 0.5, "avg itemset size {avg_size}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_params();
+        let a = Corpus::build(&p, &mut StdRng::seed_from_u64(9));
+        let b = Corpus::build(&p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.itemsets.len(), b.itemsets.len());
+        for (x, y) in a.itemsets.iter().zip(&b.itemsets) {
+            assert_eq!(x.items, y.items);
+        }
+        for (x, y) in a.sequences.iter().zip(&b.sequences) {
+            assert_eq!(x.elements, y.elements);
+        }
+    }
+
+    #[test]
+    fn correlation_carries_items_over() {
+        // With correlation 1.0 consecutive itemsets share most content.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = small_params();
+        p.correlation = 1.0;
+        p.avg_potential_itemset_size = 5.0;
+        let corpus = Corpus::build(&p, &mut rng);
+        let mut overlaps = 0usize;
+        for w in corpus.itemsets.windows(2) {
+            if w[1].items.iter().any(|i| w[0].items.contains(i)) {
+                overlaps += 1;
+            }
+        }
+        assert!(
+            overlaps > corpus.itemsets.len() / 2,
+            "only {overlaps} overlapping neighbours"
+        );
+    }
+}

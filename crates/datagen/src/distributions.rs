@@ -1,0 +1,183 @@
+//! Small sampling utilities: Poisson, exponential and normal variates plus
+//! weighted discrete choice, built on `rand`'s uniform source only (the
+//! sanctioned `rand` crate ships without `rand_distr`).
+
+use rand::Rng;
+
+/// Poisson sample via Knuth's product-of-uniforms method — exact and fast
+/// for the small means this generator uses (`|C| ≤ 50`, `|T| ≤ 10`).
+pub fn poisson(rng: &mut impl Rng, mean: f64) -> u64 {
+    debug_assert!(mean > 0.0);
+    // For large means Knuth's method degrades (needs ~mean uniforms and
+    // e^-mean underflows); fall back to a normal approximation, fine for
+    // the scale-up sweeps.
+    if mean > 30.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Poisson clamped below by 1 — the generator's sizes must be positive.
+pub fn poisson_at_least_one(rng: &mut impl Rng, mean: f64) -> u64 {
+    poisson(rng, mean).max(1)
+}
+
+/// Exponential variate with the given mean (inverse CDF).
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Normal variate via Box–Muller.
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+/// Normal variate clamped into `[lo, hi]` — the paper clamps corruption
+/// levels into `[0, 1]`.
+pub fn clamped_normal(rng: &mut impl Rng, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Weighted discrete sampler over normalized weights, using cumulative
+/// sums + binary search. Construction is `O(n)`, sampling `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler; weights must be non-negative with positive sum.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must sum to a positive value");
+        Self { cumulative }
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN"))
+        {
+            Ok(i) => i + 1, // x exactly equals a boundary: next bucket
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        for mean in [0.5, 1.25, 2.5, 4.0, 10.0] {
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
+            let observed = sum as f64 / n as f64;
+            assert!(
+                (observed - mean).abs() < 0.1 * mean + 0.05,
+                "mean {mean}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_large_mean_normal_fallback() {
+        let mut r = rng();
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut r, 50.0)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - 50.0).abs() < 1.0, "observed {observed}");
+    }
+
+    #[test]
+    fn poisson_at_least_one_never_zero() {
+        let mut r = rng();
+        assert!((0..5_000).all(|_| poisson_at_least_one(&mut r, 0.1) >= 1));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 30_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - 2.0).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 0.75, 0.1)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.75).abs() < 0.01);
+        assert!((var.sqrt() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn clamped_normal_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = clamped_normal(&mut r, 0.75, 0.5, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = WeightedIndex::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_rejects_empty() {
+        let _ = WeightedIndex::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_index_rejects_all_zero() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+}

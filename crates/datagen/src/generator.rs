@@ -1,0 +1,202 @@
+//! Customer-sequence assembly (paper §5.1, last stage).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::Corpus;
+use crate::distributions::poisson_at_least_one;
+use crate::params::GenParams;
+use seqpat_core::{Database, Item};
+
+/// Generates a customer-sequence database. Fully deterministic per
+/// `(params, seed)` pair.
+///
+/// # Panics
+/// Panics when `params` fail [`GenParams::validate`].
+pub fn generate(params: &GenParams, seed: u64) -> Database {
+    params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid generator parameters: {e}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus = Corpus::build(params, &mut rng);
+    generate_with_corpus(params, &corpus, &mut rng)
+}
+
+/// Like [`generate`] but reuses a pre-built corpus — the scale-up
+/// experiments grow `|D|` with the *same* underlying pattern tables, as the
+/// paper does.
+pub fn generate_with_corpus(
+    params: &GenParams,
+    corpus: &Corpus,
+    rng: &mut StdRng,
+) -> Database {
+    let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
+    for customer_id in 0..params.num_customers as u64 {
+        let n_transactions =
+            poisson_at_least_one(rng, params.avg_transactions_per_customer) as usize;
+        let mut transactions: Vec<Vec<Item>> = vec![Vec::new(); n_transactions];
+        let target_sizes: Vec<usize> = (0..n_transactions)
+            .map(|_| poisson_at_least_one(rng, params.avg_items_per_transaction) as usize)
+            .collect();
+
+        // Lay potentially large sequences into the transactions: each drawn
+        // sequence is placed at a random starting transaction, one element
+        // per consecutive transaction (a dropped element leaves a gap, so
+        // the surviving elements still occur in order, with gaps — exactly
+        // what subsequence containment allows). Transactions hold the union
+        // of the elements every overlapping sequence contributes, and
+        // drawing continues until the customer's total item budget
+        // (Σ target sizes) is covered — with |T| = 2.5 and |I| = 1.25 a
+        // transaction carries ~2 pattern elements, so a customer
+        // accumulates on the order of |C| pattern sequences.
+        let total_target: usize = target_sizes.iter().sum();
+        let mut placed = 0usize;
+        // A guard keeps degenerate corpora (e.g. everything corrupted away)
+        // from looping forever.
+        let mut attempts = 0usize;
+        let max_attempts = 8 * n_transactions + 16;
+        while placed < total_target && attempts < max_attempts {
+            attempts += 1;
+            let seq = &corpus.sequences[corpus.sample_sequence(rng)];
+            let len = seq.elements.len().min(n_transactions);
+            let start = if n_transactions > len {
+                rng.gen_range(0..=n_transactions - len)
+            } else {
+                0
+            };
+            for (offset, &itemset_idx) in seq.elements.iter().take(len).enumerate() {
+                // Sequence-level corruption drops whole elements (leaving a
+                // transaction gap; the surviving elements keep their order).
+                if rng.gen::<f64>() < seq.corruption {
+                    continue;
+                }
+                let keep = corrupt_itemset(&corpus.itemsets[itemset_idx], rng);
+                if keep.is_empty() {
+                    continue;
+                }
+                placed += keep.len();
+                transactions[start + offset].extend_from_slice(&keep);
+            }
+        }
+
+        // Normalize and make sure no transaction ends up empty (an empty
+        // slot gets one uncorrupted weighted itemset — still skewed corpus
+        // content; the generator has no uniform noise source).
+        for slot in &mut transactions {
+            slot.sort_unstable();
+            slot.dedup();
+            if slot.is_empty() {
+                let potential = &corpus.itemsets[corpus.sample_itemset(rng)];
+                slot.extend_from_slice(&potential.items);
+            }
+        }
+
+        for (t, items) in transactions.into_iter().enumerate() {
+            debug_assert!(!items.is_empty());
+            rows.push((customer_id, t as i64, items));
+        }
+    }
+    Database::from_rows(rows)
+}
+
+/// Corruption: drop random items while `U(0,1)` stays below the itemset's
+/// corruption level (VLDB'94 §4).
+fn corrupt_itemset(
+    potential: &crate::corpus::PotentialItemset,
+    rng: &mut impl Rng,
+) -> Vec<Item> {
+    let mut keep = potential.items.clone();
+    while !keep.is_empty() && rng.gen::<f64>() < potential.corruption {
+        let victim = rng.gen_range(0..keep.len());
+        keep.swap_remove(victim);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> GenParams {
+        GenParams::default()
+            .customers(200)
+            .items(400)
+            .corpus_size(60, 300)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = quick_params();
+        assert_eq!(generate(&p, 5), generate(&p, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = quick_params();
+        assert_ne!(generate(&p, 5), generate(&p, 6));
+    }
+
+    #[test]
+    fn shape_statistics_track_parameters() {
+        let p = quick_params();
+        let db = generate(&p, 11);
+        assert_eq!(db.num_customers(), 200);
+        let avg_trans = db.num_transactions() as f64 / db.num_customers() as f64;
+        assert!(
+            (avg_trans - 10.0).abs() < 1.5,
+            "avg transactions per customer {avg_trans}"
+        );
+        let avg_items = db.num_item_occurrences() as f64 / db.num_transactions() as f64;
+        // Target sizes are lower bounds (large itemsets may overshoot) and
+        // dedup may remove items, so allow generous slack around |T| = 2.5.
+        assert!(
+            avg_items > 1.5 && avg_items < 5.0,
+            "avg items per transaction {avg_items}"
+        );
+    }
+
+    #[test]
+    fn all_items_within_universe() {
+        let p = quick_params();
+        let db = generate(&p, 3);
+        for c in db.customers() {
+            for t in &c.transactions {
+                assert!(t.items.items().iter().all(|&i| i < 400));
+            }
+        }
+    }
+
+    #[test]
+    fn no_empty_transactions() {
+        let db = generate(&quick_params(), 8);
+        for c in db.customers() {
+            assert!(!c.transactions.is_empty());
+            // Itemset construction enforces non-emptiness; the count
+            // check above is the meaningful assertion.
+        }
+    }
+
+    #[test]
+    fn embedded_patterns_make_sequences_minable() {
+        // The whole point of the generator: frequent sequential patterns
+        // must exist. Mine with a modest threshold and expect at least one
+        // multi-element maximal sequence.
+        use seqpat_core::{Miner, MinerConfig, MinSupport};
+        let p = quick_params();
+        let db = generate(&p, 21);
+        // A high-ish threshold keeps this fast under the dev profile; the
+        // heavyweight mining happens in the bench crate under --release.
+        let config = MinerConfig::new(MinSupport::Fraction(0.1)).max_length(3);
+        let result = Miner::new(config).mine(&db);
+        assert!(
+            result.patterns.iter().any(|pat| pat.sequence.len() >= 2),
+            "no multi-element pattern found; generator embeds none?"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid generator parameters")]
+    fn invalid_params_rejected() {
+        let _ = generate(&GenParams::default().items(0), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # seqpat-datagen — the Agrawal–Srikant synthetic customer-sequence
+//! generator (ICDE 1995 §5.1, extending VLDB 1994 §4).
+//!
+//! The paper evaluates its algorithms on synthetic databases that "mimic
+//! real-world transactions, where people buy sequences of sets of items".
+//! This crate rebuilds that generator:
+//!
+//! 1. A table of `N_I` **potentially large itemsets**: sizes are
+//!    Poisson-distributed around `|I|`; consecutive itemsets share a
+//!    correlated fraction of items; each itemset carries an exponentially
+//!    distributed weight (normalized to a probability) and a corruption
+//!    level drawn from N(0.75, 0.1²).
+//! 2. A table of `N_S` **potentially large sequences** over those itemsets,
+//!    built the same way (Poisson lengths around `|S|`, correlation with
+//!    the previous sequence, exponential weights, corruption levels).
+//! 3. **Customer sequences**: each customer gets a Poisson(`|C|`) number of
+//!    transactions with Poisson(`|T|`) target sizes and is assigned a
+//!    series of potentially large sequences (picked by weight); each
+//!    assigned sequence is *corrupted* — items are dropped while a uniform
+//!    draw stays below the corruption level — and its surviving elements
+//!    are laid into consecutive transactions. Leftover capacity is padded
+//!    with uniform random items (noise).
+//!
+//! The standard parameter names follow the paper: a dataset
+//! `C10-T2.5-S4-I1.25` has `|C| = 10`, `|T| = 2.5`, `|S| = 4`,
+//! `|I| = 1.25`. See [`GenParams`] for every knob and
+//! [`GenParams::paper_dataset`] for the five datasets of the evaluation
+//! section.
+//!
+//! Everything is deterministic per seed:
+//!
+//! ```
+//! use seqpat_datagen::{generate, GenParams};
+//! let params = GenParams::paper_dataset("C10-T2.5-S4-I1.25").unwrap().customers(100);
+//! let a = generate(&params, 42);
+//! let b = generate(&params, 42);
+//! assert_eq!(a, b);
+//! assert_eq!(a.num_customers(), 100);
+//! ```
+
+pub mod corpus;
+pub mod distributions;
+pub mod generator;
+pub mod params;
+
+pub use generator::generate;
+pub use params::GenParams;

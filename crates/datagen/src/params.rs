@@ -1,0 +1,204 @@
+//! Generator parameters and the paper's named datasets.
+
+/// All knobs of the synthetic generator. Field names mirror the paper's
+/// notation (Table of parameters, §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// `|D|` — number of customers.
+    pub num_customers: usize,
+    /// `|C|` — average number of transactions per customer (Poisson mean).
+    pub avg_transactions_per_customer: f64,
+    /// `|T|` — average number of items per transaction (Poisson mean).
+    pub avg_items_per_transaction: f64,
+    /// `|S|` — average length of the potentially large sequences.
+    pub avg_potential_sequence_length: f64,
+    /// `|I|` — average size of the itemsets in potentially large sequences.
+    pub avg_potential_itemset_size: f64,
+    /// `N_S` — number of potentially large sequences (paper: 5 000).
+    pub num_potential_sequences: usize,
+    /// `N_I` — number of potentially large itemsets (paper: 25 000).
+    pub num_potential_itemsets: usize,
+    /// `N` — number of items (paper: 10 000).
+    pub num_items: u32,
+    /// Correlation between consecutive corpus entries: the mean of the
+    /// exponentially distributed fraction of content carried over from the
+    /// previous itemset/sequence (paper: 0.25).
+    pub correlation: f64,
+    /// Mean of the per-entry corruption level. Calibrated to 0.25 so the
+    /// embedded sequential patterns reach the support range the paper
+    /// mines (large sequences up to ~|S| elements at minsup 0.2-1%); see
+    /// DESIGN.md §4 for the calibration note.
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level (paper: 0.1).
+    pub corruption_sd: f64,
+}
+
+impl Default for GenParams {
+    /// The paper's most-used shape, `C10-T2.5-S4-I1.25`, at a laptop-scale
+    /// default of 10 000 customers (the paper used 250 000 on an RS/6000;
+    /// the algorithms are linear in `|D|`, see DESIGN.md §6).
+    fn default() -> Self {
+        Self {
+            num_customers: 10_000,
+            avg_transactions_per_customer: 10.0,
+            avg_items_per_transaction: 2.5,
+            avg_potential_sequence_length: 4.0,
+            avg_potential_itemset_size: 1.25,
+            num_potential_sequences: 5_000,
+            num_potential_itemsets: 25_000,
+            num_items: 10_000,
+            correlation: 0.25,
+            corruption_mean: 0.25,
+            corruption_sd: 0.1,
+        }
+    }
+}
+
+impl GenParams {
+    /// Builds the parameter set with the paper's `C/T/S/I` shape values.
+    pub fn shape(c: f64, t: f64, s: f64, i: f64) -> Self {
+        Self {
+            avg_transactions_per_customer: c,
+            avg_items_per_transaction: t,
+            avg_potential_sequence_length: s,
+            avg_potential_itemset_size: i,
+            ..Self::default()
+        }
+    }
+
+    /// Looks up one of the five datasets of the paper's evaluation by its
+    /// printed name (e.g. `"C10-T5-S4-I2.5"`). Returns `None` for unknown
+    /// names; [`paper_dataset_names`](Self::paper_dataset_names) lists them.
+    pub fn paper_dataset(name: &str) -> Option<Self> {
+        let (c, t, s, i) = match name {
+            "C10-T2.5-S4-I1.25" => (10.0, 2.5, 4.0, 1.25),
+            "C10-T5-S4-I1.25" => (10.0, 5.0, 4.0, 1.25),
+            "C10-T5-S4-I2.5" => (10.0, 5.0, 4.0, 2.5),
+            "C20-T2.5-S4-I1.25" => (20.0, 2.5, 4.0, 1.25),
+            "C20-T2.5-S8-I1.25" => (20.0, 2.5, 8.0, 1.25),
+            _ => return None,
+        };
+        Some(Self::shape(c, t, s, i))
+    }
+
+    /// The paper's five dataset names, in the order its tables list them.
+    pub fn paper_dataset_names() -> [&'static str; 5] {
+        [
+            "C10-T2.5-S4-I1.25",
+            "C10-T5-S4-I1.25",
+            "C10-T5-S4-I2.5",
+            "C20-T2.5-S4-I1.25",
+            "C20-T2.5-S8-I1.25",
+        ]
+    }
+
+    /// The `Cxx-Txx-Sxx-Ixx` label of this parameter set.
+    pub fn label(&self) -> String {
+        fn fmt(x: f64) -> String {
+            if (x - x.round()).abs() < 1e-9 {
+                format!("{}", x.round() as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        format!(
+            "C{}-T{}-S{}-I{}",
+            fmt(self.avg_transactions_per_customer),
+            fmt(self.avg_items_per_transaction),
+            fmt(self.avg_potential_sequence_length),
+            fmt(self.avg_potential_itemset_size),
+        )
+    }
+
+    /// Sets the number of customers (builder style).
+    pub fn customers(mut self, n: usize) -> Self {
+        self.num_customers = n;
+        self
+    }
+
+    /// Sets the item-universe size (builder style).
+    pub fn items(mut self, n: u32) -> Self {
+        self.num_items = n;
+        self
+    }
+
+    /// Scales the corpus-table sizes (`N_S`, `N_I`) — useful for quick
+    /// tests where the paper's 25 000-itemset corpus is overkill.
+    pub fn corpus_size(mut self, sequences: usize, itemsets: usize) -> Self {
+        self.num_potential_sequences = sequences;
+        self.num_potential_itemsets = itemsets;
+        self
+    }
+
+    /// Validates parameter sanity; called by the generator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_items == 0 {
+            return Err("num_items must be positive".into());
+        }
+        if self.avg_transactions_per_customer <= 0.0
+            || self.avg_items_per_transaction <= 0.0
+            || self.avg_potential_sequence_length <= 0.0
+            || self.avg_potential_itemset_size <= 0.0
+        {
+            return Err("all shape averages must be positive".into());
+        }
+        if self.num_potential_itemsets == 0 || self.num_potential_sequences == 0 {
+            return Err("corpus table sizes must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.correlation) {
+            return Err("correlation must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.corruption_mean) || self.corruption_sd < 0.0 {
+            return Err("corruption parameters out of range".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        for name in GenParams::paper_dataset_names() {
+            let p = GenParams::paper_dataset(name).unwrap();
+            assert_eq!(p.label(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_is_none() {
+        assert!(GenParams::paper_dataset("C99-T9-S9-I9").is_none());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let p = GenParams::default().customers(77).items(123).corpus_size(10, 20);
+        assert_eq!(p.num_customers, 77);
+        assert_eq!(p.num_items, 123);
+        assert_eq!(p.num_potential_sequences, 10);
+        assert_eq!(p.num_potential_itemsets, 20);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(GenParams::default().validate().is_ok());
+        assert!(GenParams::default().items(0).validate().is_err());
+        let p = GenParams {
+            correlation: 2.0,
+            ..GenParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p2 = GenParams {
+            avg_items_per_transaction: 0.0,
+            ..GenParams::default()
+        };
+        assert!(p2.validate().is_err());
+        let p3 = GenParams {
+            num_potential_sequences: 0,
+            ..GenParams::default()
+        };
+        assert!(p3.validate().is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! GSP candidate generation (EDBT'96 §4.1.1).
+//!
+//! Pass `k` works over patterns with `k` **items**. The join: `s1` and `s2`
+//! join when dropping the *first item of* `s1` yields the same
+//! (item-)sequence as dropping the *last item of* `s2`; the candidate is
+//! `s1` extended with `s2`'s last item — as a new trailing element when
+//! that item formed its own element in `s2`, otherwise into `s1`'s last
+//! element. Pass 2 is special-cased (joining the length-1 patterns through
+//! the general rule would lose candidates like `⟨(x)(x)⟩`).
+//!
+//! The prune step drops a candidate when some delete-one-item subsequence
+//! is infrequent. Under a **max-gap** constraint frequency is only
+//! guaranteed for *contiguous* subsequences — deleting an item from the
+//! first or last element, or from any element with ≥ 2 items (EDBT'96
+//! §2) — so the prune restricts itself to those when `max_gap` is set.
+
+use seqpat_core::Item;
+
+/// A pattern as sorted item vectors per element.
+pub type ItemSeq = Vec<Vec<Item>>;
+
+/// Pass-2 candidates from the frequent items: every ordered pair as a
+/// two-element sequence plus every unordered pair as a single element.
+pub fn generate_k2(items: &[Item]) -> Vec<ItemSeq> {
+    let mut out: Vec<ItemSeq> = Vec::with_capacity(items.len() * items.len());
+    for &x in items {
+        for &y in items {
+            out.push(vec![vec![x], vec![y]]);
+        }
+    }
+    for (i, &x) in items.iter().enumerate() {
+        for &y in &items[i + 1..] {
+            out.push(vec![vec![x, y]]);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// General join + prune for pass `k ≥ 3`.
+pub fn generate_next(prev: &[ItemSeq], max_gap_active: bool) -> Vec<ItemSeq> {
+    // Index for the prune/join lookups.
+    let mut sorted: Vec<&ItemSeq> = prev.iter().collect();
+    sorted.sort();
+    let is_frequent = |s: &ItemSeq| sorted.binary_search(&s).is_ok();
+
+    // Join: group by drop-first == drop-last.
+    let mut out: Vec<ItemSeq> = Vec::new();
+    // Map drop_first(s1) -> candidates s1.
+    let mut by_core: std::collections::BTreeMap<ItemSeq, Vec<&ItemSeq>> =
+        std::collections::BTreeMap::new();
+    for s in prev {
+        by_core.entry(drop_first_item(s)).or_default().push(s);
+    }
+    for s2 in prev {
+        let core = drop_last_item(s2);
+        let Some(lefts) = by_core.get(&core) else {
+            continue;
+        };
+        let (last_item, own_element) = last_item_info(s2);
+        for &s1 in lefts {
+            let Some(cand) = extend(s1, last_item, own_element) else {
+                continue;
+            };
+            if survives_prune(&cand, &is_frequent, max_gap_active) {
+                out.push(cand);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Drops the first item of the first element (removing the element when it
+/// empties).
+pub fn drop_first_item(s: &ItemSeq) -> ItemSeq {
+    let mut out = s.clone();
+    out[0].remove(0);
+    if out[0].is_empty() {
+        out.remove(0);
+    }
+    out
+}
+
+/// Drops the last item of the last element (removing the element when it
+/// empties).
+pub fn drop_last_item(s: &ItemSeq) -> ItemSeq {
+    let mut out = s.clone();
+    let last = out.len() - 1;
+    out[last].pop();
+    if out[last].is_empty() {
+        out.remove(last);
+    }
+    out
+}
+
+/// The last item of `s` and whether it forms an element of its own.
+fn last_item_info(s: &ItemSeq) -> (Item, bool) {
+    let last = s.last().expect("non-empty sequence");
+    (*last.last().expect("non-empty element"), last.len() == 1)
+}
+
+/// Appends `item` to `s1`: as a fresh element when `own_element`, else into
+/// the last element (keeping it sorted; returns `None` when the item is
+/// already present — such joins do not produce valid candidates).
+fn extend(s1: &ItemSeq, item: Item, own_element: bool) -> Option<ItemSeq> {
+    let mut out = s1.clone();
+    if own_element {
+        out.push(vec![item]);
+    } else {
+        let last = out.last_mut().expect("non-empty");
+        match last.binary_search(&item) {
+            Ok(_) => return None,
+            Err(pos) => last.insert(pos, item),
+        }
+    }
+    Some(out)
+}
+
+/// All delete-one-item subsequences, optionally restricted to the
+/// contiguous ones (max-gap active).
+pub fn delete_one_subsequences(s: &ItemSeq, contiguous_only: bool) -> Vec<ItemSeq> {
+    let mut out = Vec::new();
+    for (ei, element) in s.iter().enumerate() {
+        let interior = ei != 0 && ei != s.len() - 1;
+        if contiguous_only && interior && element.len() == 1 {
+            // Deleting the only item of an interior element is not a
+            // contiguous subsequence: skip.
+            continue;
+        }
+        for drop in 0..element.len() {
+            let mut sub = s.clone();
+            sub[ei].remove(drop);
+            if sub[ei].is_empty() {
+                sub.remove(ei);
+            }
+            if !sub.is_empty() {
+                out.push(sub);
+            }
+        }
+    }
+    out
+}
+
+fn survives_prune(
+    cand: &ItemSeq,
+    is_frequent: &impl Fn(&ItemSeq) -> bool,
+    max_gap_active: bool,
+) -> bool {
+    delete_one_subsequences(cand, max_gap_active)
+        .iter()
+        .all(is_frequent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(v: &[&[Item]]) -> ItemSeq {
+        v.iter().map(|e| e.to_vec()).collect()
+    }
+
+    #[test]
+    fn k2_shapes() {
+        let out = generate_k2(&[1, 2]);
+        assert!(out.contains(&seq(&[&[1], &[2]])));
+        assert!(out.contains(&seq(&[&[2], &[1]])));
+        assert!(out.contains(&seq(&[&[1], &[1]])));
+        assert!(out.contains(&seq(&[&[1, 2]])));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn drop_first_and_last() {
+        let s = seq(&[&[1, 2], &[3]]);
+        assert_eq!(drop_first_item(&s), seq(&[&[2], &[3]]));
+        assert_eq!(drop_last_item(&s), seq(&[&[1, 2]]));
+        let single = seq(&[&[9]]);
+        assert!(drop_first_item(&single).is_empty());
+    }
+
+    #[test]
+    fn edbt_paper_join_example() {
+        // EDBT'96 Example: L3 = {⟨(1 2)(3)⟩, ⟨(1 2)(4)⟩, ⟨(1)(3 4)⟩,
+        // ⟨(1 3)(5)⟩, ⟨(2)(3 4)⟩, ⟨(2)(3)(5)⟩}. Join yields ⟨(1 2)(3 4)⟩
+        // (from ⟨(1 2)(3)⟩ ⋈ ⟨(1)(3 4)⟩) and ⟨(1 2)(3)(5)⟩ (from
+        // ⟨(1 2)(3)⟩ ⋈ ⟨(2)(3)(5)⟩); the prune then deletes ⟨(1 2)(3)(5)⟩
+        // because ⟨(1)(3)(5)⟩ is not in L3. Result: {⟨(1 2)(3 4)⟩}.
+        let prev = vec![
+            seq(&[&[1, 2], &[3]]),
+            seq(&[&[1, 2], &[4]]),
+            seq(&[&[1], &[3, 4]]),
+            seq(&[&[1, 3], &[5]]),
+            seq(&[&[2], &[3, 4]]),
+            seq(&[&[2], &[3], &[5]]),
+        ];
+        let out = generate_next(&prev, false);
+        assert_eq!(out, vec![seq(&[&[1, 2], &[3, 4]])]);
+    }
+
+    #[test]
+    fn contiguous_subsequences_respect_interior_singletons() {
+        let s = seq(&[&[1], &[2], &[3]]);
+        // Contiguous: drop 1 (first element) or 3 (last element); dropping
+        // the interior singleton (2) is NOT contiguous.
+        let contiguous = delete_one_subsequences(&s, true);
+        assert_eq!(
+            contiguous,
+            vec![seq(&[&[2], &[3]]), seq(&[&[1], &[2]])]
+        );
+        let all = delete_one_subsequences(&s, false);
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&seq(&[&[1], &[3]])));
+    }
+
+    #[test]
+    fn interior_elements_with_two_items_are_fair_game() {
+        let s = seq(&[&[1], &[2, 3], &[4]]);
+        let contiguous = delete_one_subsequences(&s, true);
+        assert!(contiguous.contains(&seq(&[&[1], &[3], &[4]])));
+        assert!(contiguous.contains(&seq(&[&[1], &[2], &[4]])));
+    }
+
+    #[test]
+    fn extend_rejects_duplicate_item_in_element() {
+        assert_eq!(extend(&seq(&[&[1, 2]]), 2, false), None);
+        assert_eq!(
+            extend(&seq(&[&[1]]), 2, false),
+            Some(seq(&[&[1, 2]]))
+        );
+        assert_eq!(
+            extend(&seq(&[&[1]]), 1, true),
+            Some(seq(&[&[1], &[1]]))
+        );
+    }
+
+    #[test]
+    fn empty_prev_generates_nothing() {
+        assert!(generate_next(&[], false).is_empty());
+    }
+}

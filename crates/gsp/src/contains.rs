@@ -1,0 +1,296 @@
+//! The constrained containment test (EDBT'96 §2 definition, §4.2
+//! algorithm).
+//!
+//! The matcher below is a depth-first search over per-element windows with
+//! failure memoization, rather than a transcription of the paper's
+//! interleaved forward/backward phases — same answers, simpler invariants:
+//!
+//! * for a fixed window start `l`, only the **minimal** window end
+//!   `u_min(l)` matters: shrinking `u` can only relax constraint 3 for the
+//!   current element and constraint 2 for the next one;
+//! * `u_min(l)` is non-decreasing in `l`, so once constraint 3
+//!   (`t(u) − t(l_{i−1}) ≤ max_gap`) fails it fails for every later `l` —
+//!   the search can stop scanning starts for that element;
+//! * feasibility of the pattern suffix from element `i` depends only on
+//!   `(i, l)` (because `u = u_min(l)`), so failed `(i, l)` pairs are
+//!   memoized and each is explored at most once — the whole test is
+//!   `O(elements × transactions × window-work)`.
+
+use seqpat_core::Item;
+
+use crate::candidate::ItemSeq;
+use crate::GspConfig;
+
+/// A customer sequence prepared for constrained matching: `(time, items)`
+/// per transaction (times strictly increasing — the sort phase merges
+/// simultaneous rows) plus the customer's overall item set for prefilters.
+#[derive(Debug, Clone)]
+pub struct DataSequence {
+    /// Transactions as `(time, sorted items)`.
+    pub transactions: Vec<(i64, Vec<Item>)>,
+    all_items: Vec<Item>,
+}
+
+impl From<&seqpat_core::CustomerSequence> for DataSequence {
+    fn from(c: &seqpat_core::CustomerSequence) -> Self {
+        let transactions: Vec<(i64, Vec<Item>)> = c
+            .transactions
+            .iter()
+            .map(|t| (t.time, t.items.items().to_vec()))
+            .collect();
+        let mut all_items: Vec<Item> =
+            transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        all_items.sort_unstable();
+        all_items.dedup();
+        Self {
+            transactions,
+            all_items,
+        }
+    }
+}
+
+impl DataSequence {
+    /// Cheap necessary condition: every item of the pattern occurs
+    /// somewhere in the customer history.
+    pub fn may_contain(&self, pattern: &ItemSeq) -> bool {
+        pattern
+            .iter()
+            .flat_map(|e| e.iter())
+            .all(|item| self.all_items.binary_search(item).is_ok())
+    }
+}
+
+/// Does `d` contain `pattern` under the configuration's time constraints?
+pub fn contains_with_constraints(d: &DataSequence, pattern: &ItemSeq, config: &GspConfig) -> bool {
+    if pattern.is_empty() {
+        return true;
+    }
+    if d.transactions.is_empty() {
+        return false;
+    }
+    let mut failed: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    search(d, pattern, config, 0, None, &mut failed)
+}
+
+/// Window of the previously matched element, as transaction indices.
+type PrevWindow = Option<(usize, usize)>;
+
+fn search(
+    d: &DataSequence,
+    pattern: &ItemSeq,
+    config: &GspConfig,
+    element: usize,
+    prev: PrevWindow,
+    failed: &mut std::collections::HashSet<(usize, usize)>,
+) -> bool {
+    if element == pattern.len() {
+        return true;
+    }
+    let m = d.transactions.len();
+    // Earliest admissible window start: strictly after the previous window,
+    // with more than min_gap between the times.
+    let mut start = match prev {
+        None => 0,
+        Some((_, prev_u)) => {
+            let threshold = d.transactions[prev_u].0 + config.min_gap;
+            // Times are strictly increasing, so binary-search the first
+            // transaction with time > threshold (and index > prev_u).
+            let lo = d.transactions.partition_point(|&(t, _)| t <= threshold);
+            lo.max(prev_u + 1)
+        }
+    };
+    while start < m {
+        if failed.contains(&(element, start)) {
+            start += 1;
+            continue;
+        }
+        let Some(end) = min_window(d, &pattern[element], start, config.window) else {
+            // No window for this or (since u_min only grows) for any later
+            // start that begins at a transaction missing required items —
+            // but later starts can still succeed; keep scanning.
+            failed.insert((element, start));
+            start += 1;
+            continue;
+        };
+        // Constraint 3: end of this window vs start of the previous one.
+        if let (Some(max_gap), Some((prev_l, _))) = (config.max_gap, prev) {
+            if d.transactions[end].0 - d.transactions[prev_l].0 > max_gap {
+                // u_min(start) is non-decreasing in start: no later start
+                // can satisfy the max-gap either.
+                return false;
+            }
+        }
+        if search(d, pattern, config, element + 1, Some((start, end)), failed) {
+            return true;
+        }
+        failed.insert((element, start));
+        start += 1;
+    }
+    false
+}
+
+/// Minimal `u ≥ l` such that `element ⊆ d_l ∪ … ∪ d_u` with
+/// `t(u) − t(l) ≤ window`; `None` when no such window exists.
+fn min_window(d: &DataSequence, element: &[Item], l: usize, window: i64) -> Option<usize> {
+    let start_time = d.transactions[l].0;
+    let mut missing: Vec<Item> = element.to_vec();
+    let mut u = l;
+    while u < d.transactions.len() {
+        let (time, items) = &d.transactions[u];
+        if time - start_time > window {
+            return None;
+        }
+        missing.retain(|item| items.binary_search(item).is_err());
+        if missing.is_empty() {
+            return Some(u);
+        }
+        u += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(rows: &[(i64, &[Item])]) -> DataSequence {
+        let transactions: Vec<(i64, Vec<Item>)> =
+            rows.iter().map(|&(t, items)| (t, items.to_vec())).collect();
+        let mut all_items: Vec<Item> =
+            transactions.iter().flat_map(|(_, i)| i.iter().copied()).collect();
+        all_items.sort_unstable();
+        all_items.dedup();
+        DataSequence {
+            transactions,
+            all_items,
+        }
+    }
+
+    fn seq(v: &[&[Item]]) -> ItemSeq {
+        v.iter().map(|e| e.to_vec()).collect()
+    }
+
+    #[test]
+    fn plain_containment_without_constraints() {
+        let d = data(&[(1, &[30]), (2, &[40, 70]), (3, &[90])]);
+        let cfg = GspConfig::default();
+        assert!(contains_with_constraints(&d, &seq(&[&[30], &[90]]), &cfg));
+        assert!(contains_with_constraints(&d, &seq(&[&[30], &[40, 70]]), &cfg));
+        assert!(!contains_with_constraints(&d, &seq(&[&[90], &[30]]), &cfg));
+        assert!(!contains_with_constraints(&d, &seq(&[&[30, 90]]), &cfg));
+    }
+
+    #[test]
+    fn min_gap_excludes_adjacent_transactions() {
+        let d = data(&[(0, &[1]), (3, &[2]), (10, &[2])]);
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2]]),
+            &GspConfig::default().min_gap(5)
+        )); // matches via t=10
+        assert!(!contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2]]),
+            &GspConfig::default().min_gap(15)
+        ));
+    }
+
+    #[test]
+    fn max_gap_limits_span() {
+        let d = data(&[(0, &[1]), (100, &[2])]);
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2]]),
+            &GspConfig::default().max_gap(100)
+        ));
+        assert!(!contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2]]),
+            &GspConfig::default().max_gap(99)
+        ));
+    }
+
+    #[test]
+    fn max_gap_forces_later_first_window() {
+        // ⟨(1)(2)⟩ with max_gap 5: the early 1 at t=0 is too far from 2 at
+        // t=50, but the later 1 at t=48 works — the DFS must not commit to
+        // the earliest window.
+        let d = data(&[(0, &[1]), (48, &[1]), (50, &[2])]);
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2]]),
+            &GspConfig::default().max_gap(5)
+        ));
+    }
+
+    #[test]
+    fn window_unions_nearby_transactions() {
+        let d = data(&[(0, &[1]), (2, &[2]), (9, &[3])]);
+        let cfg = GspConfig::default().window(2);
+        assert!(contains_with_constraints(&d, &seq(&[&[1, 2]]), &cfg));
+        assert!(!contains_with_constraints(&d, &seq(&[&[1, 3]]), &cfg));
+        // Window + following element: ⟨(1 2)(3)⟩.
+        assert!(contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg));
+    }
+
+    #[test]
+    fn window_and_min_gap_interact_on_window_edges() {
+        // Element (1 2) occupies [0, 2]; min_gap 5 is measured from the
+        // window END (t=2): 3 at t=6 is too close (6-2=4), 3 at t=8 is ok.
+        let d = data(&[(0, &[1]), (2, &[2]), (6, &[3]), (8, &[3])]);
+        let cfg = GspConfig::default().window(2).min_gap(5);
+        assert!(contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg));
+        let d2 = data(&[(0, &[1]), (2, &[2]), (6, &[3])]);
+        assert!(!contains_with_constraints(&d2, &seq(&[&[1, 2], &[3]]), &cfg));
+    }
+
+    #[test]
+    fn max_gap_measured_from_previous_window_start() {
+        // Constraint 3 is t(u_i) − t(l_{i−1}) ≤ max_gap: element (1 2) has
+        // l=0 (t=0); element (3) ends at t=7; 7 − 0 = 7 > 6 → fails even
+        // though the distance from the window end (t=2) is only 5.
+        let d = data(&[(0, &[1]), (2, &[2]), (7, &[3])]);
+        let cfg = GspConfig::default().window(2).max_gap(6);
+        assert!(!contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg));
+        let cfg_loose = GspConfig::default().window(2).max_gap(7);
+        assert!(contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg_loose));
+    }
+
+    #[test]
+    fn three_element_chain_with_max_gap_needs_backtracking() {
+        // ⟨(1)(2)(3)⟩, max_gap 10. Greedy earliest: 1@0 → 2@5 (ok, 5-0≤10)
+        // → 3@20 fails (20-5>10). Backtrack: 1@0→2@12? 12-0>10 fails.
+        // 1@11 → 2@12 → 3@20 (12-11≤10, 20-12≤10) succeeds.
+        let d = data(&[
+            (0, &[1]),
+            (5, &[2]),
+            (11, &[1]),
+            (12, &[2]),
+            (20, &[3]),
+        ]);
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[1], &[2], &[3]]),
+            &GspConfig::default().max_gap(10)
+        ));
+    }
+
+    #[test]
+    fn may_contain_prefilter() {
+        let d = data(&[(0, &[1, 2])]);
+        assert!(d.may_contain(&seq(&[&[1], &[2]])));
+        assert!(!d.may_contain(&seq(&[&[3]])));
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_data() {
+        let d = data(&[(0, &[1])]);
+        assert!(contains_with_constraints(&d, &seq(&[]), &GspConfig::default()));
+        let empty = data(&[]);
+        assert!(!contains_with_constraints(
+            &empty,
+            &seq(&[&[1]]),
+            &GspConfig::default()
+        ));
+    }
+}

@@ -1,0 +1,453 @@
+//! # seqpat-gsp — Generalized Sequential Patterns (extension).
+//!
+//! The ICDE 1995 paper's conclusion lists the generalizations its authors
+//! tackled next in the EDBT 1996 follow-up ("Mining Sequential Patterns:
+//! Generalizations and Performance Improvements"): **time constraints**
+//! between the elements of a pattern and a **sliding window** that lets one
+//! element be collected from several nearby transactions. This crate
+//! implements that successor algorithm, GSP, with those generalizations:
+//!
+//! * **min-gap** — consecutive pattern elements must be more than `min_gap`
+//!   time units apart;
+//! * **max-gap** — the *end* of an element's window must be within
+//!   `max_gap` of the *start* of the previous element's window (the EDBT'96
+//!   definition; it is what breaks plain anti-monotonicity and forces the
+//!   contiguous-subsequence prune);
+//! * **window** — one pattern element may be assembled from the union of
+//!   transactions spanning at most `window` time units.
+//!
+//! Formally (EDBT'96 §2): a data sequence `d = d_1 … d_m` with transaction
+//! times `t(·)` contains a pattern `s = s_1 … s_n` iff there are windows
+//! `l_1 ≤ u_1 < l_2 ≤ u_2 < … < l_n ≤ u_n` with
+//!
+//! 1. `s_i ⊆ d_{l_i} ∪ … ∪ d_{u_i}` and `t(u_i) − t(l_i) ≤ window`,
+//! 2. `t(l_i) − t(u_{i−1}) > min_gap`,
+//! 3. `t(u_i) − t(l_{i−1}) ≤ max_gap`.
+//!
+//! With the default constraints (`window = 0`, `min_gap = 0`, no max-gap)
+//! GSP's frequent-sequence set coincides with the 1995 definition, which
+//! the test-suite pins against AprioriAll and PrefixSpan.
+//!
+//! Unlike the 1995 algorithms, GSP's pass `k` handles patterns with `k`
+//! **items** (not `k` elements), and it mines **all** frequent sequences;
+//! use [`gsp_maximal`] for the 1995-style maximal answer.
+//!
+//! Taxonomies (the third EDBT'96 generalization) are out of scope here.
+//!
+//! ```
+//! use seqpat_gsp::{gsp, GspConfig};
+//! use seqpat_core::{Database, MinSupport};
+//!
+//! let db = Database::from_rows(vec![
+//!     (1, 1, vec![30]), (1, 20, vec![90]),
+//!     (2, 1, vec![30]), (2, 2, vec![90]),
+//! ]);
+//! // Unconstrained: both customers support ⟨(30)(90)⟩.
+//! let all = gsp(&db, MinSupport::Count(2), &GspConfig::default());
+//! assert!(all.iter().any(|p| p.sequence.to_string() == "<(30)(90)>"));
+//! // With max_gap = 5 only customer 2's gap qualifies: the pattern drops out.
+//! let constrained = gsp(&db, MinSupport::Count(2), &GspConfig::default().max_gap(5));
+//! assert!(!constrained.iter().any(|p| p.sequence.to_string() == "<(30)(90)>"));
+//! ```
+
+pub mod candidate;
+pub mod contains;
+
+#[cfg(test)]
+mod proptests;
+
+use seqpat_core::contain::sequence_contains;
+use seqpat_core::{Database, Item, Itemset, MinSupport, Pattern, Sequence};
+
+use candidate::{generate_k2, generate_next, ItemSeq};
+use contains::{contains_with_constraints, DataSequence};
+
+/// Time-constraint configuration (all in the units of transaction times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GspConfig {
+    /// Consecutive elements must satisfy `t(l_i) − t(u_{i−1}) > min_gap`.
+    /// `0` only requires strictly later transactions (the 1995 semantics).
+    pub min_gap: i64,
+    /// `t(u_i) − t(l_{i−1}) ≤ max_gap` when set.
+    pub max_gap: Option<i64>,
+    /// One element may span transactions within `window` time units.
+    pub window: i64,
+    /// Optional cap on the number of items in a pattern.
+    pub max_items: Option<usize>,
+}
+
+impl Default for GspConfig {
+    fn default() -> Self {
+        Self {
+            min_gap: 0,
+            max_gap: None,
+            window: 0,
+            max_items: None,
+        }
+    }
+}
+
+impl GspConfig {
+    /// Sets the minimum gap.
+    pub fn min_gap(mut self, gap: i64) -> Self {
+        self.min_gap = gap;
+        self
+    }
+
+    /// Sets the maximum gap.
+    pub fn max_gap(mut self, gap: i64) -> Self {
+        self.max_gap = Some(gap);
+        self
+    }
+
+    /// Sets the sliding-window size.
+    pub fn window(mut self, window: i64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Caps the total item count of mined patterns.
+    pub fn max_items(mut self, cap: usize) -> Self {
+        self.max_items = Some(cap);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.min_gap >= 0, "min_gap must be non-negative");
+        assert!(self.window >= 0, "window must be non-negative");
+        if let Some(g) = self.max_gap {
+            assert!(g >= 0, "max_gap must be non-negative");
+            assert!(
+                g > self.min_gap || g == self.min_gap,
+                "max_gap must be at least min_gap"
+            );
+        }
+    }
+}
+
+/// Per-pass counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GspPassStats {
+    /// Number of items per pattern in this pass.
+    pub k: usize,
+    /// Candidates counted.
+    pub candidates: u64,
+    /// Candidates found frequent.
+    pub frequent: u64,
+}
+
+/// Mines **all** frequent sequences under the time constraints. Patterns
+/// come back sorted by (element count, elements).
+pub fn gsp(db: &Database, min_support: MinSupport, config: &GspConfig) -> Vec<Pattern> {
+    gsp_with_stats(db, min_support, config).0
+}
+
+/// Like [`gsp`] but with per-pass statistics.
+pub fn gsp_with_stats(
+    db: &Database,
+    min_support: MinSupport,
+    config: &GspConfig,
+) -> (Vec<Pattern>, Vec<GspPassStats>) {
+    config.validate();
+    let min_count = min_support.to_count(db.num_customers());
+    let data: Vec<DataSequence> = db.customers().iter().map(DataSequence::from).collect();
+
+    let mut passes: Vec<GspPassStats> = Vec::new();
+    let mut out: Vec<Pattern> = Vec::new();
+
+    // Pass 1: frequent items (constraints are vacuous for one element).
+    let mut item_counts: std::collections::BTreeMap<Item, u64> = std::collections::BTreeMap::new();
+    for d in &data {
+        let mut items: Vec<Item> = d.transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        items.sort_unstable();
+        items.dedup();
+        for item in items {
+            *item_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let distinct = item_counts.len() as u64;
+    let frequent_items: Vec<(Item, u64)> = item_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    passes.push(GspPassStats {
+        k: 1,
+        candidates: distinct,
+        frequent: frequent_items.len() as u64,
+    });
+    let mut frequent: Vec<(ItemSeq, u64)> = frequent_items
+        .iter()
+        .map(|&(item, support)| (vec![vec![item]], support))
+        .collect();
+    out.extend(frequent.iter().map(|(s, sup)| to_pattern(s, *sup)));
+    if frequent.is_empty() {
+        return (finish(out), passes);
+    }
+
+    // Inverted index: item → ascending customer indices containing it.
+    // A candidate's potential supporters are the intersection of its
+    // items' lists, so the (expensive, constraint-aware) matcher only runs
+    // on customers that hold every item — for most candidates a handful.
+    let mut inverted: std::collections::BTreeMap<Item, Vec<u32>> = std::collections::BTreeMap::new();
+    for (ci, d) in data.iter().enumerate() {
+        let mut items: Vec<Item> =
+            d.transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        items.sort_unstable();
+        items.dedup();
+        for item in items {
+            inverted.entry(item).or_default().push(ci as u32);
+        }
+    }
+    let supporters = |cand: &ItemSeq| -> Vec<u32> {
+        let mut lists: Vec<&Vec<u32>> = Vec::new();
+        for element in cand {
+            for item in element {
+                match inverted.get(item) {
+                    Some(list) => lists.push(list),
+                    None => return Vec::new(),
+                }
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        lists.dedup_by(|a, b| std::ptr::eq(*a, *b));
+        let mut acc: Vec<u32> = lists[0].clone();
+        for list in &lists[1..] {
+            acc.retain(|c| list.binary_search(c).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    };
+
+    let mut k = 2usize;
+    loop {
+        if config.max_items.is_some_and(|cap| k > cap) {
+            break;
+        }
+        let prev: Vec<ItemSeq> = frequent.iter().map(|(s, _)| s.clone()).collect();
+        let candidates = if k == 2 {
+            let items: Vec<Item> = frequent_items.iter().map(|&(i, _)| i).collect();
+            generate_k2(&items)
+        } else {
+            generate_next(&prev, config.max_gap.is_some())
+        };
+        if candidates.is_empty() {
+            break;
+        }
+        let mut next: Vec<(ItemSeq, u64)> = Vec::new();
+        for cand in &candidates {
+            let potential = supporters(cand);
+            if (potential.len() as u64) < min_count {
+                continue;
+            }
+            let mut support = 0u64;
+            for &ci in &potential {
+                if contains_with_constraints(&data[ci as usize], cand, config) {
+                    support += 1;
+                }
+            }
+            if support >= min_count {
+                next.push((cand.clone(), support));
+            }
+        }
+        passes.push(GspPassStats {
+            k,
+            candidates: candidates.len() as u64,
+            frequent: next.len() as u64,
+        });
+        out.extend(next.iter().map(|(s, sup)| to_pattern(s, *sup)));
+        if next.is_empty() {
+            break;
+        }
+        frequent = next;
+        k += 1;
+    }
+    (finish(out), passes)
+}
+
+/// The maximal frequent sequences under the constraints — the 1995-style
+/// answer set. Note that under a max-gap constraint containment pruning
+/// uses the plain (unconstrained) containment relation, which is sound:
+/// it only removes sequences that are redundant presentations.
+pub fn gsp_maximal(db: &Database, min_support: MinSupport, config: &GspConfig) -> Vec<Pattern> {
+    let mut all = gsp(db, min_support, config);
+    all.sort_by(|a, b| {
+        (b.sequence.len(), b.sequence.total_items())
+            .cmp(&(a.sequence.len(), a.sequence.total_items()))
+    });
+    let mut kept: Vec<Pattern> = Vec::new();
+    'outer: for pat in all {
+        for k in &kept {
+            if sequence_contains(k.sequence.elements(), pat.sequence.elements()) {
+                continue 'outer;
+            }
+        }
+        kept.push(pat);
+    }
+    kept.sort_by(|a, b| {
+        (a.sequence.len(), a.sequence.elements()).cmp(&(b.sequence.len(), b.sequence.elements()))
+    });
+    kept
+}
+
+fn to_pattern(seq: &ItemSeq, support: u64) -> Pattern {
+    Pattern {
+        sequence: Sequence::new(seq.iter().cloned().map(Itemset::from_sorted).collect()),
+        support,
+    }
+}
+
+fn finish(mut out: Vec<Pattern>) -> Vec<Pattern> {
+    out.sort_by(|a, b| {
+        (a.sequence.len(), a.sequence.elements()).cmp(&(b.sequence.len(), b.sequence.elements()))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> Database {
+        Database::from_rows(vec![
+            (1, 1, vec![30]),
+            (1, 2, vec![90]),
+            (2, 1, vec![10, 20]),
+            (2, 2, vec![30]),
+            (2, 3, vec![40, 60, 70]),
+            (3, 1, vec![30, 50, 70]),
+            (4, 1, vec![30]),
+            (4, 2, vec![40, 70]),
+            (4, 3, vec![90]),
+            (5, 1, vec![90]),
+        ])
+    }
+
+    fn strings(patterns: &[Pattern]) -> Vec<String> {
+        patterns
+            .iter()
+            .map(|p| format!("{}:{}", p.sequence, p.support))
+            .collect()
+    }
+
+    #[test]
+    fn unconstrained_gsp_matches_the_1995_definition() {
+        let found = gsp(
+            &paper_db(),
+            MinSupport::Fraction(0.25),
+            &GspConfig::default(),
+        );
+        assert_eq!(
+            strings(&found),
+            vec![
+                "<(30)>:4",
+                "<(40)>:2",
+                "<(40 70)>:2",
+                "<(70)>:3",
+                "<(90)>:3",
+                "<(30)(40)>:2",
+                "<(30)(40 70)>:2",
+                "<(30)(70)>:2",
+                "<(30)(90)>:2",
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_matches_paper_answer() {
+        let found = gsp_maximal(
+            &paper_db(),
+            MinSupport::Fraction(0.25),
+            &GspConfig::default(),
+        );
+        assert_eq!(strings(&found), vec!["<(30)(40 70)>:2", "<(30)(90)>:2"]);
+    }
+
+    #[test]
+    fn max_gap_kills_distant_patterns() {
+        // Customer 4 buys (30) at t=1 and (90) at t=3; customer 1 at t=1,2.
+        // With max_gap = 1 only customer 1 supports ⟨(30)(90)⟩ → below 25%×5=2.
+        let found = gsp(
+            &paper_db(),
+            MinSupport::Fraction(0.25),
+            &GspConfig::default().max_gap(1),
+        );
+        assert!(!strings(&found).iter().any(|s| s.starts_with("<(30)(90)>")));
+        // 1-sequences are unaffected.
+        assert!(strings(&found).contains(&"<(30)>:4".to_string()));
+    }
+
+    #[test]
+    fn min_gap_requires_spacing() {
+        let db = Database::from_rows(vec![
+            (1, 0, vec![1]),
+            (1, 1, vec![2]),
+            (2, 0, vec![1]),
+            (2, 10, vec![2]),
+        ]);
+        // min_gap 5: only customer 2's spacing exceeds it.
+        let found = gsp(&db, MinSupport::Count(2), &GspConfig::default().min_gap(5));
+        assert!(!strings(&found).iter().any(|s| s.starts_with("<(1)(2)>")));
+        let loose = gsp(&db, MinSupport::Count(2), &GspConfig::default());
+        assert!(strings(&loose).contains(&"<(1)(2)>:2".to_string()));
+    }
+
+    #[test]
+    fn window_assembles_elements_across_transactions() {
+        // Items 1 and 2 bought a day apart by both customers: with a
+        // 1-unit window ⟨(1 2)⟩ becomes frequent although no single
+        // transaction contains both.
+        let db = Database::from_rows(vec![
+            (1, 0, vec![1]),
+            (1, 1, vec![2]),
+            (2, 5, vec![1]),
+            (2, 6, vec![2]),
+        ]);
+        let plain = gsp(&db, MinSupport::Count(2), &GspConfig::default());
+        assert!(!strings(&plain).contains(&"<(1 2)>:2".to_string()));
+        let windowed = gsp(&db, MinSupport::Count(2), &GspConfig::default().window(1));
+        assert!(strings(&windowed).contains(&"<(1 2)>:2".to_string()));
+    }
+
+    #[test]
+    fn max_items_caps_patterns() {
+        let found = gsp(
+            &paper_db(),
+            MinSupport::Fraction(0.25),
+            &GspConfig::default().max_items(1),
+        );
+        assert!(found.iter().all(|p| p.sequence.total_items() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_gap must be non-negative")]
+    fn negative_min_gap_rejected() {
+        let _ = gsp(
+            &paper_db(),
+            MinSupport::Count(1),
+            &GspConfig::default().min_gap(-1),
+        );
+    }
+
+    #[test]
+    fn empty_database() {
+        let found = gsp(&Database::default(), MinSupport::Count(1), &GspConfig::default());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn pass_stats_track_item_lengths() {
+        let (_, passes) = gsp_with_stats(
+            &paper_db(),
+            MinSupport::Fraction(0.25),
+            &GspConfig::default(),
+        );
+        assert_eq!(passes[0].k, 1);
+        assert_eq!(passes[0].frequent, 4); // items 30, 40, 70, 90
+        assert_eq!(passes[1].k, 2);
+        // k=2 candidates: 4·4 two-element + C(4,2) one-element = 22.
+        assert_eq!(passes[1].candidates, 22);
+    }
+}

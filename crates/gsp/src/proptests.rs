@@ -1,0 +1,138 @@
+//! Property tests: the memoized window-DFS matcher against a brute-force
+//! oracle that enumerates **every** admissible window assignment.
+
+use proptest::prelude::*;
+
+use crate::candidate::ItemSeq;
+use crate::contains::{contains_with_constraints, DataSequence};
+use crate::GspConfig;
+use seqpat_core::Item;
+
+fn data_sequence(rows: Vec<(i64, Vec<Item>)>) -> DataSequence {
+    // Route through the public constructor to keep invariants (strictly
+    // increasing times) enforced by the same code the miner uses.
+    let rows: Vec<(u64, i64, Vec<Item>)> =
+        rows.into_iter().map(|(t, items)| (1, t, items)).collect();
+    let db = seqpat_core::Database::from_rows(rows);
+    db.customers()
+        .first()
+        .map(DataSequence::from)
+        .unwrap_or_else(|| DataSequence::from(&seqpat_core::CustomerSequence {
+            customer_id: 1,
+            transactions: vec![],
+        }))
+}
+
+/// Exhaustive oracle: try every `(l_i, u_i)` combination.
+fn oracle(d: &DataSequence, pattern: &ItemSeq, config: &GspConfig) -> bool {
+    fn covers(d: &DataSequence, element: &[Item], l: usize, u: usize) -> bool {
+        element.iter().all(|item| {
+            (l..=u).any(|k| d.transactions[k].1.binary_search(item).is_ok())
+        })
+    }
+    fn rec(
+        d: &DataSequence,
+        pattern: &ItemSeq,
+        config: &GspConfig,
+        i: usize,
+        prev: Option<(usize, usize)>,
+    ) -> bool {
+        if i == pattern.len() {
+            return true;
+        }
+        let m = d.transactions.len();
+        let lo = prev.map_or(0, |(_, u)| u + 1);
+        for l in lo..m {
+            if let Some((_, prev_u)) = prev {
+                if d.transactions[l].0 - d.transactions[prev_u].0 <= config.min_gap {
+                    continue;
+                }
+            }
+            for u in l..m {
+                if d.transactions[u].0 - d.transactions[l].0 > config.window {
+                    break;
+                }
+                if let (Some(max_gap), Some((prev_l, _))) = (config.max_gap, prev) {
+                    if d.transactions[u].0 - d.transactions[prev_l].0 > max_gap {
+                        break;
+                    }
+                }
+                if covers(d, &pattern[i], l, u)
+                    && rec(d, pattern, config, i + 1, Some((l, u)))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    if pattern.is_empty() {
+        return true;
+    }
+    rec(d, pattern, config, 0, None)
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, Vec<Item>)>> {
+    let transaction = proptest::collection::btree_set(0u32..5, 1..=3)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+    proptest::collection::vec((0i64..20, transaction), 1..=7)
+}
+
+fn arb_pattern() -> impl Strategy<Value = ItemSeq> {
+    let element = proptest::collection::btree_set(0u32..5, 1..=2)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+    proptest::collection::vec(element, 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matcher_agrees_with_exhaustive_oracle(
+        rows in arb_rows(),
+        pattern in arb_pattern(),
+        min_gap in 0i64..4,
+        max_gap in proptest::option::of(2i64..12),
+        window in 0i64..4,
+    ) {
+        let mut config = GspConfig::default().min_gap(min_gap).window(window);
+        if let Some(g) = max_gap {
+            if g >= min_gap {
+                config = config.max_gap(g);
+            }
+        }
+        let d = data_sequence(rows);
+        prop_assert_eq!(
+            contains_with_constraints(&d, &pattern, &config),
+            oracle(&d, &pattern, &config),
+            "pattern {:?} on {:?} with {:?}",
+            pattern,
+            d,
+            config
+        );
+    }
+
+    #[test]
+    fn unconstrained_matcher_equals_plain_containment(
+        rows in arb_rows(),
+        pattern in arb_pattern(),
+    ) {
+        let d = data_sequence(rows);
+        let plain = {
+            let hay: Vec<seqpat_core::Itemset> = d
+                .transactions
+                .iter()
+                .map(|(_, items)| seqpat_core::Itemset::new(items.clone()))
+                .collect();
+            let needle: Vec<seqpat_core::Itemset> = pattern
+                .iter()
+                .map(|e| seqpat_core::Itemset::new(e.clone()))
+                .collect();
+            seqpat_core::contain::sequence_contains(&hay, &needle)
+        };
+        prop_assert_eq!(
+            contains_with_constraints(&d, &pattern, &GspConfig::default()),
+            plain
+        );
+    }
+}

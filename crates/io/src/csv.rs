@@ -1,0 +1,153 @@
+//! Raw transaction-row format — the input shape of the paper's sort phase.
+//!
+//! One transaction per line: `customer_id,transaction_time,item item item`.
+//! A header line `customer,time,items` is written and tolerated on read.
+//! Unlike SPMF, this format preserves customer ids and transaction times,
+//! and rows may appear in any order (the sort phase handles ordering) — so
+//! it round-trips the paper's data model exactly.
+
+use std::io::{BufRead, Write};
+
+use crate::error::IoError;
+use seqpat_core::{Database, Item};
+
+/// Reads transaction rows and runs the sort phase.
+pub fn read(reader: impl BufRead) -> Result<Database, IoError> {
+    let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if lineno == 0 && trimmed.eq_ignore_ascii_case("customer,time,items") {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, ',');
+        let customer = parse_field(parts.next(), lineno, "customer id")?;
+        let time = parse_field(parts.next(), lineno, "transaction time")?;
+        let items_field = parts
+            .next()
+            .ok_or_else(|| IoError::parse(lineno + 1, "missing items field"))?;
+        let mut items: Vec<Item> = Vec::new();
+        for token in items_field.split_ascii_whitespace() {
+            items.push(token.parse().map_err(|_| {
+                IoError::parse(lineno + 1, format!("invalid item token {token:?}"))
+            })?);
+        }
+        if items.is_empty() {
+            return Err(IoError::parse(lineno + 1, "transaction with no items"));
+        }
+        rows.push((customer, time, items));
+    }
+    Ok(Database::from_rows(rows))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, IoError> {
+    field
+        .ok_or_else(|| IoError::parse(lineno + 1, format!("missing {what}")))?
+        .trim()
+        .parse()
+        .map_err(|_| IoError::parse(lineno + 1, format!("invalid {what}")))
+}
+
+/// Parses a database from a CSV string.
+pub fn read_str(content: &str) -> Result<Database, IoError> {
+    read(content.as_bytes())
+}
+
+/// Reads a database from a CSV file.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Database, IoError> {
+    let file = std::fs::File::open(path)?;
+    read(std::io::BufReader::new(file))
+}
+
+/// Writes the database as transaction rows (header included).
+pub fn write(db: &Database, mut writer: impl Write) -> Result<(), IoError> {
+    writeln!(writer, "customer,time,items")?;
+    for customer in db.customers() {
+        for transaction in &customer.transactions {
+            let items: Vec<String> = transaction
+                .items
+                .items()
+                .iter()
+                .map(|i| i.to_string())
+                .collect();
+            writeln!(
+                writer,
+                "{},{},{}",
+                customer.customer_id,
+                transaction.time,
+                items.join(" ")
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a database to a CSV string.
+pub fn write_string(db: &Database) -> String {
+    let mut buf = Vec::new();
+    write(db, &mut buf).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("CSV output is ASCII")
+}
+
+/// Writes a database to a CSV file.
+pub fn write_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write(db, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = Database::from_rows(vec![
+            (7, 10, vec![1, 2]),
+            (7, 20, vec![3]),
+            (9, -5, vec![4]),
+        ]);
+        let text = write_string(&db);
+        let again = read_str(&text).unwrap();
+        assert_eq!(db, again);
+    }
+
+    #[test]
+    fn rows_in_any_order_are_sorted() {
+        let text = "customer,time,items\n2,1,9\n1,2,5\n1,1,4\n";
+        let db = read_str(text).unwrap();
+        assert_eq!(db.customers()[0].customer_id, 1);
+        assert_eq!(db.customers()[0].transactions[0].items.items(), &[4]);
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let db = read_str("customer,time,items\n# note\n1,1,2 3\n").unwrap();
+        assert_eq!(db.num_customers(), 1);
+    }
+
+    #[test]
+    fn missing_items_field_rejected() {
+        assert!(read_str("1,1\n").is_err());
+    }
+
+    #[test]
+    fn invalid_number_rejected_with_line() {
+        let err = read_str("1,1,2\nx,1,2\n").unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_items_rejected() {
+        assert!(read_str("1,1, \n").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for dataset parsing.
+
+use std::fmt;
+
+/// Errors produced by the readers in this crate.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with line number (1-based) and description.
+    Parse {
+        /// Line where the problem was found.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl IoError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        IoError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IoError::parse(3, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let io = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let io = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        assert!(IoError::parse(1, "x").source().is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! # seqpat-io — dataset input/output.
+//!
+//! Two text formats plus dataset statistics:
+//!
+//! * [`spmf`] — the de-facto standard sequence-database format of the SPMF
+//!   library (the repository the paper's successors are benchmarked
+//!   against): one customer sequence per line, itemsets separated by `-1`,
+//!   line terminated by `-2`.
+//! * [`csv`] — raw transaction rows `customer,time,items…`, the shape the
+//!   paper's sort phase consumes.
+//! * [`stats`] — summary statistics used by the experiment harness's
+//!   dataset table (experiment E0).
+
+pub mod csv;
+pub mod error;
+pub mod spmf;
+pub mod stats;
+
+pub use error::IoError;
+pub use stats::DatasetStats;

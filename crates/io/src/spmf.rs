@@ -1,0 +1,199 @@
+//! The SPMF sequence-database text format.
+//!
+//! One customer sequence per line. Itemsets are runs of ascending positive
+//! integers; `-1` closes an itemset; `-2` closes the line:
+//!
+//! ```text
+//! 30 -1 90 -1 -2
+//! 10 20 -1 30 -1 40 60 70 -1 -2
+//! ```
+//!
+//! Lines starting with `#`, `%` or `@` are comments/metadata (SPMF uses
+//! `@CONVERTED_FROM…` headers) and are skipped. Customer ids are assigned
+//! sequentially from 0 in line order; transaction times are element
+//! positions — the format does not carry either.
+
+use std::io::{BufRead, Write};
+
+use crate::error::IoError;
+use seqpat_core::{Database, Item};
+
+/// Reads a database from SPMF text.
+pub fn read(reader: impl BufRead) -> Result<Database, IoError> {
+    let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
+    let mut customer = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(['#', '%', '@']) {
+            continue;
+        }
+        let mut time = 0i64;
+        let mut current: Vec<Item> = Vec::new();
+        let mut terminated = false;
+        for token in trimmed.split_ascii_whitespace() {
+            if terminated {
+                return Err(IoError::parse(lineno + 1, "content after -2 terminator"));
+            }
+            match token {
+                "-1" => {
+                    if current.is_empty() {
+                        return Err(IoError::parse(lineno + 1, "empty itemset before -1"));
+                    }
+                    rows.push((customer, time, std::mem::take(&mut current)));
+                    time += 1;
+                }
+                "-2" => {
+                    if !current.is_empty() {
+                        return Err(IoError::parse(
+                            lineno + 1,
+                            "itemset not closed with -1 before -2",
+                        ));
+                    }
+                    terminated = true;
+                }
+                item => {
+                    let value: Item = item.parse().map_err(|_| {
+                        IoError::parse(lineno + 1, format!("invalid item token {item:?}"))
+                    })?;
+                    current.push(value);
+                }
+            }
+        }
+        if !terminated {
+            return Err(IoError::parse(lineno + 1, "missing -2 terminator"));
+        }
+        customer += 1;
+    }
+    Ok(Database::from_rows(rows))
+}
+
+/// Parses a database from an SPMF-format string.
+pub fn read_str(content: &str) -> Result<Database, IoError> {
+    read(content.as_bytes())
+}
+
+/// Reads a database from an SPMF file on disk.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Database, IoError> {
+    let file = std::fs::File::open(path)?;
+    read(std::io::BufReader::new(file))
+}
+
+/// Writes a database in SPMF format. Customer ids and times are not
+/// preserved (the format has no room for them); order is.
+pub fn write(db: &Database, mut writer: impl Write) -> Result<(), IoError> {
+    for customer in db.customers() {
+        let mut line = String::new();
+        for transaction in &customer.transactions {
+            for item in transaction.items.items() {
+                line.push_str(&item.to_string());
+                line.push(' ');
+            }
+            line.push_str("-1 ");
+        }
+        line.push_str("-2");
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Serializes a database to an SPMF-format string.
+pub fn write_string(db: &Database) -> String {
+    let mut buf = Vec::new();
+    write(db, &mut buf).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("SPMF output is ASCII")
+}
+
+/// Writes a database to an SPMF file on disk.
+pub fn write_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write(db, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# paper example
+30 -1 90 -1 -2
+10 20 -1 30 -1 40 60 70 -1 -2
+30 50 70 -1 -2
+30 -1 40 70 -1 90 -1 -2
+90 -1 -2
+";
+
+    #[test]
+    fn reads_paper_example() {
+        let db = read_str(SAMPLE).unwrap();
+        assert_eq!(db.num_customers(), 5);
+        assert_eq!(db.num_transactions(), 10);
+        let c2 = &db.customers()[1];
+        assert_eq!(c2.transactions[0].items.items(), &[10, 20]);
+        assert_eq!(c2.transactions[2].items.items(), &[40, 60, 70]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let db = read_str(SAMPLE).unwrap();
+        let text = write_string(&db);
+        let again = read_str(&text).unwrap();
+        assert_eq!(db.num_customers(), again.num_customers());
+        for (a, b) in db.customers().iter().zip(again.customers()) {
+            let xs: Vec<_> = a.transactions.iter().map(|t| t.items.clone()).collect();
+            let ys: Vec<_> = b.transactions.iter().map(|t| t.items.clone()).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let db = read_str("@META x\n% c\n\n1 -1 -2\n").unwrap();
+        assert_eq!(db.num_customers(), 1);
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let err = read_str("1 -1\n").unwrap_err();
+        assert!(err.to_string().contains("missing -2"));
+    }
+
+    #[test]
+    fn unclosed_itemset_rejected() {
+        let err = read_str("1 2 -2\n").unwrap_err();
+        assert!(err.to_string().contains("not closed"));
+    }
+
+    #[test]
+    fn content_after_terminator_rejected() {
+        let err = read_str("1 -1 -2 3 -1 -2\n").unwrap_err();
+        assert!(err.to_string().contains("after -2"));
+    }
+
+    #[test]
+    fn bad_token_rejected_with_line_number() {
+        let err = read_str("1 -1 -2\nx -1 -2\n").unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_itemset_rejected() {
+        let err = read_str("-1 -2\n").unwrap_err();
+        assert!(err.to_string().contains("empty itemset"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = read_str(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("seqpat_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.spmf");
+        write_file(&db, &path).unwrap();
+        let again = read_file(&path).unwrap();
+        assert_eq!(db.num_transactions(), again.num_transactions());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset summary statistics — the rows of the paper's dataset table.
+
+use seqpat_core::Database;
+
+/// Summary statistics of a customer-sequence database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of customers (`|D|`).
+    pub customers: usize,
+    /// Total transactions.
+    pub transactions: usize,
+    /// Total item occurrences.
+    pub item_occurrences: usize,
+    /// Distinct items appearing anywhere.
+    pub distinct_items: usize,
+    /// Average transactions per customer (the realized `|C|`).
+    pub avg_transactions_per_customer: f64,
+    /// Average items per transaction (the realized `|T|`).
+    pub avg_items_per_transaction: f64,
+    /// Size of the database in the paper's accounting: one 32-bit word per
+    /// item occurrence plus one per transaction (customer, time) pair —
+    /// reported in megabytes like the paper's dataset table.
+    pub size_mb: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics for `db`.
+    pub fn compute(db: &Database) -> Self {
+        let customers = db.num_customers();
+        let transactions = db.num_transactions();
+        let item_occurrences = db.num_item_occurrences();
+        let mut items: Vec<u32> = db
+            .customers()
+            .iter()
+            .flat_map(|c| c.transactions.iter())
+            .flat_map(|t| t.items.items().iter().copied())
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let bytes = 4 * (item_occurrences + 2 * transactions);
+        Self {
+            customers,
+            transactions,
+            item_occurrences,
+            distinct_items: items.len(),
+            avg_transactions_per_customer: ratio(transactions, customers),
+            avg_items_per_transaction: ratio(item_occurrences, transactions),
+            size_mb: bytes as f64 / (1024.0 * 1024.0),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|D|={} transactions={} avg|C|={:.2} avg|T|={:.2} items={} size={:.1}MB",
+            self.customers,
+            self.transactions,
+            self.avg_transactions_per_customer,
+            self.avg_items_per_transaction,
+            self.distinct_items,
+            self.size_mb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_stats() {
+        let db = Database::from_rows(vec![
+            (1, 1, vec![30]),
+            (1, 2, vec![90]),
+            (2, 1, vec![10, 20]),
+            (2, 2, vec![30]),
+            (2, 3, vec![40, 60, 70]),
+            (3, 1, vec![30, 50, 70]),
+            (4, 1, vec![30]),
+            (4, 2, vec![40, 70]),
+            (4, 3, vec![90]),
+            (5, 1, vec![90]),
+        ]);
+        let stats = DatasetStats::compute(&db);
+        assert_eq!(stats.customers, 5);
+        assert_eq!(stats.transactions, 10);
+        assert_eq!(stats.item_occurrences, 16);
+        assert_eq!(stats.distinct_items, 8);
+        assert!((stats.avg_transactions_per_customer - 2.0).abs() < 1e-12);
+        assert!((stats.avg_items_per_transaction - 1.6).abs() < 1e-12);
+        assert!(stats.size_mb > 0.0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let stats = DatasetStats::compute(&Database::default());
+        assert_eq!(stats.customers, 0);
+        assert_eq!(stats.avg_transactions_per_customer, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let db = Database::from_rows(vec![(1, 1, vec![5])]);
+        let s = DatasetStats::compute(&db).to_string();
+        assert!(s.contains("|D|=1"));
+    }
+
+    #[test]
+    fn generated_dataset_stats_match_params() {
+        use seqpat_datagen::{generate, GenParams};
+        let db = generate(
+            &GenParams::default().customers(300).items(500).corpus_size(50, 200),
+            17,
+        );
+        let stats = DatasetStats::compute(&db);
+        assert_eq!(stats.customers, 300);
+        assert!((stats.avg_transactions_per_customer - 10.0).abs() < 1.5);
+    }
+}

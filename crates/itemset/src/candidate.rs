@@ -1,0 +1,138 @@
+//! Apriori candidate generation for itemsets (`apriori-gen` of VLDB 1994).
+//!
+//! Two steps, exactly as published:
+//!
+//! 1. **Join**: `L_{k-1} ⋈ L_{k-1}` — two large `(k-1)`-itemsets sharing
+//!    their first `k-2` items, with `p.last < q.last`, produce the candidate
+//!    `p ∪ {q.last}`.
+//! 2. **Prune**: delete candidates with any `(k-1)`-subset not in `L_{k-1}`.
+//!
+//! The input must be the complete, lexicographically sorted list of large
+//! `(k-1)`-itemsets (each itself sorted ascending); the driver maintains that
+//! invariant. The output comes back lexicographically sorted as well, which
+//! downstream counting relies on for reproducible candidate ids.
+
+use crate::Item;
+
+/// Generates the size-`k` candidates from the large `(k-1)`-itemsets.
+///
+/// `prev` must be sorted lexicographically; every element must be sorted
+/// ascending and of equal length. Returns candidates in lexicographic order.
+pub fn apriori_gen(prev: &[&[Item]]) -> Vec<Vec<Item>> {
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let k_minus_1 = prev[0].len();
+    debug_assert!(prev.iter().all(|s| s.len() == k_minus_1));
+    debug_assert!(is_lex_sorted(prev));
+
+    let mut candidates = Vec::new();
+    // Join step. Because `prev` is lexicographically sorted, all itemsets
+    // sharing a (k-2)-prefix are contiguous: join within each block.
+    let mut block_start = 0;
+    while block_start < prev.len() {
+        let prefix = &prev[block_start][..k_minus_1 - 1];
+        let mut block_end = block_start + 1;
+        while block_end < prev.len() && &prev[block_end][..k_minus_1 - 1] == prefix {
+            block_end += 1;
+        }
+        for i in block_start..block_end {
+            for j in (i + 1)..block_end {
+                // p.last < q.last holds because the block is sorted.
+                let mut cand = prev[i].to_vec();
+                cand.push(prev[j][k_minus_1 - 1]);
+                if all_subsets_large(&cand, prev) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        block_start = block_end;
+    }
+    candidates
+}
+
+/// Prune test: every `(k-1)`-subset of `cand` is present in `prev`.
+///
+/// The two subsets obtained by dropping one of the last two items are the
+/// join operands themselves, so only the remaining `k-2` subsets need
+/// checking — but we check all of them; the binary search is cheap and the
+/// uniform loop is harder to get wrong.
+fn all_subsets_large(cand: &[Item], prev: &[&[Item]]) -> bool {
+    let mut subset = Vec::with_capacity(cand.len() - 1);
+    for drop in 0..cand.len() {
+        subset.clear();
+        subset.extend_from_slice(&cand[..drop]);
+        subset.extend_from_slice(&cand[drop + 1..]);
+        if prev.binary_search_by(|s| s.iter().cmp(subset.iter())).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+fn is_lex_sorted(sets: &[&[Item]]) -> bool {
+    sets.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(prev: Vec<Vec<Item>>) -> Vec<Vec<Item>> {
+        let refs: Vec<&[Item]> = prev.iter().map(|s| s.as_slice()).collect();
+        apriori_gen(&refs)
+    }
+
+    #[test]
+    fn paper_example_vldb94() {
+        // L3 = {123, 124, 134, 135, 234}; join gives {1234, 1345};
+        // prune removes 1345 because 145 is not in L3. (VLDB'94 §2.1.1.)
+        let prev = vec![
+            vec![1, 2, 3],
+            vec![1, 2, 4],
+            vec![1, 3, 4],
+            vec![1, 3, 5],
+            vec![2, 3, 4],
+        ];
+        assert_eq!(gen(prev), vec![vec![1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn pairs_from_singletons() {
+        let prev = vec![vec![1], vec![2], vec![3]];
+        assert_eq!(
+            gen(prev),
+            vec![vec![1, 2], vec![1, 3], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(gen(vec![]).is_empty());
+    }
+
+    #[test]
+    fn no_joinable_prefix_means_no_candidates() {
+        let prev = vec![vec![1, 2], vec![3, 4]];
+        assert!(gen(prev).is_empty());
+    }
+
+    #[test]
+    fn output_is_lexicographically_sorted() {
+        let prev = vec![vec![1], vec![2], vec![3], vec![4], vec![9]];
+        let out = gen(prev);
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn candidates_never_contain_duplicates() {
+        let prev = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        for cand in gen(prev) {
+            let mut d = cand.clone();
+            d.dedup();
+            assert_eq!(d, cand);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Support counting at customer granularity.
+//!
+//! The litemset phase of the ICDE'95 pipeline differs from market-basket
+//! Apriori in exactly one way: an itemset's support is the number of
+//! **customers** with at least one containing transaction, not the number of
+//! containing transactions. Both counters here implement that semantic —
+//! one by direct subset tests, one through the candidate [`HashTree`] — and
+//! are interchangeable (a test in `lib.rs` pins their agreement).
+
+use crate::hash_tree::{HashTree, VisitStamps};
+use crate::{AprioriConfig, CustomerTransactions, Item, LargeItemset};
+
+/// Counts every single item per customer and returns the large 1-itemsets,
+/// sorted by item id (which is lexicographic order for singletons).
+pub fn count_single_items(
+    customers: &[CustomerTransactions],
+    min_count: u64,
+) -> Vec<LargeItemset> {
+    // Item ids may be sparse; a map keeps this robust for arbitrary inputs.
+    let mut counts: std::collections::HashMap<Item, u64> = std::collections::HashMap::new();
+    let mut seen_this_customer: Vec<Item> = Vec::new();
+    for customer in customers {
+        seen_this_customer.clear();
+        for transaction in customer {
+            seen_this_customer.extend_from_slice(transaction);
+        }
+        seen_this_customer.sort_unstable();
+        seen_this_customer.dedup();
+        for &item in &seen_this_customer {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut large: Vec<LargeItemset> = counts
+        .into_iter()
+        .filter(|&(_, support)| support >= min_count)
+        .map(|(item, support)| LargeItemset {
+            items: vec![item],
+            support,
+        })
+        .collect();
+    large.sort_by(|a, b| a.items.cmp(&b.items));
+    large
+}
+
+/// Number of distinct items across the database (the implicit candidate
+/// count of pass 1).
+pub fn distinct_item_count(customers: &[CustomerTransactions]) -> u64 {
+    let mut items: Vec<Item> = customers
+        .iter()
+        .flat_map(|c| c.iter())
+        .flat_map(|t| t.iter().copied())
+        .collect();
+    items.sort_unstable();
+    items.dedup();
+    items.len() as u64
+}
+
+/// Counts candidate supports by brute-force subset tests. Preferable for
+/// tiny candidate sets where hash-tree construction does not pay off.
+pub fn count_candidates_direct(
+    customers: &[CustomerTransactions],
+    candidates: &[Vec<Item>],
+) -> Vec<u64> {
+    let mut supports = vec![0u64; candidates.len()];
+    let mut hit = vec![false; candidates.len()];
+    for customer in customers {
+        hit.iter_mut().for_each(|h| *h = false);
+        for transaction in customer {
+            for (idx, cand) in candidates.iter().enumerate() {
+                if !hit[idx] && sorted_subset(cand, transaction) {
+                    hit[idx] = true;
+                }
+            }
+        }
+        for (idx, &h) in hit.iter().enumerate() {
+            if h {
+                supports[idx] += 1;
+            }
+        }
+    }
+    supports
+}
+
+/// Counts candidate supports through the hash tree, deduplicating per
+/// customer with epoch stamps.
+pub fn count_candidates_hash_tree(
+    customers: &[CustomerTransactions],
+    candidates: &[Vec<Item>],
+    config: &AprioriConfig,
+) -> Vec<u64> {
+    let tree = HashTree::build(
+        candidates,
+        config.hash_tree_fanout,
+        config.hash_tree_leaf_capacity,
+    );
+    let mut supports = vec![0u64; candidates.len()];
+    let mut stamps = VisitStamps::new(candidates.len());
+    for customer in customers {
+        stamps.next_epoch();
+        for transaction in customer {
+            tree.for_each_contained(transaction, candidates, &mut |id| {
+                if stamps.first_visit(id) {
+                    supports[id as usize] += 1;
+                }
+            });
+        }
+    }
+    supports
+}
+
+/// Pass-2 fast path: counts every co-occurring pair of large items
+/// directly, one customer scan, no candidate materialization. Returns the
+/// implicit candidate count (`C(|L1|, 2)`, what `apriori_gen` would emit)
+/// and the large 2-itemsets in lexicographic order.
+pub fn count_pairs_direct(
+    customers: &[CustomerTransactions],
+    l1: &[LargeItemset],
+    min_count: u64,
+) -> (u64, Vec<LargeItemset>) {
+    let n = l1.len();
+    let n_candidates = (n as u64) * (n as u64 - 1) / 2;
+    // Item → L1-index map: dense vector for compact universes (branch-free
+    // inner loop), binary search over the sorted L1 for sparse/huge item
+    // ids (a dense table over ids near u32::MAX would be gigabytes).
+    const DENSE_UNIVERSE_LIMIT: usize = 1 << 22;
+    let max_item = l1.iter().map(|l| l.items[0]).max().unwrap_or(0) as usize;
+    let dense: Option<Vec<u32>> = if max_item < DENSE_UNIVERSE_LIMIT {
+        let mut index = vec![u32::MAX; max_item + 1];
+        for (i, l) in l1.iter().enumerate() {
+            index[l.items[0] as usize] = i as u32;
+        }
+        Some(index)
+    } else {
+        None
+    };
+    let lookup = |item: Item| -> Option<u32> {
+        match &dense {
+            Some(index) => index
+                .get(item as usize)
+                .copied()
+                .filter(|&i| i != u32::MAX),
+            None => l1
+                .binary_search_by(|l| l.items[0].cmp(&item))
+                .ok()
+                .map(|i| i as u32),
+        }
+    };
+
+    // Triangular count matrix for (i < j).
+    let mut counts = vec![0u32; n * (n.saturating_sub(1)) / 2 + 1];
+    let tri = |i: usize, j: usize| -> usize {
+        debug_assert!(i < j);
+        j * (j - 1) / 2 + i
+    };
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut mapped: Vec<u32> = Vec::new();
+    for customer in customers {
+        pairs.clear();
+        for transaction in customer {
+            mapped.clear();
+            mapped.extend(transaction.iter().filter_map(|&it| lookup(it)));
+            for (a, &i) in mapped.iter().enumerate() {
+                for &j in &mapped[a + 1..] {
+                    // Items are sorted but L1 indices follow item order, so
+                    // i < j holds; keep the debug check honest anyway.
+                    pairs.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(i, j) in &pairs {
+            counts[tri(i as usize, j as usize)] += 1;
+        }
+    }
+
+    let mut large = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let support = counts[tri(i, j)] as u64;
+            if support >= min_count {
+                large.push(LargeItemset {
+                    items: vec![l1[i].items[0], l1[j].items[0]],
+                    support,
+                });
+            }
+        }
+    }
+    large.sort_by(|a, b| a.items.cmp(&b.items));
+    (n_candidates, large)
+}
+
+/// `a ⊆ b` for sorted, duplicate-free slices.
+pub fn sorted_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut bi = 0;
+    'outer: for &x in a {
+        while bi < b.len() {
+            match b[bi].cmp(&x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_subset_basics() {
+        assert!(sorted_subset(&[], &[]));
+        assert!(sorted_subset(&[], &[1]));
+        assert!(sorted_subset(&[1], &[1]));
+        assert!(sorted_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1], &[]));
+        assert!(!sorted_subset(&[0], &[1, 2]));
+    }
+
+    #[test]
+    fn single_items_sorted_and_thresholded() {
+        let customers = vec![
+            vec![vec![5, 9]],
+            vec![vec![5], vec![9]],
+            vec![vec![9]],
+        ];
+        let large = count_single_items(&customers, 2);
+        assert_eq!(large.len(), 2);
+        assert_eq!(large[0].items, vec![5]);
+        assert_eq!(large[0].support, 2);
+        assert_eq!(large[1].items, vec![9]);
+        assert_eq!(large[1].support, 3);
+    }
+
+    #[test]
+    fn distinct_items() {
+        let customers = vec![vec![vec![1, 2]], vec![vec![2, 3], vec![1]]];
+        assert_eq!(distinct_item_count(&customers), 3);
+    }
+
+    #[test]
+    fn direct_counting_dedupes_per_customer() {
+        let customers = vec![vec![vec![1, 2], vec![1, 2], vec![1, 2]]];
+        let supports = count_candidates_direct(&customers, &[vec![1, 2]]);
+        assert_eq!(supports, vec![1]);
+    }
+
+    #[test]
+    fn pair_fast_path_matches_generic_counting() {
+        let customers: Vec<CustomerTransactions> = vec![
+            vec![vec![1, 2, 3], vec![2, 5]],
+            vec![vec![1, 2], vec![1, 2]],
+            vec![vec![3, 5]],
+        ];
+        let l1: Vec<LargeItemset> = [1u32, 2, 3, 5]
+            .iter()
+            .map(|&i| LargeItemset {
+                items: vec![i],
+                support: 0,
+            })
+            .collect();
+        let (n_candidates, l2) = count_pairs_direct(&customers, &l1, 1);
+        assert_eq!(n_candidates, 6);
+        let all_pairs: Vec<Vec<Item>> = vec![
+            vec![1, 2],
+            vec![1, 3],
+            vec![1, 5],
+            vec![2, 3],
+            vec![2, 5],
+            vec![3, 5],
+        ];
+        let generic = count_candidates_direct(&customers, &all_pairs);
+        let expected: Vec<LargeItemset> = all_pairs
+            .into_iter()
+            .zip(generic)
+            .filter(|&(_, s)| s >= 1)
+            .map(|(items, support)| LargeItemset { items, support })
+            .collect();
+        assert_eq!(l2, expected);
+    }
+
+    #[test]
+    fn pair_fast_path_dedupes_per_customer() {
+        let customers: Vec<CustomerTransactions> = vec![vec![vec![1, 2], vec![1, 2], vec![1, 2]]];
+        let l1: Vec<LargeItemset> = [1u32, 2]
+            .iter()
+            .map(|&i| LargeItemset {
+                items: vec![i],
+                support: 0,
+            })
+            .collect();
+        let (_, l2) = count_pairs_direct(&customers, &l1, 1);
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].support, 1);
+    }
+
+    #[test]
+    fn hash_tree_counting_matches_direct_on_random_input() {
+        let mut customers: Vec<CustomerTransactions> = Vec::new();
+        let mut x: u32 = 41;
+        for _ in 0..25 {
+            let mut txs = Vec::new();
+            for _ in 0..4 {
+                let mut t: Vec<Item> = Vec::new();
+                for _ in 0..5 {
+                    x = x.wrapping_mul(48271) % 0x7fffffff;
+                    t.push(x % 15);
+                }
+                t.sort_unstable();
+                t.dedup();
+                txs.push(t);
+            }
+            customers.push(txs);
+        }
+        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        for a in 0..14u32 {
+            for b in (a + 1)..15 {
+                candidates.push(vec![a, b]);
+            }
+        }
+        let direct = count_candidates_direct(&customers, &candidates);
+        let tree = count_candidates_hash_tree(&customers, &candidates, &AprioriConfig::default());
+        assert_eq!(direct, tree);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: the Apriori miner against a brute-force oracle on
+//! arbitrary small inputs.
+
+use proptest::prelude::*;
+
+use crate::{mine_large_itemsets, AprioriConfig, CustomerTransactions, Item, LargeItemset};
+
+/// Oracle: enumerate every subset (≤ 4 items) of every transaction and
+/// count customer support directly.
+fn oracle(customers: &[CustomerTransactions], min_count: u64) -> Vec<LargeItemset> {
+    use std::collections::BTreeSet;
+    let mut universe: BTreeSet<Vec<Item>> = BTreeSet::new();
+    fn subsets(items: &[Item], cap: usize, current: &mut Vec<Item>, out: &mut BTreeSet<Vec<Item>>, start: usize) {
+        for i in start..items.len() {
+            current.push(items[i]);
+            out.insert(current.clone());
+            if current.len() < cap {
+                subsets(items, cap, current, out, i + 1);
+            }
+            current.pop();
+        }
+    }
+    for customer in customers {
+        for t in customer {
+            subsets(t, 4, &mut Vec::new(), &mut universe, 0);
+        }
+    }
+    let mut large: Vec<LargeItemset> = Vec::new();
+    for items in universe {
+        let support = customers
+            .iter()
+            .filter(|c| {
+                c.iter()
+                    .any(|t| items.iter().all(|i| t.binary_search(i).is_ok()))
+            })
+            .count() as u64;
+        if support >= min_count {
+            large.push(LargeItemset { items, support });
+        }
+    }
+    large.sort_by(|a, b| a.items.cmp(&b.items));
+    large
+}
+
+fn arb_customers() -> impl Strategy<Value = Vec<CustomerTransactions>> {
+    let transaction = proptest::collection::btree_set(0u32..8, 1..=4)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+    let customer = proptest::collection::vec(transaction, 1..=4);
+    proptest::collection::vec(customer, 0..=6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_matches_oracle(customers in arb_customers(), min_count in 1u64..=3) {
+        let config = AprioriConfig {
+            max_itemset_size: Some(4),
+            ..AprioriConfig::default()
+        };
+        let mut mined = mine_large_itemsets(&customers, min_count, &config);
+        mined.sort_by(|a, b| a.items.cmp(&b.items));
+        prop_assert_eq!(mined, oracle(&customers, min_count));
+    }
+
+    #[test]
+    fn hash_tree_and_direct_counting_agree(customers in arb_customers(), min_count in 1u64..=3) {
+        let tree_heavy = AprioriConfig {
+            direct_count_threshold: 0,
+            hash_tree_fanout: 2,
+            hash_tree_leaf_capacity: 1,
+            ..AprioriConfig::default()
+        };
+        let direct_only = AprioriConfig {
+            direct_count_threshold: usize::MAX,
+            ..AprioriConfig::default()
+        };
+        let mut a = mine_large_itemsets(&customers, min_count, &tree_heavy);
+        let mut b = mine_large_itemsets(&customers, min_count, &direct_only);
+        a.sort_by(|x, y| x.items.cmp(&y.items));
+        b.sort_by(|x, y| x.items.cmp(&y.items));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn downward_closure_holds(customers in arb_customers(), min_count in 1u64..=3) {
+        let mined = mine_large_itemsets(&customers, min_count, &AprioriConfig::default());
+        // Every subset of a large itemset is large (with ≥ the support).
+        for l in &mined {
+            if l.items.len() >= 2 {
+                for drop in 0..l.items.len() {
+                    let mut sub = l.items.clone();
+                    sub.remove(drop);
+                    let found = mined.iter().find(|x| x.items == sub);
+                    prop_assert!(found.is_some(), "{sub:?} missing though {:?} is large", l.items);
+                    prop_assert!(found.unwrap().support >= l.support);
+                }
+            }
+        }
+    }
+}

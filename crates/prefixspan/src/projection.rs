@@ -1,0 +1,58 @@
+//! Pseudo-projection: pointers into the original database instead of
+//! copied suffixes.
+//!
+//! A projected database for prefix `p` holds, per supporting customer, the
+//! **earliest-embedding pointer**: the index of the transaction in which
+//! the last element of `p` matches under the greedy earliest embedding.
+//! Greedy is optimal for growth (any later embedding sees a subset of the
+//! suffix the earliest one sees), so one pointer per customer suffices:
+//!
+//! * *s-extensions* scan transactions strictly after the pointer;
+//! * *i-extensions* scan transactions at or after the pointer that contain
+//!   the whole last element — at the pointer itself the earlier prefix
+//!   elements matched strictly before, and at later transactions a
+//!   fortiori, so every such transaction hosts a valid embedding of the
+//!   extended pattern.
+
+/// One supporting customer in a projected database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pointer {
+    /// Index into the customer array.
+    pub customer: u32,
+    /// Transaction index where the prefix's last element matched earliest.
+    pub transaction: u32,
+}
+
+/// The pseudo-projected database: one pointer per supporting customer.
+#[derive(Debug, Clone, Default)]
+pub struct ProjectedDb {
+    /// Supporting customers in ascending order.
+    pub entries: Vec<Pointer>,
+}
+
+impl ProjectedDb {
+    /// Customer support of the prefix this projection belongs to.
+    pub fn support(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_counts_entries() {
+        let mut db = ProjectedDb::default();
+        assert_eq!(db.support(), 0);
+        db.entries.push(Pointer {
+            customer: 0,
+            transaction: 2,
+        });
+        db.entries.push(Pointer {
+            customer: 3,
+            transaction: 0,
+        });
+        assert_eq!(db.support(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every experiment (E0-E8) sequentially. Results land in
+# results/*.csv; console output mirrors the paper's tables.
+#
+#   ./scripts/run_all_experiments.sh [--customers N] [--quick]
+#
+# Budget note: the full default run is dominated by E1's dense cells
+# (~20-30 min on one modern core); --quick finishes in ~1 min.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+cargo build --release -p seqpat-bench
+
+for exp in exp_datasets exp_minsup_sweep exp_relative exp_scaleup_customers \
+           exp_scaleup_ctrans exp_passes exp_prefixspan exp_ablation \
+           exp_gsp_constraints; do
+    echo "=============================================================="
+    echo ">>> $exp ${ARGS[*]:-}"
+    echo "=============================================================="
+    ./target/release/"$exp" "${ARGS[@]}"
+    echo
+done
+echo "all experiments done; CSVs in results/"

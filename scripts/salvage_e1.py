@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Rebuilds results/e1_minsup_sweep.csv from a (possibly partial) console
+log of exp_minsup_sweep — the binary only writes its CSV at the end, so an
+interrupted long run would otherwise lose everything it printed."""
+import re
+import sys
+from pathlib import Path
+
+log_path = Path(sys.argv[1] if len(sys.argv) > 1 else "/tmp/e1_full.log")
+out_path = Path("results/e1_minsup_sweep.csv")
+
+dataset = None
+rows = []
+for line in log_path.read_text().splitlines():
+    m = re.match(r"E1: (\S+) \(\|D\| = (\d+)\)", line.strip())
+    if m:
+        dataset = m.group(1)
+        continue
+    m = re.match(
+        r"\s*([\d.]+)%\s+(\S+)\s+([\d.]+)\s+(\d+)\s+(\d+)\s+(\d+)\s*$", line
+    )
+    if m and dataset:
+        minsup = float(m.group(1)) / 100.0
+        rows.append(
+            f"{dataset},{m.group(2)},{minsup},{float(m.group(3)):.6f},"
+            f"{m.group(4)},{m.group(5)},{m.group(6)},,,"
+        )
+
+out_path.parent.mkdir(exist_ok=True)
+out_path.write_text(
+    "dataset,algorithm,minsup,seconds,patterns,candidates_generated,"
+    "candidates_counted,containment_tests,large_sequences,litemsets\n"
+    + "\n".join(rows)
+    + "\n"
+)
+print(f"salvaged {len(rows)} rows -> {out_path}")

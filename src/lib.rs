@@ -1,0 +1,52 @@
+//! # seqpat — Mining Sequential Patterns (Agrawal & Srikant, ICDE 1995)
+//!
+//! Umbrella crate re-exporting the whole workspace under one roof. The
+//! pieces:
+//!
+//! * [`core`] (`seqpat-core`) — the paper's contribution: the five-phase
+//!   pipeline and the AprioriAll / AprioriSome / DynamicSome algorithms.
+//! * [`itemset`] (`seqpat-itemset`) — the Apriori large-itemset substrate
+//!   (candidate hash trees, customer-level support).
+//! * [`datagen`] (`seqpat-datagen`) — the paper's synthetic
+//!   customer-sequence generator.
+//! * [`io`] (`seqpat-io`) — SPMF and CSV dataset formats, statistics.
+//! * [`prefixspan`] (`seqpat-prefixspan`) — a PrefixSpan comparator
+//!   (extension beyond the paper).
+//! * [`gsp`] (`seqpat-gsp`) — the EDBT'96 successor algorithm with
+//!   min-gap / max-gap / sliding-window time constraints (extension; the
+//!   '95 paper's conclusion names these generalizations as future work).
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use seqpat::{Database, Miner, MinerConfig, MinSupport, Algorithm};
+//!
+//! let db = Database::from_rows(vec![
+//!     (1, 1, vec![30]), (1, 2, vec![90]),
+//!     (2, 1, vec![30]), (2, 2, vec![40, 70]), (2, 3, vec![90]),
+//!     (3, 1, vec![30, 50, 70]),
+//!     (4, 1, vec![30]), (4, 2, vec![40, 70]),
+//!     (5, 1, vec![90]),
+//! ]);
+//! let result = Miner::new(
+//!     MinerConfig::new(MinSupport::Fraction(0.4)).algorithm(Algorithm::AprioriSome),
+//! )
+//! .mine(&db);
+//! for pattern in &result.patterns {
+//!     println!("{pattern} supported by {} customers", pattern.support);
+//! }
+//! assert!(!result.patterns.is_empty());
+//! ```
+
+pub use seqpat_core as core;
+pub use seqpat_datagen as datagen;
+pub use seqpat_gsp as gsp;
+pub use seqpat_io as io;
+pub use seqpat_itemset as itemset;
+pub use seqpat_prefixspan as prefixspan;
+
+pub use seqpat_core::{
+    Algorithm, CountingStrategy, Database, Item, Itemset, Miner, MinerConfig, MiningResult,
+    MinSupport, Pattern, Sequence,
+};
+pub use seqpat_datagen::{generate, GenParams};

@@ -1,0 +1,119 @@
+//! Property tests for the containment relation itself — the foundation the
+//! whole pipeline rests on (paper §2).
+
+use proptest::prelude::*;
+use seqpat::core::contain::{id_subsequence, sequence_contains};
+use seqpat::{Itemset, Sequence};
+
+fn arb_sequence() -> impl Strategy<Value = Sequence> {
+    let element = proptest::collection::vec(0u32..8, 1..=3);
+    proptest::collection::vec(element, 1..=5)
+        .prop_map(|elements| Sequence::new(elements.into_iter().map(Itemset::new).collect()))
+}
+
+/// Brute-force containment by explicit embedding search, as an oracle for
+/// the greedy implementation.
+fn contains_oracle(hay: &[Itemset], needle: &[Itemset]) -> bool {
+    fn search(hay: &[Itemset], needle: &[Itemset]) -> bool {
+        if needle.is_empty() {
+            return true;
+        }
+        for (i, h) in hay.iter().enumerate() {
+            if needle[0].is_subset_of(h) && search(&hay[i + 1..], &needle[1..]) {
+                return true;
+            }
+        }
+        false
+    }
+    search(hay, needle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn greedy_matches_exhaustive_oracle(a in arb_sequence(), b in arb_sequence()) {
+        prop_assert_eq!(
+            sequence_contains(a.elements(), b.elements()),
+            contains_oracle(a.elements(), b.elements())
+        );
+    }
+
+    #[test]
+    fn containment_is_reflexive(a in arb_sequence()) {
+        prop_assert!(a.is_contained_in(&a));
+    }
+
+    #[test]
+    fn containment_is_transitive(
+        a in arb_sequence(),
+        b in arb_sequence(),
+        c in arb_sequence(),
+    ) {
+        if a.is_contained_in(&b) && b.is_contained_in(&c) {
+            prop_assert!(a.is_contained_in(&c));
+        }
+    }
+
+    #[test]
+    fn containment_is_antisymmetric(a in arb_sequence(), b in arb_sequence()) {
+        if a.is_contained_in(&b) && b.is_contained_in(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dropping_an_element_preserves_containment(a in arb_sequence(), idx in 0usize..5) {
+        // Every delete-one-element subsequence is contained in the original
+        // — the anti-monotonicity backbone of candidate pruning.
+        if a.len() >= 2 {
+            let idx = idx % a.len();
+            let mut elements = a.elements().to_vec();
+            elements.remove(idx);
+            let sub = Sequence::new(elements);
+            prop_assert!(sub.is_contained_in(&a));
+        }
+    }
+
+    #[test]
+    fn shrinking_an_element_preserves_containment(a in arb_sequence(), idx in 0usize..5) {
+        let idx = idx % a.len();
+        let elements = a.elements().to_vec();
+        if elements[idx].len() >= 2 {
+            let mut smaller = elements.clone();
+            let items = smaller[idx].items().to_vec();
+            smaller[idx] = Itemset::new(items[..items.len() - 1].to_vec());
+            let sub = Sequence::new(smaller);
+            prop_assert!(sub.is_contained_in(&a));
+        }
+    }
+
+    #[test]
+    fn concatenation_contains_both_halves(a in arb_sequence(), b in arb_sequence()) {
+        let mut joined = a.elements().to_vec();
+        joined.extend(b.elements().iter().cloned());
+        let joined = Sequence::new(joined);
+        prop_assert!(a.is_contained_in(&joined));
+        prop_assert!(b.is_contained_in(&joined));
+    }
+
+    #[test]
+    fn id_subsequence_matches_slice_semantics(
+        hay in proptest::collection::vec(0u32..6, 0..12),
+        needle in proptest::collection::vec(0u32..6, 0..5),
+    ) {
+        // Oracle: exhaustive index-set search.
+        fn oracle(hay: &[u32], needle: &[u32]) -> bool {
+            if needle.is_empty() {
+                return true;
+            }
+            for (i, &h) in hay.iter().enumerate() {
+                if h == needle[0] && oracle(&hay[i + 1..], &needle[1..]) {
+                    return true;
+                }
+            }
+            false
+        }
+        prop_assert_eq!(id_subsequence(&hay, &needle), oracle(&hay, &needle));
+    }
+}

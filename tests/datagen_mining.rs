@@ -1,0 +1,154 @@
+//! Integration tests on generated data: determinism, cross-algorithm
+//! agreement at realistic scale, and sanity of the dataset statistics.
+
+use seqpat::io::DatasetStats;
+use seqpat::{generate, Algorithm, GenParams, Miner, MinerConfig, MinSupport};
+
+fn small_paper_params() -> GenParams {
+    // Small corpus and universe keep these tests quick under the dev
+    // profile; release-scale runs live in the bench crate.
+    GenParams::paper_dataset("C10-T2.5-S4-I1.25")
+        .expect("known dataset")
+        .customers(250)
+        .corpus_size(100, 400)
+        .items(500)
+}
+
+#[test]
+fn generation_is_deterministic_and_seed_sensitive() {
+    let p = small_paper_params();
+    assert_eq!(generate(&p, 1), generate(&p, 1));
+    assert_ne!(generate(&p, 1), generate(&p, 2));
+}
+
+#[test]
+fn algorithms_agree_on_generated_data() {
+    let db = generate(&small_paper_params(), 9);
+    let reference = Miner::new(
+        MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(Algorithm::AprioriAll),
+    )
+    .mine(&db);
+    let reference_strs: Vec<String> =
+        reference.patterns.iter().map(|p| p.to_string()).collect();
+    assert!(
+        !reference.patterns.is_empty(),
+        "expected patterns at 6% support on generated data"
+    );
+    for algorithm in [
+        Algorithm::AprioriSome,
+        Algorithm::DynamicSome { step: 2 },
+        Algorithm::DynamicSome { step: 3 },
+    ] {
+        let result = Miner::new(
+            MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(algorithm),
+        )
+        .mine(&db);
+        let strs: Vec<String> = result.patterns.iter().map(|p| p.to_string()).collect();
+        assert_eq!(reference_strs, strs, "{algorithm}");
+    }
+}
+
+#[test]
+fn prefixspan_agrees_on_generated_data() {
+    use seqpat::prefixspan::{prefixspan_maximal, PrefixSpanConfig};
+    let db = generate(&small_paper_params(), 9);
+    let apriori = Miner::new(MinerConfig::new(MinSupport::Fraction(0.06))).mine(&db);
+    let ps = prefixspan_maximal(
+        &db,
+        MinSupport::Fraction(0.06),
+        &PrefixSpanConfig::default(),
+    );
+    let a: Vec<String> = apriori.patterns.iter().map(|p| p.to_string()).collect();
+    let b: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn shape_parameters_show_up_in_statistics() {
+    // |C| = 20 vs |C| = 10 should roughly double transactions per customer.
+    let p10 = GenParams::shape(10.0, 2.5, 4.0, 1.25)
+        .customers(300)
+        .corpus_size(100, 500)
+        .items(800);
+    let p20 = GenParams::shape(20.0, 2.5, 4.0, 1.25)
+        .customers(300)
+        .corpus_size(100, 500)
+        .items(800);
+    let s10 = DatasetStats::compute(&generate(&p10, 3));
+    let s20 = DatasetStats::compute(&generate(&p20, 3));
+    let ratio = s20.avg_transactions_per_customer / s10.avg_transactions_per_customer;
+    assert!(
+        (ratio - 2.0).abs() < 0.3,
+        "expected ~2x transactions, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn larger_itemsets_shape_increases_transaction_width() {
+    let small = GenParams::shape(10.0, 2.5, 4.0, 1.25)
+        .customers(300)
+        .corpus_size(100, 500)
+        .items(800);
+    let big = GenParams::shape(10.0, 5.0, 4.0, 2.5)
+        .customers(300)
+        .corpus_size(100, 500)
+        .items(800);
+    let s_small = DatasetStats::compute(&generate(&small, 4));
+    let s_big = DatasetStats::compute(&generate(&big, 4));
+    assert!(
+        s_big.avg_items_per_transaction > s_small.avg_items_per_transaction,
+        "T5-I2.5 should be wider than T2.5-I1.25 ({} vs {})",
+        s_big.avg_items_per_transaction,
+        s_small.avg_items_per_transaction
+    );
+}
+
+#[test]
+fn mined_supports_meet_threshold_on_generated_data() {
+    let db = generate(&small_paper_params(), 5);
+    let result = Miner::new(MinerConfig::new(MinSupport::Fraction(0.03))).mine(&db);
+    let min_count = result.min_support_count;
+    for p in &result.patterns {
+        assert!(p.support >= min_count);
+    }
+}
+
+#[test]
+fn scale_up_with_shared_corpus_keeps_pattern_structure() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqpat::datagen::corpus::Corpus;
+    use seqpat::datagen::generator::generate_with_corpus;
+
+    let shape = small_paper_params();
+    let mut rng = StdRng::seed_from_u64(11);
+    let corpus = Corpus::build(&shape, &mut rng);
+    let small = generate_with_corpus(&shape.clone().customers(200), &corpus, &mut rng);
+    let large = generate_with_corpus(&shape.customers(800), &corpus, &mut rng);
+    assert_eq!(small.num_customers(), 200);
+    assert_eq!(large.num_customers(), 800);
+
+    // The same corpus drives both, so patterns that are CLEARLY frequent
+    // in the small database (50% above threshold, away from sampling
+    // noise at the boundary) must still be frequent — as sequences, not
+    // necessarily maximal — in the large one.
+    let strong = Miner::new(
+        MinerConfig::new(MinSupport::Fraction(0.12)).include_non_maximal(true),
+    )
+    .mine(&small);
+    let wide = Miner::new(
+        MinerConfig::new(MinSupport::Fraction(0.08)).include_non_maximal(true),
+    )
+    .mine(&large);
+    let wide_strs: Vec<String> = wide.patterns.iter().map(|p| p.to_string()).collect();
+    let missing: Vec<String> = strong
+        .patterns
+        .iter()
+        .map(|p| p.to_string())
+        .filter(|s| !wide_strs.contains(s))
+        .collect();
+    assert!(
+        missing.len() * 5 <= strong.patterns.len().max(1),
+        "strong small-db patterns vanished at scale: {missing:?}"
+    );
+}

@@ -1,0 +1,217 @@
+//! Edge-case integration tests: degenerate databases, extreme thresholds,
+//! and unusual algorithm settings.
+
+use seqpat::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::AprioriAll,
+        Algorithm::AprioriSome,
+        Algorithm::DynamicSome { step: 1 },
+        Algorithm::DynamicSome { step: 2 },
+        Algorithm::DynamicSome { step: 5 },
+    ]
+}
+
+fn mine(db: &Database, minsup: MinSupport, algorithm: Algorithm) -> Vec<String> {
+    Miner::new(MinerConfig::new(minsup).algorithm(algorithm))
+        .mine(db)
+        .patterns
+        .iter()
+        .map(|p| format!("{}:{}", p, p.support))
+        .collect()
+}
+
+#[test]
+fn empty_database_yields_nothing_everywhere() {
+    for algorithm in all_algorithms() {
+        assert!(mine(&Database::default(), MinSupport::Fraction(0.5), algorithm).is_empty());
+    }
+}
+
+#[test]
+fn single_customer_single_transaction() {
+    let db = Database::from_rows(vec![(1, 1, vec![5, 7])]);
+    for algorithm in all_algorithms() {
+        // With one customer everything it bought is a pattern; the maximal
+        // one is the whole transaction as a 1-sequence.
+        assert_eq!(
+            mine(&db, MinSupport::Fraction(1.0), algorithm),
+            vec!["<(5 7)>:1"]
+        );
+    }
+}
+
+#[test]
+fn single_customer_long_history() {
+    let db = Database::from_rows(vec![
+        (1, 1, vec![1]),
+        (1, 2, vec![2]),
+        (1, 3, vec![3]),
+        (1, 4, vec![4]),
+    ]);
+    for algorithm in all_algorithms() {
+        // The full history is the unique maximal pattern.
+        assert_eq!(
+            mine(&db, MinSupport::Count(1), algorithm),
+            vec!["<(1)(2)(3)(4)>:1"],
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn identical_customers_support_everything_equally() {
+    let rows: Vec<(u64, i64, Vec<u32>)> = (0..4)
+        .flat_map(|c| vec![(c, 1, vec![1, 2]), (c, 2, vec![3])])
+        .collect();
+    let db = Database::from_rows(rows);
+    for algorithm in all_algorithms() {
+        assert_eq!(
+            mine(&db, MinSupport::Fraction(1.0), algorithm),
+            vec!["<(1 2)(3)>:4"],
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn threshold_of_full_support_prunes_partial_patterns() {
+    let db = Database::from_rows(vec![
+        (1, 1, vec![1]),
+        (1, 2, vec![2]),
+        (2, 1, vec![1]),
+    ]);
+    for algorithm in all_algorithms() {
+        // ⟨(1)(2)⟩ has support 1 < 2; only ⟨(1)⟩ survives at 100%.
+        assert_eq!(
+            mine(&db, MinSupport::Fraction(1.0), algorithm),
+            vec!["<(1)>:2"],
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn repeated_items_across_transactions_form_patterns() {
+    // Two customers buy item 9 three times each.
+    let rows: Vec<(u64, i64, Vec<u32>)> = (0..2)
+        .flat_map(|c| (0..3).map(move |t| (c, t, vec![9])))
+        .collect();
+    let db = Database::from_rows(rows);
+    for algorithm in all_algorithms() {
+        assert_eq!(
+            mine(&db, MinSupport::Count(2), algorithm),
+            vec!["<(9)(9)(9)>:2"],
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_customer_rows_merge_per_sort_phase() {
+    // Same (customer, time) rows merge into one transaction, so ⟨(1 2)⟩ is
+    // a pattern but ⟨(1)(2)⟩ is not.
+    let db = Database::from_rows(vec![(1, 5, vec![1]), (1, 5, vec![2])]);
+    assert_eq!(
+        mine(&db, MinSupport::Count(1), Algorithm::AprioriAll),
+        vec!["<(1 2)>:1"]
+    );
+}
+
+#[test]
+fn dynamic_some_with_step_beyond_max_length() {
+    // Step 5 with patterns of length ≤ 2: jump phase never fires, the
+    // init + backward phases must still deliver the full answer.
+    let db = Database::from_rows(vec![
+        (1, 1, vec![1]),
+        (1, 2, vec![2]),
+        (2, 1, vec![1]),
+        (2, 2, vec![2]),
+    ]);
+    assert_eq!(
+        mine(&db, MinSupport::Count(2), Algorithm::DynamicSome { step: 5 }),
+        vec!["<(1)(2)>:2"]
+    );
+}
+
+#[test]
+fn wide_transactions_with_deep_itemset_lattice() {
+    // Three customers share a 5-item transaction: the maximal pattern is
+    // the full 5-itemset; none of its 30 proper sub-itemsets may leak into
+    // the answer.
+    let rows: Vec<(u64, i64, Vec<u32>)> =
+        (0..3).map(|c| (c, 1, vec![1, 2, 3, 4, 5])).collect();
+    let db = Database::from_rows(rows);
+    for algorithm in all_algorithms() {
+        assert_eq!(
+            mine(&db, MinSupport::Count(3), algorithm),
+            vec!["<(1 2 3 4 5)>:3"],
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn min_support_count_above_database_size() {
+    let db = Database::from_rows(vec![(1, 1, vec![1])]);
+    for algorithm in all_algorithms() {
+        assert!(mine(&db, MinSupport::Count(10), algorithm).is_empty());
+    }
+}
+
+#[test]
+fn interleaved_pattern_with_distractors() {
+    // The pattern ⟨(1)(2)(3)⟩ is embedded with unrelated transactions in
+    // between for both customers — gaps must not break containment.
+    let db = Database::from_rows(vec![
+        (1, 1, vec![1]),
+        (1, 2, vec![50]),
+        (1, 3, vec![2]),
+        (1, 4, vec![60]),
+        (1, 5, vec![3]),
+        (2, 1, vec![70]),
+        (2, 2, vec![1]),
+        (2, 3, vec![2]),
+        (2, 4, vec![3]),
+    ]);
+    for algorithm in all_algorithms() {
+        let got = mine(&db, MinSupport::Count(2), algorithm);
+        assert_eq!(got, vec!["<(1)(2)(3)>:2"], "{algorithm}");
+    }
+}
+
+#[test]
+fn max_length_truncates_but_keeps_maximality_within_cap() {
+    let db = Database::from_rows(vec![
+        (1, 1, vec![1]),
+        (1, 2, vec![2]),
+        (1, 3, vec![3]),
+        (2, 1, vec![1]),
+        (2, 2, vec![2]),
+        (2, 3, vec![3]),
+    ]);
+    let result = Miner::new(
+        MinerConfig::new(MinSupport::Count(2)).max_length(2),
+    )
+    .mine(&db);
+    let got: Vec<String> = result.patterns.iter().map(|p| p.to_string()).collect();
+    // All 2-sequences are maximal within the cap.
+    assert_eq!(got, vec!["<(1)(2)>", "<(1)(3)>", "<(2)(3)>"]);
+}
+
+#[test]
+fn large_item_ids_near_u32_max() {
+    let big = u32::MAX - 1;
+    let db = Database::from_rows(vec![
+        (1, 1, vec![big]),
+        (1, 2, vec![u32::MAX]),
+        (2, 1, vec![big]),
+        (2, 2, vec![u32::MAX]),
+    ]);
+    for algorithm in all_algorithms() {
+        let got = mine(&db, MinSupport::Count(2), algorithm);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains(&big.to_string()));
+    }
+}

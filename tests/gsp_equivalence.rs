@@ -1,0 +1,131 @@
+//! Property tests for the GSP extension: with no time constraints its
+//! frequent-sequence set must equal the 1995 definition (AprioriAll,
+//! PrefixSpan and the brute-force oracle); with constraints, supports must
+//! match a direct re-count under the constrained containment relation.
+
+use proptest::prelude::*;
+use seqpat::gsp::contains::{contains_with_constraints, DataSequence};
+use seqpat::gsp::{gsp, gsp_maximal, GspConfig};
+use seqpat::prefixspan::{prefixspan, PrefixSpanConfig};
+use seqpat::{Database, Miner, MinerConfig, MinSupport};
+
+fn arb_database() -> impl Strategy<Value = Database> {
+    let transaction = proptest::collection::vec(0u32..6, 1..=3);
+    let customer = proptest::collection::vec(transaction, 1..=4);
+    proptest::collection::vec(customer, 1..=6).prop_map(|customers| {
+        let mut rows = Vec::new();
+        for (c, transactions) in customers.into_iter().enumerate() {
+            for (t, items) in transactions.into_iter().enumerate() {
+                // Irregular but increasing times, so gap constraints bite.
+                rows.push((c as u64, (t * t + t) as i64, items));
+            }
+        }
+        Database::from_rows(rows)
+    })
+}
+
+fn strings(patterns: &[seqpat::Pattern]) -> Vec<String> {
+    patterns
+        .iter()
+        .map(|p| format!("{}:{}", p.sequence, p.support))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unconstrained_gsp_equals_apriori_all_and_prefixspan(
+        db in arb_database(),
+        min_count in 1u64..=3,
+    ) {
+        let g = gsp(&db, MinSupport::Count(min_count), &GspConfig::default());
+        let ps = prefixspan(&db, MinSupport::Count(min_count), &PrefixSpanConfig::default());
+        prop_assert_eq!(strings(&g), strings(&ps), "gsp vs prefixspan");
+
+        let aa = Miner::new(
+            MinerConfig::new(MinSupport::Count(min_count)).include_non_maximal(true),
+        )
+        .mine(&db);
+        prop_assert_eq!(strings(&g), strings(&aa.patterns), "gsp vs apriori-all");
+    }
+
+    #[test]
+    fn unconstrained_gsp_maximal_equals_the_1995_answer(
+        db in arb_database(),
+        min_count in 1u64..=3,
+    ) {
+        let g = gsp_maximal(&db, MinSupport::Count(min_count), &GspConfig::default());
+        let answer = Miner::new(MinerConfig::new(MinSupport::Count(min_count))).mine(&db);
+        prop_assert_eq!(strings(&g), strings(&answer.patterns));
+    }
+
+    #[test]
+    fn constrained_supports_match_direct_recount(
+        db in arb_database(),
+        min_count in 1u64..=3,
+        max_gap in 1i64..=6,
+        window in 0i64..=2,
+    ) {
+        let config = GspConfig::default().max_gap(max_gap * 2).window(window);
+        let found = gsp(&db, MinSupport::Count(min_count), &config);
+        let data: Vec<DataSequence> = db.customers().iter().map(DataSequence::from).collect();
+        for p in &found {
+            let pattern: Vec<Vec<u32>> = p
+                .sequence
+                .elements()
+                .iter()
+                .map(|e| e.items().to_vec())
+                .collect();
+            let recount = data
+                .iter()
+                .filter(|d| contains_with_constraints(d, &pattern, &config))
+                .count() as u64;
+            prop_assert_eq!(p.support, recount, "support mismatch for {}", p.sequence);
+            prop_assert!(p.support >= min_count);
+        }
+    }
+
+    #[test]
+    fn tighter_constraints_never_add_patterns(
+        db in arb_database(),
+        min_count in 1u64..=3,
+    ) {
+        // Patterns frequent under max_gap = 2 must be frequent with the
+        // constraint relaxed to 100 (≈ unconstrained on these times).
+        let tight = gsp(&db, MinSupport::Count(min_count), &GspConfig::default().max_gap(2));
+        let loose = gsp(&db, MinSupport::Count(min_count), &GspConfig::default().max_gap(100));
+        let loose_keys: Vec<String> =
+            loose.iter().map(|p| p.sequence.to_string()).collect();
+        for p in &tight {
+            prop_assert!(
+                loose_keys.contains(&p.sequence.to_string()),
+                "{} frequent under tight max-gap but not loose",
+                p.sequence
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_mining_is_a_superset_of_plain_single_element_patterns(
+        db in arb_database(),
+        min_count in 1u64..=3,
+    ) {
+        // Growing the window can only help an element find a home.
+        let plain = gsp(&db, MinSupport::Count(min_count), &GspConfig::default());
+        let windowed = gsp(
+            &db,
+            MinSupport::Count(min_count),
+            &GspConfig::default().window(3),
+        );
+        let windowed_keys: Vec<String> =
+            windowed.iter().map(|p| p.sequence.to_string()).collect();
+        for p in &plain {
+            prop_assert!(
+                windowed_keys.contains(&p.sequence.to_string()),
+                "{} lost by widening the window",
+                p.sequence
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the I/O layer: SPMF and CSV round-trips on arbitrary
+//! databases, and adversarial parser inputs.
+
+use proptest::prelude::*;
+use seqpat::io::{csv, spmf};
+use seqpat::Database;
+
+fn arb_database() -> impl Strategy<Value = Database> {
+    let transaction = proptest::collection::vec(0u32..50, 1..=4);
+    let customer = proptest::collection::vec(transaction, 1..=5);
+    proptest::collection::vec(customer, 0..=8).prop_map(|customers| {
+        let mut rows = Vec::new();
+        for (c, transactions) in customers.into_iter().enumerate() {
+            for (t, items) in transactions.into_iter().enumerate() {
+                rows.push((c as u64, t as i64 * 3 + 1, items));
+            }
+        }
+        Database::from_rows(rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_roundtrip_is_identity(db in arb_database()) {
+        let text = csv::write_string(&db);
+        let again = csv::read_str(&text).expect("csv parse");
+        prop_assert_eq!(db, again);
+    }
+
+    #[test]
+    fn spmf_roundtrip_preserves_itemset_structure(db in arb_database()) {
+        // SPMF drops customer ids and times but keeps itemsets and order.
+        let text = spmf::write_string(&db);
+        let again = spmf::read_str(&text).expect("spmf parse");
+        prop_assert_eq!(db.num_customers(), again.num_customers());
+        for (a, b) in db.customers().iter().zip(again.customers()) {
+            let xs: Vec<Vec<u32>> = a
+                .transactions
+                .iter()
+                .map(|t| t.items.items().to_vec())
+                .collect();
+            let ys: Vec<Vec<u32>> = b
+                .transactions
+                .iter()
+                .map(|t| t.items.items().to_vec())
+                .collect();
+            prop_assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(db in arb_database()) {
+        let once = spmf::read_str(&spmf::write_string(&db)).expect("first");
+        let twice = spmf::read_str(&spmf::write_string(&once)).expect("second");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "[0-9 \\-\n]{0,200}") {
+        // Any outcome is fine as long as it is a Result, not a panic.
+        let _ = spmf::read_str(&text);
+        let _ = csv::read_str(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_unicode_noise(text in "\\PC{0,100}") {
+        let _ = spmf::read_str(&text);
+        let _ = csv::read_str(&text);
+    }
+}
+
+#[test]
+fn spmf_rejects_malformed_inputs() {
+    for bad in [
+        "1 2 3",          // no terminators
+        "1 -1",           // missing -2
+        "-1 -2",          // empty itemset
+        "1 -1 -2 junk",   // trailing garbage
+        "1 2 -2",         // itemset not closed
+        "abc -1 -2",      // non-numeric
+        "-3 -1 -2",       // negative item
+    ] {
+        assert!(spmf::read_str(bad).is_err(), "accepted {bad:?}");
+    }
+}
+
+#[test]
+fn csv_rejects_malformed_inputs() {
+    for bad in [
+        "1",             // missing fields
+        "1,2",           // missing items
+        "x,1,2",         // bad customer
+        "1,y,2",         // bad time
+        "1,1,a b",       // bad item
+        "1,1,",          // empty items
+    ] {
+        assert!(csv::read_str(bad).is_err(), "accepted {bad:?}");
+    }
+}
