@@ -20,9 +20,7 @@ fn bench_sequence_contains(c: &mut Criterion) {
     let hay: Vec<Itemset> = (0..50)
         .map(|_| Itemset::new((0..3).map(|_| rnd(100)).collect()))
         .collect();
-    let needle: Vec<Itemset> = (0..5)
-        .map(|_| Itemset::new(vec![rnd(100)]))
-        .collect();
+    let needle: Vec<Itemset> = (0..5).map(|_| Itemset::new(vec![rnd(100)])).collect();
     c.bench_function("sequence_contains/50x5", |b| {
         b.iter(|| sequence_contains(black_box(&hay), black_box(&needle)))
     });
@@ -118,9 +116,7 @@ fn bench_candidate_generation(c: &mut Criterion) {
         b.iter(|| seqpat_core::algorithms::candidate::generate(black_box(&l2)))
     });
 
-    let mut l3: Vec<Vec<u32>> = (0..300)
-        .map(|_| vec![rnd(20), rnd(20), rnd(20)])
-        .collect();
+    let mut l3: Vec<Vec<u32>> = (0..300).map(|_| vec![rnd(20), rnd(20), rnd(20)]).collect();
     l3.sort();
     l3.dedup();
     c.bench_function("apriori_generate_sequences/L3~300", |b| {

@@ -2,9 +2,7 @@
 //! dataset, plus the counting-strategy ablation and PrefixSpan.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use seqpat_core::{
-    Algorithm, CountingStrategy, Database, Miner, MinerConfig, MinSupport,
-};
+use seqpat_core::{Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig};
 use seqpat_datagen::{generate, GenParams};
 use seqpat_prefixspan::{prefixspan_maximal, PrefixSpanConfig};
 
@@ -56,8 +54,7 @@ fn bench_counting_strategies(c: &mut Criterion) {
         ("hash_tree", CountingStrategy::HashTree),
     ] {
         group.bench_function(name, |b| {
-            let miner =
-                Miner::new(MinerConfig::new(MinSupport::Fraction(0.01)).counting(strategy));
+            let miner = Miner::new(MinerConfig::new(MinSupport::Fraction(0.01)).counting(strategy));
             b.iter(|| miner.mine(black_box(&db)))
         });
     }
@@ -69,14 +66,10 @@ fn bench_minsup_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("minsup_sensitivity/apriori_all");
     group.sample_size(10);
     for minsup in [0.02, 0.01, 0.005] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(minsup),
-            &minsup,
-            |b, &ms| {
-                let miner = Miner::new(MinerConfig::new(MinSupport::Fraction(ms)));
-                b.iter(|| miner.mine(black_box(&db)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(minsup), &minsup, |b, &ms| {
+            let miner = Miner::new(MinerConfig::new(MinSupport::Fraction(ms)));
+            b.iter(|| miner.mine(black_box(&db)))
+        });
     }
     group.finish();
 }

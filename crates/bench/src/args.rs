@@ -47,9 +47,7 @@ impl Args {
                 }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
-                    println!(
-                        "flags: --customers N  --seed S  --out DIR  --quick"
-                    );
+                    println!("flags: --customers N  --seed S  --out DIR  --quick");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other:?} (try --help)"),
@@ -79,10 +77,7 @@ impl Args {
     }
 }
 
-fn expect_value<T: std::str::FromStr>(
-    iter: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> T {
+fn expect_value<T: std::str::FromStr>(iter: &mut impl Iterator<Item = String>, flag: &str) -> T {
     iter.next()
         .unwrap_or_else(|| panic!("{flag} requires a value"))
         .parse()
@@ -108,7 +103,15 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--customers", "500", "--seed", "7", "--out", "/tmp/x", "--quick"]);
+        let a = parse(&[
+            "--customers",
+            "500",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
+            "--quick",
+        ]);
         assert_eq!(a.customers, 500);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out_dir, "/tmp/x");

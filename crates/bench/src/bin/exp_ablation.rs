@@ -2,7 +2,8 @@
 //!
 //! * counting strategy: the paper's candidate hash tree vs the direct
 //!   bitmap-prefiltered scan;
-//! * hash-tree shape: fanout × leaf-capacity grid.
+//! * hash-tree shape: fanout × leaf-capacity grid;
+//! * counting threads: 1 / 2 / 4 workers for both strategies.
 //!
 //! Results are identical across all cells by construction (the property
 //! tests pin that); only the time and the number of exact containment
@@ -12,7 +13,7 @@ use seqpat_bench::harness::measure_config;
 use seqpat_bench::table::fmt_secs;
 use seqpat_bench::{Args, Table};
 use seqpat_core::counting::TreeParams;
-use seqpat_core::{CountingStrategy, MinerConfig, MinSupport};
+use seqpat_core::{CountingStrategy, MinSupport, MinerConfig, Parallelism};
 use seqpat_datagen::{generate, GenParams};
 
 fn main() {
@@ -30,7 +31,13 @@ fn main() {
         minsup * 100.0
     );
     let mut table = Table::new(&[
-        "strategy", "fanout", "leaf cap", "time s", "containment tests", "patterns",
+        "strategy",
+        "fanout",
+        "leaf cap",
+        "threads",
+        "time s",
+        "containment tests",
+        "patterns",
     ]);
     let mut rows = Vec::new();
 
@@ -38,25 +45,29 @@ fn main() {
         &db,
         dataset,
         minsup,
-        MinerConfig::new(MinSupport::Fraction(minsup)).counting(CountingStrategy::Direct),
+        MinerConfig::new(MinSupport::Fraction(minsup))
+            .counting(CountingStrategy::Direct)
+            .parallelism(Parallelism::Serial),
     );
     table.row(vec![
         "direct".into(),
         "-".into(),
         "-".into(),
+        direct.threads.to_string(),
         fmt_secs(direct.seconds),
         direct.containment_tests.to_string(),
         direct.patterns.to_string(),
     ]);
     rows.push(format!(
-        "direct,,,{:.6},{},{}",
-        direct.seconds, direct.containment_tests, direct.patterns
+        "direct,,,{},{:.6},{},{}",
+        direct.threads, direct.seconds, direct.containment_tests, direct.patterns
     ));
 
     for fanout in [4usize, 16, 64] {
         for leaf_capacity in [8usize, 32, 128] {
-            let mut config =
-                MinerConfig::new(MinSupport::Fraction(minsup)).counting(CountingStrategy::HashTree);
+            let mut config = MinerConfig::new(MinSupport::Fraction(minsup))
+                .counting(CountingStrategy::HashTree)
+                .parallelism(Parallelism::Serial);
             config.tree_params = TreeParams {
                 fanout,
                 leaf_capacity,
@@ -70,13 +81,47 @@ fn main() {
                 "hash-tree".into(),
                 fanout.to_string(),
                 leaf_capacity.to_string(),
+                m.threads.to_string(),
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
                 m.patterns.to_string(),
             ]);
             rows.push(format!(
-                "hash-tree,{},{},{:.6},{},{}",
-                fanout, leaf_capacity, m.seconds, m.containment_tests, m.patterns
+                "hash-tree,{},{},{},{:.6},{},{}",
+                fanout, leaf_capacity, m.threads, m.seconds, m.containment_tests, m.patterns
+            ));
+        }
+    }
+
+    // Threads axis: both strategies, default tree shape. Answers and
+    // containment-test counts stay bit-identical to the serial rows.
+    for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+        for threads in [2usize, 4] {
+            let config = MinerConfig::new(MinSupport::Fraction(minsup))
+                .counting(strategy)
+                .parallelism(Parallelism::threads(threads));
+            let m = measure_config(&db, dataset, minsup, config);
+            assert_eq!(
+                m.patterns, direct.patterns,
+                "thread count must not change the answer"
+            );
+            assert_eq!(m.threads, threads);
+            let name = match strategy {
+                CountingStrategy::Direct => "direct",
+                CountingStrategy::HashTree => "hash-tree",
+            };
+            table.row(vec![
+                name.into(),
+                "-".into(),
+                "-".into(),
+                threads.to_string(),
+                fmt_secs(m.seconds),
+                m.containment_tests.to_string(),
+                m.patterns.to_string(),
+            ]);
+            rows.push(format!(
+                "{},,,{},{:.6},{},{}",
+                name, threads, m.seconds, m.containment_tests, m.patterns
             ));
         }
     }
@@ -84,7 +129,7 @@ fn main() {
     let path = args
         .write_csv(
             "e7_ablation",
-            "strategy,fanout,leaf_capacity,seconds,containment_tests,patterns",
+            "strategy,fanout,leaf_capacity,threads,seconds,containment_tests,patterns",
             &rows,
         )
         .expect("write CSV");

@@ -13,7 +13,13 @@ use seqpat_io::DatasetStats;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(&[
-        "dataset", "|D|", "transactions", "avg|C|", "avg|T|", "distinct items", "size MB",
+        "dataset",
+        "|D|",
+        "transactions",
+        "avg|C|",
+        "avg|T|",
+        "distinct items",
+        "size MB",
     ]);
     let mut rows = Vec::new();
     for name in GenParams::paper_dataset_names() {

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use seqpat_bench::table::fmt_secs;
 use seqpat_bench::{Args, Table};
-use seqpat_core::{Miner, MinerConfig, MinSupport};
+use seqpat_core::{MinSupport, Miner, MinerConfig};
 use seqpat_datagen::{generate, GenParams};
 use seqpat_gsp::{gsp, GspConfig};
 
@@ -74,10 +74,9 @@ fn main() {
     table.print();
 
     // Definition equivalence with the 1995 pipeline.
-    let apriori = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(minsup)).include_non_maximal(true),
-    )
-    .mine(&db);
+    let apriori =
+        Miner::new(MinerConfig::new(MinSupport::Fraction(minsup)).include_non_maximal(true))
+            .mine(&db);
     assert_eq!(
         unconstrained,
         apriori.patterns.len(),
@@ -88,7 +87,11 @@ fn main() {
         unconstrained
     );
     let path = args
-        .write_csv("e8_gsp_constraints", "constraints,seconds,frequent,multi_element", &rows)
+        .write_csv(
+            "e8_gsp_constraints",
+            "constraints,seconds,frequent,multi_element",
+            &rows,
+        )
         .expect("write CSV");
     println!("wrote {}", path.display());
 }

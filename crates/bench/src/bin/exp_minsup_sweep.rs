@@ -35,26 +35,24 @@ fn main() {
         // them (or raise --customers) when you have the hours to spend,
         // exactly as the authors did.
         let floor = match name {
-            "C10-T2.5-S4-I1.25" => 0.0,      // full paper grid
-            "C10-T5-S4-I1.25" => 0.005,      // ≥ 0.5%
-            "C10-T5-S4-I2.5" => 0.0075,      // ≥ 0.75% (densest itemsets)
-            _ => 0.005,                      // C20 datasets: ≥ 0.5%
+            "C10-T2.5-S4-I1.25" => 0.0, // full paper grid
+            "C10-T5-S4-I1.25" => 0.005, // ≥ 0.5%
+            "C10-T5-S4-I2.5" => 0.0075, // ≥ 0.75% (densest itemsets)
+            _ => 0.005,                 // C20 datasets: ≥ 0.5%
         };
-        let minsups: Vec<f64> = minsups
-            .iter()
-            .copied()
-            .filter(|&m| m >= floor)
-            .collect();
+        let minsups: Vec<f64> = minsups.iter().copied().filter(|&m| m >= floor).collect();
         let params = GenParams::paper_dataset(name)
             .expect("paper dataset")
             .customers(args.customers);
         let db = generate(&params, args.seed);
-        println!(
-            "\nE1: {} (|D| = {})",
-            name, args.customers
-        );
+        println!("\nE1: {} (|D| = {})", name, args.customers);
         let mut table = Table::new(&[
-            "minsup", "algorithm", "time s", "patterns", "cand gen", "cand counted",
+            "minsup",
+            "algorithm",
+            "time s",
+            "patterns",
+            "cand gen",
+            "cand counted",
         ]);
         for &minsup in &minsups {
             for algorithm in paper_algorithms() {

@@ -8,7 +8,7 @@
 
 use seqpat_bench::harness::paper_algorithms;
 use seqpat_bench::{Args, Table};
-use seqpat_core::{Miner, MinerConfig, MinSupport};
+use seqpat_core::{MinSupport, Miner, MinerConfig};
 use seqpat_datagen::{generate, GenParams};
 
 fn main() {
@@ -30,9 +30,7 @@ fn main() {
         let config = MinerConfig::new(MinSupport::Fraction(minsup)).algorithm(algorithm);
         let result = Miner::new(config).mine(&db);
         println!("{algorithm}:");
-        let mut table = Table::new(&[
-            "k", "direction", "generated", "counted", "pruned", "large",
-        ]);
+        let mut table = Table::new(&["k", "direction", "generated", "counted", "pruned", "large"]);
         for pass in &result.stats.sequence_passes {
             table.row(vec![
                 pass.k.to_string(),

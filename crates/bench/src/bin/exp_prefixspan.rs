@@ -40,7 +40,10 @@ fn main() {
                 fmt_secs(m.seconds),
                 m.patterns.to_string(),
             ]);
-            rows.push(format!("{},{},{:.6},{}", minsup, m.algorithm, m.seconds, m.patterns));
+            rows.push(format!(
+                "{},{},{:.6},{}",
+                minsup, m.algorithm, m.seconds, m.patterns
+            ));
         }
         let start = Instant::now();
         let found = prefixspan_maximal(

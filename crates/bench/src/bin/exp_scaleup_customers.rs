@@ -20,7 +20,11 @@ use seqpat_datagen::GenParams;
 fn main() {
     let args = Args::parse();
     let base = args.customers.max(500);
-    let multipliers: &[usize] = if args.quick { &[1, 2] } else { &[1, 2, 4, 7, 10] };
+    let multipliers: &[usize] = if args.quick {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 7, 10]
+    };
     let minsup = 0.01;
     let shape = GenParams::paper_dataset("C10-T2.5-S4-I1.25").expect("paper dataset");
 
@@ -59,7 +63,11 @@ fn main() {
     table.print();
     println!("\n(relative = time / time at |D| = {base}; linear scale-up ⇒ relative ≈ |D|/{base})");
     let path = args
-        .write_csv("e3_scaleup_customers", "customers,algorithm,seconds,relative", &rows)
+        .write_csv(
+            "e3_scaleup_customers",
+            "customers,algorithm,seconds,relative",
+            &rows,
+        )
         .expect("write CSV");
     println!("wrote {}", path.display());
 }

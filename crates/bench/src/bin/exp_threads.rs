@@ -1,0 +1,94 @@
+//! **E9 — thread scaling** of the parallel counting layer.
+//!
+//! Sweeps 1 / 2 / 4 / 8 worker threads over `C10-T5-S4-I2.5` at minsup 1%
+//! (the paper's densest standard dataset) and reports wall time, speedup
+//! over the single-thread run, and the invariants the tentpole guarantees:
+//! every cell finds the same patterns and performs the same number of
+//! containment tests.
+//!
+//! Output: a table on stdout plus `results/e9_threads.json` — a
+//! results-table JSON object with one entry per thread count. Speedups are
+//! only meaningful on a multi-core host; the JSON records
+//! `available_parallelism` so a 1-core run is recognizable as such.
+
+use seqpat_bench::harness::measure_config;
+use seqpat_bench::table::fmt_secs;
+use seqpat_bench::{Args, Table};
+use seqpat_core::{MinSupport, MinerConfig, Parallelism};
+use seqpat_datagen::{generate, GenParams};
+
+fn main() {
+    let args = Args::parse();
+    let minsup = 0.01;
+    let dataset = "C10-T5-S4-I2.5";
+    let params = GenParams::paper_dataset(dataset)
+        .expect("paper dataset")
+        .customers(args.customers);
+    let db = generate(&params, args.seed);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "E9: thread scaling on {dataset} (|D| = {}, minsup {:.0}%, {cores} core(s) available)\n",
+        args.customers,
+        minsup * 100.0
+    );
+    let thread_counts: &[usize] = if args.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut table = Table::new(&[
+        "threads",
+        "time s",
+        "speedup",
+        "containment tests",
+        "patterns",
+    ]);
+    let mut entries = Vec::new();
+    let mut baseline: Option<(f64, u64, usize)> = None;
+
+    for &threads in thread_counts {
+        let config = MinerConfig::new(MinSupport::Fraction(minsup))
+            .parallelism(Parallelism::threads(threads));
+        let m = measure_config(&db, dataset, minsup, config);
+        let (base_secs, base_tests, base_patterns) =
+            *baseline.get_or_insert((m.seconds, m.containment_tests, m.patterns));
+        // The tentpole invariant: thread count changes nothing but time.
+        assert_eq!(
+            m.patterns, base_patterns,
+            "answer changed with {threads} threads"
+        );
+        assert_eq!(
+            m.containment_tests, base_tests,
+            "containment tests changed with {threads} threads"
+        );
+        let speedup = base_secs / m.seconds.max(1e-12);
+        table.row(vec![
+            threads.to_string(),
+            fmt_secs(m.seconds),
+            format!("{speedup:.2}x"),
+            m.containment_tests.to_string(),
+            m.patterns.to_string(),
+        ]);
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {:.6}, \"speedup\": {speedup:.4}, \
+             \"containment_tests\": {}, \"patterns\": {}}}",
+            m.seconds, m.containment_tests, m.patterns
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e9_threads\",\n  \"dataset\": \"{dataset}\",\n  \
+         \"customers\": {},\n  \"minsup\": {minsup},\n  \"seed\": {},\n  \
+         \"available_parallelism\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        args.customers,
+        args.seed,
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = std::path::Path::new(&args.out_dir).join("e9_threads.json");
+    std::fs::write(&path, json).expect("write JSON");
+    println!("\nwrote {}", path.display());
+    if cores == 1 {
+        println!("note: single-core host — speedups ≈ 1.0 by construction");
+    }
+}

@@ -24,21 +24,47 @@ fn main() {
         min_count,
         &seqpat_itemset::AprioriConfig::default(),
     );
-    println!("litemset: {:?}, {} litemsets, passes {:?}", t.elapsed(), lit.table.len(), lit.passes);
+    println!(
+        "litemset: {:?}, {} litemsets, passes {:?}",
+        t.elapsed(),
+        lit.table.len(),
+        lit.passes
+    );
     let t = std::time::Instant::now();
     let tdb = seqpat_core::phases::transform::transform_phase(&db, lit.table);
-    let avg_ids: f64 = tdb.customers.iter().map(|c| c.elements.iter().map(|e| e.len()).sum::<usize>() as f64).sum::<f64>() / tdb.customers.len() as f64;
-    println!("transform: {:?}, avg ids/customer {:.1}", t.elapsed(), avg_ids);
+    let avg_ids: f64 = tdb
+        .customers
+        .iter()
+        .map(|c| c.elements.iter().map(|e| e.len()).sum::<usize>() as f64)
+        .sum::<f64>()
+        / tdb.customers.len() as f64;
+    println!(
+        "transform: {:?}, avg ids/customer {:.1}",
+        t.elapsed(),
+        avg_ids
+    );
     let t = std::time::Instant::now();
     let mut stats = seqpat_core::MiningStats::default();
     let opts = seqpat_core::algorithms::apriori_all::SequencePhaseOptions::default();
-    let (gen2, l2) = seqpat_core::counting::large_two_sequences(&tdb, min_count, &mut stats.containment_tests);
+    let (gen2, l2) = seqpat_core::counting::large_two_sequences(
+        &tdb,
+        min_count,
+        seqpat_core::Parallelism::default(),
+        &mut stats.containment_tests,
+    );
     println!("pass2: {:?}, C2 {} L2 {}", t.elapsed(), gen2, l2.len());
     let t = std::time::Instant::now();
     let large = seqpat_core::algorithms::apriori_all(&tdb, min_count, &opts, &mut stats);
-    println!("full sequence phase: {:?}, {} large", t.elapsed(), large.len());
+    println!(
+        "full sequence phase: {:?}, {} large",
+        t.elapsed(),
+        large.len()
+    );
     for p in &stats.sequence_passes {
-        println!("  k={} gen={} counted={} large={}", p.k, p.generated, p.counted, p.large);
+        println!(
+            "  k={} gen={} counted={} large={}",
+            p.k, p.generated, p.counted, p.large
+        );
     }
     let t = std::time::Instant::now();
     let maximal = seqpat_core::phases::maximal::maximal_phase(large, &tdb.table);

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use seqpat_core::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat_core::{Algorithm, Database, MinSupport, Miner, MinerConfig};
 
 /// One measured mining run.
 #[derive(Debug, Clone)]
@@ -28,13 +28,15 @@ pub struct MiningMeasurement {
     pub large_sequences: u64,
     /// Large itemsets (the transformed alphabet size).
     pub litemsets: u64,
+    /// Worker threads the counting passes used (resolved value).
+    pub threads: usize,
 }
 
 impl MiningMeasurement {
     /// CSV row matching [`CSV_HEADER`].
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.6},{},{},{},{},{},{}",
+            "{},{},{},{:.6},{},{},{},{},{},{},{}",
             self.dataset,
             self.algorithm,
             self.minsup,
@@ -45,12 +47,13 @@ impl MiningMeasurement {
             self.containment_tests,
             self.large_sequences,
             self.litemsets,
+            self.threads,
         )
     }
 }
 
 /// Header for [`MiningMeasurement::csv_row`].
-pub const CSV_HEADER: &str = "dataset,algorithm,minsup,seconds,patterns,candidates_generated,candidates_counted,containment_tests,large_sequences,litemsets";
+pub const CSV_HEADER: &str = "dataset,algorithm,minsup,seconds,patterns,candidates_generated,candidates_counted,containment_tests,large_sequences,litemsets,threads";
 
 /// Runs `algorithm` on `db` at `minsup` and measures it.
 pub fn measure(
@@ -89,6 +92,7 @@ pub fn measure_config(
         containment_tests: result.stats.containment_tests,
         large_sequences: result.stats.large_sequences,
         litemsets: result.stats.num_litemsets,
+        threads: result.stats.threads_used,
     }
 }
 

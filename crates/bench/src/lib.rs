@@ -13,6 +13,8 @@
 //! | `exp_passes` | E5 — per-pass candidate/large counts |
 //! | `exp_prefixspan` | E6 — PrefixSpan comparator (extension) |
 //! | `exp_ablation` | E7 — counting-strategy & hash-tree ablations |
+//! | `exp_gsp_constraints` | E8 — GSP time-constraint study (extension) |
+//! | `exp_threads` | E9 — thread scaling of parallel support counting |
 //!
 //! Every binary prints a paper-style table to stdout and writes a CSV under
 //! `results/`. All accept `--customers N` (default 2 000 — laptop scale;

@@ -3,17 +3,17 @@
 //! ```text
 //! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S] [--format spmf|csv]
 //! seqmine mine  --in data.spmf  --minsup 0.01 [--algorithm apriori-all|apriori-some|dynamic-some|prefixspan]
-//!               [--step K] [--all] [--max-length L] [--window W] [--format spmf|csv] [--stats]
+//!               [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--format spmf|csv] [--stats]
 //! seqmine stats --in data.spmf [--format spmf|csv]
 //! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions)
 //! ```
 
 use std::process::ExitCode;
 
-use seqpat_core::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat_core::{Algorithm, Database, MinSupport, Miner, MinerConfig, Parallelism};
 use seqpat_datagen::{generate, GenParams};
-use seqpat_io::{csv, spmf, DatasetStats};
 use seqpat_gsp::{gsp, gsp_maximal, GspConfig};
+use seqpat_io::{csv, spmf, DatasetStats};
 use seqpat_prefixspan::{prefixspan, prefixspan_maximal, PrefixSpanConfig};
 
 fn main() -> ExitCode {
@@ -47,7 +47,7 @@ seqmine — sequential pattern mining (Agrawal & Srikant, ICDE 1995)
 
 commands:
   gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv])
-  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--stats])
+  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--stats])
   stats    print dataset statistics            (--in FILE)
   convert  convert between spmf and csv        (--in FILE --out FILE)
 
@@ -90,12 +90,16 @@ impl Flags {
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         self.get(name)
-            .map(|v| v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value for --{name}: {v:?}"))
+            })
             .transpose()
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 }
 
@@ -159,9 +163,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 fn cmd_mine(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["all", "stats"])?;
     let input = flags.require("in")?;
-    let minsup: f64 = flags
-        .get_parsed("minsup")?
-        .ok_or("--minsup is required")?;
+    let minsup: f64 = flags.get_parsed("minsup")?.ok_or("--minsup is required")?;
     if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
         return Err("--minsup must be in (0, 1]".into());
     }
@@ -178,6 +180,17 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let algorithm_name = flags.get("algorithm").unwrap_or("apriori-all");
     let include_all = flags.has("all");
     let max_length = flags.get_parsed::<usize>("max-length")?;
+    // Support counting threads: a number, or "auto" (default) for one per
+    // core. Results are bit-identical regardless of the value.
+    let parallelism = match flags.get("threads") {
+        None | Some("auto") => Parallelism::Auto,
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| {
+                format!("invalid value for --threads: {v:?} (use a number or auto)")
+            })?;
+            Parallelism::threads(n)
+        }
+    };
 
     if algorithm_name == "gsp" {
         let mut config = GspConfig::default();
@@ -232,7 +245,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     };
     let mut config = MinerConfig::new(MinSupport::Fraction(minsup))
         .algorithm(algorithm)
-        .include_non_maximal(include_all);
+        .include_non_maximal(include_all)
+        .parallelism(parallelism);
     if let Some(cap) = max_length {
         config = config.max_length(cap);
     }
@@ -249,8 +263,12 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     if flags.has("stats") {
         let s = &result.stats;
         eprintln!(
-            "litemsets: {}  candidates generated/counted: {}/{}  containment tests: {}",
-            s.num_litemsets, s.candidates_generated, s.candidates_counted, s.containment_tests
+            "litemsets: {}  candidates generated/counted: {}/{}  containment tests: {}  threads: {}",
+            s.num_litemsets,
+            s.candidates_generated,
+            s.candidates_counted,
+            s.containment_tests,
+            s.threads_used
         );
         eprintln!(
             "times: litemset {:?}, transform {:?}, sequence {:?}, maximal {:?}",
@@ -273,8 +291,16 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let input = flags.require("in")?;
     let output = flags.require("out")?;
-    let in_format = if input.ends_with(".csv") { "csv" } else { "spmf" };
-    let out_format = if output.ends_with(".csv") { "csv" } else { "spmf" };
+    let in_format = if input.ends_with(".csv") {
+        "csv"
+    } else {
+        "spmf"
+    };
+    let out_format = if output.ends_with(".csv") {
+        "csv"
+    } else {
+        "spmf"
+    };
     let db = load(input, in_format)?;
     store(&db, output, out_format)?;
     println!("converted {input} ({in_format}) → {output} ({out_format})");
@@ -371,12 +397,24 @@ mod tests {
 
     #[test]
     fn mine_rejects_bad_arguments() {
-        assert!(cmd_mine(&["--in".into(), "/nonexistent".into(), "--minsup".into(), "0.5".into()]).is_err());
+        assert!(cmd_mine(&[
+            "--in".into(),
+            "/nonexistent".into(),
+            "--minsup".into(),
+            "0.5".into()
+        ])
+        .is_err());
         assert!(cmd_mine(&["--minsup".into(), "0.5".into()]).is_err());
         let dir = std::env::temp_dir().join("seqmine_cli_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("x.spmf").to_string_lossy().into_owned();
-        cmd_gen(&["--out".into(), path.clone(), "--customers".into(), "10".into()]).unwrap();
+        cmd_gen(&[
+            "--out".into(),
+            path.clone(),
+            "--customers".into(),
+            "10".into(),
+        ])
+        .unwrap();
         assert!(cmd_mine(&["--in".into(), path.clone(), "--minsup".into(), "2.0".into()]).is_err());
         assert!(cmd_mine(&[
             "--in".into(),
@@ -385,6 +423,41 @@ mod tests {
             "0.5".into(),
             "--algorithm".into(),
             "bogus".into()
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_accepts_thread_settings() {
+        let dir = std::env::temp_dir().join("seqmine_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.spmf").to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            path.clone(),
+            "--customers".into(),
+            "30".into(),
+        ])
+        .unwrap();
+        for threads in ["auto", "1", "2"] {
+            cmd_mine(&[
+                "--in".into(),
+                path.clone(),
+                "--minsup".into(),
+                "0.2".into(),
+                "--threads".into(),
+                threads.into(),
+            ])
+            .unwrap_or_else(|e| panic!("--threads {threads}: {e}"));
+        }
+        assert!(cmd_mine(&[
+            "--in".into(),
+            path,
+            "--minsup".into(),
+            "0.2".into(),
+            "--threads".into(),
+            "bogus".into(),
         ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

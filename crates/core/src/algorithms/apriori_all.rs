@@ -13,6 +13,8 @@ use crate::counting::{count_supports, large_two_sequences, CountingStrategy, Tre
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
+use seqpat_itemset::Parallelism;
+use std::time::Instant;
 
 /// Options shared by all three sequence-phase algorithms.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,6 +26,9 @@ pub struct SequencePhaseOptions {
     /// Optional hard cap on sequence length (`None` = unbounded, as in the
     /// paper).
     pub max_length: Option<usize>,
+    /// Worker threads for the counting passes. Parallel runs are
+    /// bit-identical to serial ones (see `counting`).
+    pub parallelism: Parallelism,
 }
 
 /// The large 1-sequences: every litemset id, with the support the litemset
@@ -46,6 +51,7 @@ pub fn apriori_all(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
+    let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -54,6 +60,7 @@ pub fn apriori_all(
         large: l1.len() as u64,
         backward: false,
         pruned_by_containment: 0,
+        pass_time: pass_start.elapsed(),
     });
 
     let mut all: Vec<LargeIdSequence> = Vec::new();
@@ -66,12 +73,17 @@ pub fn apriori_all(
         if options.max_length.is_some_and(|cap| k > cap) {
             break;
         }
+        let pass_start = Instant::now();
         // Pass 2 fast path: C2 is always the full |L1|² pair grid, so count
         // pairs directly in one database scan (see counting.rs).
         if k == 2 {
             all.append(&mut current);
-            let (generated, l2) =
-                large_two_sequences(tdb, min_count, &mut stats.containment_tests);
+            let (generated, l2) = large_two_sequences(
+                tdb,
+                min_count,
+                options.parallelism,
+                &mut stats.containment_tests,
+            );
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -79,6 +91,7 @@ pub fn apriori_all(
                 large: l2.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             current = l2;
             k += 1;
@@ -95,6 +108,7 @@ pub fn apriori_all(
             &candidates,
             options.counting,
             options.tree_params,
+            options.parallelism,
             &mut stats.containment_tests,
         );
         let next: Vec<LargeIdSequence> = candidates
@@ -113,6 +127,7 @@ pub fn apriori_all(
             large: next.len() as u64,
             backward: false,
             pruned_by_containment: 0,
+            pass_time: pass_start.elapsed(),
         });
         current = next;
         k += 1;

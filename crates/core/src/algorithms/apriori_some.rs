@@ -20,6 +20,7 @@ use crate::counting::{count_supports, large_two_sequences};
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
+use std::time::Instant;
 
 /// Runs AprioriSome. Returns a superset of the maximal large sequences
 /// (every returned sequence is large; non-maximal leftovers are removed by
@@ -30,6 +31,7 @@ pub fn apriori_some(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
+    let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -38,6 +40,7 @@ pub fn apriori_some(
         large: l1.len() as u64,
         backward: false,
         pruned_by_containment: 0,
+        pass_time: pass_start.elapsed(),
     });
 
     let mut forward = ForwardOutput::default();
@@ -58,12 +61,17 @@ pub fn apriori_some(
         if options.max_length.is_some_and(|cap| k > cap) {
             break;
         }
+        let pass_start = Instant::now();
         // Pass 2 fast path (C2 = the full |L1|² pair grid; count_at is
         // always 2 here, see the schedule note above).
         if k == 2 {
             debug_assert_eq!(count_at, 2);
-            let (generated, l2) =
-                large_two_sequences(tdb, min_count, &mut stats.containment_tests);
+            let (generated, l2) = large_two_sequences(
+                tdb,
+                min_count,
+                options.parallelism,
+                &mut stats.containment_tests,
+            );
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -71,6 +79,7 @@ pub fn apriori_some(
                 large: l2.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             let hit = l2.len() as f64 / generated.max(1) as f64;
             count_at = next(k, hit);
@@ -89,6 +98,7 @@ pub fn apriori_some(
                 &candidates,
                 options.counting,
                 options.tree_params,
+                options.parallelism,
                 &mut stats.containment_tests,
             );
             let lk: Vec<LargeIdSequence> = candidates
@@ -107,6 +117,7 @@ pub fn apriori_some(
                 large: lk.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             let hit = lk.len() as f64 / candidates.len() as f64;
             count_at = next(k, hit);
@@ -125,6 +136,7 @@ pub fn apriori_some(
                 large: 0,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             source = candidates.clone();
             forward.skipped.insert(k, candidates);
@@ -141,10 +153,7 @@ mod tests {
     use crate::algorithms::apriori_all::{apriori_all, tests::paper_tdb};
     use crate::phases::maximal::maximal_phase;
 
-    fn maximal_strings(
-        tdb: &TransformedDatabase,
-        seqs: Vec<LargeIdSequence>,
-    ) -> Vec<String> {
+    fn maximal_strings(tdb: &TransformedDatabase, seqs: Vec<LargeIdSequence>) -> Vec<String> {
         let mut v: Vec<String> = maximal_phase(seqs, &tdb.table)
             .into_iter()
             .map(|s| format!("{}:{}", tdb.to_sequence(&s.ids), s.support))
@@ -160,10 +169,7 @@ mod tests {
         let all = apriori_all(&tdb, 2, &SequencePhaseOptions::default(), &mut s1);
         let mut s2 = MiningStats::default();
         let some = apriori_some(&tdb, 2, &SequencePhaseOptions::default(), &mut s2);
-        assert_eq!(
-            maximal_strings(&tdb, all),
-            maximal_strings(&tdb, some)
-        );
+        assert_eq!(maximal_strings(&tdb, all), maximal_strings(&tdb, some));
         assert_eq!(
             maximal_strings(
                 &tdb,

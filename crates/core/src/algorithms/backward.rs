@@ -70,6 +70,7 @@ pub fn backward(
             kept.extend(lk);
         } else if let Some(ck) = skipped.remove(&k) {
             // Skipped in the forward phase: prune, then count the rest.
+            let pass_start = std::time::Instant::now();
             let before = ck.len() as u64;
             let remaining: Vec<IdSeq> = ck
                 .into_iter()
@@ -81,6 +82,7 @@ pub fn backward(
                 &remaining,
                 options.counting,
                 options.tree_params,
+                options.parallelism,
                 &mut stats.containment_tests,
             );
             let survivors: Vec<LargeIdSequence> = remaining
@@ -96,6 +98,7 @@ pub fn backward(
                 large: survivors.len() as u64,
                 backward: true,
                 pruned_by_containment: pruned,
+                pass_time: pass_start.elapsed(),
             });
             kept.extend(survivors);
         }
@@ -121,10 +124,9 @@ mod tests {
     fn counted_lengths_pass_through_unfiltered() {
         let tdb = paper_tdb();
         let mut forward = ForwardOutput::default();
-        forward.counted.insert(
-            1,
-            vec![ls(vec![0], 4), ls(vec![4], 3)],
-        );
+        forward
+            .counted
+            .insert(1, vec![ls(vec![0], 4), ls(vec![4], 3)]);
         forward.counted.insert(2, vec![ls(vec![0, 4], 2)]);
         let mut stats = MiningStats::default();
         let kept = backward(
@@ -154,9 +156,7 @@ mod tests {
         // Skipped C1: ⟨0⟩ (contained in ⟨0 2⟩ → pruned, never counted),
         // ⟨4⟩ (counted; support 3 → kept), ⟨1⟩ (contained via subset-
         // awareness: (40) ⊆ (40 70) → pruned).
-        forward
-            .skipped
-            .insert(1, vec![vec![0], vec![1], vec![4]]);
+        forward.skipped.insert(1, vec![vec![0], vec![1], vec![4]]);
         let mut stats = MiningStats::default();
         let kept = backward(
             &tdb,

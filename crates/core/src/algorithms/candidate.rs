@@ -30,7 +30,10 @@ pub fn generate(prev: &[IdSeq]) -> Vec<IdSeq> {
     }
     let k_minus_1 = prev[0].len();
     debug_assert!(prev.iter().all(|s| s.len() == k_minus_1));
-    debug_assert!(prev.windows(2).all(|w| w[0] < w[1]), "prev must be sorted+dedup");
+    debug_assert!(
+        prev.windows(2).all(|w| w[0] < w[1]),
+        "prev must be sorted+dedup"
+    );
 
     let mut out = Vec::new();
     let mut block_start = 0;
@@ -78,10 +81,7 @@ mod tests {
     fn k2_from_singletons_is_all_ordered_pairs() {
         let prev: Vec<IdSeq> = vec![vec![0], vec![1]];
         let got = generate(&prev);
-        assert_eq!(
-            got,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(got, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

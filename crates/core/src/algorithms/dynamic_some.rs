@@ -24,6 +24,7 @@ use crate::counting::{count_supports, large_two_sequences};
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
+use std::time::Instant;
 
 /// Runs DynamicSome with the given jump width (`step >= 1`; the paper's
 /// experiments use small steps such as 2 or 3).
@@ -40,6 +41,7 @@ pub fn dynamic_some(
     let mut forward = ForwardOutput::default();
 
     // --- Initialization phase: exact L_1 ..= L_step. ---
+    let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -48,14 +50,20 @@ pub fn dynamic_some(
         large: l1.len() as u64,
         backward: false,
         pruned_by_containment: 0,
+        pass_time: pass_start.elapsed(),
     });
     forward.counted.insert(1, l1);
 
     for k in 2..=step.min(options.max_length.unwrap_or(usize::MAX)) {
+        let pass_start = Instant::now();
         // Pass 2 fast path (shared with the other algorithms).
         if k == 2 {
-            let (generated, l2) =
-                large_two_sequences(tdb, min_count, &mut stats.containment_tests);
+            let (generated, l2) = large_two_sequences(
+                tdb,
+                min_count,
+                options.parallelism,
+                &mut stats.containment_tests,
+            );
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -63,6 +71,7 @@ pub fn dynamic_some(
                 large: l2.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             let empty = l2.is_empty();
             forward.counted.insert(k, l2);
@@ -85,6 +94,7 @@ pub fn dynamic_some(
             &candidates,
             options.counting,
             options.tree_params,
+            options.parallelism,
             &mut stats.containment_tests,
         );
         let lk: Vec<LargeIdSequence> = candidates
@@ -103,6 +113,7 @@ pub fn dynamic_some(
             large: lk.len() as u64,
             backward: false,
             pruned_by_containment: 0,
+            pass_time: pass_start.elapsed(),
         });
         let empty = lk.is_empty();
         forward.counted.insert(k, lk);
@@ -128,7 +139,12 @@ pub fn dynamic_some(
                 Some(l) if !l.is_empty() => l.iter().map(|s| s.ids.clone()).collect(),
                 _ => break,
             };
-            let counted_pairs = otf_generate(tdb, &lk_ids, &l_step_ids, &mut stats.containment_tests);
+            let pass_start = Instant::now();
+            // On-the-fly generation stays serial: it interleaves generation
+            // with counting in one scan and is bound by |L_k|·|L_step|, not
+            // by the customer scan (see DESIGN.md).
+            let counted_pairs =
+                otf_generate(tdb, &lk_ids, &l_step_ids, &mut stats.containment_tests);
             let generated = counted_pairs.len() as u64;
             let l_next: Vec<LargeIdSequence> = counted_pairs
                 .into_iter()
@@ -142,6 +158,7 @@ pub fn dynamic_some(
                 large: l_next.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
+                pass_time: pass_start.elapsed(),
             });
             let empty = l_next.is_empty();
             forward.counted.insert(target, l_next);
@@ -160,8 +177,7 @@ pub fn dynamic_some(
         .map(|(&k, _)| k)
         .max()
         .unwrap_or(1);
-    let horizon = (max_counted_nonempty + step - 1)
-        .min(options.max_length.unwrap_or(usize::MAX));
+    let horizon = (max_counted_nonempty + step - 1).min(options.max_length.unwrap_or(usize::MAX));
     for k in 2..=horizon {
         if forward.counted.contains_key(&k) {
             continue;
@@ -174,6 +190,7 @@ pub fn dynamic_some(
         } else {
             Vec::new()
         };
+        let pass_start = Instant::now();
         let ck = if source.is_empty() {
             Vec::new()
         } else {
@@ -186,6 +203,7 @@ pub fn dynamic_some(
             large: 0,
             backward: false,
             pruned_by_containment: 0,
+            pass_time: pass_start.elapsed(),
         });
         forward.skipped.insert(k, ck);
     }

@@ -10,7 +10,10 @@
 /// Returns the next length to count after counting length `k` with hit
 /// ratio `hit_k` (fraction of candidates that were large, in `[0, 1]`).
 pub fn next(k: usize, hit_k: f64) -> usize {
-    debug_assert!((0.0..=1.0).contains(&hit_k), "hit ratio out of range: {hit_k}");
+    debug_assert!(
+        (0.0..=1.0).contains(&hit_k),
+        "hit ratio out of range: {hit_k}"
+    );
     if hit_k < 0.666 {
         k + 1
     } else if hit_k < 0.75 {

@@ -127,10 +127,7 @@ mod tests {
         };
         let mut tests = 0;
         let pairs = otf_generate(&tdb, &[vec![4]], &[vec![4], vec![5]], &mut tests);
-        assert_eq!(
-            pairs,
-            vec![(vec![4, 4], 1), (vec![4, 5], 1)]
-        );
+        assert_eq!(pairs, vec![(vec![4, 4], 1), (vec![4, 5], 1)]);
     }
 
     #[test]

@@ -15,10 +15,25 @@
 //! tests at the workspace level) and both report the number of exact
 //! containment tests performed, which the harness uses as a
 //! machine-independent cost measure.
+//!
+//! ## Parallel counting
+//!
+//! Support is counted per customer, each customer at most once, so both
+//! strategies shard `tdb.customers` into contiguous chunks via
+//! [`seqpat_itemset::parallel::map_chunks`]: every worker owns a private
+//! support array plus private scratch (the presence bitmap for `Direct`,
+//! a [`VisitSet`] for `HashTree` — the [`SequenceHashTree`] itself is
+//! built once and shared immutably), and the per-chunk arrays and test
+//! counters are reduced in chunk order. Since the per-candidate counts
+//! are exact `u64` sums, parallel runs are **bit-identical** to serial
+//! runs — supports, large-sequence sets, and `containment_tests` all
+//! match regardless of thread count or OS scheduling.
 
 use crate::contain::customer_contains;
 use crate::hash_tree::{SequenceHashTree, VisitSet};
 use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use seqpat_itemset::parallel::map_chunks;
+use seqpat_itemset::Parallelism;
 
 /// Strategy for counting candidate supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,9 +63,10 @@ impl Default for TreeParams {
     }
 }
 
-/// Counts the support of every candidate. Returns per-candidate customer
+/// Counts the support of every candidate, sharding customers over the
+/// workers `parallelism` resolves to. Returns per-candidate customer
 /// counts and adds the number of exact containment tests to
-/// `containment_tests`.
+/// `containment_tests`; both are bit-identical across thread counts.
 ///
 /// All candidates must share one length (the per-pass invariant of every
 /// algorithm in this crate).
@@ -59,48 +75,72 @@ pub fn count_supports(
     candidates: &[Vec<LitemsetId>],
     strategy: CountingStrategy,
     tree_params: TreeParams,
+    parallelism: Parallelism,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
+    let threads = parallelism.resolved_threads();
     match strategy {
-        CountingStrategy::Direct => count_direct(tdb, candidates, containment_tests),
+        CountingStrategy::Direct => count_direct(tdb, candidates, threads, containment_tests),
         CountingStrategy::HashTree => {
-            count_hash_tree(tdb, candidates, tree_params, containment_tests)
+            count_hash_tree(tdb, candidates, tree_params, threads, containment_tests)
         }
     }
+}
+
+/// Sums per-chunk `(supports, tests)` results in chunk order; exact `u64`
+/// addition makes the totals independent of the chunking.
+fn merge_counts(
+    partials: Vec<(Vec<u64>, u64)>,
+    num_candidates: usize,
+    containment_tests: &mut u64,
+) -> Vec<u64> {
+    let mut supports = vec![0u64; num_candidates];
+    for (partial, tests) in partials {
+        for (total, v) in supports.iter_mut().zip(partial) {
+            *total += v;
+        }
+        *containment_tests += tests;
+    }
+    supports
 }
 
 fn count_direct(
     tdb: &TransformedDatabase,
     candidates: &[Vec<LitemsetId>],
+    threads: usize,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
     let num_litemsets = tdb.table.len();
-    let mut supports = vec![0u64; candidates.len()];
-    let mut bitmap = vec![false; num_litemsets];
-    for customer in &tdb.customers {
-        if customer.elements.is_empty() {
-            continue;
-        }
-        bitmap.iter_mut().for_each(|b| *b = false);
-        for element in &customer.elements {
-            for &id in element {
-                bitmap[id as usize] = true;
-            }
-        }
-        for (idx, cand) in candidates.iter().enumerate() {
-            if cand.len() > customer.elements.len() {
+    let partials = map_chunks(&tdb.customers, threads, |chunk| {
+        let mut supports = vec![0u64; candidates.len()];
+        let mut tests = 0u64;
+        let mut bitmap = vec![false; num_litemsets];
+        for customer in chunk {
+            if customer.elements.is_empty() {
                 continue;
             }
-            if !cand.iter().all(|&id| bitmap[id as usize]) {
-                continue;
+            bitmap.iter_mut().for_each(|b| *b = false);
+            for element in &customer.elements {
+                for &id in element {
+                    bitmap[id as usize] = true;
+                }
             }
-            *containment_tests += 1;
-            if customer_contains(customer, cand) {
-                supports[idx] += 1;
+            for (idx, cand) in candidates.iter().enumerate() {
+                if cand.len() > customer.elements.len() {
+                    continue;
+                }
+                if !cand.iter().all(|&id| bitmap[id as usize]) {
+                    continue;
+                }
+                tests += 1;
+                if customer_contains(customer, cand) {
+                    supports[idx] += 1;
+                }
             }
         }
-    }
-    supports
+        (supports, tests)
+    });
+    merge_counts(partials, candidates.len(), containment_tests)
 }
 
 /// Fast path for pass 2 (the candidate set is always **all** `|L1|²`
@@ -113,41 +153,56 @@ fn count_direct(
 /// Returns `(number_of_candidate_pairs, large_two_sequences)` with the
 /// large sequences in lexicographic id order. `containment_tests` is
 /// incremented once per distinct `(a, b)` pair observed per customer.
+///
+/// Customers are sharded over the workers `parallelism` resolves to, each
+/// with a private [`PairCounts`] (dense workers cost `n²` u32 apiece —
+/// bounded by `DENSE_LIMIT` at 64 MiB per worker), merged in chunk order.
 pub fn large_two_sequences(
     tdb: &TransformedDatabase,
     min_count: u64,
+    parallelism: Parallelism,
     containment_tests: &mut u64,
 ) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
     let n = tdb.table.len();
     let candidates = (n as u64) * (n as u64);
-    let mut counts = PairCounts::new(n);
-    // Per-customer pair set: collect, sort, dedup, then bump global counts.
-    let mut pairs: Vec<(LitemsetId, LitemsetId)> = Vec::new();
-    let mut seen_before: Vec<LitemsetId> = Vec::new();
-    for customer in &tdb.customers {
-        if customer.elements.len() < 2 {
-            continue;
-        }
-        pairs.clear();
-        seen_before.clear();
-        for element in &customer.elements {
-            if !seen_before.is_empty() {
-                for &b in element {
-                    for &a in &seen_before {
-                        pairs.push((a, b));
+    let threads = parallelism.resolved_threads();
+    let partials = map_chunks(&tdb.customers, threads, |chunk| {
+        let mut counts = PairCounts::new(n);
+        let mut tests = 0u64;
+        // Per-customer pair set: collect, sort, dedup, then bump counts.
+        let mut pairs: Vec<(LitemsetId, LitemsetId)> = Vec::new();
+        let mut seen_before: Vec<LitemsetId> = Vec::new();
+        for customer in chunk {
+            if customer.elements.len() < 2 {
+                continue;
+            }
+            pairs.clear();
+            seen_before.clear();
+            for element in &customer.elements {
+                if !seen_before.is_empty() {
+                    for &b in element {
+                        for &a in &seen_before {
+                            pairs.push((a, b));
+                        }
                     }
                 }
+                seen_before.extend_from_slice(element);
+                seen_before.sort_unstable();
+                seen_before.dedup();
             }
-            seen_before.extend_from_slice(element);
-            seen_before.sort_unstable();
-            seen_before.dedup();
+            pairs.sort_unstable();
+            pairs.dedup();
+            tests += pairs.len() as u64;
+            for &(a, b) in &pairs {
+                counts.bump(a, b);
+            }
         }
-        pairs.sort_unstable();
-        pairs.dedup();
-        *containment_tests += pairs.len() as u64;
-        for &(a, b) in &pairs {
-            counts.bump(a, b);
-        }
+        (counts, tests)
+    });
+    let mut counts = PairCounts::new(n);
+    for (partial, tests) in partials {
+        counts.merge(partial);
+        *containment_tests += tests;
     }
     (candidates, counts.into_large(min_count))
 }
@@ -177,6 +232,24 @@ impl PairCounts {
         match self {
             PairCounts::Dense { n, counts } => counts[a as usize * *n + b as usize] += 1,
             PairCounts::Sparse(map) => *map.entry((a, b)).or_insert(0) += 1,
+        }
+    }
+
+    /// Adds another worker's counts into this one. The variant is a pure
+    /// function of `n`, so chunks always agree on the storage shape.
+    fn merge(&mut self, other: PairCounts) {
+        match (self, other) {
+            (PairCounts::Dense { counts, .. }, PairCounts::Dense { counts: o, .. }) => {
+                for (total, v) in counts.iter_mut().zip(o) {
+                    *total += v;
+                }
+            }
+            (PairCounts::Sparse(map), PairCounts::Sparse(o)) => {
+                for (pair, v) in o {
+                    *map.entry(pair).or_insert(0) += v;
+                }
+            }
+            _ => unreachable!("PairCounts variants diverged for one alphabet size"),
         }
     }
 
@@ -217,17 +290,23 @@ fn count_hash_tree(
     tdb: &TransformedDatabase,
     candidates: &[Vec<LitemsetId>],
     params: TreeParams,
+    threads: usize,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
+    // Built once, shared immutably by every worker.
     let tree = SequenceHashTree::build(candidates, params.fanout, params.leaf_capacity);
-    let mut supports = vec![0u64; candidates.len()];
-    let mut seen = VisitSet::new(candidates.len());
-    for customer in &tdb.customers {
-        tree.for_each_contained(customer, candidates, &mut seen, containment_tests, &mut |id| {
-            supports[id as usize] += 1;
-        });
-    }
-    supports
+    let partials = map_chunks(&tdb.customers, threads, |chunk| {
+        let mut supports = vec![0u64; candidates.len()];
+        let mut tests = 0u64;
+        let mut seen = VisitSet::new(candidates.len());
+        for customer in chunk {
+            tree.for_each_contained(customer, candidates, &mut seen, &mut tests, &mut |id| {
+                supports[id as usize] += 1;
+            });
+        }
+        (supports, tests)
+    });
+    merge_counts(partials, candidates.len(), containment_tests)
 }
 
 #[cfg(test)]
@@ -275,6 +354,7 @@ mod tests {
             &candidates,
             CountingStrategy::Direct,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut t1,
         );
         let mut t2 = 0;
@@ -283,6 +363,7 @@ mod tests {
             &candidates,
             CountingStrategy::HashTree,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut t2,
         );
         assert_eq!(direct, vec![2, 2, 0, 2]);
@@ -302,6 +383,7 @@ mod tests {
             &[vec![2, 4]],
             CountingStrategy::Direct,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut tests,
         );
         assert_eq!(supports, vec![1]); // only customer 4
@@ -317,6 +399,7 @@ mod tests {
             &[],
             CountingStrategy::HashTree,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut tests,
         );
         assert!(supports.is_empty());
@@ -327,7 +410,7 @@ mod tests {
     fn fast_pair_counting_matches_generic_counting() {
         let db = tdb();
         let mut t = 0;
-        let (n_candidates, l2) = large_two_sequences(&db, 2, &mut t);
+        let (n_candidates, l2) = large_two_sequences(&db, 2, Parallelism::Serial, &mut t);
         assert_eq!(n_candidates, 25);
         // Cross-check against generic counting of all ordered pairs.
         let all_pairs: Vec<Vec<LitemsetId>> = (0..5)
@@ -339,6 +422,7 @@ mod tests {
             &all_pairs,
             CountingStrategy::Direct,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut t2,
         );
         let expected: Vec<(Vec<LitemsetId>, u64)> = all_pairs
@@ -346,8 +430,7 @@ mod tests {
             .zip(generic)
             .filter(|&(_, c)| c >= 2)
             .collect();
-        let got: Vec<(Vec<LitemsetId>, u64)> =
-            l2.into_iter().map(|s| (s.ids, s.support)).collect();
+        let got: Vec<(Vec<LitemsetId>, u64)> = l2.into_iter().map(|s| (s.ids, s.support)).collect();
         assert_eq!(got, expected);
     }
 
@@ -367,7 +450,7 @@ mod tests {
             total_customers: 1,
         };
         let mut t = 0;
-        let (_, l2) = large_two_sequences(&db, 1, &mut t);
+        let (_, l2) = large_two_sequences(&db, 1, Parallelism::Serial, &mut t);
         assert_eq!(l2.len(), 1);
         assert_eq!(l2[0].ids, vec![0, 0]);
         assert_eq!(l2[0].support, 1);
@@ -388,6 +471,7 @@ mod tests {
                 fanout: 2,
                 leaf_capacity: 1,
             },
+            Parallelism::Serial,
             &mut t,
         );
         let mut t2 = 0;
@@ -396,8 +480,181 @@ mod tests {
             &candidates,
             CountingStrategy::Direct,
             TreeParams::default(),
+            Parallelism::Serial,
             &mut t2,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_counting_matches_serial_on_fixture() {
+        let db = tdb();
+        let candidates: Vec<Vec<LitemsetId>> =
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![4, 0]];
+        for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+            let mut serial_tests = 0;
+            let serial = count_supports(
+                &db,
+                &candidates,
+                strategy,
+                TreeParams::default(),
+                Parallelism::Serial,
+                &mut serial_tests,
+            );
+            for threads in [2, 3, 7, 64] {
+                let mut tests = 0;
+                let parallel = count_supports(
+                    &db,
+                    &candidates,
+                    strategy,
+                    TreeParams::default(),
+                    Parallelism::threads(threads),
+                    &mut tests,
+                );
+                assert_eq!(parallel, serial, "{strategy:?} with {threads} threads");
+                assert_eq!(tests, serial_tests, "{strategy:?} with {threads} threads");
+            }
+        }
+        let mut serial_tests = 0;
+        let serial = large_two_sequences(&db, 2, Parallelism::Serial, &mut serial_tests);
+        for threads in [2, 3, 7, 64] {
+            let mut tests = 0;
+            let parallel = large_two_sequences(&db, 2, Parallelism::threads(threads), &mut tests);
+            assert_eq!(parallel, serial);
+            assert_eq!(tests, serial_tests);
+        }
+    }
+}
+
+/// Property tests pinning the tentpole guarantee: for any generated
+/// database and candidate set, every thread count produces supports and
+/// containment-test counters bit-identical to the serial run, for both
+/// counting strategies.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::types::itemset::Itemset;
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+    use proptest::prelude::*;
+
+    const NUM_LITEMSETS: usize = 6;
+
+    /// Builds a transformed database from generated raw shape data. The
+    /// customer list may be empty, and individual customers may have no
+    /// elements at all.
+    fn build_tdb(raw: Vec<Vec<Vec<u8>>>) -> TransformedDatabase {
+        let table = LitemsetTable::new(
+            (0..NUM_LITEMSETS as u32)
+                .map(|i| (Itemset::new(vec![i + 1]), 1))
+                .collect::<Vec<_>>(),
+        );
+        let total = raw.len();
+        let customers = raw
+            .into_iter()
+            .enumerate()
+            .map(|(cid, elements)| TransformedCustomer {
+                customer_id: cid as u64 + 1,
+                elements: elements
+                    .into_iter()
+                    .map(|element| {
+                        let mut ids: Vec<LitemsetId> = element
+                            .into_iter()
+                            .map(|x| (x as usize % NUM_LITEMSETS) as LitemsetId)
+                            .collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids
+                    })
+                    .filter(|ids| !ids.is_empty())
+                    .collect(),
+            })
+            .collect();
+        TransformedDatabase {
+            customers,
+            table,
+            total_customers: total,
+        }
+    }
+
+    fn build_candidates(raw: Vec<(u8, u8, u8)>, len: usize) -> Vec<Vec<LitemsetId>> {
+        let mut candidates: Vec<Vec<LitemsetId>> = raw
+            .into_iter()
+            .map(|(a, b, c)| {
+                [a, b, c][..len]
+                    .iter()
+                    .map(|&x| (x as usize % NUM_LITEMSETS) as LitemsetId)
+                    .collect()
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn thread_count_never_changes_counting_results(
+            raw_db in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(0u8..12, 1..4),
+                    0..6,
+                ),
+                0..9,
+            ),
+            raw_cands in proptest::collection::vec((0u8..12, 0u8..12, 0u8..12), 0..12),
+            cand_len in 2usize..4,
+        ) {
+            let db = build_tdb(raw_db);
+            let candidates = build_candidates(raw_cands, cand_len);
+            for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+                let mut serial_tests = 0u64;
+                let serial = count_supports(
+                    &db,
+                    &candidates,
+                    strategy,
+                    TreeParams::default(),
+                    Parallelism::Serial,
+                    &mut serial_tests,
+                );
+                for threads in [1usize, 2, 3, 7] {
+                    let mut tests = 0u64;
+                    let parallel = count_supports(
+                        &db,
+                        &candidates,
+                        strategy,
+                        TreeParams::default(),
+                        Parallelism::threads(threads),
+                        &mut tests,
+                    );
+                    prop_assert_eq!(&parallel, &serial);
+                    prop_assert_eq!(tests, serial_tests);
+                }
+            }
+        }
+
+        #[test]
+        fn thread_count_never_changes_pair_counting(
+            raw_db in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(0u8..12, 1..4),
+                    0..6,
+                ),
+                0..9,
+            ),
+            min_count in 1u64..4,
+        ) {
+            let db = build_tdb(raw_db);
+            let mut serial_tests = 0u64;
+            let serial = large_two_sequences(&db, min_count, Parallelism::Serial, &mut serial_tests);
+            for threads in [1usize, 2, 3, 7] {
+                let mut tests = 0u64;
+                let parallel =
+                    large_two_sequences(&db, min_count, Parallelism::threads(threads), &mut tests);
+                prop_assert_eq!(&parallel.1, &serial.1);
+                prop_assert_eq!(parallel.0, serial.0);
+                prop_assert_eq!(tests, serial_tests);
+            }
+        }
     }
 }

@@ -130,8 +130,7 @@ fn insert(
             ids.push(idx);
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
-                let mut children: Vec<Node> =
-                    (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
+                let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
                     let c = &candidates[id as usize];
                     match &mut children[bucket(c[depth], fanout)] {

@@ -62,6 +62,7 @@ pub mod types;
 pub use algorithms::Algorithm;
 pub use counting::CountingStrategy;
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
+pub use seqpat_itemset::Parallelism;
 pub use stats::{MiningStats, SequencePassStats};
 pub use support::MinSupport;
 pub use types::database::{CustomerSequence, Database, Transaction};

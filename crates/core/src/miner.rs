@@ -13,6 +13,7 @@ use crate::support::MinSupport;
 use crate::types::database::Database;
 use crate::types::sequence::Sequence;
 use crate::types::transformed::TransformedDatabase;
+use seqpat_itemset::Parallelism;
 
 /// Full configuration of a mining run.
 #[derive(Debug, Clone)]
@@ -35,6 +36,12 @@ pub struct MinerConfig {
     /// variants deliberately avoid determining non-maximal sequences, so for
     /// them this flag yields whatever their backward phase retained.
     pub include_non_maximal: bool,
+    /// Worker threads for support counting (litemset and sequence phases).
+    /// Defaults to [`Parallelism::Auto`] (one thread per core). Parallel
+    /// runs produce bit-identical results to serial ones. This setting
+    /// overrides `apriori.parallelism` so one knob governs the whole
+    /// pipeline.
+    pub parallelism: Parallelism,
 }
 
 impl MinerConfig {
@@ -49,6 +56,7 @@ impl MinerConfig {
             apriori: seqpat_itemset::AprioriConfig::default(),
             max_length: None,
             include_non_maximal: false,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -73,6 +81,12 @@ impl MinerConfig {
     /// Requests all large sequences instead of only the maximal ones.
     pub fn include_non_maximal(mut self, yes: bool) -> Self {
         self.include_non_maximal = yes;
+        self
+    }
+
+    /// Sets the worker-thread policy for support counting.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -143,7 +157,10 @@ impl Miner {
         let min_count = self.config.min_support.to_count(db.num_customers());
 
         let t0 = Instant::now();
-        let lit = litemset_phase(db, min_count, &self.config.apriori);
+        // The miner-level knob governs the litemset phase too.
+        let mut apriori = self.config.apriori.clone();
+        apriori.parallelism = self.config.parallelism;
+        let lit = litemset_phase(db, min_count, &apriori);
         stats.litemset_time = t0.elapsed();
         stats.num_litemsets = lit.table.len() as u64;
         stats.litemset_passes = lit.passes;
@@ -175,7 +192,9 @@ impl Miner {
             counting: self.config.counting,
             tree_params: self.config.tree_params,
             max_length: self.config.max_length,
+            parallelism: self.config.parallelism,
         };
+        stats.threads_used = self.config.parallelism.resolved_threads();
 
         let t2 = Instant::now();
         let large: Vec<LargeIdSequence> = match self.config.algorithm {
@@ -261,10 +280,9 @@ mod tests {
 
     #[test]
     fn include_non_maximal_reports_all_large_sequences() {
-        let result = Miner::new(
-            MinerConfig::new(MinSupport::Fraction(0.25)).include_non_maximal(true),
-        )
-        .mine(&paper_db());
+        let result =
+            Miner::new(MinerConfig::new(MinSupport::Fraction(0.25)).include_non_maximal(true))
+                .mine(&paper_db());
         assert_eq!(result.patterns.len(), 9);
         // Sorted by length first.
         assert!(result.patterns[0].sequence.len() <= result.patterns[8].sequence.len());
@@ -272,8 +290,7 @@ mod tests {
 
     #[test]
     fn result_metadata() {
-        let result =
-            Miner::new(MinerConfig::new(MinSupport::Fraction(0.25))).mine(&paper_db());
+        let result = Miner::new(MinerConfig::new(MinSupport::Fraction(0.25))).mine(&paper_db());
         assert_eq!(result.num_customers, 5);
         assert_eq!(result.min_support_count, 2);
         assert_eq!(result.stats.maximal_sequences, 2);
@@ -296,6 +313,29 @@ mod tests {
             Miner::new(MinerConfig::new(MinSupport::Fraction(0.5))).mine(&Database::default());
         assert!(result.patterns.is_empty());
         assert_eq!(result.num_customers, 0);
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial() {
+        let db = paper_db();
+        let serial = Miner::new(
+            MinerConfig::new(MinSupport::Fraction(0.25)).parallelism(Parallelism::Serial),
+        )
+        .mine(&db);
+        assert_eq!(serial.stats.threads_used, 1);
+        for threads in [2, 3, 7] {
+            let parallel = Miner::new(
+                MinerConfig::new(MinSupport::Fraction(0.25))
+                    .parallelism(Parallelism::threads(threads)),
+            )
+            .mine(&db);
+            assert_eq!(parallel.patterns, serial.patterns);
+            assert_eq!(
+                parallel.stats.containment_tests,
+                serial.stats.containment_tests
+            );
+            assert_eq!(parallel.stats.threads_used, threads);
+        }
     }
 
     #[test]

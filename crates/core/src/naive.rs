@@ -82,9 +82,7 @@ pub fn naive_all_large(
         frontier = next;
         level += 1;
     }
-    result.sort_by(|a, b| {
-        (a.0.len(), a.0.elements()).cmp(&(b.0.len(), b.0.elements()))
-    });
+    result.sort_by(|a, b| (a.0.len(), a.0.elements()).cmp(&(b.0.len(), b.0.elements())));
     result
 }
 
@@ -99,9 +97,7 @@ pub fn naive_maximal(
     // Containers first: by length, then total items (equal-length
     // containment implies element-wise subsets) — same argument as in
     // [`crate::phases::maximal`].
-    all.sort_by(|a, b| {
-        (b.0.len(), b.0.total_items()).cmp(&(a.0.len(), a.0.total_items()))
-    });
+    all.sort_by_key(|a| std::cmp::Reverse((a.0.len(), a.0.total_items())));
     let mut kept: Vec<(Sequence, u64)> = Vec::new();
     'outer: for (seq, support) in all {
         for (k, _) in &kept {

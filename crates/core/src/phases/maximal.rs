@@ -28,7 +28,10 @@ pub struct LargeIdSequence {
 ///
 /// Output keeps longest-first order (ties keep relative input order), which
 /// is a convenient presentation order; callers re-sort as needed.
-pub fn maximal_phase(mut large: Vec<LargeIdSequence>, table: &LitemsetTable) -> Vec<LargeIdSequence> {
+pub fn maximal_phase(
+    mut large: Vec<LargeIdSequence>,
+    table: &LitemsetTable,
+) -> Vec<LargeIdSequence> {
     // Containers-first order: a container is longer, or — at equal length —
     // has at least as many total items (equal-length containment forces the
     // identity index mapping, hence element-wise subsets). Sorting by
@@ -36,9 +39,7 @@ pub fn maximal_phase(mut large: Vec<LargeIdSequence>, table: &LitemsetTable) -> 
     // precedes what it contains, so one forward scan suffices.
     let total_items =
         |s: &LargeIdSequence| -> usize { s.ids.iter().map(|&id| table.itemset(id).len()).sum() };
-    large.sort_by(|a, b| {
-        (b.ids.len(), total_items(b)).cmp(&(a.ids.len(), total_items(a)))
-    });
+    large.sort_by_key(|a| std::cmp::Reverse((a.ids.len(), total_items(a))));
     let mut kept: Vec<LargeIdSequence> = Vec::new();
     'candidates: for cand in large {
         for keeper in &kept {

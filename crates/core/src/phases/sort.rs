@@ -148,20 +148,19 @@ mod tests {
     fn window_changes_mined_patterns() {
         // Two customers buy 1 then 2 a day apart. Without a window the
         // pattern is ⟨(1)(2)⟩; with a 1-day window it becomes ⟨(1 2)⟩.
-        use crate::{Miner, MinerConfig, MinSupport};
+        use crate::{MinSupport, Miner, MinerConfig};
         let rows = vec![
             (1, 0, vec![1]),
             (1, 1, vec![2]),
             (2, 0, vec![1]),
             (2, 1, vec![2]),
         ];
-        let plain = Miner::new(MinerConfig::new(MinSupport::Count(2)))
-            .mine(&sort_phase(rows.clone()));
-        let windowed = Miner::new(MinerConfig::new(MinSupport::Count(2)))
-            .mine(&sort_phase_windowed(rows, 1));
-        let strs = |r: &crate::MiningResult| {
-            r.patterns.iter().map(|p| p.to_string()).collect::<Vec<_>>()
-        };
+        let plain =
+            Miner::new(MinerConfig::new(MinSupport::Count(2))).mine(&sort_phase(rows.clone()));
+        let windowed =
+            Miner::new(MinerConfig::new(MinSupport::Count(2))).mine(&sort_phase_windowed(rows, 1));
+        let strs =
+            |r: &crate::MiningResult| r.patterns.iter().map(|p| p.to_string()).collect::<Vec<_>>();
         assert_eq!(strs(&plain), vec!["<(1)(2)>"]);
         assert_eq!(strs(&windowed), vec!["<(1 2)>"]);
     }

@@ -9,7 +9,9 @@
 //! supports a candidate is pure integer work.
 
 use crate::types::database::Database;
-use crate::types::transformed::{LitemsetId, LitemsetTable, TransformedCustomer, TransformedDatabase};
+use crate::types::transformed::{
+    LitemsetId, LitemsetTable, TransformedCustomer, TransformedDatabase,
+};
 
 /// Runs the transformation phase.
 pub fn transform_phase(db: &Database, table: LitemsetTable) -> TransformedDatabase {

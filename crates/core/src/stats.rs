@@ -27,6 +27,8 @@ pub struct SequencePassStats {
     /// Candidates deleted before counting because they were contained in an
     /// already-known larger large sequence (backward passes only).
     pub pruned_by_containment: u64,
+    /// Wall time of this pass (generation + counting).
+    pub pass_time: Duration,
 }
 
 /// Aggregate statistics for one mining run.
@@ -57,6 +59,9 @@ pub struct MiningStats {
     pub large_sequences: u64,
     /// Maximal large sequences (the answer size).
     pub maximal_sequences: u64,
+    /// Worker threads the counting passes were configured to use (the
+    /// resolved value of the miner's [`crate::Parallelism`] setting).
+    pub threads_used: usize,
 }
 
 impl MiningStats {
@@ -87,6 +92,7 @@ mod tests {
             large: 4,
             backward: false,
             pruned_by_containment: 0,
+            pass_time: Duration::from_millis(2),
         });
         stats.record_pass(SequencePassStats {
             k: 3,
@@ -95,6 +101,7 @@ mod tests {
             large: 0,
             backward: false,
             pruned_by_containment: 0,
+            pass_time: Duration::ZERO,
         });
         stats.record_pass(SequencePassStats {
             k: 3,
@@ -103,6 +110,7 @@ mod tests {
             large: 1,
             backward: true,
             pruned_by_containment: 5,
+            pass_time: Duration::from_millis(1),
         });
         assert_eq!(stats.candidates_generated, 16);
         assert_eq!(stats.candidates_counted, 11);

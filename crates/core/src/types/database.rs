@@ -142,11 +142,7 @@ mod tests {
 
     #[test]
     fn counters() {
-        let db = Database::from_rows(vec![
-            (1, 1, vec![1, 2]),
-            (1, 2, vec![3]),
-            (2, 1, vec![4]),
-        ]);
+        let db = Database::from_rows(vec![(1, 1, vec![1, 2]), (1, 2, vec![3]), (2, 1, vec![4])]);
         assert_eq!(db.num_customers(), 2);
         assert_eq!(db.num_transactions(), 3);
         assert_eq!(db.num_item_occurrences(), 4);

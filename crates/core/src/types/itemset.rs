@@ -22,7 +22,10 @@ impl Itemset {
     /// Panics if `items` is empty — the paper's itemsets are non-empty, and
     /// an empty element would make containment semantics degenerate.
     pub fn new(mut items: Vec<Item>) -> Self {
-        assert!(!items.is_empty(), "an itemset must contain at least one item");
+        assert!(
+            !items.is_empty(),
+            "an itemset must contain at least one item"
+        );
         items.sort_unstable();
         items.dedup();
         Self { items }
@@ -32,7 +35,10 @@ impl Itemset {
     /// duplicate-free (checked in debug builds only).
     pub fn from_sorted(items: Vec<Item>) -> Self {
         debug_assert!(!items.is_empty());
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly ascending");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly ascending"
+        );
         Self { items }
     }
 

@@ -19,7 +19,10 @@ impl Sequence {
     /// # Panics
     /// Panics when `elements` is empty; the paper's sequences have length ≥ 1.
     pub fn new(elements: Vec<Itemset>) -> Self {
-        assert!(!elements.is_empty(), "a sequence must have at least one element");
+        assert!(
+            !elements.is_empty(),
+            "a sequence must have at least one element"
+        );
         Self { elements }
     }
 
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn display_notation() {
-        assert_eq!(seq(vec![vec![30], vec![40, 70]]).to_string(), "<(30)(40 70)>");
+        assert_eq!(
+            seq(vec![vec![30], vec![40, 70]]).to_string(),
+            "<(30)(40 70)>"
+        );
     }
 
     #[test]

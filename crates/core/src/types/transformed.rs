@@ -122,7 +122,9 @@ impl TransformedDatabase {
     /// Maps an id-sequence back to the original itemset sequence.
     pub fn to_sequence(&self, ids: &[LitemsetId]) -> crate::types::sequence::Sequence {
         crate::types::sequence::Sequence::new(
-            ids.iter().map(|&id| self.table.itemset(id).clone()).collect(),
+            ids.iter()
+                .map(|&id| self.table.itemset(id).clone())
+                .collect(),
         )
     }
 }

@@ -3,9 +3,7 @@
 
 use rand::Rng;
 
-use crate::distributions::{
-    clamped_normal, exponential, poisson_at_least_one, WeightedIndex,
-};
+use crate::distributions::{clamped_normal, exponential, poisson_at_least_one, WeightedIndex};
 use crate::params::GenParams;
 use seqpat_core::Item;
 

@@ -25,11 +25,7 @@ pub fn generate(params: &GenParams, seed: u64) -> Database {
 /// Like [`generate`] but reuses a pre-built corpus — the scale-up
 /// experiments grow `|D|` with the *same* underlying pattern tables, as the
 /// paper does.
-pub fn generate_with_corpus(
-    params: &GenParams,
-    corpus: &Corpus,
-    rng: &mut StdRng,
-) -> Database {
+pub fn generate_with_corpus(params: &GenParams, corpus: &Corpus, rng: &mut StdRng) -> Database {
     let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
     for customer_id in 0..params.num_customers as u64 {
         let n_transactions =
@@ -101,10 +97,7 @@ pub fn generate_with_corpus(
 
 /// Corruption: drop random items while `U(0,1)` stays below the itemset's
 /// corruption level (VLDB'94 §4).
-fn corrupt_itemset(
-    potential: &crate::corpus::PotentialItemset,
-    rng: &mut impl Rng,
-) -> Vec<Item> {
+fn corrupt_itemset(potential: &crate::corpus::PotentialItemset, rng: &mut impl Rng) -> Vec<Item> {
     let mut keep = potential.items.clone();
     while !keep.is_empty() && rng.gen::<f64>() < potential.corruption {
         let victim = rng.gen_range(0..keep.len());
@@ -181,7 +174,7 @@ mod tests {
         // The whole point of the generator: frequent sequential patterns
         // must exist. Mine with a modest threshold and expect at least one
         // multi-element maximal sequence.
-        use seqpat_core::{Miner, MinerConfig, MinSupport};
+        use seqpat_core::{MinSupport, Miner, MinerConfig};
         let p = quick_params();
         let db = generate(&p, 21);
         // A high-ish threshold keeps this fast under the dev profile; the

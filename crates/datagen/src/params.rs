@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let p = GenParams::default().customers(77).items(123).corpus_size(10, 20);
+        let p = GenParams::default()
+            .customers(77)
+            .items(123)
+            .corpus_size(10, 20);
         assert_eq!(p.num_customers, 77);
         assert_eq!(p.num_items, 123);
         assert_eq!(p.num_potential_sequences, 10);

@@ -205,10 +205,7 @@ mod tests {
         // Contiguous: drop 1 (first element) or 3 (last element); dropping
         // the interior singleton (2) is NOT contiguous.
         let contiguous = delete_one_subsequences(&s, true);
-        assert_eq!(
-            contiguous,
-            vec![seq(&[&[2], &[3]]), seq(&[&[1], &[2]])]
-        );
+        assert_eq!(contiguous, vec![seq(&[&[2], &[3]]), seq(&[&[1], &[2]])]);
         let all = delete_one_subsequences(&s, false);
         assert_eq!(all.len(), 3);
         assert!(all.contains(&seq(&[&[1], &[3]])));
@@ -225,14 +222,8 @@ mod tests {
     #[test]
     fn extend_rejects_duplicate_item_in_element() {
         assert_eq!(extend(&seq(&[&[1, 2]]), 2, false), None);
-        assert_eq!(
-            extend(&seq(&[&[1]]), 2, false),
-            Some(seq(&[&[1, 2]]))
-        );
-        assert_eq!(
-            extend(&seq(&[&[1]]), 1, true),
-            Some(seq(&[&[1], &[1]]))
-        );
+        assert_eq!(extend(&seq(&[&[1]]), 2, false), Some(seq(&[&[1, 2]])));
+        assert_eq!(extend(&seq(&[&[1]]), 1, true), Some(seq(&[&[1], &[1]])));
     }
 
     #[test]

@@ -38,8 +38,10 @@ impl From<&seqpat_core::CustomerSequence> for DataSequence {
             .iter()
             .map(|t| (t.time, t.items.items().to_vec()))
             .collect();
-        let mut all_items: Vec<Item> =
-            transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mut all_items: Vec<Item> = transactions
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .collect();
         all_items.sort_unstable();
         all_items.dedup();
         Self {
@@ -156,8 +158,10 @@ mod tests {
     fn data(rows: &[(i64, &[Item])]) -> DataSequence {
         let transactions: Vec<(i64, Vec<Item>)> =
             rows.iter().map(|&(t, items)| (t, items.to_vec())).collect();
-        let mut all_items: Vec<Item> =
-            transactions.iter().flat_map(|(_, i)| i.iter().copied()).collect();
+        let mut all_items: Vec<Item> = transactions
+            .iter()
+            .flat_map(|(_, i)| i.iter().copied())
+            .collect();
         all_items.sort_unstable();
         all_items.dedup();
         DataSequence {
@@ -175,7 +179,11 @@ mod tests {
         let d = data(&[(1, &[30]), (2, &[40, 70]), (3, &[90])]);
         let cfg = GspConfig::default();
         assert!(contains_with_constraints(&d, &seq(&[&[30], &[90]]), &cfg));
-        assert!(contains_with_constraints(&d, &seq(&[&[30], &[40, 70]]), &cfg));
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[30], &[40, 70]]),
+            &cfg
+        ));
         assert!(!contains_with_constraints(&d, &seq(&[&[90], &[30]]), &cfg));
         assert!(!contains_with_constraints(&d, &seq(&[&[30, 90]]), &cfg));
     }
@@ -241,7 +249,11 @@ mod tests {
         let cfg = GspConfig::default().window(2).min_gap(5);
         assert!(contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg));
         let d2 = data(&[(0, &[1]), (2, &[2]), (6, &[3])]);
-        assert!(!contains_with_constraints(&d2, &seq(&[&[1, 2], &[3]]), &cfg));
+        assert!(!contains_with_constraints(
+            &d2,
+            &seq(&[&[1, 2], &[3]]),
+            &cfg
+        ));
     }
 
     #[test]
@@ -253,7 +265,11 @@ mod tests {
         let cfg = GspConfig::default().window(2).max_gap(6);
         assert!(!contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg));
         let cfg_loose = GspConfig::default().window(2).max_gap(7);
-        assert!(contains_with_constraints(&d, &seq(&[&[1, 2], &[3]]), &cfg_loose));
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[&[1, 2], &[3]]),
+            &cfg_loose
+        ));
     }
 
     #[test]
@@ -261,13 +277,7 @@ mod tests {
         // ⟨(1)(2)(3)⟩, max_gap 10. Greedy earliest: 1@0 → 2@5 (ok, 5-0≤10)
         // → 3@20 fails (20-5>10). Backtrack: 1@0→2@12? 12-0>10 fails.
         // 1@11 → 2@12 → 3@20 (12-11≤10, 20-12≤10) succeeds.
-        let d = data(&[
-            (0, &[1]),
-            (5, &[2]),
-            (11, &[1]),
-            (12, &[2]),
-            (20, &[3]),
-        ]);
+        let d = data(&[(0, &[1]), (5, &[2]), (11, &[1]), (12, &[2]), (20, &[3])]);
         assert!(contains_with_constraints(
             &d,
             &seq(&[&[1], &[2], &[3]]),
@@ -285,7 +295,11 @@ mod tests {
     #[test]
     fn empty_pattern_and_empty_data() {
         let d = data(&[(0, &[1])]);
-        assert!(contains_with_constraints(&d, &seq(&[]), &GspConfig::default()));
+        assert!(contains_with_constraints(
+            &d,
+            &seq(&[]),
+            &GspConfig::default()
+        ));
         let empty = data(&[]);
         assert!(!contains_with_constraints(
             &empty,

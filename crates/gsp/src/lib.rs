@@ -63,7 +63,7 @@ use candidate::{generate_k2, generate_next, ItemSeq};
 use contains::{contains_with_constraints, DataSequence};
 
 /// Time-constraint configuration (all in the units of transaction times).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GspConfig {
     /// Consecutive elements must satisfy `t(l_i) − t(u_{i−1}) > min_gap`.
     /// `0` only requires strictly later transactions (the 1995 semantics).
@@ -74,17 +74,6 @@ pub struct GspConfig {
     pub window: i64,
     /// Optional cap on the number of items in a pattern.
     pub max_items: Option<usize>,
-}
-
-impl Default for GspConfig {
-    fn default() -> Self {
-        Self {
-            min_gap: 0,
-            max_gap: None,
-            window: 0,
-            max_items: None,
-        }
-    }
 }
 
 impl GspConfig {
@@ -117,10 +106,7 @@ impl GspConfig {
         assert!(self.window >= 0, "window must be non-negative");
         if let Some(g) = self.max_gap {
             assert!(g >= 0, "max_gap must be non-negative");
-            assert!(
-                g > self.min_gap || g == self.min_gap,
-                "max_gap must be at least min_gap"
-            );
+            assert!(g >= self.min_gap, "max_gap must be at least min_gap");
         }
     }
 }
@@ -158,7 +144,11 @@ pub fn gsp_with_stats(
     // Pass 1: frequent items (constraints are vacuous for one element).
     let mut item_counts: std::collections::BTreeMap<Item, u64> = std::collections::BTreeMap::new();
     for d in &data {
-        let mut items: Vec<Item> = d.transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mut items: Vec<Item> = d
+            .transactions
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .collect();
         items.sort_unstable();
         items.dedup();
         for item in items {
@@ -188,10 +178,14 @@ pub fn gsp_with_stats(
     // A candidate's potential supporters are the intersection of its
     // items' lists, so the (expensive, constraint-aware) matcher only runs
     // on customers that hold every item — for most candidates a handful.
-    let mut inverted: std::collections::BTreeMap<Item, Vec<u32>> = std::collections::BTreeMap::new();
+    let mut inverted: std::collections::BTreeMap<Item, Vec<u32>> =
+        std::collections::BTreeMap::new();
     for (ci, d) in data.iter().enumerate() {
-        let mut items: Vec<Item> =
-            d.transactions.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mut items: Vec<Item> = d
+            .transactions
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .collect();
         items.sort_unstable();
         items.dedup();
         for item in items {
@@ -433,7 +427,11 @@ mod tests {
 
     #[test]
     fn empty_database() {
-        let found = gsp(&Database::default(), MinSupport::Count(1), &GspConfig::default());
+        let found = gsp(
+            &Database::default(),
+            MinSupport::Count(1),
+            &GspConfig::default(),
+        );
         assert!(found.is_empty());
     }
 

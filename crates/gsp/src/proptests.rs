@@ -17,18 +17,20 @@ fn data_sequence(rows: Vec<(i64, Vec<Item>)>) -> DataSequence {
     db.customers()
         .first()
         .map(DataSequence::from)
-        .unwrap_or_else(|| DataSequence::from(&seqpat_core::CustomerSequence {
-            customer_id: 1,
-            transactions: vec![],
-        }))
+        .unwrap_or_else(|| {
+            DataSequence::from(&seqpat_core::CustomerSequence {
+                customer_id: 1,
+                transactions: vec![],
+            })
+        })
 }
 
 /// Exhaustive oracle: try every `(l_i, u_i)` combination.
 fn oracle(d: &DataSequence, pattern: &ItemSeq, config: &GspConfig) -> bool {
     fn covers(d: &DataSequence, element: &[Item], l: usize, u: usize) -> bool {
-        element.iter().all(|item| {
-            (l..=u).any(|k| d.transactions[k].1.binary_search(item).is_ok())
-        })
+        element
+            .iter()
+            .all(|item| (l..=u).any(|k| d.transactions[k].1.binary_search(item).is_ok()))
     }
     fn rec(
         d: &DataSequence,
@@ -57,9 +59,7 @@ fn oracle(d: &DataSequence, pattern: &ItemSeq, config: &GspConfig) -> bool {
                         break;
                     }
                 }
-                if covers(d, &pattern[i], l, u)
-                    && rec(d, pattern, config, i + 1, Some((l, u)))
-                {
+                if covers(d, &pattern[i], l, u) && rec(d, pattern, config, i + 1, Some((l, u))) {
                     return true;
                 }
             }

@@ -119,7 +119,10 @@ mod tests {
     fn generated_dataset_stats_match_params() {
         use seqpat_datagen::{generate, GenParams};
         let db = generate(
-            &GenParams::default().customers(300).items(500).corpus_size(50, 200),
+            &GenParams::default()
+                .customers(300)
+                .items(500)
+                .corpus_size(50, 200),
             17,
         );
         let stats = DatasetStats::compute(&db);

@@ -63,7 +63,10 @@ fn all_subsets_large(cand: &[Item], prev: &[&[Item]]) -> bool {
         subset.clear();
         subset.extend_from_slice(&cand[..drop]);
         subset.extend_from_slice(&cand[drop + 1..]);
-        if prev.binary_search_by(|s| s.iter().cmp(subset.iter())).is_err() {
+        if prev
+            .binary_search_by(|s| s.iter().cmp(subset.iter()))
+            .is_err()
+        {
             return false;
         }
     }
@@ -100,10 +103,7 @@ mod tests {
     #[test]
     fn pairs_from_singletons() {
         let prev = vec![vec![1], vec![2], vec![3]];
-        assert_eq!(
-            gen(prev),
-            vec![vec![1, 2], vec![1, 3], vec![2, 3]]
-        );
+        assert_eq!(gen(prev), vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
     }
 
     #[test]

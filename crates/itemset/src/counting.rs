@@ -8,14 +8,24 @@
 //! are interchangeable (a test in `lib.rs` pins their agreement).
 
 use crate::hash_tree::{HashTree, VisitStamps};
+use crate::parallel::map_chunks;
 use crate::{AprioriConfig, CustomerTransactions, Item, LargeItemset};
+
+/// Sums per-chunk support arrays in chunk order. Addition of `u64` counts
+/// is exact, so the merged totals are bit-identical to a serial count.
+fn merge_supports(partials: Vec<Vec<u64>>, len: usize) -> Vec<u64> {
+    let mut supports = vec![0u64; len];
+    for partial in partials {
+        for (total, v) in supports.iter_mut().zip(partial) {
+            *total += v;
+        }
+    }
+    supports
+}
 
 /// Counts every single item per customer and returns the large 1-itemsets,
 /// sorted by item id (which is lexicographic order for singletons).
-pub fn count_single_items(
-    customers: &[CustomerTransactions],
-    min_count: u64,
-) -> Vec<LargeItemset> {
+pub fn count_single_items(customers: &[CustomerTransactions], min_count: u64) -> Vec<LargeItemset> {
     // Item ids may be sparse; a map keeps this robust for arbitrary inputs.
     let mut counts: std::collections::HashMap<Item, u64> = std::collections::HashMap::new();
     let mut seen_this_customer: Vec<Item> = Vec::new();
@@ -55,34 +65,40 @@ pub fn distinct_item_count(customers: &[CustomerTransactions]) -> u64 {
     items.len() as u64
 }
 
-/// Counts candidate supports by brute-force subset tests. Preferable for
-/// tiny candidate sets where hash-tree construction does not pay off.
+/// Counts candidate supports by brute-force subset tests, sharding
+/// customers over `threads` workers. Preferable for tiny candidate sets
+/// where hash-tree construction does not pay off.
 pub fn count_candidates_direct(
     customers: &[CustomerTransactions],
     candidates: &[Vec<Item>],
+    threads: usize,
 ) -> Vec<u64> {
-    let mut supports = vec![0u64; candidates.len()];
-    let mut hit = vec![false; candidates.len()];
-    for customer in customers {
-        hit.iter_mut().for_each(|h| *h = false);
-        for transaction in customer {
-            for (idx, cand) in candidates.iter().enumerate() {
-                if !hit[idx] && sorted_subset(cand, transaction) {
-                    hit[idx] = true;
+    let partials = map_chunks(customers, threads, |chunk| {
+        let mut supports = vec![0u64; candidates.len()];
+        let mut hit = vec![false; candidates.len()];
+        for customer in chunk {
+            hit.iter_mut().for_each(|h| *h = false);
+            for transaction in customer {
+                for (idx, cand) in candidates.iter().enumerate() {
+                    if !hit[idx] && sorted_subset(cand, transaction) {
+                        hit[idx] = true;
+                    }
+                }
+            }
+            for (idx, &h) in hit.iter().enumerate() {
+                if h {
+                    supports[idx] += 1;
                 }
             }
         }
-        for (idx, &h) in hit.iter().enumerate() {
-            if h {
-                supports[idx] += 1;
-            }
-        }
-    }
-    supports
+        supports
+    });
+    merge_supports(partials, candidates.len())
 }
 
 /// Counts candidate supports through the hash tree, deduplicating per
-/// customer with epoch stamps.
+/// customer with epoch stamps. The tree is built once and shared
+/// immutably by all workers; the visit stamps are per-worker scratch.
 pub fn count_candidates_hash_tree(
     customers: &[CustomerTransactions],
     candidates: &[Vec<Item>],
@@ -93,29 +109,36 @@ pub fn count_candidates_hash_tree(
         config.hash_tree_fanout,
         config.hash_tree_leaf_capacity,
     );
-    let mut supports = vec![0u64; candidates.len()];
-    let mut stamps = VisitStamps::new(candidates.len());
-    for customer in customers {
-        stamps.next_epoch();
-        for transaction in customer {
-            tree.for_each_contained(transaction, candidates, &mut |id| {
-                if stamps.first_visit(id) {
-                    supports[id as usize] += 1;
-                }
-            });
+    let threads = config.parallelism.resolved_threads();
+    let partials = map_chunks(customers, threads, |chunk| {
+        let mut supports = vec![0u64; candidates.len()];
+        let mut stamps = VisitStamps::new(candidates.len());
+        for customer in chunk {
+            stamps.next_epoch();
+            for transaction in customer {
+                tree.for_each_contained(transaction, candidates, &mut |id| {
+                    if stamps.first_visit(id) {
+                        supports[id as usize] += 1;
+                    }
+                });
+            }
         }
-    }
-    supports
+        supports
+    });
+    merge_supports(partials, candidates.len())
 }
 
 /// Pass-2 fast path: counts every co-occurring pair of large items
-/// directly, one customer scan, no candidate materialization. Returns the
-/// implicit candidate count (`C(|L1|, 2)`, what `apriori_gen` would emit)
-/// and the large 2-itemsets in lexicographic order.
+/// directly, one customer scan, no candidate materialization. Customers
+/// are sharded over `threads` workers, each with a private triangular
+/// count array, merged in chunk order. Returns the implicit candidate
+/// count (`C(|L1|, 2)`, what `apriori_gen` would emit) and the large
+/// 2-itemsets in lexicographic order.
 pub fn count_pairs_direct(
     customers: &[CustomerTransactions],
     l1: &[LargeItemset],
     min_count: u64,
+    threads: usize,
 ) -> (u64, Vec<LargeItemset>) {
     let n = l1.len();
     let n_candidates = (n as u64) * (n as u64 - 1) / 2;
@@ -135,10 +158,7 @@ pub fn count_pairs_direct(
     };
     let lookup = |item: Item| -> Option<u32> {
         match &dense {
-            Some(index) => index
-                .get(item as usize)
-                .copied()
-                .filter(|&i| i != u32::MAX),
+            Some(index) => index.get(item as usize).copied().filter(|&i| i != u32::MAX),
             None => l1
                 .binary_search_by(|l| l.items[0].cmp(&item))
                 .ok()
@@ -146,31 +166,42 @@ pub fn count_pairs_direct(
         }
     };
 
-    // Triangular count matrix for (i < j).
-    let mut counts = vec![0u32; n * (n.saturating_sub(1)) / 2 + 1];
+    // Triangular count matrix for (i < j); one private copy per worker,
+    // summed in chunk order afterwards.
     let tri = |i: usize, j: usize| -> usize {
         debug_assert!(i < j);
         j * (j - 1) / 2 + i
     };
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let mut mapped: Vec<u32> = Vec::new();
-    for customer in customers {
-        pairs.clear();
-        for transaction in customer {
-            mapped.clear();
-            mapped.extend(transaction.iter().filter_map(|&it| lookup(it)));
-            for (a, &i) in mapped.iter().enumerate() {
-                for &j in &mapped[a + 1..] {
-                    // Items are sorted but L1 indices follow item order, so
-                    // i < j holds; keep the debug check honest anyway.
-                    pairs.push((i.min(j), i.max(j)));
+    let tri_len = n * (n.saturating_sub(1)) / 2 + 1;
+    let partials = map_chunks(customers, threads, |chunk| {
+        let mut counts = vec![0u32; tri_len];
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut mapped: Vec<u32> = Vec::new();
+        for customer in chunk {
+            pairs.clear();
+            for transaction in customer {
+                mapped.clear();
+                mapped.extend(transaction.iter().filter_map(|&it| lookup(it)));
+                for (a, &i) in mapped.iter().enumerate() {
+                    for &j in &mapped[a + 1..] {
+                        // Items are sorted but L1 indices follow item order,
+                        // so i < j holds; keep the debug check honest anyway.
+                        pairs.push((i.min(j), i.max(j)));
+                    }
                 }
             }
+            pairs.sort_unstable();
+            pairs.dedup();
+            for &(i, j) in &pairs {
+                counts[tri(i as usize, j as usize)] += 1;
+            }
         }
-        pairs.sort_unstable();
-        pairs.dedup();
-        for &(i, j) in &pairs {
-            counts[tri(i as usize, j as usize)] += 1;
+        counts
+    });
+    let mut counts = vec![0u32; tri_len];
+    for partial in partials {
+        for (total, v) in counts.iter_mut().zip(partial) {
+            *total += v;
         }
     }
 
@@ -226,11 +257,7 @@ mod tests {
 
     #[test]
     fn single_items_sorted_and_thresholded() {
-        let customers = vec![
-            vec![vec![5, 9]],
-            vec![vec![5], vec![9]],
-            vec![vec![9]],
-        ];
+        let customers = vec![vec![vec![5, 9]], vec![vec![5], vec![9]], vec![vec![9]]];
         let large = count_single_items(&customers, 2);
         assert_eq!(large.len(), 2);
         assert_eq!(large[0].items, vec![5]);
@@ -248,7 +275,7 @@ mod tests {
     #[test]
     fn direct_counting_dedupes_per_customer() {
         let customers = vec![vec![vec![1, 2], vec![1, 2], vec![1, 2]]];
-        let supports = count_candidates_direct(&customers, &[vec![1, 2]]);
+        let supports = count_candidates_direct(&customers, &[vec![1, 2]], 1);
         assert_eq!(supports, vec![1]);
     }
 
@@ -266,7 +293,7 @@ mod tests {
                 support: 0,
             })
             .collect();
-        let (n_candidates, l2) = count_pairs_direct(&customers, &l1, 1);
+        let (n_candidates, l2) = count_pairs_direct(&customers, &l1, 1, 1);
         assert_eq!(n_candidates, 6);
         let all_pairs: Vec<Vec<Item>> = vec![
             vec![1, 2],
@@ -276,7 +303,7 @@ mod tests {
             vec![2, 5],
             vec![3, 5],
         ];
-        let generic = count_candidates_direct(&customers, &all_pairs);
+        let generic = count_candidates_direct(&customers, &all_pairs, 1);
         let expected: Vec<LargeItemset> = all_pairs
             .into_iter()
             .zip(generic)
@@ -296,7 +323,7 @@ mod tests {
                 support: 0,
             })
             .collect();
-        let (_, l2) = count_pairs_direct(&customers, &l1, 1);
+        let (_, l2) = count_pairs_direct(&customers, &l1, 1, 1);
         assert_eq!(l2.len(), 1);
         assert_eq!(l2[0].support, 1);
     }
@@ -325,8 +352,53 @@ mod tests {
                 candidates.push(vec![a, b]);
             }
         }
-        let direct = count_candidates_direct(&customers, &candidates);
+        let direct = count_candidates_direct(&customers, &candidates, 1);
         let tree = count_candidates_hash_tree(&customers, &candidates, &AprioriConfig::default());
         assert_eq!(direct, tree);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let customers: Vec<CustomerTransactions> = (0..33u32)
+            .map(|c| vec![vec![c % 4, 4 + c % 3, 8 + c % 2], vec![c % 5, 4 + c % 3]])
+            .map(|txs| {
+                txs.into_iter()
+                    .map(|mut t| {
+                        t.sort_unstable();
+                        t.dedup();
+                        t
+                    })
+                    .collect()
+            })
+            .collect();
+        let candidates: Vec<Vec<Item>> = (0..9u32)
+            .flat_map(|a| ((a + 1)..10).map(move |b| vec![a, b]))
+            .collect();
+        let l1: Vec<LargeItemset> = (0..10u32)
+            .map(|i| LargeItemset {
+                items: vec![i],
+                support: 0,
+            })
+            .collect();
+        let serial_direct = count_candidates_direct(&customers, &candidates, 1);
+        let serial_pairs = count_pairs_direct(&customers, &l1, 2, 1);
+        for threads in [2, 3, 7, 64] {
+            assert_eq!(
+                count_candidates_direct(&customers, &candidates, threads),
+                serial_direct
+            );
+            assert_eq!(
+                count_pairs_direct(&customers, &l1, 2, threads),
+                serial_pairs
+            );
+            let config = AprioriConfig {
+                parallelism: crate::Parallelism::threads(threads),
+                ..AprioriConfig::default()
+            };
+            assert_eq!(
+                count_candidates_hash_tree(&customers, &candidates, &config),
+                serial_direct
+            );
+        }
     }
 }

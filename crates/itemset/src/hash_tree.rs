@@ -129,8 +129,7 @@ fn insert(
             // item position (deeper hashing has nothing left to discriminate).
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
-                let mut children: Vec<Node> =
-                    (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
+                let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
                     let c = &candidates[id as usize];
                     let b = bucket(c[depth], fanout);
@@ -261,13 +260,8 @@ mod tests {
 
     #[test]
     fn finds_exactly_the_contained_candidates() {
-        let cands: Vec<Vec<Item>> = vec![
-            vec![1, 2],
-            vec![1, 3],
-            vec![2, 3],
-            vec![2, 4],
-            vec![3, 4],
-        ];
+        let cands: Vec<Vec<Item>> =
+            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![2, 4], vec![3, 4]];
         let tree = HashTree::build(&cands, 4, 2);
         assert_eq!(matches(&tree, &cands, &[1, 2, 3]), vec![0, 1, 2]);
         assert_eq!(matches(&tree, &cands, &[2, 4]), vec![3]);
@@ -312,7 +306,9 @@ mod tests {
         cands.dedup();
         let tree = HashTree::build(&cands, 4, 3);
         for t in 0..40u32 {
-            let trans: Vec<Item> = (0..24).filter(|i| (t.wrapping_mul(31) + i) % 3 != 0).collect();
+            let trans: Vec<Item> = (0..24)
+                .filter(|i| (t.wrapping_mul(31) + i) % 3 != 0)
+                .collect();
             let brute: Vec<u32> = cands
                 .iter()
                 .enumerate()

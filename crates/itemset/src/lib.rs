@@ -35,12 +35,14 @@
 pub mod candidate;
 pub mod counting;
 pub mod hash_tree;
+pub mod parallel;
 
 #[cfg(test)]
 mod proptests;
 
 pub use candidate::apriori_gen;
 pub use hash_tree::HashTree;
+pub use parallel::Parallelism;
 
 /// A raw item identifier.
 ///
@@ -76,6 +78,10 @@ pub struct AprioriConfig {
     /// Hard cap on itemset size, `None` for unbounded. Useful to bound
     /// degenerate inputs; the paper leaves it unbounded.
     pub max_itemset_size: Option<usize>,
+    /// Worker threads for candidate counting (passes 2 and up; pass 1 is a
+    /// single cheap scan and stays serial). Parallel runs produce
+    /// bit-identical results to serial ones.
+    pub parallelism: Parallelism,
 }
 
 impl Default for AprioriConfig {
@@ -85,6 +91,7 @@ impl Default for AprioriConfig {
             hash_tree_fanout: 16,
             direct_count_threshold: 64,
             max_itemset_size: None,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -99,6 +106,8 @@ pub struct AprioriPassStats {
     pub candidates: u64,
     /// Candidates that turned out large.
     pub large: u64,
+    /// Wall time of the pass (generation + counting).
+    pub duration: std::time::Duration,
 }
 
 /// Full mining result: the large itemsets of every size plus per-pass stats.
@@ -134,15 +143,18 @@ pub fn mine_large_itemsets_with_stats(
     config: &AprioriConfig,
 ) -> AprioriResult {
     let min_count = min_count.max(1);
+    let threads = config.parallelism.resolved_threads();
     let mut result = AprioriResult::default();
 
     // Pass 1: direct count of single items per customer.
+    let pass_start = std::time::Instant::now();
     let l1 = counting::count_single_items(customers, min_count);
     result.passes.push(AprioriPassStats {
         k: 1,
         // Every distinct item is implicitly a candidate in pass 1.
         candidates: counting::distinct_item_count(customers),
         large: l1.len() as u64,
+        duration: pass_start.elapsed(),
     });
     if l1.is_empty() {
         return result;
@@ -162,12 +174,15 @@ pub fn mine_large_itemsets_with_stats(
         // customer instead of probing |L1|²/2 candidates through the tree
         // (the classic special-cased second pass of Apriori).
         if k == 2 {
-            let (n_candidates, l2) = counting::count_pairs_direct(customers, &current, min_count);
+            let pass_start = std::time::Instant::now();
+            let (n_candidates, l2) =
+                counting::count_pairs_direct(customers, &current, min_count, threads);
             result.large.append(&mut current);
             result.passes.push(AprioriPassStats {
                 k,
                 candidates: n_candidates,
                 large: l2.len() as u64,
+                duration: pass_start.elapsed(),
             });
             if l2.is_empty() {
                 return result;
@@ -176,6 +191,7 @@ pub fn mine_large_itemsets_with_stats(
             k = 3;
             continue;
         }
+        let pass_start = std::time::Instant::now();
         let prev_sets: Vec<&[Item]> = current.iter().map(|l| l.items.as_slice()).collect();
         let candidates = candidate::apriori_gen(&prev_sets);
         let n_candidates = candidates.len() as u64;
@@ -185,7 +201,7 @@ pub fn mine_large_itemsets_with_stats(
         }
 
         let supports = if candidates.len() < config.direct_count_threshold {
-            counting::count_candidates_direct(customers, &candidates)
+            counting::count_candidates_direct(customers, &candidates, threads)
         } else {
             counting::count_candidates_hash_tree(customers, &candidates, config)
         };
@@ -200,6 +216,7 @@ pub fn mine_large_itemsets_with_stats(
             k,
             candidates: n_candidates,
             large: next.len() as u64,
+            duration: pass_start.elapsed(),
         });
         if next.is_empty() {
             return result;
@@ -296,12 +313,7 @@ mod tests {
     fn direct_and_hash_tree_counting_agree() {
         // Force each strategy via the threshold and compare.
         let customers: Vec<CustomerTransactions> = (0..20)
-            .map(|c: u32| {
-                vec![
-                    vec![c % 3, 10 + c % 4, 20 + c % 2],
-                    vec![c % 5, 10 + c % 4],
-                ]
-            })
+            .map(|c: u32| vec![vec![c % 3, 10 + c % 4, 20 + c % 2], vec![c % 5, 10 + c % 4]])
             .map(|txs| {
                 txs.into_iter()
                     .map(|mut t| {

@@ -10,7 +10,13 @@ use crate::{mine_large_itemsets, AprioriConfig, CustomerTransactions, Item, Larg
 fn oracle(customers: &[CustomerTransactions], min_count: u64) -> Vec<LargeItemset> {
     use std::collections::BTreeSet;
     let mut universe: BTreeSet<Vec<Item>> = BTreeSet::new();
-    fn subsets(items: &[Item], cap: usize, current: &mut Vec<Item>, out: &mut BTreeSet<Vec<Item>>, start: usize) {
+    fn subsets(
+        items: &[Item],
+        cap: usize,
+        current: &mut Vec<Item>,
+        out: &mut BTreeSet<Vec<Item>>,
+        start: usize,
+    ) {
         for i in start..items.len() {
             current.push(items[i]);
             out.insert(current.clone());

@@ -31,7 +31,7 @@ use seqpat_core::{Database, Item, Itemset, MinSupport, Pattern, Sequence};
 
 pub mod projection;
 
-use projection::{ProjectedDb, Pointer};
+use projection::{Pointer, ProjectedDb};
 
 /// Tuning options for PrefixSpan.
 #[derive(Debug, Clone, Default)]
@@ -54,7 +54,11 @@ pub struct PrefixSpanStats {
 /// Mines **all** frequent sequences (the paper's "large sequences") with
 /// customer-level support `>= min_support`. Patterns are returned sorted by
 /// length, then lexicographically.
-pub fn prefixspan(db: &Database, min_support: MinSupport, config: &PrefixSpanConfig) -> Vec<Pattern> {
+pub fn prefixspan(
+    db: &Database,
+    min_support: MinSupport,
+    config: &PrefixSpanConfig,
+) -> Vec<Pattern> {
     prefixspan_with_stats(db, min_support, config).0
 }
 
@@ -106,14 +110,7 @@ pub fn prefixspan_with_stats(
         }
         let prefix = vec![vec![item]];
         grow(
-            &customers,
-            &prefix,
-            support,
-            &proj,
-            min_count,
-            config,
-            &mut out,
-            &mut stats,
+            &customers, &prefix, support, &proj, min_count, config, &mut out, &mut stats,
         );
     }
 
@@ -167,7 +164,13 @@ fn grow(
     stats.projections += 1;
     stats.patterns += 1;
     out.push(Pattern {
-        sequence: Sequence::new(prefix.iter().cloned().map(Itemset::from_sorted_vec).collect()),
+        sequence: Sequence::new(
+            prefix
+                .iter()
+                .cloned()
+                .map(Itemset::from_sorted_vec)
+                .collect(),
+        ),
         support,
     });
 
@@ -235,7 +238,14 @@ fn grow(
             }
         }
         grow(
-            customers, &new_prefix, count, &new_proj, min_count, config, out, stats,
+            customers,
+            &new_prefix,
+            count,
+            &new_proj,
+            min_count,
+            config,
+            out,
+            stats,
         );
     }
 
@@ -251,8 +261,8 @@ fn grow(
         let mut new_proj = ProjectedDb::default();
         for ptr in &proj.entries {
             let customer = &customers[ptr.customer as usize];
-            let found = (ptr.transaction as usize + 1..customer.len())
-                .find(|&t| customer[t].contains(&x));
+            let found =
+                (ptr.transaction as usize + 1..customer.len()).find(|&t| customer[t].contains(&x));
             if let Some(t) = found {
                 new_proj.entries.push(Pointer {
                     customer: ptr.customer,
@@ -261,7 +271,14 @@ fn grow(
             }
         }
         grow(
-            customers, &new_prefix, count, &new_proj, min_count, config, out, stats,
+            customers,
+            &new_prefix,
+            count,
+            &new_proj,
+            min_count,
+            config,
+            out,
+            stats,
         );
     }
 }

@@ -1,0 +1,597 @@
+//! # seqpat-proptest-compat — offline stand-in for the `proptest` crate
+//!
+//! The build environment has no crates.io access, so the slice of the
+//! `proptest 1.x` API this workspace uses is reimplemented here and wired
+//! in under the dependency name `proptest`. Covered surface:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] with `prop_map`, plus strategies for integer
+//!   ranges, tuples (arity ≤ 5), string literals (a small regex subset),
+//!   [`collection::vec`], [`collection::btree_set`], and [`option::of`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, acceptable for this workspace:
+//! no shrinking (a failing case reports its inputs and deterministic
+//! seed instead), no persistence files, and string-literal strategies
+//! support only the `atom{lo,hi}` regex shapes the tests actually use
+//! (`[class]{lo,hi}` and `\PC{lo,hi}`).
+
+pub mod test_runner {
+    /// Per-suite configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed `prop_assert!` inside one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            Self { message }
+        }
+
+        pub fn message(&self) -> &str {
+            &self.message
+        }
+    }
+
+    /// Deterministic per-case random source (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives the rng for `case` of the test named `name` — fully
+        /// deterministic, so a failure report is reproducible.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// The subset of proptest's `Strategy`: a reusable recipe that can
+    /// produce one value per call from a deterministic rng.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let drawn = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + drawn as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let drawn = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + drawn as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+    /// String-literal strategies: a tiny regex subset covering the shapes
+    /// used in this workspace — one atom (`[class]` or `\PC`) followed by
+    /// a `{lo,hi}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (pool, lo, hi) = parse_simple_regex(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| pool[rng.below(pool.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `atom{lo,hi}` into (alphabet, lo, hi). Panics on patterns
+    /// outside the supported subset so unsupported tests fail loudly.
+    fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn unsupported(pattern: &str) -> ! {
+            panic!("unsupported regex {pattern:?} in offline proptest shim")
+        }
+        let (atom, rep) = match pattern.rfind('{') {
+            Some(i) => (&pattern[..i], &pattern[i..]),
+            None => unsupported(pattern),
+        };
+        let rep = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pattern));
+        let (lo, hi) = match rep.split_once(',') {
+            Some((a, b)) => (
+                a.parse().unwrap_or_else(|_| unsupported(pattern)),
+                b.parse().unwrap_or_else(|_| unsupported(pattern)),
+            ),
+            None => unsupported(pattern),
+        };
+        let pool = if atom == "\\PC" {
+            // `\PC` = "not a control character": printable ASCII plus a
+            // sprinkling of multi-byte characters to exercise UTF-8 paths.
+            let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+            pool.extend(['é', 'ß', '→', '✓', '\u{203D}', '日', '𝄞']);
+            pool
+        } else {
+            parse_char_class(atom).unwrap_or_else(|| unsupported(pattern))
+        };
+        assert!(lo <= hi && !pool.is_empty(), "degenerate regex {pattern:?}");
+        (pool, lo, hi)
+    }
+
+    /// Expands `[...]` with literal chars, `a-z` ranges, and `\n`/`\-`/`\\`
+    /// escapes into the explicit alphabet.
+    fn parse_char_class(atom: &str) -> Option<Vec<char>> {
+        let inner = atom.strip_prefix('[')?.strip_suffix(']')?;
+        let mut pool = Vec::new();
+        let mut chars = inner.chars().peekable();
+        while let Some(c) = chars.next() {
+            let decoded = if c == '\\' {
+                match chars.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            // A bare `-` between two literals denotes a range.
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                if let Some(&end) = lookahead.peek() {
+                    if end != ']' && end != '\\' {
+                        chars = lookahead;
+                        let end = chars.next()?;
+                        pool.extend((decoded..=end).collect::<Vec<_>>());
+                        continue;
+                    }
+                }
+            }
+            pool.push(decoded);
+        }
+        Some(pool)
+    }
+
+    /// Generates the whole argument tuple of a `proptest!` case in
+    /// declaration order — used by the macro expansion.
+    pub fn generate_tuple<T: Strategy>(strategies: &T, rng: &mut TestRng) -> T::Value {
+        strategies.generate(rng)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Size specification for collection strategies: an exact `usize`, a
+    /// half-open range, or an inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    /// `Vec<T>` strategy with element strategy and size bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet<T>` strategy. The element domain must be able to fill the
+    /// lower size bound; generation retries duplicates a bounded number of
+    /// times and panics if the floor is unreachable.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+                if attempts >= 64 * target.max(1) {
+                    assert!(
+                        out.len() >= self.size.lo,
+                        "btree_set element domain too small for size floor {}",
+                        self.size.lo
+                    );
+                    break;
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Option<T>` strategy: `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// The case-runner macro. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in arb_thing()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each case draws its inputs from a deterministic rng derived from the
+/// test name and case index, so failures are reproducible run-to-run.
+/// There is no shrinking: the failure report prints the offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ($($strategy,)+);
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let ($($arg,)+) =
+                        $crate::strategy::generate_tuple(&strategies, &mut rng);
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed: {}",
+                            stringify!($name),
+                            err.message(),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` case, reporting the failing
+/// inputs instead of panicking mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`]; both sides must be `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_collections_produce_in_bounds_values() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (1u64..=3).generate(&mut rng);
+            assert!((1..=3).contains(&y));
+            let v = crate::collection::vec(0u32..5, 2..=4).generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+            let s = crate::collection::btree_set(0u32..8, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn string_regex_subset_generates_expected_alphabets() {
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..200 {
+            let s = "[0-9 \\-\n]{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == ' ' || c == '-' || c == '\n'));
+            let t = "\\PC{0,100}".generate(&mut rng);
+            assert!(t.chars().count() <= 100);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn tuple_and_option_strategies_compose() {
+        let mut rng = TestRng::for_case("tuple", 0);
+        let strat = (0i64..20, crate::collection::vec(0u32..5, 1..=3));
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            let (t, items) = strat.generate(&mut rng);
+            assert!((0..20).contains(&t));
+            assert!(!items.is_empty());
+            match crate::option::of(2i64..12).generate(&mut rng) {
+                None => saw_none = true,
+                Some(g) => {
+                    saw_some = true;
+                    assert!((2..12).contains(&g));
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a = crate::collection::vec(0u32..100, 0..12).generate(&mut TestRng::for_case("det", 7));
+        let b = crate::collection::vec(0u32..100, 0..12).generate(&mut TestRng::for_case("det", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..10, pair in (0i64..5, 1usize..=2)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(pair.1.min(2), pair.1, "second field {} out of range", pair.1);
+        }
+    }
+}

@@ -10,13 +10,17 @@
 //! maximal sequential patterns with all three algorithms, verifies they
 //! agree, and prints the strongest cross-transaction patterns.
 
-use seqpat::{generate, Algorithm, GenParams, Miner, MinerConfig, MinSupport};
+use seqpat::{generate, Algorithm, GenParams, MinSupport, Miner, MinerConfig};
 
 fn main() {
     let params = GenParams::paper_dataset("C10-T2.5-S4-I1.25")
         .expect("known dataset")
         .customers(1_000);
-    println!("generating {} (|D| = {}) …", params.label(), params.num_customers);
+    println!(
+        "generating {} (|D| = {}) …",
+        params.label(),
+        params.num_customers
+    );
     let db = generate(&params, 7);
     println!(
         "  {} transactions, avg {:.1} per customer\n",

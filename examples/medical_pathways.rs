@@ -11,7 +11,7 @@
 //! the SPMF on-disk format to show the I/O layer.
 
 use seqpat::io::spmf;
-use seqpat::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, Database, MinSupport, Miner, MinerConfig};
 
 // Event codes.
 const VISIT_GP: u32 = 1;
@@ -61,10 +61,7 @@ fn main() {
                 vec![VISIT_SPECIALIST, RX_INSULIN],
             ],
             // Cardio-metabolic screening.
-            3 => vec![
-                vec![VISIT_GP, LAB_LIPIDS],
-                vec![RX_STATIN],
-            ],
+            3 => vec![vec![VISIT_GP, LAB_LIPIDS], vec![RX_STATIN]],
             // Sparse utilizers.
             _ => vec![vec![VISIT_GP]],
         };
@@ -78,12 +75,15 @@ fn main() {
     let path = std::env::temp_dir().join("seqpat_medical_cohort.spmf");
     spmf::write_file(&db, &path).expect("write cohort");
     let db = spmf::read_file(&path).expect("reload cohort");
-    println!("cohort: {} patients (via {})\n", db.num_customers(), path.display());
+    println!(
+        "cohort: {} patients (via {})\n",
+        db.num_customers(),
+        path.display()
+    );
 
-    let result = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(0.30)).algorithm(Algorithm::AprioriAll),
-    )
-    .mine(&db);
+    let result =
+        Miner::new(MinerConfig::new(MinSupport::Fraction(0.30)).algorithm(Algorithm::AprioriAll))
+            .mine(&db);
 
     println!("care pathways supported by ≥30% of patients:");
     for p in &result.patterns {
@@ -106,7 +106,10 @@ fn main() {
             .any(|e| e.contains(DX_DIABETES) && e.contains(RX_METFORMIN))
             && p.sequence.len() >= 3
     });
-    assert!(combined, "expected the 3-step pathway with a combined dx+rx encounter");
+    assert!(
+        combined,
+        "expected the 3-step pathway with a combined dx+rx encounter"
+    );
     println!("\nfound the combined diagnosis+prescription encounter inside a 3-step pathway ✓");
 
     std::fs::remove_file(&path).ok();

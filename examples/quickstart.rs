@@ -9,7 +9,7 @@
 //! maximal sequential patterns — which the paper reports as
 //! `⟨(30)(90)⟩` and `⟨(30)(40 70)⟩`.
 
-use seqpat::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, Database, MinSupport, Miner, MinerConfig};
 
 fn main() {
     // (customer, transaction-time, items) — rows may be in any order; the
@@ -40,7 +40,10 @@ fn main() {
     ] {
         let config = MinerConfig::new(MinSupport::Fraction(0.25)).algorithm(algorithm);
         let result = Miner::new(config).mine(&db);
-        println!("{algorithm} (support >= {} customers):", result.min_support_count);
+        println!(
+            "{algorithm} (support >= {} customers):",
+            result.min_support_count
+        );
         for pattern in &result.patterns {
             println!(
                 "  {pattern}   support {}/{} ({:.0}%)",

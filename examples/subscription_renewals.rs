@@ -94,7 +94,5 @@ fn main() {
     render(&within_month);
     assert_eq!(trial_sub(&GspConfig::default().max_gap(30)), Some(40));
 
-    println!(
-        "\nconversion: 70/100 eventually subscribe, but only 40/100 within 30 days ✓"
-    );
+    println!("\nconversion: 70/100 eventually subscribe, but only 40/100 within 30 days ✓");
 }

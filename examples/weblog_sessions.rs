@@ -13,7 +13,7 @@
 //! planted paths.
 
 use seqpat::prefixspan::{prefixspan_maximal, PrefixSpanConfig};
-use seqpat::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, Database, MinSupport, Miner, MinerConfig};
 
 // Page ids.
 const HOME: u32 = 0;
@@ -64,7 +64,11 @@ fn main() {
         }
     }
     let db = Database::from_rows(rows);
-    println!("{} visitors, {} page views\n", db.num_customers(), db.num_transactions());
+    println!(
+        "{} visitors, {} page views\n",
+        db.num_customers(),
+        db.num_transactions()
+    );
 
     let minsup = MinSupport::Fraction(0.2);
     let result = Miner::new(MinerConfig::new(minsup).algorithm(Algorithm::AprioriSome)).mine(&db);

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use seqpat::core::naive::{naive_all_large, naive_maximal, NaiveLimits};
 use seqpat::prefixspan::{prefixspan, prefixspan_maximal, PrefixSpanConfig};
-use seqpat::{Algorithm, CountingStrategy, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig};
 
 /// Strategy: a small random transaction table (≤ 7 customers, ≤ 4
 /// transactions each, items from a 6-item universe).

@@ -2,7 +2,7 @@
 //! agreement at realistic scale, and sanity of the dataset statistics.
 
 use seqpat::io::DatasetStats;
-use seqpat::{generate, Algorithm, GenParams, Miner, MinerConfig, MinSupport};
+use seqpat::{generate, Algorithm, GenParams, MinSupport, Miner, MinerConfig};
 
 fn small_paper_params() -> GenParams {
     // Small corpus and universe keep these tests quick under the dev
@@ -24,12 +24,10 @@ fn generation_is_deterministic_and_seed_sensitive() {
 #[test]
 fn algorithms_agree_on_generated_data() {
     let db = generate(&small_paper_params(), 9);
-    let reference = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(Algorithm::AprioriAll),
-    )
-    .mine(&db);
-    let reference_strs: Vec<String> =
-        reference.patterns.iter().map(|p| p.to_string()).collect();
+    let reference =
+        Miner::new(MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(Algorithm::AprioriAll))
+            .mine(&db);
+    let reference_strs: Vec<String> = reference.patterns.iter().map(|p| p.to_string()).collect();
     assert!(
         !reference.patterns.is_empty(),
         "expected patterns at 6% support on generated data"
@@ -39,10 +37,8 @@ fn algorithms_agree_on_generated_data() {
         Algorithm::DynamicSome { step: 2 },
         Algorithm::DynamicSome { step: 3 },
     ] {
-        let result = Miner::new(
-            MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(algorithm),
-        )
-        .mine(&db);
+        let result =
+            Miner::new(MinerConfig::new(MinSupport::Fraction(0.06)).algorithm(algorithm)).mine(&db);
         let strs: Vec<String> = result.patterns.iter().map(|p| p.to_string()).collect();
         assert_eq!(reference_strs, strs, "{algorithm}");
     }
@@ -132,14 +128,10 @@ fn scale_up_with_shared_corpus_keeps_pattern_structure() {
     // in the small database (50% above threshold, away from sampling
     // noise at the boundary) must still be frequent — as sequences, not
     // necessarily maximal — in the large one.
-    let strong = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(0.12)).include_non_maximal(true),
-    )
-    .mine(&small);
-    let wide = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(0.08)).include_non_maximal(true),
-    )
-    .mine(&large);
+    let strong = Miner::new(MinerConfig::new(MinSupport::Fraction(0.12)).include_non_maximal(true))
+        .mine(&small);
+    let wide = Miner::new(MinerConfig::new(MinSupport::Fraction(0.08)).include_non_maximal(true))
+        .mine(&large);
     let wide_strs: Vec<String> = wide.patterns.iter().map(|p| p.to_string()).collect();
     let missing: Vec<String> = strong
         .patterns

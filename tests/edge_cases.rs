@@ -1,7 +1,7 @@
 //! Edge-case integration tests: degenerate databases, extreme thresholds,
 //! and unusual algorithm settings.
 
-use seqpat::{Algorithm, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, Database, MinSupport, Miner, MinerConfig};
 
 fn all_algorithms() -> Vec<Algorithm> {
     vec![
@@ -77,11 +77,7 @@ fn identical_customers_support_everything_equally() {
 
 #[test]
 fn threshold_of_full_support_prunes_partial_patterns() {
-    let db = Database::from_rows(vec![
-        (1, 1, vec![1]),
-        (1, 2, vec![2]),
-        (2, 1, vec![1]),
-    ]);
+    let db = Database::from_rows(vec![(1, 1, vec![1]), (1, 2, vec![2]), (2, 1, vec![1])]);
     for algorithm in all_algorithms() {
         // ⟨(1)(2)⟩ has support 1 < 2; only ⟨(1)⟩ survives at 100%.
         assert_eq!(
@@ -130,7 +126,11 @@ fn dynamic_some_with_step_beyond_max_length() {
         (2, 2, vec![2]),
     ]);
     assert_eq!(
-        mine(&db, MinSupport::Count(2), Algorithm::DynamicSome { step: 5 }),
+        mine(
+            &db,
+            MinSupport::Count(2),
+            Algorithm::DynamicSome { step: 5 }
+        ),
         vec!["<(1)(2)>:2"]
     );
 }
@@ -140,8 +140,7 @@ fn wide_transactions_with_deep_itemset_lattice() {
     // Three customers share a 5-item transaction: the maximal pattern is
     // the full 5-itemset; none of its 30 proper sub-itemsets may leak into
     // the answer.
-    let rows: Vec<(u64, i64, Vec<u32>)> =
-        (0..3).map(|c| (c, 1, vec![1, 2, 3, 4, 5])).collect();
+    let rows: Vec<(u64, i64, Vec<u32>)> = (0..3).map(|c| (c, 1, vec![1, 2, 3, 4, 5])).collect();
     let db = Database::from_rows(rows);
     for algorithm in all_algorithms() {
         assert_eq!(
@@ -191,10 +190,7 @@ fn max_length_truncates_but_keeps_maximality_within_cap() {
         (2, 2, vec![2]),
         (2, 3, vec![3]),
     ]);
-    let result = Miner::new(
-        MinerConfig::new(MinSupport::Count(2)).max_length(2),
-    )
-    .mine(&db);
+    let result = Miner::new(MinerConfig::new(MinSupport::Count(2)).max_length(2)).mine(&db);
     let got: Vec<String> = result.patterns.iter().map(|p| p.to_string()).collect();
     // All 2-sequences are maximal within the cap.
     assert_eq!(got, vec!["<(1)(2)>", "<(1)(3)>", "<(2)(3)>"]);

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use seqpat::gsp::contains::{contains_with_constraints, DataSequence};
 use seqpat::gsp::{gsp, gsp_maximal, GspConfig};
 use seqpat::prefixspan::{prefixspan, PrefixSpanConfig};
-use seqpat::{Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Database, MinSupport, Miner, MinerConfig};
 
 fn arb_database() -> impl Strategy<Value = Database> {
     let transaction = proptest::collection::vec(0u32..6, 1..=3);

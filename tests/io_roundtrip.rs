@@ -74,13 +74,13 @@ proptest! {
 #[test]
 fn spmf_rejects_malformed_inputs() {
     for bad in [
-        "1 2 3",          // no terminators
-        "1 -1",           // missing -2
-        "-1 -2",          // empty itemset
-        "1 -1 -2 junk",   // trailing garbage
-        "1 2 -2",         // itemset not closed
-        "abc -1 -2",      // non-numeric
-        "-3 -1 -2",       // negative item
+        "1 2 3",        // no terminators
+        "1 -1",         // missing -2
+        "-1 -2",        // empty itemset
+        "1 -1 -2 junk", // trailing garbage
+        "1 2 -2",       // itemset not closed
+        "abc -1 -2",    // non-numeric
+        "-3 -1 -2",     // negative item
     ] {
         assert!(spmf::read_str(bad).is_err(), "accepted {bad:?}");
     }
@@ -89,12 +89,12 @@ fn spmf_rejects_malformed_inputs() {
 #[test]
 fn csv_rejects_malformed_inputs() {
     for bad in [
-        "1",             // missing fields
-        "1,2",           // missing items
-        "x,1,2",         // bad customer
-        "1,y,2",         // bad time
-        "1,1,a b",       // bad item
-        "1,1,",          // empty items
+        "1",       // missing fields
+        "1,2",     // missing items
+        "x,1,2",   // bad customer
+        "1,y,2",   // bad time
+        "1,1,a b", // bad item
+        "1,1,",    // empty items
     ] {
         assert!(csv::read_str(bad).is_err(), "accepted {bad:?}");
     }

@@ -3,7 +3,7 @@
 
 use seqpat::io::{csv, spmf};
 use seqpat::prefixspan::{prefixspan_maximal, PrefixSpanConfig};
-use seqpat::{Algorithm, CountingStrategy, Database, Miner, MinerConfig, MinSupport};
+use seqpat::{Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig};
 
 fn paper_db() -> Database {
     Database::from_rows(vec![
@@ -83,10 +83,8 @@ fn answer_survives_csv_roundtrip() {
 
 #[test]
 fn non_maximal_set_is_downward_closed() {
-    let result = Miner::new(
-        MinerConfig::new(MinSupport::Fraction(0.25)).include_non_maximal(true),
-    )
-    .mine(&paper_db());
+    let result = Miner::new(MinerConfig::new(MinSupport::Fraction(0.25)).include_non_maximal(true))
+        .mine(&paper_db());
     // Every element of every large sequence is itself a large 1-sequence.
     let singles: Vec<&seqpat::Itemset> = result
         .patterns
@@ -119,10 +117,9 @@ fn varying_threshold_shrinks_answer_monotonically() {
     let db = paper_db();
     let mut last_len = usize::MAX;
     for count in 1..=5u64 {
-        let result = Miner::new(
-            MinerConfig::new(MinSupport::Count(count)).include_non_maximal(true),
-        )
-        .mine(&db);
+        let result =
+            Miner::new(MinerConfig::new(MinSupport::Count(count)).include_non_maximal(true))
+                .mine(&db);
         assert!(
             result.patterns.len() <= last_len,
             "large-sequence count must shrink as the threshold grows"
