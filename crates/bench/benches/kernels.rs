@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use seqpat_core::contain::{customer_contains, id_subsequence, sequence_contains};
 use seqpat_core::hash_tree::{SequenceHashTree, VisitSet};
 use seqpat_core::types::transformed::TransformedCustomer;
-use seqpat_core::Itemset;
+use seqpat_core::{CandidateArena, Itemset};
 
 fn pseudo_random(seed: u32) -> impl FnMut(u32) -> u32 {
     let mut x = seed | 1;
@@ -76,6 +76,7 @@ fn bench_sequence_hash_tree(c: &mut Criterion) {
             .collect();
         candidates.sort();
         candidates.dedup();
+        let candidates = CandidateArena::from_rows(3, candidates.iter().map(|c| c.as_slice()));
         let customer = make_customer(15, 4, 128);
         group.bench_with_input(
             BenchmarkId::new("build", n_candidates),
@@ -87,7 +88,7 @@ fn bench_sequence_hash_tree(c: &mut Criterion) {
             BenchmarkId::new("probe", n_candidates),
             &candidates,
             |b, cands| {
-                let mut seen = VisitSet::new(cands.len());
+                let mut seen = VisitSet::new(cands.num_candidates());
                 b.iter(|| {
                     let mut verify = 0u64;
                     let mut hits = 0u32;
@@ -112,6 +113,7 @@ fn bench_candidate_generation(c: &mut Criterion) {
     let mut l2: Vec<Vec<u32>> = (0..400).map(|_| vec![rnd(40), rnd(40)]).collect();
     l2.sort();
     l2.dedup();
+    let l2 = CandidateArena::from_rows(2, l2.iter().map(|c| c.as_slice()));
     c.bench_function("apriori_generate_sequences/L2~400", |b| {
         b.iter(|| seqpat_core::algorithms::candidate::generate(black_box(&l2)))
     });
@@ -119,6 +121,7 @@ fn bench_candidate_generation(c: &mut Criterion) {
     let mut l3: Vec<Vec<u32>> = (0..300).map(|_| vec![rnd(20), rnd(20), rnd(20)]).collect();
     l3.sort();
     l3.dedup();
+    let l3 = CandidateArena::from_rows(3, l3.iter().map(|c| c.as_slice()));
     c.bench_function("apriori_generate_sequences/L3~300", |b| {
         b.iter(|| seqpat_core::algorithms::candidate::generate(black_box(&l3)))
     });

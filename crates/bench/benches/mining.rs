@@ -52,6 +52,7 @@ fn bench_counting_strategies(c: &mut Criterion) {
     for (name, strategy) in [
         ("direct", CountingStrategy::Direct),
         ("hash_tree", CountingStrategy::HashTree),
+        ("vertical", CountingStrategy::Vertical),
     ] {
         group.bench_function(name, |b| {
             let miner = Miner::new(MinerConfig::new(MinSupport::Fraction(0.01)).counting(strategy));

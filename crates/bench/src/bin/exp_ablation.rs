@@ -1,20 +1,41 @@
-//! **E7 — ablations** of the implementation choices DESIGN.md calls out:
+//! **E7 — ablations** of the implementation choices DESIGN.md calls out,
+//! plus **E10 — the vertical-counting crossover study**.
+//!
+//! E7 cells:
 //!
 //! * counting strategy: the paper's candidate hash tree vs the direct
-//!   bitmap-prefiltered scan;
+//!   bitmap-prefiltered scan vs the vertical occurrence-index joins;
 //! * hash-tree shape: fanout × leaf-capacity grid;
-//! * counting threads: 1 / 2 / 4 workers for both strategies.
+//! * counting threads: 1 / 2 / 4 workers for all three strategies.
 //!
 //! Results are identical across all cells by construction (the property
-//! tests pin that); only the time and the number of exact containment
-//! tests move.
+//! tests pin that); only the time and the per-strategy work counters move.
+//! The work counters are *not* comparable unit-for-unit across strategies —
+//! horizontal strategies do exact containment tests, the vertical strategy
+//! does occurrence-list merge-joins — so both are reported, plus their sum
+//! `ops` as the "exact verification operations" total E10 analyses.
+//!
+//! E10 sweeps minimum support with all three strategies serial on one
+//! dataset and writes `results/e10_vertical.json`: per cell wall time,
+//! containment tests, joins, `ops = tests + joins`, peak vertical index
+//! bytes and the (identical) pattern count.
 
-use seqpat_bench::harness::measure_config;
+use seqpat_bench::harness::{measure_config, MiningMeasurement};
 use seqpat_bench::table::fmt_secs;
 use seqpat_bench::{Args, Table};
 use seqpat_core::counting::TreeParams;
 use seqpat_core::{CountingStrategy, MinSupport, MinerConfig, Parallelism};
 use seqpat_datagen::{generate, GenParams};
+
+const STRATEGIES: [CountingStrategy; 3] = [
+    CountingStrategy::Direct,
+    CountingStrategy::HashTree,
+    CountingStrategy::Vertical,
+];
+
+fn ops(m: &MiningMeasurement) -> u64 {
+    m.containment_tests + m.join_ops
+}
 
 fn main() {
     let args = Args::parse();
@@ -37,31 +58,41 @@ fn main() {
         "threads",
         "time s",
         "containment tests",
+        "joins",
         "patterns",
     ]);
     let mut rows = Vec::new();
-
-    let direct = measure_config(
-        &db,
-        dataset,
-        minsup,
-        MinerConfig::new(MinSupport::Fraction(minsup))
-            .counting(CountingStrategy::Direct)
-            .parallelism(Parallelism::Serial),
+    let mut serial = |strategy: CountingStrategy| {
+        let m = measure_config(
+            &db,
+            dataset,
+            minsup,
+            MinerConfig::new(MinSupport::Fraction(minsup))
+                .counting(strategy)
+                .parallelism(Parallelism::Serial),
+        );
+        table.row(vec![
+            strategy.to_string(),
+            "-".into(),
+            "-".into(),
+            m.threads.to_string(),
+            fmt_secs(m.seconds),
+            m.containment_tests.to_string(),
+            m.join_ops.to_string(),
+            m.patterns.to_string(),
+        ]);
+        rows.push(format!(
+            "{},,,{},{:.6},{},{},{}",
+            strategy, m.threads, m.seconds, m.containment_tests, m.join_ops, m.patterns
+        ));
+        m
+    };
+    let direct = serial(CountingStrategy::Direct);
+    let vertical = serial(CountingStrategy::Vertical);
+    assert_eq!(
+        vertical.patterns, direct.patterns,
+        "strategies must agree on the answer"
     );
-    table.row(vec![
-        "direct".into(),
-        "-".into(),
-        "-".into(),
-        direct.threads.to_string(),
-        fmt_secs(direct.seconds),
-        direct.containment_tests.to_string(),
-        direct.patterns.to_string(),
-    ]);
-    rows.push(format!(
-        "direct,,,{},{:.6},{},{}",
-        direct.threads, direct.seconds, direct.containment_tests, direct.patterns
-    ));
 
     for fanout in [4usize, 16, 64] {
         for leaf_capacity in [8usize, 32, 128] {
@@ -78,24 +109,31 @@ fn main() {
                 "strategies must agree on the answer"
             );
             table.row(vec![
-                "hash-tree".into(),
+                "hashtree".into(),
                 fanout.to_string(),
                 leaf_capacity.to_string(),
                 m.threads.to_string(),
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
+                m.join_ops.to_string(),
                 m.patterns.to_string(),
             ]);
             rows.push(format!(
-                "hash-tree,{},{},{},{:.6},{},{}",
-                fanout, leaf_capacity, m.threads, m.seconds, m.containment_tests, m.patterns
+                "hashtree,{},{},{},{:.6},{},{},{}",
+                fanout,
+                leaf_capacity,
+                m.threads,
+                m.seconds,
+                m.containment_tests,
+                m.join_ops,
+                m.patterns
             ));
         }
     }
 
-    // Threads axis: both strategies, default tree shape. Answers and
-    // containment-test counts stay bit-identical to the serial rows.
-    for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+    // Threads axis: all strategies, default tree shape. Answers and work
+    // counters stay bit-identical to the serial rows.
+    for strategy in STRATEGIES {
         for threads in [2usize, 4] {
             let config = MinerConfig::new(MinSupport::Fraction(minsup))
                 .counting(strategy)
@@ -106,22 +144,19 @@ fn main() {
                 "thread count must not change the answer"
             );
             assert_eq!(m.threads, threads);
-            let name = match strategy {
-                CountingStrategy::Direct => "direct",
-                CountingStrategy::HashTree => "hash-tree",
-            };
             table.row(vec![
-                name.into(),
+                strategy.to_string(),
                 "-".into(),
                 "-".into(),
                 threads.to_string(),
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
+                m.join_ops.to_string(),
                 m.patterns.to_string(),
             ]);
             rows.push(format!(
-                "{},,,{},{:.6},{},{}",
-                name, threads, m.seconds, m.containment_tests, m.patterns
+                "{},,,{},{:.6},{},{},{}",
+                strategy, threads, m.seconds, m.containment_tests, m.join_ops, m.patterns
             ));
         }
     }
@@ -129,9 +164,90 @@ fn main() {
     let path = args
         .write_csv(
             "e7_ablation",
-            "strategy,fanout,leaf_capacity,threads,seconds,containment_tests,patterns",
+            "strategy,fanout,leaf_capacity,threads,seconds,containment_tests,join_ops,patterns",
             &rows,
         )
         .expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    // ---- E10: vertical crossover sweep ---------------------------------
+    let grid: &[f64] = if args.quick {
+        &[0.01]
+    } else {
+        &[0.01, 0.0075, 0.005, 0.0033]
+    };
+    println!("\nE10: vertical crossover on {dataset} (serial, minsup sweep)\n");
+    let mut table = Table::new(&[
+        "minsup %",
+        "strategy",
+        "time s",
+        "containment tests",
+        "joins",
+        "ops",
+        "peak index bytes",
+        "patterns",
+    ]);
+    let mut entries = Vec::new();
+    let mut vertical_beats_hashtree = false;
+    for &minsup in grid {
+        let mut cells: Vec<(CountingStrategy, MiningMeasurement)> = Vec::new();
+        for strategy in STRATEGIES {
+            let config = MinerConfig::new(MinSupport::Fraction(minsup))
+                .counting(strategy)
+                .parallelism(Parallelism::Serial);
+            let m = measure_config(&db, dataset, minsup, config);
+            if let Some((_, first)) = cells.first() {
+                assert_eq!(
+                    m.patterns, first.patterns,
+                    "strategies must agree at minsup {minsup}"
+                );
+            }
+            table.row(vec![
+                format!("{:.2}", minsup * 100.0),
+                strategy.to_string(),
+                fmt_secs(m.seconds),
+                m.containment_tests.to_string(),
+                m.join_ops.to_string(),
+                ops(&m).to_string(),
+                m.vertical_peak_bytes.to_string(),
+                m.patterns.to_string(),
+            ]);
+            entries.push(format!(
+                "    {{\"minsup\": {minsup}, \"strategy\": \"{strategy}\", \
+                 \"seconds\": {:.6}, \"containment_tests\": {}, \"join_ops\": {}, \
+                 \"ops\": {}, \"vertical_index_seconds\": {:.6}, \
+                 \"vertical_peak_bytes\": {}, \"patterns\": {}}}",
+                m.seconds,
+                m.containment_tests,
+                m.join_ops,
+                ops(&m),
+                m.vertical_index_seconds,
+                m.vertical_peak_bytes,
+                m.patterns
+            ));
+            cells.push((strategy, m));
+        }
+        let hashtree = &cells[1].1;
+        let vertical = &cells[2].1;
+        if ops(vertical) < ops(hashtree) {
+            vertical_beats_hashtree = true;
+        }
+    }
+    table.print();
+    assert!(
+        vertical_beats_hashtree,
+        "expected at least one cell where vertical does fewer exact ops than the hash tree"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e10_vertical\",\n  \"dataset\": \"{dataset}\",\n  \
+         \"customers\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        args.customers,
+        args.seed,
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = std::path::Path::new(&args.out_dir).join("e10_vertical.json");
+    std::fs::write(&path, json).expect("write JSON");
     println!("\nwrote {}", path.display());
 }

@@ -30,6 +30,14 @@ pub struct MiningMeasurement {
     pub litemsets: u64,
     /// Worker threads the counting passes used (resolved value).
     pub threads: usize,
+    /// Occurrence-list joins executed (vertical strategy only; 0 otherwise).
+    pub join_ops: u64,
+    /// Peak bytes of the vertical index + cached occurrence lists (0 for
+    /// horizontal strategies). Not part of the CSV row — experiments that
+    /// need it (E10) report it in their own output format.
+    pub vertical_peak_bytes: u64,
+    /// Seconds spent building the vertical occurrence index (0 otherwise).
+    pub vertical_index_seconds: f64,
 }
 
 impl MiningMeasurement {
@@ -93,6 +101,9 @@ pub fn measure_config(
         large_sequences: result.stats.large_sequences,
         litemsets: result.stats.num_litemsets,
         threads: result.stats.threads_used,
+        join_ops: result.stats.join_ops,
+        vertical_peak_bytes: result.stats.vertical_peak_bytes,
+        vertical_index_seconds: result.stats.vertical_index_time.as_secs_f64(),
     }
 }
 

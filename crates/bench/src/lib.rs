@@ -15,6 +15,7 @@
 //! | `exp_ablation` | E7 — counting-strategy & hash-tree ablations |
 //! | `exp_gsp_constraints` | E8 — GSP time-constraint study (extension) |
 //! | `exp_threads` | E9 — thread scaling of parallel support counting |
+//! | `exp_ablation` | E10 — vertical-counting crossover sweep (same binary as E7) |
 //!
 //! Every binary prints a paper-style table to stdout and writes a CSV under
 //! `results/`. All accept `--customers N` (default 2 000 — laptop scale;

@@ -3,14 +3,17 @@
 //! ```text
 //! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S] [--format spmf|csv]
 //! seqmine mine  --in data.spmf  --minsup 0.01 [--algorithm apriori-all|apriori-some|dynamic-some|prefixspan]
-//!               [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--format spmf|csv] [--stats]
+//!               [--step K] [--all] [--max-length L] [--window W] [--threads N|auto]
+//!               [--strategy direct|hashtree|vertical] [--format spmf|csv] [--stats]
 //! seqmine stats --in data.spmf [--format spmf|csv]
 //! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions)
 //! ```
 
 use std::process::ExitCode;
 
-use seqpat_core::{Algorithm, Database, MinSupport, Miner, MinerConfig, Parallelism};
+use seqpat_core::{
+    Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig, Parallelism,
+};
 use seqpat_datagen::{generate, GenParams};
 use seqpat_gsp::{gsp, gsp_maximal, GspConfig};
 use seqpat_io::{csv, spmf, DatasetStats};
@@ -47,7 +50,7 @@ seqmine — sequential pattern mining (Agrawal & Srikant, ICDE 1995)
 
 commands:
   gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv])
-  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--stats])
+  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical] [--stats])
   stats    print dataset statistics            (--in FILE)
   convert  convert between spmf and csv        (--in FILE --out FILE)
 
@@ -191,6 +194,12 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             Parallelism::threads(n)
         }
     };
+    // Support counting strategy (paper algorithms only; ignored by
+    // prefixspan/gsp which have their own counting machinery).
+    let strategy = match flags.get("strategy") {
+        None => CountingStrategy::default(),
+        Some(v) => v.parse::<CountingStrategy>().map_err(|e| e.to_string())?,
+    };
 
     if algorithm_name == "gsp" {
         let mut config = GspConfig::default();
@@ -246,7 +255,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let mut config = MinerConfig::new(MinSupport::Fraction(minsup))
         .algorithm(algorithm)
         .include_non_maximal(include_all)
-        .parallelism(parallelism);
+        .parallelism(parallelism)
+        .counting(strategy);
     if let Some(cap) = max_length {
         config = config.max_length(cap);
     }
@@ -255,7 +265,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         println!("{p} #SUP: {}", p.support);
     }
     eprintln!(
-        "{} patterns at minsup {minsup} (count ≥ {}) over {} customers [{algorithm}]",
+        "{} patterns at minsup {minsup} (count ≥ {}) over {} customers [{algorithm}, {strategy} counting]",
         result.patterns.len(),
         result.min_support_count,
         result.num_customers
@@ -270,6 +280,12 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             s.containment_tests,
             s.threads_used
         );
+        if strategy == CountingStrategy::Vertical {
+            eprintln!(
+                "vertical: index build {:?}  joins: {}  peak index bytes: {}",
+                s.vertical_index_time, s.join_ops, s.vertical_peak_bytes
+            );
+        }
         eprintln!(
             "times: litemset {:?}, transform {:?}, sequence {:?}, maximal {:?}",
             s.litemset_time, s.transform_time, s.sequence_time, s.maximal_time
@@ -457,6 +473,42 @@ mod tests {
             "--minsup".into(),
             "0.2".into(),
             "--threads".into(),
+            "bogus".into(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_accepts_strategy_settings() {
+        let dir = std::env::temp_dir().join("seqmine_cli_strategy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.spmf").to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            path.clone(),
+            "--customers".into(),
+            "30".into(),
+        ])
+        .unwrap();
+        for strategy in ["direct", "hashtree", "hash-tree", "vertical"] {
+            cmd_mine(&[
+                "--in".into(),
+                path.clone(),
+                "--minsup".into(),
+                "0.2".into(),
+                "--strategy".into(),
+                strategy.into(),
+                "--stats".into(),
+            ])
+            .unwrap_or_else(|e| panic!("--strategy {strategy}: {e}"));
+        }
+        assert!(cmd_mine(&[
+            "--in".into(),
+            path,
+            "--minsup".into(),
+            "0.2".into(),
+            "--strategy".into(),
             "bogus".into(),
         ])
         .is_err());

@@ -8,11 +8,13 @@
 //! wastes counting effort on non-maximal sequences — the motivation for the
 //! Some variants).
 
-use super::candidate::{self, IdSeq};
-use crate::counting::{count_supports, large_two_sequences, CountingStrategy, TreeParams};
+use super::candidate;
+use crate::arena::CandidateArena;
+use crate::counting::{large_two_sequences, CountingContext, CountingStrategy, TreeParams};
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
+use crate::vertical::VerticalParams;
 use seqpat_itemset::Parallelism;
 use std::time::Instant;
 
@@ -29,6 +31,20 @@ pub struct SequencePhaseOptions {
     /// Worker threads for the counting passes. Parallel runs are
     /// bit-identical to serial ones (see `counting`).
     pub parallelism: Parallelism,
+    /// Vertical-strategy knobs (occurrence-list cache cap).
+    pub vertical: VerticalParams,
+}
+
+impl SequencePhaseOptions {
+    /// The per-run [`CountingContext`] these options describe.
+    pub fn context(&self) -> CountingContext {
+        CountingContext::new(
+            self.counting,
+            self.tree_params,
+            self.parallelism,
+            self.vertical,
+        )
+    }
 }
 
 /// The large 1-sequences: every litemset id, with the support the litemset
@@ -51,6 +67,7 @@ pub fn apriori_all(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
+    let mut ctx = options.context();
     let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
@@ -97,33 +114,26 @@ pub fn apriori_all(
             k += 1;
             continue;
         }
-        let prev_ids: Vec<IdSeq> = current.iter().map(|s| s.ids.clone()).collect();
+        let prev_ids = CandidateArena::from_rows(k - 1, current.iter().map(|s| s.ids.as_slice()));
         all.append(&mut current);
         let candidates = candidate::generate(&prev_ids);
         if candidates.is_empty() {
             break;
         }
-        let supports = count_supports(
-            tdb,
-            &candidates,
-            options.counting,
-            options.tree_params,
-            options.parallelism,
-            &mut stats.containment_tests,
-        );
+        let supports = ctx.count(tdb, &candidates);
         let next: Vec<LargeIdSequence> = candidates
             .iter()
             .zip(&supports)
             .filter(|&(_, &s)| s >= min_count)
             .map(|(ids, &support)| LargeIdSequence {
-                ids: ids.clone(),
+                ids: ids.to_vec(),
                 support,
             })
             .collect();
         stats.record_pass(SequencePassStats {
             k,
-            generated: candidates.len() as u64,
-            counted: candidates.len() as u64,
+            generated: candidates.num_candidates() as u64,
+            counted: candidates.num_candidates() as u64,
             large: next.len() as u64,
             backward: false,
             pruned_by_containment: 0,
@@ -133,6 +143,7 @@ pub fn apriori_all(
         k += 1;
     }
     all.append(&mut current);
+    ctx.flush_into(stats);
     all
 }
 
@@ -197,31 +208,29 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn direct_and_tree_counting_give_identical_results() {
+    fn all_counting_strategies_give_identical_results() {
         let tdb = paper_tdb();
-        let mut s1 = MiningStats::default();
-        let mut a = apriori_all(
-            &tdb,
-            2,
-            &SequencePhaseOptions {
-                counting: CountingStrategy::Direct,
-                ..Default::default()
-            },
-            &mut s1,
-        );
-        let mut s2 = MiningStats::default();
-        let mut b = apriori_all(
-            &tdb,
-            2,
-            &SequencePhaseOptions {
-                counting: CountingStrategy::HashTree,
-                ..Default::default()
-            },
-            &mut s2,
-        );
-        a.sort_by(|x, y| x.ids.cmp(&y.ids));
-        b.sort_by(|x, y| x.ids.cmp(&y.ids));
+        let run = |counting: CountingStrategy| {
+            let mut stats = MiningStats::default();
+            let mut out = apriori_all(
+                &tdb,
+                2,
+                &SequencePhaseOptions {
+                    counting,
+                    ..Default::default()
+                },
+                &mut stats,
+            );
+            out.sort_by(|x, y| x.ids.cmp(&y.ids));
+            (out, stats)
+        };
+        let (a, _) = run(CountingStrategy::Direct);
+        let (b, _) = run(CountingStrategy::HashTree);
+        // Pass 3 of the paper example prunes every candidate, so the
+        // vertical run never even builds its index — but the answers match.
+        let (c, _) = run(CountingStrategy::Vertical);
         assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -14,9 +14,10 @@
 
 use super::apriori_all::{large_one_sequences, SequencePhaseOptions};
 use super::backward::{backward, ForwardOutput};
-use super::candidate::{self, IdSeq};
+use super::candidate;
 use super::next::next;
-use crate::counting::{count_supports, large_two_sequences};
+use crate::arena::CandidateArena;
+use crate::counting::large_two_sequences;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
@@ -31,6 +32,7 @@ pub fn apriori_some(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
+    let mut ctx = options.context();
     let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
@@ -46,7 +48,7 @@ pub fn apriori_some(
     let mut forward = ForwardOutput::default();
     // The generation source for the next length: ids of L_{k-1} when
     // counted, else C_{k-1}.
-    let mut source: Vec<IdSeq> = l1.iter().map(|s| s.ids.clone()).collect();
+    let mut source = CandidateArena::from_rows(1, l1.iter().map(|s| s.ids.as_slice()));
     forward.counted.insert(1, l1);
 
     // next() schedule state. Pass 1 has C1 = L1 (hit ratio trivially 1.0),
@@ -83,7 +85,7 @@ pub fn apriori_some(
             });
             let hit = l2.len() as f64 / generated.max(1) as f64;
             count_at = next(k, hit);
-            source = l2.iter().map(|s| s.ids.clone()).collect();
+            source = CandidateArena::from_rows(k, l2.iter().map(|s| s.ids.as_slice()));
             forward.counted.insert(k, l2);
             k += 1;
             continue;
@@ -93,36 +95,29 @@ pub fn apriori_some(
             break;
         }
         if k == count_at {
-            let supports = count_supports(
-                tdb,
-                &candidates,
-                options.counting,
-                options.tree_params,
-                options.parallelism,
-                &mut stats.containment_tests,
-            );
+            let supports = ctx.count(tdb, &candidates);
             let lk: Vec<LargeIdSequence> = candidates
                 .iter()
                 .zip(&supports)
                 .filter(|&(_, &s)| s >= min_count)
                 .map(|(ids, &support)| LargeIdSequence {
-                    ids: ids.clone(),
+                    ids: ids.to_vec(),
                     support,
                 })
                 .collect();
             stats.record_pass(SequencePassStats {
                 k,
-                generated: candidates.len() as u64,
-                counted: candidates.len() as u64,
+                generated: candidates.num_candidates() as u64,
+                counted: candidates.num_candidates() as u64,
                 large: lk.len() as u64,
                 backward: false,
                 pruned_by_containment: 0,
                 pass_time: pass_start.elapsed(),
             });
-            let hit = lk.len() as f64 / candidates.len() as f64;
+            let hit = lk.len() as f64 / candidates.num_candidates() as f64;
             count_at = next(k, hit);
             debug_assert!(count_at > k);
-            source = lk.iter().map(|s| s.ids.clone()).collect();
+            source = CandidateArena::from_rows(k, lk.iter().map(|s| s.ids.as_slice()));
             let empty = lk.is_empty();
             forward.counted.insert(k, lk);
             if empty {
@@ -131,7 +126,7 @@ pub fn apriori_some(
         } else {
             stats.record_pass(SequencePassStats {
                 k,
-                generated: candidates.len() as u64,
+                generated: candidates.num_candidates() as u64,
                 counted: 0,
                 large: 0,
                 backward: false,
@@ -144,7 +139,9 @@ pub fn apriori_some(
         k += 1;
     }
 
-    backward(tdb, min_count, options, stats, forward)
+    let kept = backward(tdb, min_count, &mut ctx, stats, forward);
+    ctx.flush_into(stats);
+    kept
 }
 
 #[cfg(test)]

@@ -22,10 +22,9 @@
 
 use std::collections::BTreeMap;
 
-use super::apriori_all::SequencePhaseOptions;
-use super::candidate::IdSeq;
+use crate::arena::CandidateArena;
 use crate::contain::id_subsequence_with_subsets;
-use crate::counting::count_supports;
+use crate::counting::CountingContext;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
@@ -36,15 +35,17 @@ pub struct ForwardOutput {
     /// `L_k` for the lengths the forward phase counted.
     pub counted: BTreeMap<usize, Vec<LargeIdSequence>>,
     /// `C_k` (uncounted candidates) for the skipped lengths.
-    pub skipped: BTreeMap<usize, Vec<IdSeq>>,
+    pub skipped: BTreeMap<usize, CandidateArena>,
 }
 
 /// Runs the backward phase; returns the kept large sequences (a superset of
-/// the maximal large sequences, disjoint per length).
+/// the maximal large sequences, disjoint per length). `ctx` is the same
+/// counting context the forward phase used, so the vertical strategy's
+/// occurrence index carries over.
 pub fn backward(
     tdb: &TransformedDatabase,
     min_count: u64,
-    options: &SequencePhaseOptions,
+    ctx: &mut CountingContext,
     stats: &mut MiningStats,
     forward: ForwardOutput,
 ) -> Vec<LargeIdSequence> {
@@ -70,26 +71,26 @@ pub fn backward(
             kept.extend(lk);
         } else if let Some(ck) = skipped.remove(&k) {
             // Skipped in the forward phase: prune, then count the rest.
+            // Filtering preserves the arena's sorted order, so the vertical
+            // strategy's prefix runs and list cache stay valid.
             let pass_start = std::time::Instant::now();
-            let before = ck.len() as u64;
-            let remaining: Vec<IdSeq> = ck
-                .into_iter()
-                .filter(|ids| !contained_in_any(ids, &kept, tdb))
-                .collect();
-            let pruned = before - remaining.len() as u64;
-            let supports = count_supports(
-                tdb,
-                &remaining,
-                options.counting,
-                options.tree_params,
-                options.parallelism,
-                &mut stats.containment_tests,
-            );
+            let before = ck.num_candidates() as u64;
+            let mut remaining = CandidateArena::new(k);
+            for ids in ck.iter() {
+                if !contained_in_any(ids, &kept, tdb) {
+                    remaining.push(ids);
+                }
+            }
+            let pruned = before - remaining.num_candidates() as u64;
+            let supports = ctx.count(tdb, &remaining);
             let survivors: Vec<LargeIdSequence> = remaining
-                .into_iter()
+                .iter()
                 .zip(supports)
                 .filter(|&(_, s)| s >= min_count)
-                .map(|(ids, support)| LargeIdSequence { ids, support })
+                .map(|(ids, support)| LargeIdSequence {
+                    ids: ids.to_vec(),
+                    support,
+                })
                 .collect();
             stats.record_pass(SequencePassStats {
                 k,
@@ -115,9 +116,14 @@ fn contained_in_any(ids: &[u32], kept: &[LargeIdSequence], tdb: &TransformedData
 mod tests {
     use super::*;
     use crate::algorithms::apriori_all::tests::paper_tdb;
+    use crate::algorithms::apriori_all::SequencePhaseOptions;
 
     fn ls(ids: Vec<u32>, support: u64) -> LargeIdSequence {
         LargeIdSequence { ids, support }
+    }
+
+    fn arena(rows: &[&[u32]]) -> CandidateArena {
+        CandidateArena::from_rows(rows.first().map_or(0, |r| r.len()), rows.iter().copied())
     }
 
     #[test]
@@ -129,13 +135,8 @@ mod tests {
             .insert(1, vec![ls(vec![0], 4), ls(vec![4], 3)]);
         forward.counted.insert(2, vec![ls(vec![0, 4], 2)]);
         let mut stats = MiningStats::default();
-        let kept = backward(
-            &tdb,
-            2,
-            &SequencePhaseOptions::default(),
-            &mut stats,
-            forward,
-        );
+        let mut ctx = SequencePhaseOptions::default().context();
+        let kept = backward(&tdb, 2, &mut ctx, &mut stats, forward);
         // Counted lengths are passed through longest-first; the maximal
         // phase (not the backward pass) trims ⟨0⟩ and ⟨4⟩ later.
         assert_eq!(
@@ -156,15 +157,10 @@ mod tests {
         // Skipped C1: ⟨0⟩ (contained in ⟨0 2⟩ → pruned, never counted),
         // ⟨4⟩ (counted; support 3 → kept), ⟨1⟩ (contained via subset-
         // awareness: (40) ⊆ (40 70) → pruned).
-        forward.skipped.insert(1, vec![vec![0], vec![1], vec![4]]);
+        forward.skipped.insert(1, arena(&[&[0], &[1], &[4]]));
         let mut stats = MiningStats::default();
-        let kept = backward(
-            &tdb,
-            2,
-            &SequencePhaseOptions::default(),
-            &mut stats,
-            forward,
-        );
+        let mut ctx = SequencePhaseOptions::default().context();
+        let kept = backward(&tdb, 2, &mut ctx, &mut stats, forward);
         let mut got: Vec<Vec<u32>> = kept.iter().map(|s| s.ids.clone()).collect();
         got.sort();
         assert_eq!(got, vec![vec![0, 2], vec![4]]);
@@ -182,15 +178,10 @@ mod tests {
         let tdb = paper_tdb();
         let mut forward = ForwardOutput::default();
         // ⟨4 4⟩ has support 0 in the paper database.
-        forward.skipped.insert(2, vec![vec![4, 4]]);
+        forward.skipped.insert(2, arena(&[&[4, 4]]));
         let mut stats = MiningStats::default();
-        let kept = backward(
-            &tdb,
-            2,
-            &SequencePhaseOptions::default(),
-            &mut stats,
-            forward,
-        );
+        let mut ctx = SequencePhaseOptions::default().context();
+        let kept = backward(&tdb, 2, &mut ctx, &mut stats, forward);
         assert!(kept.is_empty());
     }
 
@@ -198,13 +189,8 @@ mod tests {
     fn empty_forward_output() {
         let tdb = paper_tdb();
         let mut stats = MiningStats::default();
-        let kept = backward(
-            &tdb,
-            2,
-            &SequencePhaseOptions::default(),
-            &mut stats,
-            ForwardOutput::default(),
-        );
+        let mut ctx = SequencePhaseOptions::default().context();
+        let kept = backward(&tdb, 2, &mut ctx, &mut stats, ForwardOutput::default());
         assert!(kept.is_empty());
     }
 }

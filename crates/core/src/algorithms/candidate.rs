@@ -11,7 +11,12 @@
 //! * The prune step drops a candidate when any of its `(k-1)`-subsequences
 //!   (obtained by deleting one element) is missing from the generation
 //!   source.
+//!
+//! Candidate sets flow in and out as [`CandidateArena`]s: the join reads
+//! prefix blocks straight off the flat buffer and the prune's binary
+//! searches hit contiguous rows, with no per-candidate allocation anywhere.
 
+use crate::arena::CandidateArena;
 use crate::types::transformed::LitemsetId;
 
 /// One large or candidate sequence in id space.
@@ -21,52 +26,50 @@ pub type IdSeq = Vec<LitemsetId>;
 /// sequences in AprioriAll; possibly candidates in the Some variants'
 /// forward phases).
 ///
-/// `prev` must be lexicographically sorted and duplicate-free; all elements
-/// must share one length ≥ 1. Output is lexicographically sorted and
-/// duplicate-free.
-pub fn generate(prev: &[IdSeq]) -> Vec<IdSeq> {
+/// `prev` must be lexicographically sorted and duplicate-free; rows share
+/// one length ≥ 1. Output is lexicographically sorted and duplicate-free.
+pub fn generate(prev: &CandidateArena) -> CandidateArena {
     if prev.is_empty() {
-        return Vec::new();
+        return CandidateArena::default();
     }
-    let k_minus_1 = prev[0].len();
-    debug_assert!(prev.iter().all(|s| s.len() == k_minus_1));
-    debug_assert!(
-        prev.windows(2).all(|w| w[0] < w[1]),
-        "prev must be sorted+dedup"
-    );
+    let k_minus_1 = prev.candidate_len();
+    debug_assert!(prev.is_sorted_unique(), "prev must be sorted+dedup");
 
-    let mut out = Vec::new();
+    let n = prev.num_candidates();
+    let mut out = CandidateArena::new(k_minus_1 + 1);
+    let mut cand: IdSeq = Vec::with_capacity(k_minus_1 + 1);
+    let mut sub: IdSeq = Vec::with_capacity(k_minus_1);
     let mut block_start = 0;
-    while block_start < prev.len() {
-        let prefix = &prev[block_start][..k_minus_1 - 1];
+    while block_start < n {
+        let prefix = &prev.get(block_start)[..k_minus_1 - 1];
         let mut block_end = block_start + 1;
-        while block_end < prev.len() && &prev[block_end][..k_minus_1 - 1] == prefix {
+        while block_end < n && &prev.get(block_end)[..k_minus_1 - 1] == prefix {
             block_end += 1;
         }
         // Ordered pairs within the block, p == q included.
-        for p in &prev[block_start..block_end] {
-            for q in &prev[block_start..block_end] {
-                let mut cand = p.clone();
-                cand.push(q[k_minus_1 - 1]);
-                if survives_prune(&cand, prev) {
-                    out.push(cand);
+        for p in block_start..block_end {
+            for q in block_start..block_end {
+                cand.clear();
+                cand.extend_from_slice(prev.get(p));
+                cand.push(prev.get(q)[k_minus_1 - 1]);
+                if survives_prune(&cand, prev, &mut sub) {
+                    out.push(&cand);
                 }
             }
         }
         block_start = block_end;
     }
-    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(out.is_sorted_unique());
     out
 }
 
 /// Every delete-one-element subsequence of `cand` must be present in `prev`.
-fn survives_prune(cand: &[LitemsetId], prev: &[IdSeq]) -> bool {
-    let mut sub: IdSeq = Vec::with_capacity(cand.len() - 1);
+fn survives_prune(cand: &[LitemsetId], prev: &CandidateArena, sub: &mut IdSeq) -> bool {
     for drop in 0..cand.len() {
         sub.clear();
         sub.extend_from_slice(&cand[..drop]);
         sub.extend_from_slice(&cand[drop + 1..]);
-        if prev.binary_search_by(|s| s.as_slice().cmp(&sub)).is_err() {
+        if prev.binary_search(sub).is_err() {
             return false;
         }
     }
@@ -77,11 +80,21 @@ fn survives_prune(cand: &[LitemsetId], prev: &[IdSeq]) -> bool {
 mod tests {
     use super::*;
 
+    fn arena(rows: &[&[LitemsetId]]) -> CandidateArena {
+        CandidateArena::from_rows(rows.first().map_or(0, |r| r.len()), rows.iter().copied())
+    }
+
+    fn rows(a: &CandidateArena) -> Vec<IdSeq> {
+        a.iter().map(|r| r.to_vec()).collect()
+    }
+
     #[test]
     fn k2_from_singletons_is_all_ordered_pairs() {
-        let prev: Vec<IdSeq> = vec![vec![0], vec![1]];
-        let got = generate(&prev);
-        assert_eq!(got, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        let got = generate(&arena(&[&[0], &[1]]));
+        assert_eq!(
+            rows(&got),
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
     }
 
     #[test]
@@ -90,31 +103,22 @@ mod tests {
         // prefix blocks yields (paper §4.1.1's example adapted to order):
         // ⟨1 2 3 4⟩ survives (all 3-subseqs present); the mirror candidates
         // like ⟨1 2 4 3⟩ die because ⟨1 4 3⟩ or ⟨2 4 3⟩ are absent.
-        let prev: Vec<IdSeq> = vec![
-            vec![1, 2, 3],
-            vec![1, 2, 4],
-            vec![1, 3, 4],
-            vec![1, 3, 5],
-            vec![2, 3, 4],
-        ];
-        let got = generate(&prev);
-        assert_eq!(got, vec![vec![1, 2, 3, 4]]);
+        let prev = arena(&[&[1, 2, 3], &[1, 2, 4], &[1, 3, 4], &[1, 3, 5], &[2, 3, 4]]);
+        assert_eq!(rows(&generate(&prev)), vec![vec![1, 2, 3, 4]]);
     }
 
     #[test]
     fn repeated_elements_are_legal() {
         // ⟨7 7⟩ is generated from L1 = {⟨7⟩} and survives (both delete-one
         // subsequences equal ⟨7⟩).
-        let prev: Vec<IdSeq> = vec![vec![7]];
-        assert_eq!(generate(&prev), vec![vec![7, 7]]);
+        assert_eq!(rows(&generate(&arena(&[&[7]]))), vec![vec![7, 7]]);
     }
 
     #[test]
     fn triple_with_repeats_needs_its_subsequences() {
         // From L2 = {⟨7 7⟩} the join gives ⟨7 7 7⟩, whose subsequences are
         // all ⟨7 7⟩ — present, so it survives.
-        let prev: Vec<IdSeq> = vec![vec![7, 7]];
-        assert_eq!(generate(&prev), vec![vec![7, 7, 7]]);
+        assert_eq!(rows(&generate(&arena(&[&[7, 7]]))), vec![vec![7, 7, 7]]);
     }
 
     #[test]
@@ -124,30 +128,29 @@ mod tests {
         // middle and last give ⟨0 1⟩) and ⟨1 1⟩ (drop first) — present, so
         // it survives. ⟨1 1 1⟩ survives likewise. But with L2 = {⟨0 1⟩}
         // alone nothing survives because ⟨1 1⟩ is missing.
-        let got = generate(&[vec![0, 1], vec![1, 1]]);
-        assert_eq!(got, vec![vec![0, 1, 1], vec![1, 1, 1]]);
-        let got2 = generate(&[vec![0, 1]]);
-        assert!(got2.is_empty());
+        let got = generate(&arena(&[&[0, 1], &[1, 1]]));
+        assert_eq!(rows(&got), vec![vec![0, 1, 1], vec![1, 1, 1]]);
+        assert!(generate(&arena(&[&[0, 1]])).is_empty());
     }
 
     #[test]
     fn empty_input() {
-        assert!(generate(&[]).is_empty());
+        assert!(generate(&CandidateArena::default()).is_empty());
+        assert!(generate(&CandidateArena::new(2)).is_empty());
     }
 
     #[test]
     fn completeness_every_large_superset_is_generated() {
         // Anti-monotonicity completeness check: if every (k-1)-subsequence
         // of a k-sequence is in prev, the k-sequence must be generated.
-        let prev: Vec<IdSeq> = vec![vec![0, 1], vec![1, 0], vec![0, 0], vec![1, 1]]
-            .into_iter()
-            .collect();
-        let mut prev = prev;
+        let mut prev: Vec<IdSeq> = vec![vec![0, 1], vec![1, 0], vec![0, 0], vec![1, 1]];
         prev.sort();
-        let got = generate(&prev);
+        let got = generate(&arena(
+            &prev.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        ));
         // ⟨0 1 0⟩: subsequences ⟨1 0⟩, ⟨0 0⟩, ⟨0 1⟩ all present → must appear.
-        assert!(got.contains(&vec![0, 1, 0]));
+        assert!(got.binary_search(&[0, 1, 0]).is_ok());
         // All 8 ternary sequences over {0,1} qualify here.
-        assert_eq!(got.len(), 8);
+        assert_eq!(got.num_candidates(), 8);
     }
 }

@@ -18,13 +18,19 @@
 
 use super::apriori_all::{large_one_sequences, SequencePhaseOptions};
 use super::backward::{backward, ForwardOutput};
-use super::candidate::{self, IdSeq};
+use super::candidate;
 use super::otf::otf_generate;
-use crate::counting::{count_supports, large_two_sequences};
+use crate::arena::CandidateArena;
+use crate::counting::large_two_sequences;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
 use std::time::Instant;
+
+/// The ids of a counted level as a generation-ready arena.
+fn ids_arena(level: &[LargeIdSequence], len: usize) -> CandidateArena {
+    CandidateArena::from_rows(len, level.iter().map(|s| s.ids.as_slice()))
+}
 
 /// Runs DynamicSome with the given jump width (`step >= 1`; the paper's
 /// experiments use small steps such as 2 or 3).
@@ -38,6 +44,7 @@ pub fn dynamic_some(
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
     assert!(step >= 1, "DynamicSome requires step >= 1");
+    let mut ctx = options.context();
     let mut forward = ForwardOutput::default();
 
     // --- Initialization phase: exact L_1 ..= L_step. ---
@@ -80,36 +87,26 @@ pub fn dynamic_some(
             }
             continue;
         }
-        let prev: Vec<IdSeq> = forward.counted[&(k - 1)]
-            .iter()
-            .map(|s| s.ids.clone())
-            .collect();
+        let prev = ids_arena(&forward.counted[&(k - 1)], k - 1);
         let candidates = candidate::generate(&prev);
         if candidates.is_empty() {
             forward.counted.insert(k, Vec::new());
             break;
         }
-        let supports = count_supports(
-            tdb,
-            &candidates,
-            options.counting,
-            options.tree_params,
-            options.parallelism,
-            &mut stats.containment_tests,
-        );
+        let supports = ctx.count(tdb, &candidates);
         let lk: Vec<LargeIdSequence> = candidates
             .iter()
             .zip(&supports)
             .filter(|&(_, &s)| s >= min_count)
             .map(|(ids, &support)| LargeIdSequence {
-                ids: ids.clone(),
+                ids: ids.to_vec(),
                 support,
             })
             .collect();
         stats.record_pass(SequencePassStats {
             k,
-            generated: candidates.len() as u64,
-            counted: candidates.len() as u64,
+            generated: candidates.num_candidates() as u64,
+            counted: candidates.num_candidates() as u64,
             large: lk.len() as u64,
             backward: false,
             pruned_by_containment: 0,
@@ -123,10 +120,10 @@ pub fn dynamic_some(
     }
 
     // --- Jump phase: L_k × L_step → L_{k+step}. ---
-    let l_step_ids: Vec<IdSeq> = forward
+    let l_step_ids = forward
         .counted
         .get(&step)
-        .map(|l| l.iter().map(|s| s.ids.clone()).collect())
+        .map(|l| ids_arena(l, step))
         .unwrap_or_default();
     if !l_step_ids.is_empty() {
         let mut k = step;
@@ -135,16 +132,15 @@ pub fn dynamic_some(
             if options.max_length.is_some_and(|cap| target > cap) {
                 break;
             }
-            let lk_ids: Vec<IdSeq> = match forward.counted.get(&k) {
-                Some(l) if !l.is_empty() => l.iter().map(|s| s.ids.clone()).collect(),
+            let lk_ids = match forward.counted.get(&k) {
+                Some(l) if !l.is_empty() => ids_arena(l, k),
                 _ => break,
             };
             let pass_start = Instant::now();
             // On-the-fly generation stays serial: it interleaves generation
             // with counting in one scan and is bound by |L_k|·|L_step|, not
             // by the customer scan (see DESIGN.md).
-            let counted_pairs =
-                otf_generate(tdb, &lk_ids, &l_step_ids, &mut stats.containment_tests);
+            let counted_pairs = otf_generate(tdb, &lk_ids, &l_step_ids, &mut ctx);
             let generated = counted_pairs.len() as u64;
             let l_next: Vec<LargeIdSequence> = counted_pairs
                 .into_iter()
@@ -183,22 +179,22 @@ pub fn dynamic_some(
             continue;
         }
         // Source: L_{k-1} when counted, else the C_{k-1} just stored.
-        let source: Vec<IdSeq> = if let Some(l) = forward.counted.get(&(k - 1)) {
-            l.iter().map(|s| s.ids.clone()).collect()
+        let source: CandidateArena = if let Some(l) = forward.counted.get(&(k - 1)) {
+            ids_arena(l, k - 1)
         } else if let Some(c) = forward.skipped.get(&(k - 1)) {
             c.clone()
         } else {
-            Vec::new()
+            CandidateArena::default()
         };
         let pass_start = Instant::now();
         let ck = if source.is_empty() {
-            Vec::new()
+            CandidateArena::new(k)
         } else {
             candidate::generate(&source)
         };
         stats.record_pass(SequencePassStats {
             k,
-            generated: ck.len() as u64,
+            generated: ck.num_candidates() as u64,
             counted: 0,
             large: 0,
             backward: false,
@@ -214,7 +210,9 @@ pub fn dynamic_some(
     forward.skipped.retain(|_, v| !v.is_empty());
 
     // --- Backward phase (shared). ---
-    backward(tdb, min_count, options, stats, forward)
+    let kept = backward(tdb, min_count, &mut ctx, stats, forward);
+    ctx.flush_into(stats);
+    kept
 }
 
 #[cfg(test)]
@@ -259,6 +257,32 @@ mod tests {
         let mut s2 = MiningStats::default();
         let dyn_ = dynamic_some(&tdb, 2, 2, &opts, &mut s2);
         assert_eq!(maximal_ids(&tdb, some), maximal_ids(&tdb, dyn_));
+    }
+
+    #[test]
+    fn vertical_strategy_agrees_including_otf_jumps() {
+        use crate::counting::CountingStrategy;
+        let tdb = paper_tdb();
+        for step in 1..=3 {
+            let mut s1 = MiningStats::default();
+            let base = dynamic_some(&tdb, 2, step, &SequencePhaseOptions::default(), &mut s1);
+            let mut s2 = MiningStats::default();
+            let vert = dynamic_some(
+                &tdb,
+                2,
+                step,
+                &SequencePhaseOptions {
+                    counting: CountingStrategy::Vertical,
+                    ..Default::default()
+                },
+                &mut s2,
+            );
+            assert_eq!(
+                maximal_ids(&tdb, base),
+                maximal_ids(&tdb, vert),
+                "step {step}"
+            );
+        }
     }
 
     #[test]

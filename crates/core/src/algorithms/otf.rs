@@ -17,25 +17,52 @@
 //! candidate *explosion*: up to `|Lk| × |Lj|` pairs per customer, which is
 //! exactly why the paper's experiments see DynamicSome degrade at low
 //! minimum support.
+//!
+//! With the vertical strategy, the outer loop runs over `occ(x)` from the
+//! occurrence index instead of scanning customers: each `x ∈ Lk` resolves
+//! its occurrence list (cache hit or fold — joins are counted), and only
+//! the customers actually supporting `x` are probed for suffixes. The
+//! suffix probes remain exact containment tests, so the counters differ
+//! from the horizontal path (fewer `x` probes, no bitmap prefilter on `y`)
+//! but the supports are identical.
 
 use super::candidate::IdSeq;
+use crate::arena::CandidateArena;
 use crate::contain::customer_contains_from;
+use crate::counting::{CountingContext, CountingStrategy};
 use crate::fxhash::FxHashMap;
 use crate::types::transformed::TransformedDatabase;
 
 /// Runs otf-generate over the whole database. Returns `(candidate, support)`
-/// pairs sorted by candidate, and adds every containment probe to
-/// `containment_tests`.
+/// pairs sorted by candidate; containment probes (and, vertically, joins)
+/// are recorded on `ctx`. Stays serial: it interleaves generation with
+/// counting in one scan and is bound by `|Lk|·|Lj|`, not the customer scan.
 pub fn otf_generate(
     tdb: &TransformedDatabase,
-    lk: &[IdSeq],
-    lj: &[IdSeq],
-    containment_tests: &mut u64,
+    lk: &CandidateArena,
+    lj: &CandidateArena,
+    ctx: &mut CountingContext,
 ) -> Vec<(IdSeq, u64)> {
-    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
     if lk.is_empty() || lj.is_empty() {
         return Vec::new();
     }
+    let counts = if ctx.strategy() == CountingStrategy::Vertical {
+        otf_vertical(tdb, lk, lj, ctx)
+    } else {
+        otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests)
+    };
+    let mut out: Vec<(IdSeq, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn otf_horizontal(
+    tdb: &TransformedDatabase,
+    lk: &CandidateArena,
+    lj: &CandidateArena,
+    containment_tests: &mut u64,
+) -> FxHashMap<IdSeq, u64> {
+    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
     let num_litemsets = tdb.table.len();
     let mut bitmap = vec![false; num_litemsets];
     for customer in &tdb.customers {
@@ -48,7 +75,7 @@ pub fn otf_generate(
                 bitmap[id as usize] = true;
             }
         }
-        for x in lk {
+        for x in lk.iter() {
             if !x.iter().all(|&id| bitmap[id as usize]) {
                 continue;
             }
@@ -56,38 +83,85 @@ pub fn otf_generate(
             let Some(end) = customer_contains_from(customer, x, 0) else {
                 continue;
             };
-            for y in lj {
+            for y in lj.iter() {
                 if !y.iter().all(|&id| bitmap[id as usize]) {
                     continue;
                 }
                 *containment_tests += 1;
                 if customer_contains_from(customer, y, end + 1).is_some() {
-                    let mut cand = Vec::with_capacity(x.len() + y.len());
-                    cand.extend_from_slice(x);
-                    cand.extend_from_slice(y);
-                    *counts.entry(cand).or_insert(0) += 1;
+                    bump(&mut counts, x, y);
                 }
             }
         }
     }
-    let mut out: Vec<(IdSeq, u64)> = counts.into_iter().collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
+    counts
+}
+
+/// Vertical variant: occurrence lists give each `x`'s supporting customers
+/// with earliest ends directly, replacing the prefix scan with cache
+/// lookups/folds over the index.
+fn otf_vertical(
+    tdb: &TransformedDatabase,
+    lk: &CandidateArena,
+    lj: &CandidateArena,
+    ctx: &mut CountingContext,
+) -> FxHashMap<IdSeq, u64> {
+    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
+    let mut tests = 0u64;
+    for x in lk.iter() {
+        // The state borrow ends with the owned list, freeing `ctx` for the
+        // counter update below.
+        let occ = ctx.vertical_state(tdb).occurrences_of(x);
+        for o in occ {
+            let customer = &tdb.customers[o.customer as usize];
+            for y in lj.iter() {
+                tests += 1;
+                if customer_contains_from(customer, y, o.pos as usize + 1).is_some() {
+                    bump(&mut counts, x, y);
+                }
+            }
+        }
+    }
+    ctx.containment_tests += tests;
+    counts
+}
+
+fn bump(counts: &mut FxHashMap<IdSeq, u64>, x: &[u32], y: &[u32]) {
+    let mut cand = Vec::with_capacity(x.len() + y.len());
+    cand.extend_from_slice(x);
+    cand.extend_from_slice(y);
+    *counts.entry(cand).or_insert(0) += 1;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::apriori_all::tests::paper_tdb;
+    use crate::algorithms::apriori_all::SequencePhaseOptions;
+
+    fn arena(rows: &[Vec<u32>]) -> CandidateArena {
+        CandidateArena::from_rows(
+            rows.first().map_or(0, |r| r.len()),
+            rows.iter().map(|r| r.as_slice()),
+        )
+    }
+
+    fn ctx_for(counting: CountingStrategy) -> CountingContext {
+        SequencePhaseOptions {
+            counting,
+            ..Default::default()
+        }
+        .context()
+    }
 
     #[test]
     fn paper_example_pairs_from_singletons() {
         // Lk = Lj = the five 1-sequences; otf-generate must discover the
         // four large 2-sequences with exact supports (plus smaller ones).
         let tdb = paper_tdb();
-        let l1: Vec<IdSeq> = (0..5).map(|i| vec![i]).collect();
-        let mut tests = 0;
-        let pairs = otf_generate(&tdb, &l1, &l1, &mut tests);
+        let l1 = arena(&(0..5).map(|i| vec![i]).collect::<Vec<_>>());
+        let mut ctx = ctx_for(CountingStrategy::default());
+        let pairs = otf_generate(&tdb, &l1, &l1, &mut ctx);
         let get = |ids: &[u32]| {
             pairs
                 .iter()
@@ -100,7 +174,18 @@ mod tests {
         assert_eq!(get(&[0, 3]), 2); // ⟨(30)(70)⟩
         assert_eq!(get(&[0, 4]), 2); // ⟨(30)(90)⟩
         assert_eq!(get(&[4, 0]), 0); // wrong order never counted
-        assert!(tests > 0);
+        assert!(ctx.containment_tests > 0);
+    }
+
+    #[test]
+    fn vertical_path_counts_identical_supports() {
+        let tdb = paper_tdb();
+        let l1 = arena(&(0..5).map(|i| vec![i]).collect::<Vec<_>>());
+        let mut hctx = ctx_for(CountingStrategy::HashTree);
+        let horizontal = otf_generate(&tdb, &l1, &l1, &mut hctx);
+        let mut vctx = ctx_for(CountingStrategy::Vertical);
+        let vertical = otf_generate(&tdb, &l1, &l1, &mut vctx);
+        assert_eq!(horizontal, vertical);
     }
 
     #[test]
@@ -125,18 +210,24 @@ mod tests {
             table,
             total_customers: 1,
         };
-        let mut tests = 0;
-        let pairs = otf_generate(&tdb, &[vec![4]], &[vec![4], vec![5]], &mut tests);
+        let mut ctx = ctx_for(CountingStrategy::default());
+        let pairs = otf_generate(
+            &tdb,
+            &arena(&[vec![4]]),
+            &arena(&[vec![4], vec![5]]),
+            &mut ctx,
+        );
         assert_eq!(pairs, vec![(vec![4, 4], 1), (vec![4, 5], 1)]);
     }
 
     #[test]
     fn empty_inputs_yield_nothing() {
         let tdb = paper_tdb();
-        let mut tests = 0;
-        assert!(otf_generate(&tdb, &[], &[vec![0]], &mut tests).is_empty());
-        assert!(otf_generate(&tdb, &[vec![0]], &[], &mut tests).is_empty());
-        assert_eq!(tests, 0);
+        let mut ctx = ctx_for(CountingStrategy::default());
+        let l1 = arena(&[vec![0]]);
+        assert!(otf_generate(&tdb, &CandidateArena::default(), &l1, &mut ctx).is_empty());
+        assert!(otf_generate(&tdb, &l1, &CandidateArena::default(), &mut ctx).is_empty());
+        assert_eq!(ctx.containment_tests, 0);
     }
 
     #[test]
@@ -144,8 +235,8 @@ mod tests {
         // Two customers both containing ⟨0 4⟩; support must be 2, not more,
         // even though customer 4 has several embeddings.
         let tdb = paper_tdb();
-        let mut tests = 0;
-        let pairs = otf_generate(&tdb, &[vec![0]], &[vec![4]], &mut tests);
+        let mut ctx = ctx_for(CountingStrategy::default());
+        let pairs = otf_generate(&tdb, &arena(&[vec![0]]), &arena(&[vec![4]]), &mut ctx);
         assert_eq!(pairs, vec![(vec![0, 4], 2)]);
     }
 }

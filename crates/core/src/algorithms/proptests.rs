@@ -4,10 +4,11 @@
 use proptest::prelude::*;
 
 use super::candidate::{generate, IdSeq};
+use crate::arena::CandidateArena;
 
-fn arb_prev(k: usize) -> impl Strategy<Value = Vec<IdSeq>> {
+fn arb_prev(k: usize) -> impl Strategy<Value = CandidateArena> {
     proptest::collection::btree_set(proptest::collection::vec(0u32..5, k), 1..=25)
-        .prop_map(|s| s.into_iter().collect())
+        .prop_map(move |s| CandidateArena::from_rows(k, s.iter().map(|row| row.as_slice())))
 }
 
 /// All delete-one-element subsequences of `seq`.
@@ -26,9 +27,9 @@ proptest! {
 
     #[test]
     fn soundness_every_candidate_survives_its_own_prune(prev in arb_prev(2)) {
-        for cand in generate(&prev) {
+        for cand in generate(&prev).iter() {
             prop_assert_eq!(cand.len(), 3);
-            for sub in delete_one(&cand) {
+            for sub in delete_one(cand) {
                 prop_assert!(
                     prev.binary_search(&sub).is_ok(),
                     "candidate {:?} emitted though subsequence {:?} is not in prev",
@@ -47,7 +48,7 @@ proptest! {
         for a in 0u32..5 {
             for b in 0u32..5 {
                 for c in 0u32..5 {
-                    let cand = vec![a, b, c];
+                    let cand = [a, b, c];
                     let supported = delete_one(&cand)
                         .into_iter()
                         .all(|s| prev.binary_search(&s).is_ok());
@@ -64,13 +65,15 @@ proptest! {
 
     #[test]
     fn output_sorted_and_unique(prev in arb_prev(3)) {
-        let out = generate(&prev);
-        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(generate(&prev).is_sorted_unique());
     }
 
     #[test]
     fn k2_is_the_full_ordered_square(prev in arb_prev(1)) {
         let out = generate(&prev);
-        prop_assert_eq!(out.len(), prev.len() * prev.len());
+        prop_assert_eq!(
+            out.num_candidates(),
+            prev.num_candidates() * prev.num_candidates()
+        );
     }
 }

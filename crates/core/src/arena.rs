@@ -1,0 +1,164 @@
+//! Flat candidate storage for the counting passes.
+//!
+//! Every algorithm in this crate counts candidates one length at a time, so
+//! a pass's candidate set is a rectangular table of litemset ids. Storing it
+//! as `Vec<Vec<LitemsetId>>` costs one heap allocation per candidate and
+//! scatters the ids across the heap; the [`CandidateArena`] keeps the whole
+//! pass in **one** flat buffer (row-major, `candidate_len` ids per row) so
+//! the counting kernels stream over contiguous memory and candidate sets can
+//! be built, cloned, and binary-searched without per-row allocation.
+//!
+//! Rows are `&[LitemsetId]` slices into the buffer; ordering (for the
+//! apriori join's prefix blocks and for [`CandidateArena::binary_search`])
+//! is the usual lexicographic order on rows, which coincides with the order
+//! of the flat buffer because all rows share one length.
+
+use crate::types::transformed::LitemsetId;
+
+/// A set of equal-length candidate id-sequences in one flat buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateArena {
+    ids: Vec<LitemsetId>,
+    len: usize,
+}
+
+impl CandidateArena {
+    /// An empty arena whose rows will have `candidate_len` ids each.
+    pub fn new(candidate_len: usize) -> Self {
+        Self {
+            ids: Vec::new(),
+            len: candidate_len,
+        }
+    }
+
+    /// Like [`CandidateArena::new`] with room for `rows` candidates.
+    pub fn with_capacity(candidate_len: usize, rows: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(candidate_len * rows),
+            len: candidate_len,
+        }
+    }
+
+    /// Builds an arena from an iterator of rows (each of length
+    /// `candidate_len`).
+    pub fn from_rows<'a>(
+        candidate_len: usize,
+        rows: impl IntoIterator<Item = &'a [LitemsetId]>,
+    ) -> Self {
+        let mut arena = Self::new(candidate_len);
+        for row in rows {
+            arena.push(row);
+        }
+        arena
+    }
+
+    /// Appends one candidate.
+    pub fn push(&mut self, row: &[LitemsetId]) {
+        debug_assert_eq!(row.len(), self.len, "row length mismatch");
+        self.ids.extend_from_slice(row);
+    }
+
+    /// Number of ids per candidate.
+    pub fn candidate_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of candidates stored.
+    pub fn num_candidates(&self) -> usize {
+        self.ids.len().checked_div(self.len).unwrap_or(0)
+    }
+
+    /// True when no candidates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `i`-th candidate.
+    pub fn get(&self, i: usize) -> &[LitemsetId] {
+        &self.ids[i * self.len..(i + 1) * self.len]
+    }
+
+    /// Iterates over the candidates in storage order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[LitemsetId]> + Clone {
+        // `max(1)` keeps `chunks_exact` legal for a default (len 0) arena,
+        // which is necessarily empty and yields nothing either way.
+        self.ids.chunks_exact(self.len.max(1))
+    }
+
+    /// Binary search for `row` over lexicographically sorted rows.
+    pub fn binary_search(&self, row: &[LitemsetId]) -> Result<usize, usize> {
+        debug_assert_eq!(row.len(), self.len);
+        let n = self.num_candidates();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.get(mid).cmp(row) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// True when the rows are sorted ascending and duplicate-free.
+    pub fn is_sorted_unique(&self) -> bool {
+        (1..self.num_candidates()).all(|i| self.get(i - 1) < self.get(i))
+    }
+
+    /// Heap bytes held by the id buffer.
+    pub fn bytes(&self) -> u64 {
+        (self.ids.len() * std::mem::size_of::<LitemsetId>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(rows: &[&[LitemsetId]]) -> CandidateArena {
+        CandidateArena::from_rows(rows.first().map_or(0, |r| r.len()), rows.iter().copied())
+    }
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let a = arena(&[&[0, 1], &[0, 2], &[3, 1]]);
+        assert_eq!(a.num_candidates(), 3);
+        assert_eq!(a.candidate_len(), 2);
+        assert_eq!(a.get(1), &[0, 2]);
+        let rows: Vec<&[LitemsetId]> = a.iter().collect();
+        assert_eq!(rows, vec![&[0, 1][..], &[0, 2], &[3, 1]]);
+        assert_eq!(a.bytes(), 24);
+    }
+
+    #[test]
+    fn empty_arenas() {
+        let a = CandidateArena::default();
+        assert!(a.is_empty());
+        assert_eq!(a.num_candidates(), 0);
+        assert_eq!(a.iter().count(), 0);
+        let b = CandidateArena::with_capacity(3, 8);
+        assert!(b.is_empty());
+        assert_eq!(b.candidate_len(), 3);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn binary_search_over_sorted_rows() {
+        let a = arena(&[&[0, 1, 1], &[0, 2, 0], &[1, 0, 0], &[1, 0, 2]]);
+        assert!(a.is_sorted_unique());
+        assert_eq!(a.binary_search(&[0, 2, 0]), Ok(1));
+        assert_eq!(a.binary_search(&[1, 0, 2]), Ok(3));
+        assert_eq!(a.binary_search(&[0, 0, 0]), Err(0));
+        assert_eq!(a.binary_search(&[1, 0, 1]), Err(3));
+        assert_eq!(a.binary_search(&[9, 9, 9]), Err(4));
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let unsorted = arena(&[&[1, 0], &[0, 1]]);
+        assert!(!unsorted.is_sorted_unique());
+        let dup = arena(&[&[0, 1], &[0, 1]]);
+        assert!(!dup.is_sorted_unique());
+    }
+}

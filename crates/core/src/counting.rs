@@ -1,6 +1,6 @@
 //! Support counting for candidate sequences over the transformed database.
 //!
-//! Two interchangeable strategies (an ablation bench in `seqpat-bench`
+//! Three interchangeable strategies (an ablation bench in `seqpat-bench`
 //! compares them):
 //!
 //! * [`CountingStrategy::Direct`] — for each customer, test every candidate
@@ -10,29 +10,45 @@
 //! * [`CountingStrategy::HashTree`] — the paper's approach: put the
 //!   candidates in a [`SequenceHashTree`] and let each customer walk it,
 //!   touching only candidates whose prefix ids actually occur.
+//! * [`CountingStrategy::Vertical`] — id-list joins over the occurrence
+//!   index built by [`crate::vertical`]: support comes from merge-joining
+//!   occurrence lists instead of scanning customers at all.
 //!
-//! Both produce identical counts (pinned by tests here and by property
-//! tests at the workspace level) and both report the number of exact
-//! containment tests performed, which the harness uses as a
-//! machine-independent cost measure.
+//! All three produce identical counts (pinned by tests here and by property
+//! tests at the workspace level). The horizontal strategies report the
+//! number of exact containment tests performed; the vertical strategy
+//! reports merge-joins — both feed the harness's machine-independent cost
+//! counters.
 //!
 //! ## Parallel counting
 //!
-//! Support is counted per customer, each customer at most once, so both
-//! strategies shard `tdb.customers` into contiguous chunks via
+//! Support is counted per customer, each customer at most once, so the
+//! horizontal strategies shard `tdb.customers` into contiguous chunks via
 //! [`seqpat_itemset::parallel::map_chunks`]: every worker owns a private
 //! support array plus private scratch (the presence bitmap for `Direct`,
 //! a [`VisitSet`] for `HashTree` — the [`SequenceHashTree`] itself is
 //! built once and shared immutably), and the per-chunk arrays and test
-//! counters are reduced in chunk order. Since the per-candidate counts
-//! are exact `u64` sums, parallel runs are **bit-identical** to serial
-//! runs — supports, large-sequence sets, and `containment_tests` all
-//! match regardless of thread count or OS scheduling.
+//! counters are reduced in chunk order. The vertical strategy shards
+//! **candidates** (prefix runs) instead — see [`crate::vertical`]. Since
+//! the per-candidate counts are exact `u64` sums, parallel runs are
+//! **bit-identical** to serial runs — supports, large-sequence sets, and
+//! cost counters all match regardless of thread count or OS scheduling.
+//!
+//! ## Per-run state: [`CountingContext`]
+//!
+//! The algorithms drive counting through a [`CountingContext`], which owns
+//! the strategy knobs, the containment-test counter, and (for the vertical
+//! strategy) the lazily built [`VerticalState`] whose pass-to-pass list
+//! cache is the whole point of the vertical layout. One context lives for
+//! one mining run and is flushed into [`MiningStats`] at the end.
 
+use crate::arena::CandidateArena;
 use crate::contain::customer_contains;
 use crate::hash_tree::{SequenceHashTree, VisitSet};
+use crate::stats::MiningStats;
 use crate::types::transformed::{LitemsetId, TransformedDatabase};
-use seqpat_itemset::parallel::map_chunks;
+use crate::vertical::{VerticalParams, VerticalState};
+use seqpat_itemset::parallel::{map_chunks, sum_partials};
 use seqpat_itemset::Parallelism;
 
 /// Strategy for counting candidate supports.
@@ -43,6 +59,33 @@ pub enum CountingStrategy {
     /// The paper's candidate hash tree.
     #[default]
     HashTree,
+    /// Occurrence-list merge-joins over the vertical index.
+    Vertical,
+}
+
+impl std::str::FromStr for CountingStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "direct" => Ok(CountingStrategy::Direct),
+            "hashtree" | "hash-tree" | "hash_tree" => Ok(CountingStrategy::HashTree),
+            "vertical" => Ok(CountingStrategy::Vertical),
+            other => Err(format!(
+                "unknown counting strategy '{other}' (expected direct, hashtree, or vertical)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CountingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CountingStrategy::Direct => "direct",
+            CountingStrategy::HashTree => "hashtree",
+            CountingStrategy::Vertical => "vertical",
+        })
+    }
 }
 
 /// Hash-tree shape parameters (shared with the litemset phase defaults).
@@ -63,56 +106,140 @@ impl Default for TreeParams {
     }
 }
 
-/// Counts the support of every candidate, sharding customers over the
-/// workers `parallelism` resolves to. Returns per-candidate customer
-/// counts and adds the number of exact containment tests to
-/// `containment_tests`; both are bit-identical across thread counts.
+/// Per-mining-run counting state: strategy knobs, the cost counters, and
+/// the vertical index/list-cache (built lazily on the first vertical
+/// count). Create one per run via `SequencePhaseOptions::context`, thread
+/// it through every pass, and [`CountingContext::flush_into`] the run's
+/// [`MiningStats`] once at the end.
+#[derive(Debug)]
+pub struct CountingContext {
+    strategy: CountingStrategy,
+    tree_params: TreeParams,
+    parallelism: Parallelism,
+    vertical_params: VerticalParams,
+    vertical: Option<VerticalState>,
+    /// Exact containment tests executed so far (horizontal strategies and
+    /// the on-the-fly pass).
+    pub containment_tests: u64,
+}
+
+impl CountingContext {
+    /// A fresh context; no index is built until the first vertical count.
+    pub fn new(
+        strategy: CountingStrategy,
+        tree_params: TreeParams,
+        parallelism: Parallelism,
+        vertical_params: VerticalParams,
+    ) -> Self {
+        Self {
+            strategy,
+            tree_params,
+            parallelism,
+            vertical_params,
+            vertical: None,
+            containment_tests: 0,
+        }
+    }
+
+    /// The strategy this context counts with.
+    pub fn strategy(&self) -> CountingStrategy {
+        self.strategy
+    }
+
+    /// Counts the support of every candidate in the arena. See
+    /// [`count_supports`] for the contract; the vertical strategy
+    /// additionally reuses (and refreshes) the pass-to-pass list cache.
+    pub fn count(&mut self, tdb: &TransformedDatabase, candidates: &CandidateArena) -> Vec<u64> {
+        let threads = self.parallelism.resolved_threads();
+        match self.strategy {
+            CountingStrategy::Direct => {
+                count_direct(tdb, candidates, threads, &mut self.containment_tests)
+            }
+            CountingStrategy::HashTree => count_hash_tree(
+                tdb,
+                candidates,
+                self.tree_params,
+                threads,
+                &mut self.containment_tests,
+            ),
+            CountingStrategy::Vertical => self.vertical_state(tdb).count(candidates, threads),
+        }
+    }
+
+    /// The vertical state, building the occurrence index on first use.
+    /// Valid for any strategy (DynamicSome's on-the-fly pass uses it only
+    /// when the strategy is vertical).
+    pub fn vertical_state(&mut self, tdb: &TransformedDatabase) -> &mut VerticalState {
+        self.vertical
+            .get_or_insert_with(|| VerticalState::build(tdb, self.vertical_params))
+    }
+
+    /// Adds this run's counters into `stats` (take-semantics: flushing
+    /// twice adds nothing twice).
+    pub fn flush_into(&mut self, stats: &mut MiningStats) {
+        stats.containment_tests += std::mem::take(&mut self.containment_tests);
+        if let Some(state) = &mut self.vertical {
+            stats.vertical_index_time += std::mem::take(&mut state.index_build_time);
+            stats.join_ops += std::mem::take(&mut state.joins);
+            stats.vertical_peak_bytes = stats.vertical_peak_bytes.max(state.peak_bytes);
+        }
+    }
+}
+
+/// Counts the support of every candidate, sharding work over the workers
+/// `parallelism` resolves to. Returns per-candidate customer counts and
+/// adds the number of exact containment tests to `containment_tests`; both
+/// are bit-identical across thread counts.
 ///
-/// All candidates must share one length (the per-pass invariant of every
-/// algorithm in this crate).
+/// One-shot entry point (bench kernels, tests): the vertical strategy
+/// builds a throwaway index here, so algorithm code goes through
+/// [`CountingContext`] instead to amortize it across passes.
 pub fn count_supports(
     tdb: &TransformedDatabase,
-    candidates: &[Vec<LitemsetId>],
+    candidates: &CandidateArena,
     strategy: CountingStrategy,
     tree_params: TreeParams,
     parallelism: Parallelism,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
-    let threads = parallelism.resolved_threads();
-    match strategy {
-        CountingStrategy::Direct => count_direct(tdb, candidates, threads, containment_tests),
-        CountingStrategy::HashTree => {
-            count_hash_tree(tdb, candidates, tree_params, threads, containment_tests)
-        }
-    }
+    let mut ctx = CountingContext::new(
+        strategy,
+        tree_params,
+        parallelism,
+        VerticalParams::default(),
+    );
+    let supports = ctx.count(tdb, candidates);
+    *containment_tests += ctx.containment_tests;
+    supports
 }
 
-/// Sums per-chunk `(supports, tests)` results in chunk order; exact `u64`
-/// addition makes the totals independent of the chunking.
+/// Sums per-chunk `(supports, tests)` results in chunk order via the
+/// workspace-wide [`sum_partials`] reducer; exact `u64` addition makes the
+/// totals independent of the chunking.
 fn merge_counts(
     partials: Vec<(Vec<u64>, u64)>,
     num_candidates: usize,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
-    let mut supports = vec![0u64; num_candidates];
-    for (partial, tests) in partials {
-        for (total, v) in supports.iter_mut().zip(partial) {
-            *total += v;
-        }
-        *containment_tests += tests;
-    }
-    supports
+    sum_partials(
+        partials.into_iter().map(|(partial, tests)| {
+            *containment_tests += tests;
+            partial
+        }),
+        num_candidates,
+    )
 }
 
 fn count_direct(
     tdb: &TransformedDatabase,
-    candidates: &[Vec<LitemsetId>],
+    candidates: &CandidateArena,
     threads: usize,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
     let num_litemsets = tdb.table.len();
+    let n = candidates.num_candidates();
     let partials = map_chunks(&tdb.customers, threads, |chunk| {
-        let mut supports = vec![0u64; candidates.len()];
+        let mut supports = vec![0u64; n];
         let mut tests = 0u64;
         let mut bitmap = vec![false; num_litemsets];
         for customer in chunk {
@@ -140,7 +267,7 @@ fn count_direct(
         }
         (supports, tests)
     });
-    merge_counts(partials, candidates.len(), containment_tests)
+    merge_counts(partials, n, containment_tests)
 }
 
 /// Fast path for pass 2 (the candidate set is always **all** `|L1|²`
@@ -148,7 +275,8 @@ fn count_direct(
 /// prune vacuous): count every pair `⟨a b⟩` directly while scanning each
 /// customer once, instead of probing millions of candidates through the
 /// hash tree. This mirrors the special-cased second pass of the original
-/// Apriori implementations (a count array instead of a tree).
+/// Apriori implementations (a count array instead of a tree). All three
+/// strategies share it, so pass-2 cost is strategy-independent.
 ///
 /// Returns `(number_of_candidate_pairs, large_two_sequences)` with the
 /// large sequences in lexicographic id order. `containment_tests` is
@@ -288,17 +416,18 @@ impl PairCounts {
 
 fn count_hash_tree(
     tdb: &TransformedDatabase,
-    candidates: &[Vec<LitemsetId>],
+    candidates: &CandidateArena,
     params: TreeParams,
     threads: usize,
     containment_tests: &mut u64,
 ) -> Vec<u64> {
     // Built once, shared immutably by every worker.
     let tree = SequenceHashTree::build(candidates, params.fanout, params.leaf_capacity);
+    let n = candidates.num_candidates();
     let partials = map_chunks(&tdb.customers, threads, |chunk| {
-        let mut supports = vec![0u64; candidates.len()];
+        let mut supports = vec![0u64; n];
         let mut tests = 0u64;
-        let mut seen = VisitSet::new(candidates.len());
+        let mut seen = VisitSet::new(n);
         for customer in chunk {
             tree.for_each_contained(customer, candidates, &mut seen, &mut tests, &mut |id| {
                 supports[id as usize] += 1;
@@ -306,7 +435,7 @@ fn count_hash_tree(
         }
         (supports, tests)
     });
-    merge_counts(partials, candidates.len(), containment_tests)
+    merge_counts(partials, n, containment_tests)
 }
 
 #[cfg(test)]
@@ -314,6 +443,13 @@ mod tests {
     use super::*;
     use crate::types::itemset::Itemset;
     use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+
+    fn arena(rows: &[Vec<LitemsetId>]) -> CandidateArena {
+        CandidateArena::from_rows(
+            rows.first().map_or(0, |r| r.len()),
+            rows.iter().map(|r| r.as_slice()),
+        )
+    }
 
     fn tdb() -> TransformedDatabase {
         let table = LitemsetTable::new(
@@ -340,14 +476,28 @@ mod tests {
     }
 
     #[test]
+    fn strategy_names_round_trip() {
+        for s in [
+            CountingStrategy::Direct,
+            CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+        ] {
+            assert_eq!(s.to_string().parse::<CountingStrategy>(), Ok(s));
+        }
+        assert_eq!("hash-tree".parse(), Ok(CountingStrategy::HashTree));
+        assert_eq!("hash_tree".parse(), Ok(CountingStrategy::HashTree));
+        assert!("sideways".parse::<CountingStrategy>().is_err());
+    }
+
+    #[test]
     fn strategies_agree_and_count_correctly() {
         let db = tdb();
-        let candidates: Vec<Vec<LitemsetId>> = vec![
-            vec![0, 4], // customers 1 and 4
+        let candidates = arena(&[
             vec![0, 1], // customers 2 and 4
-            vec![4, 0], // nobody
             vec![0, 3], // customers 2, 4 (not 3: same transaction)
-        ];
+            vec![0, 4], // customers 1 and 4
+            vec![4, 0], // nobody
+        ]);
         let mut t1 = 0;
         let direct = count_supports(
             &db,
@@ -366,10 +516,21 @@ mod tests {
             Parallelism::Serial,
             &mut t2,
         );
-        assert_eq!(direct, vec![2, 2, 0, 2]);
+        let mut t3 = 0;
+        let vertical = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::Vertical,
+            TreeParams::default(),
+            Parallelism::Serial,
+            &mut t3,
+        );
+        assert_eq!(direct, vec![2, 2, 2, 0]);
         assert_eq!(tree, direct);
+        assert_eq!(vertical, direct);
         assert!(t1 > 0);
         assert!(t2 > 0);
+        assert_eq!(t3, 0); // vertical performs joins, not containment tests
     }
 
     #[test]
@@ -380,7 +541,7 @@ mod tests {
         let mut tests = 0;
         let supports = count_supports(
             &db,
-            &[vec![2, 4]],
+            &arena(&[vec![2, 4]]),
             CountingStrategy::Direct,
             TreeParams::default(),
             Parallelism::Serial,
@@ -393,17 +554,43 @@ mod tests {
     #[test]
     fn empty_candidate_list() {
         let db = tdb();
-        let mut tests = 0;
-        let supports = count_supports(
-            &db,
-            &[],
+        for strategy in [
+            CountingStrategy::Direct,
             CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+        ] {
+            let mut tests = 0;
+            let supports = count_supports(
+                &db,
+                &CandidateArena::default(),
+                strategy,
+                TreeParams::default(),
+                Parallelism::Serial,
+                &mut tests,
+            );
+            assert!(supports.is_empty());
+            assert_eq!(tests, 0);
+        }
+    }
+
+    #[test]
+    fn context_flush_moves_counters_into_stats_once() {
+        let db = tdb();
+        let mut ctx = CountingContext::new(
+            CountingStrategy::Vertical,
             TreeParams::default(),
             Parallelism::Serial,
-            &mut tests,
+            VerticalParams::default(),
         );
-        assert!(supports.is_empty());
-        assert_eq!(tests, 0);
+        let supports = ctx.count(&db, &arena(&[vec![0, 1], vec![0, 4]]));
+        assert_eq!(supports, vec![2, 2]);
+        let mut stats = MiningStats::default();
+        ctx.flush_into(&mut stats);
+        assert!(stats.join_ops > 0);
+        assert!(stats.vertical_peak_bytes > 0);
+        let joins = stats.join_ops;
+        ctx.flush_into(&mut stats); // idempotent: nothing left to add
+        assert_eq!(stats.join_ops, joins);
     }
 
     #[test]
@@ -419,7 +606,7 @@ mod tests {
         let mut t2 = 0;
         let generic = count_supports(
             &db,
-            &all_pairs,
+            &arena(&all_pairs),
             CountingStrategy::Direct,
             TreeParams::default(),
             Parallelism::Serial,
@@ -460,8 +647,7 @@ mod tests {
     #[test]
     fn small_fanout_and_leaf_capacity_still_agree() {
         let db = tdb();
-        let candidates: Vec<Vec<LitemsetId>> =
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![1, 4]];
+        let candidates = arena(&[vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![1, 4]]);
         let mut t = 0;
         let a = count_supports(
             &db,
@@ -489,9 +675,12 @@ mod tests {
     #[test]
     fn parallel_counting_matches_serial_on_fixture() {
         let db = tdb();
-        let candidates: Vec<Vec<LitemsetId>> =
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![4, 0]];
-        for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+        let candidates = arena(&[vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4], vec![4, 0]]);
+        for strategy in [
+            CountingStrategy::Direct,
+            CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+        ] {
             let mut serial_tests = 0;
             let serial = count_supports(
                 &db,
@@ -528,8 +717,8 @@ mod tests {
 
 /// Property tests pinning the tentpole guarantee: for any generated
 /// database and candidate set, every thread count produces supports and
-/// containment-test counters bit-identical to the serial run, for both
-/// counting strategies.
+/// cost counters bit-identical to the serial run, for all three counting
+/// strategies — and the strategies agree with each other.
 #[cfg(test)]
 mod proptests {
     use super::*;
@@ -576,7 +765,7 @@ mod proptests {
         }
     }
 
-    fn build_candidates(raw: Vec<(u8, u8, u8)>, len: usize) -> Vec<Vec<LitemsetId>> {
+    fn build_candidates(raw: Vec<(u8, u8, u8)>, len: usize) -> CandidateArena {
         let mut candidates: Vec<Vec<LitemsetId>> = raw
             .into_iter()
             .map(|(a, b, c)| {
@@ -588,7 +777,7 @@ mod proptests {
             .collect();
         candidates.sort_unstable();
         candidates.dedup();
-        candidates
+        CandidateArena::from_rows(len, candidates.iter().map(|c| c.as_slice()))
     }
 
     proptest! {
@@ -603,11 +792,16 @@ mod proptests {
                 0..9,
             ),
             raw_cands in proptest::collection::vec((0u8..12, 0u8..12, 0u8..12), 0..12),
-            cand_len in 2usize..4,
+            cand_len in 1usize..4,
         ) {
             let db = build_tdb(raw_db);
             let candidates = build_candidates(raw_cands, cand_len);
-            for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+            let mut baseline: Option<Vec<u64>> = None;
+            for strategy in [
+                CountingStrategy::Direct,
+                CountingStrategy::HashTree,
+                CountingStrategy::Vertical,
+            ] {
                 let mut serial_tests = 0u64;
                 let serial = count_supports(
                     &db,
@@ -617,6 +811,12 @@ mod proptests {
                     Parallelism::Serial,
                     &mut serial_tests,
                 );
+                // All three strategies agree on every support count.
+                if let Some(base) = &baseline {
+                    prop_assert_eq!(&serial, base, "{} vs direct", strategy);
+                } else {
+                    baseline = Some(serial.clone());
+                }
                 for threads in [1usize, 2, 3, 7] {
                     let mut tests = 0u64;
                     let parallel = count_supports(

@@ -11,6 +11,7 @@
 //! collisions make path information insufficient, exactly as in the itemset
 //! tree).
 
+use crate::arena::CandidateArena;
 use crate::contain::customer_contains;
 use crate::types::transformed::{LitemsetId, TransformedCustomer};
 
@@ -30,20 +31,21 @@ enum Node {
 }
 
 impl SequenceHashTree {
-    /// Builds a tree over `candidates` (all of equal length ≥ 1).
-    pub fn build(candidates: &[Vec<LitemsetId>], fanout: usize, leaf_capacity: usize) -> Self {
+    /// Builds a tree over the candidates of one arena (equal length ≥ 1
+    /// by construction).
+    pub fn build(candidates: &CandidateArena, fanout: usize, leaf_capacity: usize) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
         assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
-        let candidate_len = candidates.first().map_or(0, |c| c.len());
-        assert!(
-            candidates.iter().all(|c| c.len() == candidate_len),
-            "all candidates in one tree must have equal length"
-        );
+        let candidate_len = if candidates.is_empty() {
+            0
+        } else {
+            candidates.candidate_len()
+        };
         let mut tree = Self {
             root: Node::Leaf(Vec::new()),
             fanout,
             candidate_len,
-            len: candidates.len(),
+            len: candidates.num_candidates(),
         };
         for (idx, cand) in candidates.iter().enumerate() {
             insert(
@@ -77,7 +79,7 @@ impl SequenceHashTree {
     pub fn for_each_contained(
         &self,
         customer: &TransformedCustomer,
-        candidates: &[Vec<LitemsetId>],
+        candidates: &CandidateArena,
         seen: &mut VisitSet,
         verify_calls: &mut u64,
         on_match: &mut impl FnMut(u32),
@@ -111,7 +113,7 @@ fn insert(
     depth: usize,
     fanout: usize,
     leaf_capacity: usize,
-    candidates: &[Vec<LitemsetId>],
+    candidates: &CandidateArena,
 ) {
     match node {
         Node::Interior(children) => {
@@ -132,7 +134,7 @@ fn insert(
                 let old = std::mem::take(ids);
                 let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
-                    let c = &candidates[id as usize];
+                    let c = candidates.get(id as usize);
                     match &mut children[bucket(c[depth], fanout)] {
                         Node::Leaf(v) => v.push(id),
                         Node::Interior(_) => unreachable!(),
@@ -149,7 +151,7 @@ fn walk(
     node: &Node,
     customer: &TransformedCustomer,
     start_transaction: usize,
-    candidates: &[Vec<LitemsetId>],
+    candidates: &CandidateArena,
     fanout: usize,
     seen: &mut VisitSet,
     verify_calls: &mut u64,
@@ -160,7 +162,7 @@ fn walk(
             for &id in ids {
                 if seen.first_visit(id) {
                     *verify_calls += 1;
-                    if customer_contains(customer, &candidates[id as usize]) {
+                    if customer_contains(customer, candidates.get(id as usize)) {
                         on_match(id);
                     }
                 }
@@ -229,12 +231,19 @@ mod tests {
         }
     }
 
+    fn arena(rows: &[Vec<LitemsetId>]) -> CandidateArena {
+        CandidateArena::from_rows(
+            rows.first().map_or(0, |r| r.len()),
+            rows.iter().map(|r| r.as_slice()),
+        )
+    }
+
     fn matched(
         tree: &SequenceHashTree,
-        cands: &[Vec<LitemsetId>],
+        cands: &CandidateArena,
         c: &TransformedCustomer,
     ) -> Vec<u32> {
-        let mut seen = VisitSet::new(cands.len());
+        let mut seen = VisitSet::new(cands.num_candidates());
         let mut verify = 0;
         let mut out = Vec::new();
         tree.for_each_contained(c, cands, &mut seen, &mut verify, &mut |id| out.push(id));
@@ -245,12 +254,12 @@ mod tests {
 
     #[test]
     fn finds_contained_sequences() {
-        let cands: Vec<Vec<LitemsetId>> = vec![
+        let cands = arena(&[
             vec![0, 4], // contained
             vec![4, 0], // wrong order
             vec![0, 0], // needs two transactions with 0
             vec![0, 1], // 1 absent
-        ];
+        ]);
         let tree = SequenceHashTree::build(&cands, 4, 1);
         let c = customer(vec![vec![0], vec![0, 4]]);
         assert_eq!(matched(&tree, &cands, &c), vec![0, 2]);
@@ -258,7 +267,7 @@ mod tests {
 
     #[test]
     fn same_transaction_does_not_satisfy_order() {
-        let cands = vec![vec![1, 2]];
+        let cands = arena(&[vec![1, 2]]);
         let tree = SequenceHashTree::build(&cands, 4, 2);
         // Both ids in ONE transaction: ⟨1 2⟩ needs two transactions.
         assert!(matched(&tree, &cands, &customer(vec![vec![1, 2]])).is_empty());
@@ -282,6 +291,7 @@ mod tests {
         }
         cands.sort();
         cands.dedup();
+        let cands = arena(&cands);
         let tree = SequenceHashTree::build(&cands, 4, 2);
         for _ in 0..30 {
             let n_trans = 2 + rnd(6) as usize;
@@ -297,7 +307,7 @@ mod tests {
             let brute: Vec<u32> = cands
                 .iter()
                 .enumerate()
-                .filter(|(_, cand)| customer_contains(&c, cand))
+                .filter(|&(_, cand)| customer_contains(&c, cand))
                 .map(|(i, _)| i as u32)
                 .collect();
             assert_eq!(matched(&tree, &cands, &c), brute);
@@ -306,7 +316,7 @@ mod tests {
 
     #[test]
     fn short_customer_prefiltered() {
-        let cands = vec![vec![0, 1, 2]];
+        let cands = arena(&[vec![0, 1, 2]]);
         let tree = SequenceHashTree::build(&cands, 4, 2);
         let mut seen = VisitSet::new(1);
         let mut verify = 0;
@@ -319,7 +329,7 @@ mod tests {
 
     #[test]
     fn each_candidate_verified_at_most_once_per_customer() {
-        let cands = vec![vec![3, 3]];
+        let cands = arena(&[vec![3, 3]]);
         let tree = SequenceHashTree::build(&cands, 4, 1);
         // Id 3 occurs in four transactions → many tree paths.
         let c = customer(vec![vec![3], vec![3], vec![3], vec![3]]);

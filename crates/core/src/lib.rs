@@ -48,6 +48,7 @@
 //! many candidates they count (see the experiment harness in `seqpat-bench`).
 
 pub mod algorithms;
+pub mod arena;
 pub mod contain;
 pub mod counting;
 pub mod fxhash;
@@ -58,9 +59,11 @@ pub mod phases;
 pub mod stats;
 pub mod support;
 pub mod types;
+pub mod vertical;
 
 pub use algorithms::Algorithm;
-pub use counting::CountingStrategy;
+pub use arena::CandidateArena;
+pub use counting::{CountingContext, CountingStrategy};
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
 pub use seqpat_itemset::Parallelism;
 pub use stats::{MiningStats, SequencePassStats};
@@ -69,3 +72,4 @@ pub use types::database::{CustomerSequence, Database, Transaction};
 pub use types::itemset::{Item, Itemset};
 pub use types::sequence::Sequence;
 pub use types::transformed::{LitemsetId, LitemsetTable, TransformedCustomer, TransformedDatabase};
+pub use vertical::VerticalParams;

@@ -13,6 +13,7 @@ use crate::support::MinSupport;
 use crate::types::database::Database;
 use crate::types::sequence::Sequence;
 use crate::types::transformed::TransformedDatabase;
+use crate::vertical::VerticalParams;
 use seqpat_itemset::Parallelism;
 
 /// Full configuration of a mining run.
@@ -26,6 +27,8 @@ pub struct MinerConfig {
     pub counting: CountingStrategy,
     /// Hash-tree shape for tree-based counting.
     pub tree_params: TreeParams,
+    /// Vertical-strategy knobs (occurrence-list cache cap).
+    pub vertical: VerticalParams,
     /// Knobs of the litemset-phase Apriori run.
     pub apriori: seqpat_itemset::AprioriConfig,
     /// Optional cap on sequence length (`None` = unbounded, the paper's
@@ -53,6 +56,7 @@ impl MinerConfig {
             algorithm: Algorithm::AprioriAll,
             counting: CountingStrategy::default(),
             tree_params: TreeParams::default(),
+            vertical: VerticalParams::default(),
             apriori: seqpat_itemset::AprioriConfig::default(),
             max_length: None,
             include_non_maximal: false,
@@ -69,6 +73,12 @@ impl MinerConfig {
     /// Selects the counting strategy.
     pub fn counting(mut self, counting: CountingStrategy) -> Self {
         self.counting = counting;
+        self
+    }
+
+    /// Sets the vertical strategy's knobs.
+    pub fn vertical(mut self, vertical: VerticalParams) -> Self {
+        self.vertical = vertical;
         self
     }
 
@@ -193,6 +203,7 @@ impl Miner {
             tree_params: self.config.tree_params,
             max_length: self.config.max_length,
             parallelism: self.config.parallelism,
+            vertical: self.config.vertical,
         };
         stats.threads_used = self.config.parallelism.resolved_threads();
 
@@ -335,6 +346,29 @@ mod tests {
                 serial.stats.containment_tests
             );
             assert_eq!(parallel.stats.threads_used, threads);
+        }
+    }
+
+    #[test]
+    fn all_strategies_give_the_paper_answer_for_all_algorithms() {
+        let expected = vec!["<(30)(40 70)>:2", "<(30)(90)>:2"];
+        for algorithm in [
+            Algorithm::AprioriAll,
+            Algorithm::AprioriSome,
+            Algorithm::DynamicSome { step: 2 },
+        ] {
+            for counting in [
+                CountingStrategy::Direct,
+                CountingStrategy::HashTree,
+                CountingStrategy::Vertical,
+            ] {
+                let got = answer(
+                    MinerConfig::new(MinSupport::Fraction(0.25))
+                        .algorithm(algorithm)
+                        .counting(counting),
+                );
+                assert_eq!(got, expected, "{algorithm} with {counting}");
+            }
         }
     }
 

@@ -55,6 +55,15 @@ pub struct MiningStats {
     pub candidates_counted: u64,
     /// Total customer-vs-candidate containment tests executed.
     pub containment_tests: u64,
+    /// Wall time spent building the vertical occurrence index (zero unless
+    /// the run used [`crate::CountingStrategy::Vertical`]).
+    pub vertical_index_time: Duration,
+    /// Occurrence-list merge-joins executed by the vertical strategy — its
+    /// analogue of `containment_tests` (zero for horizontal strategies).
+    pub join_ops: u64,
+    /// Peak bytes held by the vertical index plus cached occurrence lists
+    /// (zero for horizontal strategies).
+    pub vertical_peak_bytes: u64,
     /// Large sequences found before the maximal phase.
     pub large_sequences: u64,
     /// Maximal large sequences (the answer size).

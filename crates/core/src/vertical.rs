@@ -1,0 +1,622 @@
+//! Vertical (id-list) support counting — [`CountingStrategy::Vertical`].
+//!
+//! The horizontal strategies re-scan every customer against every candidate
+//! each pass. The vertical family (SPADE-style id-lists) inverts the
+//! layout: after the transform phase a **vertical occurrence index** is
+//! built once — for every litemset id, the flat customer-partitioned list
+//! of `(customer, transaction-position)` occurrences — and a candidate's
+//! support is computed by a *temporal merge-join* over occurrence lists,
+//! touching only the customers where its parts actually occur.
+//!
+//! ## Occurrence lists
+//!
+//! For a **sequence** `s`, the occurrence list holds one entry per
+//! supporting customer: `(customer, e)` where `e` is the transaction index
+//! at which the greedy **earliest-match** embedding of `s` ends. The
+//! exchange argument behind [`crate::contain`] makes this canonical: if any
+//! embedding exists, the earliest-end one exists, and its end position is
+//! minimal over all embeddings. Support is therefore just the list length,
+//! and the lists of a pass are exactly what the next pass's joins need.
+//!
+//! For a single litemset id the index list may hold *several* entries per
+//! customer (every transaction containing the id, ascending) — the join and
+//! the [`seed_first_per_customer`] kernel reduce those to earliest matches.
+//!
+//! ## The join
+//!
+//! `occ(p · ⟨x⟩)` = merge-join of `occ(p)` (ascending unique customers)
+//! with the index list of `x` (sorted by `(customer, pos)`): a customer
+//! supports `p · ⟨x⟩` iff it has an occurrence of `x` at a transaction
+//! **strictly after** the earliest end of `p`, and the first such
+//! occurrence is the candidate's earliest end. Both sides are scanned once
+//! (two-pointer), so a join costs `O(|occ(p)| + |list(x)|)`.
+//!
+//! ## Pass-to-pass reuse and the memory cap
+//!
+//! [`VerticalState`] retains the occurrence lists of the last counted pass
+//! (keyed by the pass's sorted [`CandidateArena`]) so pass `k+1` finds each
+//! candidate's length-`k` prefix list by binary search — one join per
+//! candidate. When the lists outgrow [`VerticalParams::cache_cap_bytes`]
+//! (or the prefix is not cached, e.g. after the pass-2 pair fast path or a
+//! backward jump), the prefix list is **re-folded from the litemset index
+//! lists**: seed with the first id's earliest occurrence per customer, then
+//! one join per remaining prefix id. Cached lists are a pure function of
+//! the transformed database, so the cache never needs invalidation.
+//!
+//! ## Parallelism and determinism
+//!
+//! Counting shards over **prefix runs** (maximal blocks of candidates
+//! sharing a length-`k-1` prefix; contiguous because arenas are sorted) via
+//! [`map_chunks`], so each run's fold-or-lookup decision and join count are
+//! independent of the chunking: supports, join counters, and list bytes are
+//! bit-identical across thread counts, matching the workspace-wide
+//! guarantee of the horizontal strategies.
+//!
+//! [`CountingStrategy::Vertical`]: crate::counting::CountingStrategy
+
+use crate::arena::CandidateArena;
+use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use seqpat_itemset::parallel::map_chunks;
+use std::time::{Duration, Instant};
+
+/// Knobs of the vertical strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerticalParams {
+    /// Maximum bytes of per-candidate occurrence lists retained between
+    /// passes. `0` disables retention entirely: every pass re-folds its
+    /// prefixes from the litemset index lists (more joins, least memory).
+    pub cache_cap_bytes: usize,
+}
+
+impl Default for VerticalParams {
+    fn default() -> Self {
+        Self {
+            // 64 MiB comfortably holds the lists of every paper-scale
+            // dataset; the cap exists for adversarial low-minsup runs.
+            cache_cap_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One occurrence: `customer` is the index into
+/// `TransformedDatabase::customers`, `pos` the transaction index within
+/// that customer where the (last element of the) sequence matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Occurrence {
+    /// Customer index (not customer id — lists are internal to one run).
+    pub customer: u32,
+    /// Transaction index of the earliest match end.
+    pub pos: u32,
+}
+
+const OCC_BYTES: usize = std::mem::size_of::<Occurrence>();
+
+/// CSR occurrence index over litemset ids: `list(id)` is the flat slice of
+/// this id's occurrences, sorted by `(customer, pos)`.
+#[derive(Debug)]
+pub struct VerticalIndex {
+    offsets: Vec<usize>,
+    occ: Vec<Occurrence>,
+}
+
+impl VerticalIndex {
+    /// Builds the index in two scans (count, then cursor fill); the scan
+    /// order — customers ascending, transactions ascending — is what makes
+    /// every per-id list arrive sorted without a sort pass.
+    pub fn build(tdb: &TransformedDatabase) -> Self {
+        let n = tdb.table.len();
+        let mut offsets = vec![0usize; n + 1];
+        for customer in &tdb.customers {
+            for element in &customer.elements {
+                for &id in element {
+                    offsets[id as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut occ = vec![Occurrence::default(); offsets[n]];
+        let mut cursor = offsets.clone();
+        for (c, customer) in tdb.customers.iter().enumerate() {
+            for (t, element) in customer.elements.iter().enumerate() {
+                for &id in element {
+                    occ[cursor[id as usize]] = Occurrence {
+                        customer: c as u32,
+                        pos: t as u32,
+                    };
+                    cursor[id as usize] += 1;
+                }
+            }
+        }
+        Self { offsets, occ }
+    }
+
+    /// All occurrences of litemset `id`.
+    pub fn list(&self, id: LitemsetId) -> &[Occurrence] {
+        &self.occ[self.offsets[id as usize]..self.offsets[id as usize + 1]]
+    }
+
+    /// Heap bytes held by the index.
+    pub fn bytes(&self) -> u64 {
+        (self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+/// CSR store of per-candidate occurrence lists (one list per arena row).
+#[derive(Debug, Clone, Default)]
+pub struct OccLists {
+    offsets: Vec<usize>,
+    occ: Vec<Occurrence>,
+}
+
+impl OccLists {
+    fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            occ: Vec::new(),
+        }
+    }
+
+    fn push_list(&mut self, list: &[Occurrence]) {
+        self.occ.extend_from_slice(list);
+        self.offsets.push(self.occ.len());
+    }
+
+    /// The `i`-th candidate's occurrence list.
+    pub fn list(&self, i: usize) -> &[Occurrence] {
+        &self.occ[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of lists stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no lists are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes held.
+    pub fn bytes(&self) -> u64 {
+        (self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+    }
+
+    /// Appends another chunk's lists (used to merge `map_chunks` results in
+    /// chunk order).
+    fn append(&mut self, other: &OccLists) {
+        let base = self.occ.len();
+        self.occ.extend_from_slice(&other.occ);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| o + base));
+    }
+}
+
+/// Temporal merge-join: `out` gets one `(customer, pos)` entry per customer
+/// of `prefix` that has an entry in `last` at a strictly later transaction
+/// (the earliest such). `prefix` must hold ascending unique customers;
+/// `last` must be sorted by `(customer, pos)` — both invariants hold for
+/// every list this module produces.
+fn join(prefix: &[Occurrence], last: &[Occurrence], out: &mut Vec<Occurrence>) {
+    let mut j = 0usize;
+    for &p in prefix {
+        while j < last.len()
+            && (last[j].customer < p.customer
+                || (last[j].customer == p.customer && last[j].pos <= p.pos))
+        {
+            j += 1;
+        }
+        if j < last.len() && last[j].customer == p.customer {
+            out.push(Occurrence {
+                customer: p.customer,
+                pos: last[j].pos,
+            });
+        }
+    }
+}
+
+/// Reduces an index list (possibly several occurrences per customer) to the
+/// earliest occurrence per customer — `occ(⟨x⟩)` for a single id `x`.
+fn seed_first_per_customer(list: &[Occurrence], out: &mut Vec<Occurrence>) {
+    let mut last_customer: Option<u32> = None;
+    for &o in list {
+        if last_customer != Some(o.customer) {
+            out.push(o);
+            last_customer = Some(o.customer);
+        }
+    }
+}
+
+/// Computes `occ(prefix)` from the litemset index lists alone: seed with
+/// the first id, then one join per remaining id (`prefix.len() - 1` joins,
+/// added to `joins`). `out` receives the result; `tmp` is scratch.
+fn fold_prefix(
+    index: &VerticalIndex,
+    prefix: &[LitemsetId],
+    out: &mut Vec<Occurrence>,
+    tmp: &mut Vec<Occurrence>,
+    joins: &mut u64,
+) {
+    out.clear();
+    seed_first_per_customer(index.list(prefix[0]), out);
+    for &id in &prefix[1..] {
+        tmp.clear();
+        join(out, index.list(id), tmp);
+        std::mem::swap(out, tmp);
+        *joins += 1;
+    }
+}
+
+/// Per-run (mining-run, not prefix-run) state of the vertical strategy: the
+/// litemset index, the previous pass's cached lists, and the counters that
+/// feed [`crate::stats::MiningStats`].
+#[derive(Debug)]
+pub struct VerticalState {
+    index: VerticalIndex,
+    params: VerticalParams,
+    /// Lists of the last counted pass, keyed by that pass's sorted arena.
+    cache: Option<(CandidateArena, OccLists)>,
+    /// Wall time spent building the index.
+    pub index_build_time: Duration,
+    /// Merge-joins executed so far (the vertical analogue of an exact
+    /// containment test).
+    pub joins: u64,
+    /// Peak bytes held across index, cached lists, and a pass's fresh lists.
+    pub peak_bytes: u64,
+}
+
+impl VerticalState {
+    /// Builds the occurrence index for `tdb`.
+    pub fn build(tdb: &TransformedDatabase, params: VerticalParams) -> Self {
+        let start = Instant::now();
+        let index = VerticalIndex::build(tdb);
+        let index_build_time = start.elapsed();
+        let peak_bytes = index.bytes();
+        Self {
+            index,
+            params,
+            cache: None,
+            index_build_time,
+            joins: 0,
+            peak_bytes,
+        }
+    }
+
+    /// The underlying litemset index.
+    pub fn index(&self) -> &VerticalIndex {
+        &self.index
+    }
+
+    /// Counts the support of every candidate in `candidates` (sorted,
+    /// equal-length rows) by occurrence-list joins, sharding prefix runs
+    /// over `threads` workers. Results and join counts are bit-identical
+    /// across thread counts.
+    pub fn count(&mut self, candidates: &CandidateArena, threads: usize) -> Vec<u64> {
+        let n = candidates.num_candidates();
+        if n == 0 {
+            self.cache = None;
+            return Vec::new();
+        }
+        let len = candidates.candidate_len();
+
+        // Maximal blocks of candidates sharing the length-(len-1) prefix;
+        // contiguous because the arena is sorted. Each run is scheduled
+        // whole, which pins the fold-vs-lookup decision (and hence the join
+        // counter) to the run, not to the chunking.
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let prefix = &candidates.get(start)[..len - 1];
+            let mut end = start + 1;
+            while end < n && &candidates.get(end)[..len - 1] == prefix {
+                end += 1;
+            }
+            runs.push((start, end));
+            start = end;
+        }
+
+        // Lists are only worth keeping when the next pass can binary-search
+        // them, which needs this arena sorted — true for every algorithm
+        // pass, possibly false for ad-hoc one-shot counts.
+        let keep_lists = self.params.cache_cap_bytes > 0 && candidates.is_sorted_unique();
+        let cache = self.cache.take();
+        let cached = cache
+            .as_ref()
+            .filter(|(arena, _)| len >= 2 && arena.candidate_len() == len - 1);
+
+        let index = &self.index;
+        let partials = map_chunks(&runs, threads, |chunk| {
+            let mut supports: Vec<u64> = Vec::new();
+            let mut lists = OccLists::new();
+            let mut joins = 0u64;
+            let mut folded: Vec<Occurrence> = Vec::new();
+            let mut fold_tmp: Vec<Occurrence> = Vec::new();
+            let mut out: Vec<Occurrence> = Vec::new();
+            for &(start, end) in chunk {
+                let prefix = &candidates.get(start)[..len - 1];
+                let prefix_list: &[Occurrence] = if len == 1 {
+                    &[]
+                } else if let Some(i) = cached.and_then(|(a, _)| a.binary_search(prefix).ok()) {
+                    cached.map(|(_, l)| l.list(i)).unwrap()
+                } else {
+                    fold_prefix(index, prefix, &mut folded, &mut fold_tmp, &mut joins);
+                    &folded
+                };
+                for i in start..end {
+                    let last = candidates.get(i)[len - 1];
+                    out.clear();
+                    if len == 1 {
+                        seed_first_per_customer(index.list(last), &mut out);
+                    } else {
+                        join(prefix_list, index.list(last), &mut out);
+                        joins += 1;
+                    }
+                    supports.push(out.len() as u64);
+                    if keep_lists {
+                        lists.push_list(&out);
+                    }
+                }
+            }
+            (supports, lists, joins)
+        });
+
+        let mut supports: Vec<u64> = Vec::with_capacity(n);
+        let mut new_lists = OccLists::new();
+        for (s, l, j) in partials {
+            supports.extend(s);
+            if keep_lists {
+                new_lists.append(&l);
+            }
+            self.joins += j;
+        }
+
+        let fresh_bytes = if keep_lists {
+            candidates.bytes() + new_lists.bytes()
+        } else {
+            0
+        };
+        let held = self.index.bytes()
+            + cache.as_ref().map_or(0, |(a, l)| a.bytes() + l.bytes())
+            + fresh_bytes;
+        self.peak_bytes = self.peak_bytes.max(held);
+
+        // The memory cap: retain the pass's lists only when they fit,
+        // otherwise the next pass falls back to folding from the index.
+        self.cache = if keep_lists && fresh_bytes <= self.params.cache_cap_bytes as u64 {
+            Some((candidates.clone(), new_lists))
+        } else {
+            None
+        };
+        supports
+    }
+
+    /// The occurrence list of one sequence: a cache lookup when the last
+    /// counted pass covered it, else a fold from the index lists (counted
+    /// in [`VerticalState::joins`]). Used by DynamicSome's on-the-fly pass.
+    pub fn occurrences_of(&mut self, ids: &[LitemsetId]) -> Vec<Occurrence> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        if let Some((arena, lists)) = &self.cache {
+            if arena.candidate_len() == ids.len() {
+                if let Ok(i) = arena.binary_search(ids) {
+                    return lists.list(i).to_vec();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        fold_prefix(&self.index, ids, &mut out, &mut tmp, &mut self.joins);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contain::customer_contains_from;
+    use crate::types::itemset::Itemset;
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+
+    fn tdb(customers: Vec<Vec<Vec<LitemsetId>>>, num_ids: u32) -> TransformedDatabase {
+        let table = LitemsetTable::new(
+            (0..num_ids)
+                .map(|i| (Itemset::new(vec![i + 1]), 1))
+                .collect::<Vec<_>>(),
+        );
+        let total = customers.len();
+        TransformedDatabase {
+            customers: customers
+                .into_iter()
+                .enumerate()
+                .map(|(i, elements)| TransformedCustomer {
+                    customer_id: i as u64 + 1,
+                    elements,
+                })
+                .collect(),
+            table,
+            total_customers: total,
+        }
+    }
+
+    fn occ(customer: u32, pos: u32) -> Occurrence {
+        Occurrence { customer, pos }
+    }
+
+    #[test]
+    fn index_lists_are_customer_partitioned_and_sorted() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1, 2], vec![0]],
+                vec![],
+                vec![vec![2], vec![0, 2]],
+            ],
+            3,
+        );
+        let index = VerticalIndex::build(&db);
+        assert_eq!(index.list(0), &[occ(0, 0), occ(0, 2), occ(2, 1)]);
+        assert_eq!(index.list(1), &[occ(0, 1)]);
+        assert_eq!(index.list(2), &[occ(0, 1), occ(2, 0), occ(2, 1)]);
+        assert!(index.bytes() > 0);
+    }
+
+    #[test]
+    fn join_requires_strictly_later_transactions() {
+        let prefix = [occ(0, 1), occ(2, 0), occ(5, 3)];
+        let last = [occ(0, 0), occ(0, 1), occ(0, 4), occ(2, 0), occ(4, 0)];
+        let mut out = Vec::new();
+        join(&prefix, &last, &mut out);
+        // Customer 0: earliest entry after pos 1 is pos 4. Customer 2: only
+        // entry is at pos 0, not strictly later. Customer 5: absent.
+        assert_eq!(out, vec![occ(0, 4)]);
+    }
+
+    #[test]
+    fn seed_takes_first_occurrence_per_customer() {
+        let list = [occ(0, 2), occ(0, 5), occ(3, 0), occ(3, 1), occ(4, 7)];
+        let mut out = Vec::new();
+        seed_first_per_customer(&list, &mut out);
+        assert_eq!(out, vec![occ(0, 2), occ(3, 0), occ(4, 7)]);
+    }
+
+    /// Brute-force oracle: count + earliest ends via the containment kernel.
+    fn oracle(db: &TransformedDatabase, cand: &[LitemsetId]) -> Vec<Occurrence> {
+        db.customers
+            .iter()
+            .enumerate()
+            .filter_map(|(c, customer)| {
+                customer_contains_from(customer, cand, 0).map(|end| occ(c as u32, end as u32))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counting_matches_containment_oracle_with_and_without_cache() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1], vec![0, 1], vec![2]],
+                vec![vec![1, 2], vec![0], vec![0]],
+                vec![vec![2], vec![2], vec![1]],
+                vec![vec![0, 1, 2]],
+                vec![],
+            ],
+            3,
+        );
+        // All 27 ordered triples over {0,1,2}; sorted by construction.
+        let mut triples = CandidateArena::new(3);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                for c in 0..3u32 {
+                    triples.push(&[a, b, c]);
+                }
+            }
+        }
+        for cap in [0usize, usize::MAX] {
+            let mut state = VerticalState::build(
+                &db,
+                VerticalParams {
+                    cache_cap_bytes: cap,
+                },
+            );
+            for threads in [1usize, 2, 4] {
+                let supports = state.count(&triples, threads);
+                for (i, cand) in triples.iter().enumerate() {
+                    let expected = oracle(&db, cand);
+                    assert_eq!(
+                        supports[i],
+                        expected.len() as u64,
+                        "cap {cap}, threads {threads}, candidate {cand:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_prefix_lists_cut_joins() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1], vec![2], vec![0]],
+                vec![vec![0], vec![1], vec![2]],
+                vec![vec![1], vec![0], vec![2]],
+            ],
+            3,
+        );
+        let pairs = CandidateArena::from_rows(2, [&[0u32, 1][..], &[0, 2], &[1, 2]]);
+        let triples = CandidateArena::from_rows(3, [&[0u32, 1, 2][..]]);
+
+        // With caching: pass 2 folds (prefix length 1 → 0 fold joins,
+        // 3 candidate joins); pass 3 finds its prefix ⟨0 1⟩ cached → one
+        // more join.
+        let mut warm = VerticalState::build(&db, VerticalParams::default());
+        let s2 = warm.count(&pairs, 1);
+        assert_eq!(warm.joins, 3);
+        let s3 = warm.count(&triples, 1);
+        assert_eq!(warm.joins, 4);
+
+        // cap = 0: pass 3 must re-fold its prefix (1 join) before the
+        // candidate join — same supports, more joins.
+        let mut cold = VerticalState::build(&db, VerticalParams { cache_cap_bytes: 0 });
+        assert_eq!(cold.count(&pairs, 1), s2);
+        assert_eq!(cold.count(&triples, 1), s3);
+        assert_eq!(cold.joins, 5);
+        assert_eq!(s3, vec![2]); // customers 0 and 1 contain ⟨0 1 2⟩
+    }
+
+    #[test]
+    fn occurrences_of_matches_earliest_match_ends() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![0, 1], vec![1]],
+                vec![vec![1], vec![0]],
+                vec![vec![0], vec![1]],
+            ],
+            2,
+        );
+        let mut state = VerticalState::build(&db, VerticalParams::default());
+        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 1), occ(2, 1)]);
+        assert_eq!(state.occurrences_of(&[1, 0]), vec![occ(1, 1)]);
+        assert!(state.occurrences_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn length_one_candidates_count_distinct_customers() {
+        let db = tdb(
+            vec![vec![vec![0], vec![0]], vec![vec![0]], vec![vec![1]]],
+            2,
+        );
+        let mut state = VerticalState::build(&db, VerticalParams::default());
+        let singles = CandidateArena::from_rows(1, [&[0u32][..], &[1]]);
+        assert_eq!(state.count(&singles, 1), vec![2, 1]);
+        assert_eq!(state.joins, 0);
+    }
+
+    #[test]
+    fn peak_bytes_and_join_counts_are_thread_invariant() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1], vec![0], vec![1]],
+                vec![vec![1], vec![0], vec![1]],
+                vec![vec![0], vec![0], vec![1]],
+                vec![vec![1], vec![1]],
+            ],
+            2,
+        );
+        let mut pairs = CandidateArena::new(2);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                pairs.push(&[a, b]);
+            }
+        }
+        let run = |threads: usize| {
+            let mut state = VerticalState::build(&db, VerticalParams::default());
+            let supports = state.count(&pairs, threads);
+            (supports, state.joins, state.peak_bytes)
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads");
+        }
+    }
+}

@@ -8,20 +8,8 @@
 //! are interchangeable (a test in `lib.rs` pins their agreement).
 
 use crate::hash_tree::{HashTree, VisitStamps};
-use crate::parallel::map_chunks;
+use crate::parallel::{map_chunks, sum_partials};
 use crate::{AprioriConfig, CustomerTransactions, Item, LargeItemset};
-
-/// Sums per-chunk support arrays in chunk order. Addition of `u64` counts
-/// is exact, so the merged totals are bit-identical to a serial count.
-fn merge_supports(partials: Vec<Vec<u64>>, len: usize) -> Vec<u64> {
-    let mut supports = vec![0u64; len];
-    for partial in partials {
-        for (total, v) in supports.iter_mut().zip(partial) {
-            *total += v;
-        }
-    }
-    supports
-}
 
 /// Counts every single item per customer and returns the large 1-itemsets,
 /// sorted by item id (which is lexicographic order for singletons).
@@ -93,7 +81,7 @@ pub fn count_candidates_direct(
         }
         supports
     });
-    merge_supports(partials, candidates.len())
+    sum_partials(partials, candidates.len())
 }
 
 /// Counts candidate supports through the hash tree, deduplicating per
@@ -125,7 +113,7 @@ pub fn count_candidates_hash_tree(
         }
         supports
     });
-    merge_supports(partials, candidates.len())
+    sum_partials(partials, candidates.len())
 }
 
 /// Pass-2 fast path: counts every co-occurring pair of large items
@@ -198,12 +186,7 @@ pub fn count_pairs_direct(
         }
         counts
     });
-    let mut counts = vec![0u32; tri_len];
-    for partial in partials {
-        for (total, v) in counts.iter_mut().zip(partial) {
-            *total += v;
-        }
-    }
+    let counts = sum_partials(partials, tri_len);
 
     let mut large = Vec::new();
     for i in 0..n {

@@ -99,6 +99,30 @@ where
     })
 }
 
+/// Sums equal-length per-chunk count vectors element-wise, consuming them
+/// **in iteration order** (pair with [`map_chunks`], whose results arrive
+/// in chunk order). Integer `+=` is exact, so the totals are bit-identical
+/// to a serial count regardless of how the input was chunked.
+///
+/// This is the one chunk-merge reducer shared by every counting loop in
+/// the workspace (itemset supports, sequence supports, pair matrices,
+/// vertical-join partials); side effects — draining a per-chunk test
+/// counter, say — belong in the iterator adapter feeding it.
+pub fn sum_partials<T, I>(partials: I, len: usize) -> Vec<T>
+where
+    T: Copy + Default + std::ops::AddAssign,
+    I: IntoIterator<Item = Vec<T>>,
+{
+    let mut totals = vec![T::default(); len];
+    for partial in partials {
+        debug_assert_eq!(partial.len(), len, "partial length mismatch");
+        for (total, v) in totals.iter_mut().zip(partial) {
+            *total += v;
+        }
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +156,14 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(firsts, sorted);
         }
+    }
+
+    #[test]
+    fn sum_partials_is_elementwise_and_order_independent_for_integers() {
+        let partials = vec![vec![1u64, 0, 2], vec![0, 5, 1], vec![3, 0, 0]];
+        assert_eq!(sum_partials(partials, 3), vec![4, 5, 3]);
+        let none: Vec<Vec<u32>> = Vec::new();
+        assert_eq!(sum_partials(none, 2), vec![0u32, 0]);
     }
 
     #[test]

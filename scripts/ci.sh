@@ -16,4 +16,8 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> bench smoke (one tiny ablation cell per counting strategy)"
+cargo run --release -p seqpat-bench --bin exp_ablation -- \
+  --quick --customers 150 --out target/ci-results
+
 echo "==> CI green"

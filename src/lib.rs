@@ -46,7 +46,7 @@ pub use seqpat_itemset as itemset;
 pub use seqpat_prefixspan as prefixspan;
 
 pub use seqpat_core::{
-    Algorithm, CountingStrategy, Database, Item, Itemset, MinSupport, Miner, MinerConfig,
-    MiningResult, Parallelism, Pattern, Sequence,
+    Algorithm, CandidateArena, CountingStrategy, Database, Item, Itemset, MinSupport, Miner,
+    MinerConfig, MiningResult, Parallelism, Pattern, Sequence, VerticalParams,
 };
 pub use seqpat_datagen::{generate, GenParams};

@@ -129,7 +129,18 @@ proptest! {
             MinerConfig::new(MinSupport::Count(min_count)).counting(CountingStrategy::HashTree),
         )
         .mine(&db);
-        prop_assert_eq!(render_maximal(&direct.patterns), render_maximal(&tree.patterns));
+        prop_assert_eq!(
+            render_maximal(&direct.patterns),
+            render_maximal(&tree.patterns)
+        );
+        let vertical = Miner::new(
+            MinerConfig::new(MinSupport::Count(min_count)).counting(CountingStrategy::Vertical),
+        )
+        .mine(&db);
+        prop_assert_eq!(
+            render_maximal(&direct.patterns),
+            render_maximal(&vertical.patterns)
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! End-to-end integration test on the paper's running example (§2):
-//! every algorithm, both counting strategies, the facade, and I/O.
+//! every algorithm, all three counting strategies, the facade, and I/O.
 
 use seqpat::io::{csv, spmf};
 use seqpat::prefixspan::{prefixspan_maximal, PrefixSpanConfig};
@@ -38,7 +38,11 @@ fn every_algorithm_and_strategy_reproduces_the_paper_answer() {
         Algorithm::DynamicSome { step: 2 },
         Algorithm::DynamicSome { step: 3 },
     ] {
-        for strategy in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+        for strategy in [
+            CountingStrategy::Direct,
+            CountingStrategy::HashTree,
+            CountingStrategy::Vertical,
+        ] {
             let config = MinerConfig::new(MinSupport::Fraction(0.25))
                 .algorithm(algorithm)
                 .counting(strategy);

@@ -1,7 +1,7 @@
 //! Property tests for the parallel counting layer at the full-miner level:
 //! mining with any thread count must be **bit-identical** to the serial
 //! run — same patterns, same supports, same containment-test counters —
-//! for every algorithm and both counting strategies.
+//! for every algorithm and all three counting strategies.
 //!
 //! (The per-function equivalence of `count_supports` itself is pinned by
 //! property tests inside `seqpat-core`; this file covers the end-to-end
@@ -47,7 +47,11 @@ proptest! {
             Algorithm::AprioriSome,
             Algorithm::DynamicSome { step: 2 },
         ] {
-            for counting in [CountingStrategy::Direct, CountingStrategy::HashTree] {
+            for counting in [
+                CountingStrategy::Direct,
+                CountingStrategy::HashTree,
+                CountingStrategy::Vertical,
+            ] {
                 let config = |parallelism| {
                     MinerConfig::new(MinSupport::Fraction(minsup))
                         .algorithm(algorithm)
@@ -70,6 +74,14 @@ proptest! {
                         parallel.stats.containment_tests,
                         serial.stats.containment_tests,
                         "{} / {:?} with {} threads",
+                        algorithm,
+                        counting,
+                        threads
+                    );
+                    prop_assert_eq!(
+                        parallel.stats.join_ops,
+                        serial.stats.join_ops,
+                        "{} / {:?} with {} threads (joins)",
                         algorithm,
                         counting,
                         threads

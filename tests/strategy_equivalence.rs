@@ -1,0 +1,113 @@
+//! End-to-end equivalence of the three counting strategies through all
+//! three algorithms, on a fixture whose maximal pattern is long enough to
+//! force passes ≥ 4 — the regime where the vertical strategy's pass-to-pass
+//! occurrence-list cache is actually exercised (pass 2 goes through the
+//! shared pair-counting fast path in every strategy, so short fixtures
+//! never reach the join kernel).
+
+use seqpat::{Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig, Parallelism};
+
+/// Five customers share the 5-step sequence ⟨(1)(2)(3)(4)(5)⟩; two more
+/// carry prefixes/noise so intermediate passes have candidates to prune.
+fn long_pattern_db() -> Database {
+    let mut rows = Vec::new();
+    for customer in 1..=5u64 {
+        for (t, item) in [1u32, 2, 3, 4, 5].into_iter().enumerate() {
+            rows.push((customer, t as i64, vec![item]));
+        }
+    }
+    rows.extend([
+        (6, 1, vec![1]),
+        (6, 2, vec![2]),
+        (6, 3, vec![3]),
+        (7, 1, vec![2]),
+        (7, 2, vec![5]),
+        (7, 3, vec![6]),
+    ]);
+    Database::from_rows(rows)
+}
+
+fn render(patterns: &[seqpat::Pattern]) -> Vec<String> {
+    patterns
+        .iter()
+        .map(|p| format!("{}:{}", p, p.support))
+        .collect()
+}
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::AprioriAll,
+    Algorithm::AprioriSome,
+    Algorithm::DynamicSome { step: 2 },
+];
+
+const STRATEGIES: [CountingStrategy; 3] = [
+    CountingStrategy::Direct,
+    CountingStrategy::HashTree,
+    CountingStrategy::Vertical,
+];
+
+#[test]
+fn long_patterns_agree_across_strategies_and_threads() {
+    let db = long_pattern_db();
+    for algorithm in ALGORITHMS {
+        let mut baseline: Option<Vec<String>> = None;
+        for strategy in STRATEGIES {
+            let mut join_ops: Option<u64> = None;
+            for threads in [1usize, 2, 4] {
+                let config = MinerConfig::new(MinSupport::Count(5))
+                    .algorithm(algorithm)
+                    .counting(strategy)
+                    .parallelism(Parallelism::threads(threads));
+                let result = Miner::new(config).mine(&db);
+                let rendered = render(&result.patterns);
+                // The fixture's answer: the full 5-step sequence is maximal.
+                assert!(
+                    rendered.contains(&"<(1)(2)(3)(4)(5)>:5".to_string()),
+                    "{algorithm} / {strategy} / {threads} threads found {rendered:?}"
+                );
+                let expected = baseline.get_or_insert_with(|| rendered.clone());
+                assert_eq!(
+                    &rendered, expected,
+                    "{algorithm} / {strategy} / {threads} threads"
+                );
+                // Join counts are thread-invariant; only the vertical
+                // strategy performs any.
+                let expected_joins = *join_ops.get_or_insert(result.stats.join_ops);
+                assert_eq!(
+                    result.stats.join_ops, expected_joins,
+                    "{algorithm} / {strategy}: joins changed with {threads} threads"
+                );
+                if strategy == CountingStrategy::Vertical {
+                    assert!(
+                        result.stats.join_ops > 0,
+                        "{algorithm}: vertical never reached the join kernel"
+                    );
+                    assert!(result.stats.vertical_peak_bytes > 0);
+                } else {
+                    assert_eq!(result.stats.join_ops, 0);
+                    assert_eq!(result.stats.vertical_peak_bytes, 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_cap_zero_still_gives_identical_answers() {
+    // Disabling occurrence-list retention forces every pass to fold its
+    // candidates from the base index — more joins, same supports.
+    let db = long_pattern_db();
+    let cached =
+        Miner::new(MinerConfig::new(MinSupport::Count(5)).counting(CountingStrategy::Vertical))
+            .mine(&db);
+    let mut config = MinerConfig::new(MinSupport::Count(5)).counting(CountingStrategy::Vertical);
+    config.vertical.cache_cap_bytes = 0;
+    let uncached = Miner::new(config).mine(&db);
+    assert_eq!(render(&cached.patterns), render(&uncached.patterns));
+    assert!(
+        uncached.stats.join_ops > cached.stats.join_ops,
+        "folding from scratch must cost extra joins (cached {}, uncached {})",
+        cached.stats.join_ops,
+        uncached.stats.join_ops
+    );
+}
