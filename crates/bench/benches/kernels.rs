@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks for the hot kernels: containment tests,
-//! candidate generation, and the two hash trees.
+//! candidate generation, the two hash trees, and the bitmap strategy's
+//! S-step / AND-extension word kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqpat_core::bitmap::sstep;
 use seqpat_core::contain::{customer_contains, id_subsequence, sequence_contains};
 use seqpat_core::hash_tree::{SequenceHashTree, VisitSet};
-use seqpat_core::types::transformed::TransformedCustomer;
-use seqpat_core::{CandidateArena, Itemset};
+use seqpat_core::types::transformed::{LitemsetTable, TransformedCustomer, TransformedDatabase};
+use seqpat_core::{BitmapState, CandidateArena, Itemset};
 
 fn pseudo_random(seed: u32) -> impl FnMut(u32) -> u32 {
     let mut x = seed | 1;
@@ -154,6 +156,85 @@ fn bench_itemset_hash_tree(c: &mut Criterion) {
     });
 }
 
+fn bench_sstep(c: &mut Criterion) {
+    // Pure smear kernel over a word array: the inner loop of every bitmap
+    // counting pass. Words carry 0–2 set bits, like real sparse frontiers.
+    let mut rnd = pseudo_random(37);
+    let words: Vec<u64> = (0..4096)
+        .map(|_| (1u64 << rnd(64)) | (1u64 << rnd(64)))
+        .collect();
+    c.bench_function("bitmap_sstep/4096words", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &w in black_box(&words).iter() {
+                acc ^= sstep(w);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_sstep_and_extension(c: &mut Criterion) {
+    // One S-step + AND extension over two-word customer spans, including
+    // the cross-word carry and the non-zero support test — the fused form
+    // the counting kernel runs per candidate per customer.
+    let mut rnd = pseudo_random(41);
+    let frontier: Vec<u64> = (0..2048).map(|_| 1u64 << rnd(64)).collect();
+    let bits: Vec<u64> = (0..2048)
+        .map(|_| (1u64 << rnd(64)) | (1u64 << rnd(64)) | (1u64 << rnd(64)))
+        .collect();
+    c.bench_function("bitmap_sstep_and/1024spans_x2words", |b| {
+        b.iter(|| {
+            let mut supported = 0u32;
+            let spans = black_box(&frontier)
+                .chunks_exact(2)
+                .zip(black_box(&bits).chunks_exact(2));
+            for (f, m) in spans {
+                let w0 = sstep(f[0]) & m[0];
+                let smeared = if f[0] != 0 { u64::MAX } else { sstep(f[1]) };
+                let w1 = smeared & m[1];
+                if w0 | w1 != 0 {
+                    supported += 1;
+                }
+            }
+            supported
+        })
+    });
+}
+
+fn bench_bitmap_count(c: &mut Criterion) {
+    // End-to-end bitmap support counting: 256 customers of 96 transactions
+    // (two-word spans) against 3-sequence candidates over a 32-id alphabet.
+    let universe = 32u32;
+    let mut rnd = pseudo_random(43);
+    let customers: Vec<TransformedCustomer> = (0..256)
+        .map(|i| TransformedCustomer {
+            customer_id: i as u64 + 1,
+            elements: (0..96).map(|_| vec![rnd(universe)]).collect(),
+        })
+        .collect();
+    let table = LitemsetTable::new(
+        (0..universe)
+            .map(|i| (Itemset::new(vec![i + 1]), 1))
+            .collect(),
+    );
+    let tdb = TransformedDatabase {
+        total_customers: customers.len(),
+        customers,
+        table,
+    };
+    let mut candidates: Vec<Vec<u32>> = (0..256)
+        .map(|_| (0..3).map(|_| rnd(universe)).collect())
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    let candidates = CandidateArena::from_rows(3, candidates.iter().map(|c| c.as_slice()));
+    let mut state = BitmapState::build(&tdb);
+    c.bench_function("bitmap_count/256x96/~250cands", |b| {
+        b.iter(|| state.count(black_box(&candidates), 1))
+    });
+}
+
 criterion_group!(
     kernels,
     bench_sequence_contains,
@@ -161,6 +242,9 @@ criterion_group!(
     bench_customer_contains,
     bench_sequence_hash_tree,
     bench_candidate_generation,
-    bench_itemset_hash_tree
+    bench_itemset_hash_tree,
+    bench_sstep,
+    bench_sstep_and_extension,
+    bench_bitmap_count
 );
 criterion_main!(kernels);

@@ -3,22 +3,28 @@
 //!
 //! E7 cells:
 //!
-//! * counting strategy: the paper's candidate hash tree vs the direct
-//!   bitmap-prefiltered scan vs the vertical occurrence-index joins;
+//! * counting strategy: all four explicit strategies — the paper's
+//!   candidate hash tree, the direct bitmap-prefiltered scan, the vertical
+//!   occurrence-index joins, the SPAM-style bitmap S-step kernel — plus
+//!   the `auto` selector, one serial cell each;
 //! * hash-tree shape: fanout × leaf-capacity grid;
-//! * counting threads: 1 / 2 / 4 workers for all three strategies.
+//! * counting threads: 2 / 4 workers for the explicit strategies.
 //!
 //! Results are identical across all cells by construction (the property
-//! tests pin that); only the time and the per-strategy work counters move.
-//! The work counters are *not* comparable unit-for-unit across strategies —
-//! horizontal strategies do exact containment tests, the vertical strategy
-//! does occurrence-list merge-joins — so both are reported, plus their sum
-//! `ops` as the "exact verification operations" total E10 analyses.
+//! tests pin that) and every cell is asserted against the direct baseline,
+//! so any strategy disagreement aborts the run with a non-zero exit. Only
+//! the time and the per-strategy work counters move. The work counters are
+//! *not* comparable unit-for-unit across strategies — horizontal strategies
+//! do exact containment tests, the vertical strategy does occurrence-list
+//! merge-joins, the bitmap strategy smears frontier words — so all three
+//! are reported, plus their sum `ops` as the "exact verification
+//! operations" total E10 analyses.
 //!
-//! E10 sweeps minimum support with all three strategies serial on one
+//! E10 sweeps minimum support with the index strategies serial on one
 //! dataset and writes `results/e10_vertical.json`: per cell wall time,
-//! containment tests, joins, `ops = tests + joins`, peak vertical index
-//! bytes and the (identical) pattern count.
+//! containment tests, joins, `ops = tests + joins + sstep words`, peak
+//! vertical index bytes and the (identical) pattern count. (E11, the
+//! bitmap crossover sweep, lives in `exp_bitmap`.)
 
 use seqpat_bench::harness::{measure_config, MiningMeasurement};
 use seqpat_bench::table::fmt_secs;
@@ -27,14 +33,25 @@ use seqpat_core::counting::TreeParams;
 use seqpat_core::{CountingStrategy, MinSupport, MinerConfig, Parallelism};
 use seqpat_datagen::{generate, GenParams};
 
-const STRATEGIES: [CountingStrategy; 3] = [
+/// The four explicit strategies, baseline first.
+const STRATEGIES: [CountingStrategy; 4] = [
     CountingStrategy::Direct,
     CountingStrategy::HashTree,
     CountingStrategy::Vertical,
+    CountingStrategy::Bitmap,
+];
+
+/// Everything E7's serial smoke covers: the explicit strategies plus Auto.
+const SERIAL_CELLS: [CountingStrategy; 5] = [
+    CountingStrategy::Direct,
+    CountingStrategy::HashTree,
+    CountingStrategy::Vertical,
+    CountingStrategy::Bitmap,
+    CountingStrategy::Auto,
 ];
 
 fn ops(m: &MiningMeasurement) -> u64 {
-    m.containment_tests + m.join_ops
+    m.containment_tests + m.join_ops + m.sstep_ops
 }
 
 fn main() {
@@ -59,6 +76,7 @@ fn main() {
         "time s",
         "containment tests",
         "joins",
+        "sstep ops",
         "patterns",
     ]);
     let mut rows = Vec::new();
@@ -79,20 +97,36 @@ fn main() {
             fmt_secs(m.seconds),
             m.containment_tests.to_string(),
             m.join_ops.to_string(),
+            m.sstep_ops.to_string(),
             m.patterns.to_string(),
         ]);
         rows.push(format!(
-            "{},,,{},{:.6},{},{},{}",
-            strategy, m.threads, m.seconds, m.containment_tests, m.join_ops, m.patterns
+            "{},,,{},{:.6},{},{},{},{}",
+            strategy,
+            m.threads,
+            m.seconds,
+            m.containment_tests,
+            m.join_ops,
+            m.sstep_ops,
+            m.patterns
         ));
         m
     };
-    let direct = serial(CountingStrategy::Direct);
-    let vertical = serial(CountingStrategy::Vertical);
-    assert_eq!(
-        vertical.patterns, direct.patterns,
-        "strategies must agree on the answer"
-    );
+    // One serial cell per strategy, Auto included; a pattern-set mismatch
+    // against the direct baseline aborts the run (non-zero exit).
+    let mut direct: Option<MiningMeasurement> = None;
+    for strategy in SERIAL_CELLS {
+        let m = serial(strategy);
+        if let Some(baseline) = &direct {
+            assert_eq!(
+                m.patterns, baseline.patterns,
+                "{strategy} disagrees with the direct baseline on the answer"
+            );
+        } else {
+            direct = Some(m);
+        }
+    }
+    let direct = direct.expect("baseline cell");
 
     for fanout in [4usize, 16, 64] {
         for leaf_capacity in [8usize, 32, 128] {
@@ -116,16 +150,18 @@ fn main() {
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
                 m.join_ops.to_string(),
+                m.sstep_ops.to_string(),
                 m.patterns.to_string(),
             ]);
             rows.push(format!(
-                "hashtree,{},{},{},{:.6},{},{},{}",
+                "hashtree,{},{},{},{:.6},{},{},{},{}",
                 fanout,
                 leaf_capacity,
                 m.threads,
                 m.seconds,
                 m.containment_tests,
                 m.join_ops,
+                m.sstep_ops,
                 m.patterns
             ));
         }
@@ -152,11 +188,18 @@ fn main() {
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
                 m.join_ops.to_string(),
+                m.sstep_ops.to_string(),
                 m.patterns.to_string(),
             ]);
             rows.push(format!(
-                "{},,,{},{:.6},{},{},{}",
-                strategy, threads, m.seconds, m.containment_tests, m.join_ops, m.patterns
+                "{},,,{},{:.6},{},{},{},{}",
+                strategy,
+                threads,
+                m.seconds,
+                m.containment_tests,
+                m.join_ops,
+                m.sstep_ops,
+                m.patterns
             ));
         }
     }
@@ -164,7 +207,7 @@ fn main() {
     let path = args
         .write_csv(
             "e7_ablation",
-            "strategy,fanout,leaf_capacity,threads,seconds,containment_tests,join_ops,patterns",
+            "strategy,fanout,leaf_capacity,threads,seconds,containment_tests,join_ops,sstep_ops,patterns",
             &rows,
         )
         .expect("write CSV");
@@ -183,6 +226,7 @@ fn main() {
         "time s",
         "containment tests",
         "joins",
+        "sstep ops",
         "ops",
         "peak index bytes",
         "patterns",
@@ -208,18 +252,20 @@ fn main() {
                 fmt_secs(m.seconds),
                 m.containment_tests.to_string(),
                 m.join_ops.to_string(),
+                m.sstep_ops.to_string(),
                 ops(&m).to_string(),
-                m.vertical_peak_bytes.to_string(),
+                m.vertical_peak_bytes.max(m.bitmap_words * 8).to_string(),
                 m.patterns.to_string(),
             ]);
             entries.push(format!(
                 "    {{\"minsup\": {minsup}, \"strategy\": \"{strategy}\", \
                  \"seconds\": {:.6}, \"containment_tests\": {}, \"join_ops\": {}, \
-                 \"ops\": {}, \"vertical_index_seconds\": {:.6}, \
+                 \"sstep_ops\": {}, \"ops\": {}, \"vertical_index_seconds\": {:.6}, \
                  \"vertical_peak_bytes\": {}, \"patterns\": {}}}",
                 m.seconds,
                 m.containment_tests,
                 m.join_ops,
+                m.sstep_ops,
                 ops(&m),
                 m.vertical_index_seconds,
                 m.vertical_peak_bytes,

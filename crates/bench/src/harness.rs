@@ -38,6 +38,14 @@ pub struct MiningMeasurement {
     pub vertical_peak_bytes: u64,
     /// Seconds spent building the vertical occurrence index (0 otherwise).
     pub vertical_index_seconds: f64,
+    /// S-step smear words processed (bitmap strategy only; 0 otherwise).
+    pub sstep_ops: u64,
+    /// Words in the bitmap arena (bitmap strategy only; 0 otherwise). Like
+    /// `vertical_peak_bytes`, reported by experiments in their own format
+    /// rather than the CSV row.
+    pub bitmap_words: u64,
+    /// Seconds spent building the bitmap index (0 otherwise).
+    pub bitmap_index_seconds: f64,
 }
 
 impl MiningMeasurement {
@@ -104,6 +112,9 @@ pub fn measure_config(
         join_ops: result.stats.join_ops,
         vertical_peak_bytes: result.stats.vertical_peak_bytes,
         vertical_index_seconds: result.stats.vertical_index_time.as_secs_f64(),
+        sstep_ops: result.stats.sstep_ops,
+        bitmap_words: result.stats.bitmap_words,
+        bitmap_index_seconds: result.stats.bitmap_index_time.as_secs_f64(),
     }
 }
 

@@ -16,6 +16,7 @@
 //! | `exp_gsp_constraints` | E8 — GSP time-constraint study (extension) |
 //! | `exp_threads` | E9 — thread scaling of parallel support counting |
 //! | `exp_ablation` | E10 — vertical-counting crossover sweep (same binary as E7) |
+//! | `exp_bitmap` | E11 — bitmap-counting crossover sweep (density × minsup) |
 //!
 //! Every binary prints a paper-style table to stdout and writes a CSV under
 //! `results/`. All accept `--customers N` (default 2 000 — laptop scale;

@@ -4,7 +4,8 @@
 //! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S] [--format spmf|csv]
 //! seqmine mine  --in data.spmf  --minsup 0.01 [--algorithm apriori-all|apriori-some|dynamic-some|prefixspan]
 //!               [--step K] [--all] [--max-length L] [--window W] [--threads N|auto]
-//!               [--strategy direct|hashtree|vertical] [--format spmf|csv] [--stats]
+//!               [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N]
+//!               [--format spmf|csv] [--stats]
 //! seqmine stats --in data.spmf [--format spmf|csv]
 //! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions)
 //! ```
@@ -50,7 +51,7 @@ seqmine — sequential pattern mining (Agrawal & Srikant, ICDE 1995)
 
 commands:
   gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv])
-  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical] [--stats])
+  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N] [--stats])
   stats    print dataset statistics            (--in FILE)
   convert  convert between spmf and csv        (--in FILE --out FILE)
 
@@ -195,11 +196,15 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         }
     };
     // Support counting strategy (paper algorithms only; ignored by
-    // prefixspan/gsp which have their own counting machinery).
+    // prefixspan/gsp which have their own counting machinery). "auto"
+    // resolves to bitmap/vertical/hashtree from database statistics after
+    // the transformation phase (--stats shows the choice and why).
     let strategy = match flags.get("strategy") {
         None => CountingStrategy::default(),
         Some(v) => v.parse::<CountingStrategy>().map_err(|e| e.to_string())?,
     };
+    // Vertical strategy pass-to-pass occurrence-list cache cap (MiB).
+    let vertical_cache_mb = flags.get_parsed::<usize>("vertical-cache-mb")?;
 
     if algorithm_name == "gsp" {
         let mut config = GspConfig::default();
@@ -260,6 +265,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     if let Some(cap) = max_length {
         config = config.max_length(cap);
     }
+    if let Some(mb) = vertical_cache_mb {
+        config.vertical.cache_cap_bytes = mb << 20;
+    }
     let result = Miner::new(config).mine(&db);
     for p in &result.patterns {
         println!("{p} #SUP: {}", p.support);
@@ -280,10 +288,22 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             s.containment_tests,
             s.threads_used
         );
-        if strategy == CountingStrategy::Vertical {
+        if let Some(d) = &s.auto_decision {
+            eprintln!(
+                "auto: chose {} ({}) — customers: {}  litemsets: {}  mean length: {:.2}  density: {:.4}",
+                d.choice, d.reason, d.customers, d.litemsets, d.mean_len, d.density
+            );
+        }
+        if strategy == CountingStrategy::Vertical || s.vertical_peak_bytes > 0 {
             eprintln!(
                 "vertical: index build {:?}  joins: {}  peak index bytes: {}",
                 s.vertical_index_time, s.join_ops, s.vertical_peak_bytes
+            );
+        }
+        if strategy == CountingStrategy::Bitmap || s.bitmap_words > 0 {
+            eprintln!(
+                "bitmap: index build {:?}  sstep ops: {}  arena words: {}",
+                s.bitmap_index_time, s.sstep_ops, s.bitmap_words
             );
         }
         eprintln!(
@@ -491,7 +511,14 @@ mod tests {
             "30".into(),
         ])
         .unwrap();
-        for strategy in ["direct", "hashtree", "hash-tree", "vertical"] {
+        for strategy in [
+            "direct",
+            "hashtree",
+            "hash-tree",
+            "vertical",
+            "bitmap",
+            "auto",
+        ] {
             cmd_mine(&[
                 "--in".into(),
                 path.clone(),
@@ -503,6 +530,29 @@ mod tests {
             ])
             .unwrap_or_else(|e| panic!("--strategy {strategy}: {e}"));
         }
+        // The vertical cache cap is settable (0 disables retention).
+        for mb in ["0", "16"] {
+            cmd_mine(&[
+                "--in".into(),
+                path.clone(),
+                "--minsup".into(),
+                "0.2".into(),
+                "--strategy".into(),
+                "vertical".into(),
+                "--vertical-cache-mb".into(),
+                mb.into(),
+            ])
+            .unwrap_or_else(|e| panic!("--vertical-cache-mb {mb}: {e}"));
+        }
+        assert!(cmd_mine(&[
+            "--in".into(),
+            path.clone(),
+            "--minsup".into(),
+            "0.2".into(),
+            "--vertical-cache-mb".into(),
+            "lots".into(),
+        ])
+        .is_err());
         assert!(cmd_mine(&[
             "--in".into(),
             path,

@@ -36,14 +36,18 @@ pub struct SequencePhaseOptions {
 }
 
 impl SequencePhaseOptions {
-    /// The per-run [`CountingContext`] these options describe.
-    pub fn context(&self) -> CountingContext {
-        CountingContext::new(
+    /// The per-run [`CountingContext`] these options describe. Resolves
+    /// `Auto` up front so the decision is recorded in the run's stats even
+    /// when mining finishes before any counting pass runs.
+    pub fn context(&self, tdb: &TransformedDatabase) -> CountingContext {
+        let mut ctx = CountingContext::new(
             self.counting,
             self.tree_params,
             self.parallelism,
             self.vertical,
-        )
+        );
+        ctx.resolved_strategy(tdb);
+        ctx
     }
 }
 
@@ -67,7 +71,7 @@ pub fn apriori_all(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
-    let mut ctx = options.context();
+    let mut ctx = options.context(tdb);
     let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
@@ -229,8 +233,12 @@ pub(crate) mod tests {
         // Pass 3 of the paper example prunes every candidate, so the
         // vertical run never even builds its index — but the answers match.
         let (c, _) = run(CountingStrategy::Vertical);
+        let (d, _) = run(CountingStrategy::Bitmap);
+        let (e, _) = run(CountingStrategy::Auto);
         assert_eq!(a, b);
         assert_eq!(a, c);
+        assert_eq!(a, d);
+        assert_eq!(a, e);
     }
 
     #[test]

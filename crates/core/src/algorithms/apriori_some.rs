@@ -32,7 +32,7 @@ pub fn apriori_some(
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
-    let mut ctx = options.context();
+    let mut ctx = options.context(tdb);
     let pass_start = Instant::now();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {

@@ -44,7 +44,7 @@ pub fn dynamic_some(
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
     assert!(step >= 1, "DynamicSome requires step >= 1");
-    let mut ctx = options.context();
+    let mut ctx = options.context(tdb);
     let mut forward = ForwardOutput::default();
 
     // --- Initialization phase: exact L_1 ..= L_step. ---
@@ -260,28 +260,31 @@ mod tests {
     }
 
     #[test]
-    fn vertical_strategy_agrees_including_otf_jumps() {
+    fn index_strategies_agree_including_otf_jumps() {
         use crate::counting::CountingStrategy;
         let tdb = paper_tdb();
         for step in 1..=3 {
             let mut s1 = MiningStats::default();
             let base = dynamic_some(&tdb, 2, step, &SequencePhaseOptions::default(), &mut s1);
-            let mut s2 = MiningStats::default();
-            let vert = dynamic_some(
-                &tdb,
-                2,
-                step,
-                &SequencePhaseOptions {
-                    counting: CountingStrategy::Vertical,
-                    ..Default::default()
-                },
-                &mut s2,
-            );
-            assert_eq!(
-                maximal_ids(&tdb, base),
-                maximal_ids(&tdb, vert),
-                "step {step}"
-            );
+            let expected = maximal_ids(&tdb, base);
+            for counting in [
+                CountingStrategy::Vertical,
+                CountingStrategy::Bitmap,
+                CountingStrategy::Auto,
+            ] {
+                let mut s2 = MiningStats::default();
+                let got = dynamic_some(
+                    &tdb,
+                    2,
+                    step,
+                    &SequencePhaseOptions {
+                        counting,
+                        ..Default::default()
+                    },
+                    &mut s2,
+                );
+                assert_eq!(expected, maximal_ids(&tdb, got), "step {step}, {counting}");
+            }
         }
     }
 

@@ -25,6 +25,12 @@
 //! suffix probes remain exact containment tests, so the counters differ
 //! from the horizontal path (fewer `x` probes, no bitmap prefilter on `y`)
 //! but the supports are identical.
+//!
+//! The bitmap strategy takes the same shape: `occ(x)` is recovered from a
+//! whole-database S-step fold ([`crate::bitmap::BitmapState::occurrences_of`]
+//! — first set bit per customer span), then suffixes are probed exactly as
+//! in the vertical path. `Auto` resolves before dispatching, so whichever
+//! index the run built is the one otf-generate reuses.
 
 use super::candidate::IdSeq;
 use crate::arena::CandidateArena;
@@ -46,10 +52,10 @@ pub fn otf_generate(
     if lk.is_empty() || lj.is_empty() {
         return Vec::new();
     }
-    let counts = if ctx.strategy() == CountingStrategy::Vertical {
-        otf_vertical(tdb, lk, lj, ctx)
-    } else {
-        otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests)
+    let counts = match ctx.resolved_strategy(tdb) {
+        CountingStrategy::Vertical => otf_vertical(tdb, lk, lj, ctx),
+        CountingStrategy::Bitmap => otf_bitmap(tdb, lk, lj, ctx),
+        _ => otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests),
     };
     let mut out: Vec<(IdSeq, u64)> = counts.into_iter().collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -126,6 +132,33 @@ fn otf_vertical(
     counts
 }
 
+/// Bitmap variant: identical structure to [`otf_vertical`], with `occ(x)`
+/// computed by an S-step fold over the packed index (smeared words are
+/// counted on the state).
+fn otf_bitmap(
+    tdb: &TransformedDatabase,
+    lk: &CandidateArena,
+    lj: &CandidateArena,
+    ctx: &mut CountingContext,
+) -> FxHashMap<IdSeq, u64> {
+    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
+    let mut tests = 0u64;
+    for x in lk.iter() {
+        let occ = ctx.bitmap_state(tdb).occurrences_of(x);
+        for o in occ {
+            let customer = &tdb.customers[o.customer as usize];
+            for y in lj.iter() {
+                tests += 1;
+                if customer_contains_from(customer, y, o.pos as usize + 1).is_some() {
+                    bump(&mut counts, x, y);
+                }
+            }
+        }
+    }
+    ctx.containment_tests += tests;
+    counts
+}
+
 fn bump(counts: &mut FxHashMap<IdSeq, u64>, x: &[u32], y: &[u32]) {
     let mut cand = Vec::with_capacity(x.len() + y.len());
     cand.extend_from_slice(x);
@@ -146,12 +179,12 @@ mod tests {
         )
     }
 
-    fn ctx_for(counting: CountingStrategy) -> CountingContext {
+    fn ctx_for(counting: CountingStrategy, tdb: &TransformedDatabase) -> CountingContext {
         SequencePhaseOptions {
             counting,
             ..Default::default()
         }
-        .context()
+        .context(tdb)
     }
 
     #[test]
@@ -160,7 +193,7 @@ mod tests {
         // four large 2-sequences with exact supports (plus smaller ones).
         let tdb = paper_tdb();
         let l1 = arena(&(0..5).map(|i| vec![i]).collect::<Vec<_>>());
-        let mut ctx = ctx_for(CountingStrategy::default());
+        let mut ctx = ctx_for(CountingStrategy::default(), &tdb);
         let pairs = otf_generate(&tdb, &l1, &l1, &mut ctx);
         let get = |ids: &[u32]| {
             pairs
@@ -178,14 +211,20 @@ mod tests {
     }
 
     #[test]
-    fn vertical_path_counts_identical_supports() {
+    fn vertical_and_bitmap_paths_count_identical_supports() {
         let tdb = paper_tdb();
         let l1 = arena(&(0..5).map(|i| vec![i]).collect::<Vec<_>>());
-        let mut hctx = ctx_for(CountingStrategy::HashTree);
+        let mut hctx = ctx_for(CountingStrategy::HashTree, &tdb);
         let horizontal = otf_generate(&tdb, &l1, &l1, &mut hctx);
-        let mut vctx = ctx_for(CountingStrategy::Vertical);
+        let mut vctx = ctx_for(CountingStrategy::Vertical, &tdb);
         let vertical = otf_generate(&tdb, &l1, &l1, &mut vctx);
         assert_eq!(horizontal, vertical);
+        let mut bctx = ctx_for(CountingStrategy::Bitmap, &tdb);
+        let bitmap = otf_generate(&tdb, &l1, &l1, &mut bctx);
+        assert_eq!(horizontal, bitmap);
+        let mut actx = ctx_for(CountingStrategy::Auto, &tdb);
+        let auto = otf_generate(&tdb, &l1, &l1, &mut actx);
+        assert_eq!(horizontal, auto);
     }
 
     #[test]
@@ -210,7 +249,7 @@ mod tests {
             table,
             total_customers: 1,
         };
-        let mut ctx = ctx_for(CountingStrategy::default());
+        let mut ctx = ctx_for(CountingStrategy::default(), &tdb);
         let pairs = otf_generate(
             &tdb,
             &arena(&[vec![4]]),
@@ -223,7 +262,7 @@ mod tests {
     #[test]
     fn empty_inputs_yield_nothing() {
         let tdb = paper_tdb();
-        let mut ctx = ctx_for(CountingStrategy::default());
+        let mut ctx = ctx_for(CountingStrategy::default(), &tdb);
         let l1 = arena(&[vec![0]]);
         assert!(otf_generate(&tdb, &CandidateArena::default(), &l1, &mut ctx).is_empty());
         assert!(otf_generate(&tdb, &l1, &CandidateArena::default(), &mut ctx).is_empty());
@@ -235,7 +274,7 @@ mod tests {
         // Two customers both containing ⟨0 4⟩; support must be 2, not more,
         // even though customer 4 has several embeddings.
         let tdb = paper_tdb();
-        let mut ctx = ctx_for(CountingStrategy::default());
+        let mut ctx = ctx_for(CountingStrategy::default(), &tdb);
         let pairs = otf_generate(&tdb, &arena(&[vec![0]]), &arena(&[vec![4]]), &mut ctx);
         assert_eq!(pairs, vec![(vec![0, 4], 2)]);
     }

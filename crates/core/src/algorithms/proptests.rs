@@ -1,10 +1,13 @@
 //! Property tests for the sequence candidate generation — soundness and
-//! completeness of `apriori-generate` (the anti-monotonicity backbone).
+//! completeness of `apriori-generate` (the anti-monotonicity backbone) —
+//! and end-to-end mining equivalence of every counting strategy at every
+//! thread count.
 
 use proptest::prelude::*;
 
 use super::candidate::{generate, IdSeq};
 use crate::arena::CandidateArena;
+use crate::{Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig, Parallelism};
 
 fn arb_prev(k: usize) -> impl Strategy<Value = CandidateArena> {
     proptest::collection::btree_set(proptest::collection::vec(0u32..5, k), 1..=25)
@@ -75,5 +78,72 @@ proptest! {
             out.num_candidates(),
             prev.num_candidates() * prev.num_candidates()
         );
+    }
+}
+
+/// Generated raw databases: up to 8 customers, each with up to 6
+/// transactions of 1–3 items over an 8-item alphabet.
+fn arb_database() -> impl Strategy<Value = Database> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(1u32..=8, 1..4), 0..6),
+        0..8,
+    )
+    .prop_map(|customers| {
+        let mut rows = Vec::new();
+        for (c, transactions) in customers.into_iter().enumerate() {
+            for (t, items) in transactions.into_iter().enumerate() {
+                rows.push((c as u64 + 1, t as i64, items));
+            }
+        }
+        Database::from_rows(rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole pin: every algorithm × every counting strategy
+    /// (including Bitmap and Auto) × threads 1/2/4 produces the exact same
+    /// maximal pattern set with the exact same supports.
+    #[test]
+    fn all_strategies_and_thread_counts_mine_identical_patterns(
+        db in arb_database(),
+        min_count in 1u64..4,
+    ) {
+        let mut baseline: Option<Vec<String>> = None;
+        for algorithm in [
+            Algorithm::AprioriAll,
+            Algorithm::AprioriSome,
+            Algorithm::DynamicSome { step: 2 },
+        ] {
+            for strategy in [
+                CountingStrategy::Direct,
+                CountingStrategy::HashTree,
+                CountingStrategy::Vertical,
+                CountingStrategy::Bitmap,
+                CountingStrategy::Auto,
+            ] {
+                for threads in [1usize, 2, 4] {
+                    let config = MinerConfig::new(MinSupport::Count(min_count))
+                        .algorithm(algorithm)
+                        .counting(strategy)
+                        .parallelism(Parallelism::threads(threads));
+                    let result = Miner::new(config).mine(&db);
+                    let rendered: Vec<String> = result
+                        .patterns
+                        .iter()
+                        .map(|p| format!("{}:{}", p, p.support))
+                        .collect();
+                    if let Some(expected) = &baseline {
+                        prop_assert_eq!(
+                            &rendered, expected,
+                            "{} / {} / {} threads", algorithm, strategy, threads
+                        );
+                    } else {
+                        baseline = Some(rendered);
+                    }
+                }
+            }
+        }
     }
 }

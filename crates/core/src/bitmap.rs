@@ -1,0 +1,548 @@
+//! Bitmap (SPAM-style) support counting — [`CountingStrategy::Bitmap`].
+//!
+//! The vertical id-list strategy ([`crate::vertical`]) already touches only
+//! the customers where a candidate's parts occur, but its merge-joins are
+//! branch-heavy pointer walks over `(customer, position)` pairs. The
+//! SPAM-family bitmap layout makes the same temporal join *word-parallel*:
+//! every litemset id gets one packed bitmap over all transaction slots, and
+//! extending a sequence by one litemset is a shift-AND over `u64` words.
+//!
+//! ## Word layout
+//!
+//! The whole index is **two allocations**:
+//!
+//! * `word_offsets` — a per-customer CSR table: customer `c`'s transactions
+//!   occupy bit positions `0..len(c)` within the word span
+//!   `word_offsets[c]..word_offsets[c+1]` (spans are `ceil(len(c)/64)`
+//!   words; transaction `t` is bit `t % 64` of word `t / 64` of the span).
+//! * `bits` — a flat id-major `Vec<u64>` arena of `num_ids × total_words`
+//!   words: litemset `x`'s bitmap is the contiguous slice
+//!   `bits[x·W .. (x+1)·W]`, bit set iff the transaction contains `x`.
+//!
+//! Both are built once after the transformation phase, are cache-linear by
+//! construction, and are reused across every pass of the sequence phase.
+//!
+//! ## The S-step kernel
+//!
+//! For a sequence `s`, define `frontier(s)`: bit `(c, t)` set iff customer
+//! `c` has an embedding of `s` whose **earliest-match** end is transaction
+//! `t` — by the exchange argument behind [`crate::contain`], at most one
+//! bit per customer, and it is exactly the `Occurrence.pos` the vertical
+//! strategy computes. Extension is SPAM's S-step:
+//!
+//! ```text
+//! frontier(s · ⟨x⟩) = sstep(frontier(s)) & bits(x)
+//! ```
+//!
+//! where [`sstep`] transforms each customer span so that every bit
+//! *strictly after* the first set bit becomes 1 (first-occurrence
+//! propagation — "everything later than the earliest end is a legal start
+//! for the next element"). Within one word that is two ALU ops and a
+//! complement; across a customer longer than 64 transactions a carry flag
+//! saturates all later words of the span to `u64::MAX` (harmless garbage
+//! past `len(c)`: the AND with `bits(x)` masks it, since litemset bitmaps
+//! only ever set valid transaction positions).
+//!
+//! A customer supports the candidate iff its final span is non-zero, so
+//! counting is **popcount-free**: one `!= 0` test per span, with the AND
+//! against the last litemset's bitmap fused into the test (early exit on
+//! the first non-zero word).
+//!
+//! ## Parallelism and determinism
+//!
+//! [`BitmapState::count`] shards **customers** into contiguous chunks via
+//! [`map_chunks`]; each worker folds every prefix run over its own word
+//! range only. Because the chunk word ranges partition the database, the
+//! per-candidate supports and the [`BitmapState::sstep_ops`] counter (words
+//! processed by the smear kernel) are bit-identical for any thread count —
+//! the workspace-wide determinism guarantee the other strategies pin.
+//!
+//! [`CountingStrategy::Bitmap`]: crate::counting::CountingStrategy
+
+use crate::arena::CandidateArena;
+use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use crate::vertical::Occurrence;
+use seqpat_itemset::parallel::{map_chunks, sum_partials};
+use std::time::{Duration, Instant};
+
+/// Single-word S-step: returns the word with every bit **strictly above**
+/// the lowest set bit of `w` set, and all others clear (`0` maps to `0`).
+///
+/// `l = w & w.wrapping_neg()` isolates the lowest set bit; `l - 1` is the
+/// mask of bits strictly below it, so `!(l | (l - 1))` is the mask of bits
+/// strictly above it. For `w == 0`, `l == 0` and `l - 1` wraps to all-ones,
+/// giving `0` — no match yet means nothing may start.
+#[inline]
+pub fn sstep(w: u64) -> u64 {
+    let l = w & w.wrapping_neg();
+    !(l | l.wrapping_sub(1))
+}
+
+/// Applies the S-step to every customer span of `frontier`, with the
+/// multi-word carry for customers longer than 64 transactions: once a span
+/// word held a set bit, every later word of the span saturates to all-ones
+/// ("any position in a later word is strictly after the earliest end").
+///
+/// `offsets` is the window of the CSR table covering exactly the customers
+/// whose words `frontier` holds (`offsets[0]` maps to `frontier[0]`).
+/// Adds one count per word processed to `sstep_ops`.
+fn smear_spans(offsets: &[u32], frontier: &mut [u64], sstep_ops: &mut u64) {
+    let base = offsets[0];
+    for span in offsets.windows(2) {
+        let (a, b) = ((span[0] - base) as usize, (span[1] - base) as usize);
+        let mut carry = false;
+        for w in &mut frontier[a..b] {
+            if carry {
+                *w = u64::MAX;
+            } else if *w != 0 {
+                *w = sstep(*w);
+                carry = true;
+            }
+        }
+        *sstep_ops += (b - a) as u64;
+    }
+}
+
+/// `frontier &= other`, word by word.
+fn and_words(frontier: &mut [u64], other: &[u64]) {
+    for (f, &o) in frontier.iter_mut().zip(other) {
+        *f &= o;
+    }
+}
+
+/// Packed per-litemset bitmaps over a flat arena with a per-customer CSR
+/// word-offset table. See the module docs for the exact layout.
+#[derive(Debug)]
+pub struct BitmapIndex {
+    /// `customers + 1` entries; customer `c` owns words
+    /// `word_offsets[c]..word_offsets[c+1]` of each id's bitmap.
+    word_offsets: Vec<u32>,
+    /// Id-major arena: `num_ids × total_words` words.
+    bits: Vec<u64>,
+    total_words: usize,
+    num_ids: usize,
+}
+
+impl BitmapIndex {
+    /// Builds the index in one scan of the transformed database.
+    pub fn build(tdb: &TransformedDatabase) -> Self {
+        let num_ids = tdb.table.len();
+        let mut word_offsets = Vec::with_capacity(tdb.customers.len() + 1);
+        word_offsets.push(0u32);
+        let mut total = 0u32;
+        for customer in &tdb.customers {
+            total += customer.elements.len().div_ceil(64) as u32;
+            word_offsets.push(total);
+        }
+        let total_words = total as usize;
+        let mut bits = vec![0u64; num_ids * total_words];
+        for (c, customer) in tdb.customers.iter().enumerate() {
+            let base = word_offsets[c] as usize;
+            for (t, element) in customer.elements.iter().enumerate() {
+                let word = base + t / 64;
+                let bit = 1u64 << (t % 64);
+                for &id in element {
+                    bits[id as usize * total_words + word] |= bit;
+                }
+            }
+        }
+        Self {
+            word_offsets,
+            bits,
+            total_words,
+            num_ids,
+        }
+    }
+
+    /// Number of customers covered.
+    pub fn num_customers(&self) -> usize {
+        self.word_offsets.len() - 1
+    }
+
+    /// Number of litemset ids covered.
+    pub fn num_ids(&self) -> usize {
+        self.num_ids
+    }
+
+    /// Total `u64` words in the bitmap arena (`num_ids × words-per-id`).
+    pub fn words(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Heap bytes held by the index (arena + offset table).
+    pub fn bytes(&self) -> u64 {
+        (self.bits.len() * std::mem::size_of::<u64>()
+            + self.word_offsets.len() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Words `w0..w1` of litemset `id`'s bitmap.
+    fn id_words(&self, id: LitemsetId, w0: usize, w1: usize) -> &[u64] {
+        let base = id as usize * self.total_words;
+        &self.bits[base + w0..base + w1]
+    }
+}
+
+/// Per-mining-run state of the bitmap strategy: the index plus the
+/// counters that feed [`crate::stats::MiningStats`]. Unlike the vertical
+/// strategy there is nothing to cache between passes — the frontier fold
+/// is cheap enough to redo per prefix run, and the index itself never
+/// changes.
+#[derive(Debug)]
+pub struct BitmapState {
+    index: BitmapIndex,
+    /// Wall time spent building the index.
+    pub index_build_time: Duration,
+    /// Words processed by the smear kernel so far (the bitmap analogue of
+    /// an exact containment test / merge-join; thread-invariant).
+    pub sstep_ops: u64,
+}
+
+impl BitmapState {
+    /// Builds the bitmap index for `tdb`.
+    pub fn build(tdb: &TransformedDatabase) -> Self {
+        let start = Instant::now();
+        let index = BitmapIndex::build(tdb);
+        let index_build_time = start.elapsed();
+        Self {
+            index,
+            index_build_time,
+            sstep_ops: 0,
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &BitmapIndex {
+        &self.index
+    }
+
+    /// Counts the support of every candidate in `candidates` (sorted,
+    /// equal-length rows) with S-step folds, sharding customers over
+    /// `threads` workers. Supports and `sstep_ops` are bit-identical
+    /// across thread counts.
+    pub fn count(&mut self, candidates: &CandidateArena, threads: usize) -> Vec<u64> {
+        let n = candidates.num_candidates();
+        if n == 0 {
+            return Vec::new();
+        }
+        let len = candidates.candidate_len();
+
+        // Maximal blocks of candidates sharing the length-(len-1) prefix
+        // (contiguous because arenas are sorted): the prefix frontier is
+        // folded once per run, then each candidate in the run costs one
+        // fused AND + non-zero test per customer span.
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let prefix = &candidates.get(start)[..len - 1];
+            let mut end = start + 1;
+            while end < n && &candidates.get(end)[..len - 1] == prefix {
+                end += 1;
+            }
+            runs.push((start, end));
+            start = end;
+        }
+
+        let index = &self.index;
+        let customers: Vec<u32> = (0..index.num_customers() as u32).collect();
+        let partials = map_chunks(&customers, threads, |chunk| {
+            if chunk.is_empty() {
+                return (vec![0u64; n], 0);
+            }
+            // Chunks are contiguous customer ranges, so the chunk owns the
+            // contiguous word range [w0, w1) of every id's bitmap.
+            let first = chunk[0] as usize;
+            let last = *chunk.last().unwrap() as usize;
+            let offsets = &index.word_offsets[first..=last + 1];
+            let w0 = offsets[0] as usize;
+            let w1 = *offsets.last().unwrap() as usize;
+            let mut supports = vec![0u64; n];
+            let mut ops = 0u64;
+            let mut frontier = vec![0u64; w1 - w0];
+            for &(start, end) in &runs {
+                let row = candidates.get(start);
+                if len >= 2 {
+                    frontier.copy_from_slice(index.id_words(row[0], w0, w1));
+                    for &id in &row[1..len - 1] {
+                        smear_spans(offsets, &mut frontier, &mut ops);
+                        and_words(&mut frontier, index.id_words(id, w0, w1));
+                    }
+                    smear_spans(offsets, &mut frontier, &mut ops);
+                }
+                for (i, support) in supports[start..end].iter_mut().enumerate() {
+                    let last_id = candidates.get(start + i)[len - 1];
+                    let last_bits = index.id_words(last_id, w0, w1);
+                    for span in offsets.windows(2) {
+                        let (a, b) = ((span[0] as usize) - w0, (span[1] as usize) - w0);
+                        // Fused AND + non-zero: popcount-free support.
+                        let hit = if len == 1 {
+                            last_bits[a..b].iter().any(|&w| w != 0)
+                        } else {
+                            frontier[a..b]
+                                .iter()
+                                .zip(&last_bits[a..b])
+                                .any(|(&f, &l)| f & l != 0)
+                        };
+                        *support += hit as u64;
+                    }
+                }
+            }
+            (supports, ops)
+        });
+
+        let mut sstep_ops = 0u64;
+        let supports = sum_partials(
+            partials.into_iter().map(|(partial, ops)| {
+                sstep_ops += ops;
+                partial
+            }),
+            n,
+        );
+        self.sstep_ops += sstep_ops;
+        supports
+    }
+
+    /// The earliest-match end of `ids` per supporting customer, as
+    /// `(customer, pos)` occurrences — identical to
+    /// [`crate::vertical::VerticalState::occurrences_of`]. Used by
+    /// DynamicSome's on-the-fly pass: fold the whole-database frontier,
+    /// then take the first set bit of each non-zero span.
+    pub fn occurrences_of(&mut self, ids: &[LitemsetId]) -> Vec<Occurrence> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let tw = self.index.total_words;
+        let offsets = &self.index.word_offsets;
+        let mut frontier = self.index.id_words(ids[0], 0, tw).to_vec();
+        for &id in &ids[1..] {
+            smear_spans(offsets, &mut frontier, &mut self.sstep_ops);
+            and_words(&mut frontier, self.index.id_words(id, 0, tw));
+        }
+        let mut out = Vec::new();
+        for (c, span) in offsets.windows(2).enumerate() {
+            let (a, b) = (span[0] as usize, span[1] as usize);
+            for (wi, &w) in frontier[a..b].iter().enumerate() {
+                if w != 0 {
+                    out.push(Occurrence {
+                        customer: c as u32,
+                        pos: (wi * 64 + w.trailing_zeros() as usize) as u32,
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contain::customer_contains_from;
+    use crate::types::itemset::Itemset;
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+
+    fn tdb(customers: Vec<Vec<Vec<LitemsetId>>>, num_ids: u32) -> TransformedDatabase {
+        let table = LitemsetTable::new(
+            (0..num_ids)
+                .map(|i| (Itemset::new(vec![i + 1]), 1))
+                .collect::<Vec<_>>(),
+        );
+        let total = customers.len();
+        TransformedDatabase {
+            customers: customers
+                .into_iter()
+                .enumerate()
+                .map(|(i, elements)| TransformedCustomer {
+                    customer_id: i as u64 + 1,
+                    elements,
+                })
+                .collect(),
+            table,
+            total_customers: total,
+        }
+    }
+
+    fn occ(customer: u32, pos: u32) -> Occurrence {
+        Occurrence { customer, pos }
+    }
+
+    #[test]
+    fn sstep_sets_exactly_the_bits_above_the_lowest_set_bit() {
+        assert_eq!(sstep(0), 0);
+        assert_eq!(sstep(0b1), !0b1u64);
+        assert_eq!(sstep(0b1000), !0b1111u64);
+        // Higher set bits are irrelevant — only the lowest matters.
+        assert_eq!(sstep(0b1010_1000), !0b1111u64);
+        // A match at the top bit leaves nothing strictly after it.
+        assert_eq!(sstep(1u64 << 63), 0);
+        assert_eq!(sstep(u64::MAX), !0b1u64);
+    }
+
+    #[test]
+    fn index_layout_spans_and_bits() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1, 2], vec![0]],
+                vec![],
+                vec![vec![2], vec![0, 2]],
+            ],
+            3,
+        );
+        let index = BitmapIndex::build(&db);
+        // Customer spans: 1 word, 0 words (empty), 1 word.
+        assert_eq!(index.word_offsets, vec![0, 1, 1, 2]);
+        assert_eq!(index.total_words, 2);
+        assert_eq!(index.words(), 6); // 3 ids × 2 words
+        assert!(index.bytes() > 0);
+        // id 0: customer 0 transactions {0, 2}, customer 2 transaction {1}.
+        assert_eq!(index.id_words(0, 0, 2), &[0b101, 0b10]);
+        // id 1: customer 0 transaction {1} only.
+        assert_eq!(index.id_words(1, 0, 2), &[0b010, 0b00]);
+        // id 2: customer 0 transaction {1}, customer 2 transactions {0, 1}.
+        assert_eq!(index.id_words(2, 0, 2), &[0b010, 0b11]);
+    }
+
+    #[test]
+    fn multi_word_customers_get_multi_word_spans() {
+        // 70 transactions → 2 words for customer 0; 1 word for customer 1.
+        let mut long = vec![vec![9u32]; 70];
+        long[0] = vec![0];
+        long[69] = vec![1];
+        let db = tdb(vec![long, vec![vec![0], vec![1]]], 10);
+        let index = BitmapIndex::build(&db);
+        assert_eq!(index.word_offsets, vec![0, 2, 3]);
+        assert_eq!(index.id_words(0, 0, 3), &[1, 0, 0b01]);
+        assert_eq!(index.id_words(1, 0, 3), &[0, 1 << 5, 0b10]); // 69 = 64 + 5
+    }
+
+    /// Brute-force oracle: count + earliest ends via the containment kernel.
+    fn oracle(db: &TransformedDatabase, cand: &[LitemsetId]) -> Vec<Occurrence> {
+        db.customers
+            .iter()
+            .enumerate()
+            .filter_map(|(c, customer)| {
+                customer_contains_from(customer, cand, 0).map(|end| occ(c as u32, end as u32))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counting_matches_containment_oracle() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1], vec![0, 1], vec![2]],
+                vec![vec![1, 2], vec![0], vec![0]],
+                vec![vec![2], vec![2], vec![1]],
+                vec![vec![0, 1, 2]],
+                vec![],
+            ],
+            3,
+        );
+        // All 27 ordered triples over {0,1,2}; sorted by construction.
+        let mut triples = CandidateArena::new(3);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                for c in 0..3u32 {
+                    triples.push(&[a, b, c]);
+                }
+            }
+        }
+        let mut state = BitmapState::build(&db);
+        for threads in [1usize, 2, 4] {
+            let supports = state.count(&triples, threads);
+            for (i, cand) in triples.iter().enumerate() {
+                let expected = oracle(&db, cand);
+                assert_eq!(
+                    supports[i],
+                    expected.len() as u64,
+                    "threads {threads}, candidate {cand:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_word_carry_crosses_the_64_transaction_boundary() {
+        // Customer 0: id 0 at transaction 3, id 1 only at transaction 69 —
+        // the S-step carry must propagate the match across the word seam.
+        // Customer 1: id 1 at transaction 69 but id 0 only at 69 too (not
+        // strictly earlier) — must NOT support ⟨0 1⟩.
+        let mut c0 = vec![vec![9u32]; 70];
+        c0[3] = vec![0];
+        c0[69] = vec![1];
+        let mut c1 = vec![vec![9u32]; 70];
+        c1[69] = vec![0, 1];
+        let db = tdb(vec![c0, c1], 10);
+        let mut state = BitmapState::build(&db);
+        let pairs = CandidateArena::from_rows(2, [&[0u32, 1][..], &[1, 0]]);
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                state.count(&pairs, threads),
+                vec![1, 0],
+                "{threads} threads"
+            );
+        }
+        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 69)]);
+    }
+
+    #[test]
+    fn length_one_candidates_count_distinct_customers() {
+        let db = tdb(
+            vec![vec![vec![0], vec![0]], vec![vec![0]], vec![vec![1]]],
+            2,
+        );
+        let mut state = BitmapState::build(&db);
+        let singles = CandidateArena::from_rows(1, [&[0u32][..], &[1]]);
+        assert_eq!(state.count(&singles, 1), vec![2, 1]);
+        assert_eq!(state.sstep_ops, 0); // length 1 needs no smear
+    }
+
+    #[test]
+    fn occurrences_of_matches_earliest_match_ends() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![0, 1], vec![1]],
+                vec![vec![1], vec![0]],
+                vec![vec![0], vec![1]],
+            ],
+            2,
+        );
+        let mut state = BitmapState::build(&db);
+        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 1), occ(2, 1)]);
+        assert_eq!(state.occurrences_of(&[1, 0]), vec![occ(1, 1)]);
+        assert_eq!(
+            state.occurrences_of(&[0]),
+            vec![occ(0, 0), occ(1, 1), occ(2, 0)]
+        );
+        assert!(state.occurrences_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn supports_and_sstep_ops_are_thread_invariant() {
+        let db = tdb(
+            vec![
+                vec![vec![0], vec![1], vec![0], vec![1]],
+                vec![vec![1], vec![0], vec![1]],
+                vec![vec![0], vec![0], vec![1]],
+                vec![vec![1], vec![1]],
+            ],
+            2,
+        );
+        let mut pairs = CandidateArena::new(2);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                pairs.push(&[a, b]);
+            }
+        }
+        let run = |threads: usize| {
+            let mut state = BitmapState::build(&db);
+            let supports = state.count(&pairs, threads);
+            (supports, state.sstep_ops)
+        };
+        let serial = run(1);
+        assert!(serial.1 > 0);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Support counting for candidate sequences over the transformed database.
 //!
-//! Three interchangeable strategies (an ablation bench in `seqpat-bench`
-//! compares them):
+//! Four interchangeable strategies plus an automatic selector (an ablation
+//! bench in `seqpat-bench` compares them):
 //!
 //! * [`CountingStrategy::Direct`] — for each customer, test every candidate
 //!   with the greedy containment scan, prefiltered by a litemset-presence
@@ -13,12 +13,19 @@
 //! * [`CountingStrategy::Vertical`] — id-list joins over the occurrence
 //!   index built by [`crate::vertical`]: support comes from merge-joining
 //!   occurrence lists instead of scanning customers at all.
+//! * [`CountingStrategy::Bitmap`] — SPAM-style packed bitmaps with
+//!   shift-AND S-step extension kernels ([`crate::bitmap`]): the temporal
+//!   join becomes word-parallel ALU work over a flat `u64` arena.
+//! * [`CountingStrategy::Auto`] — resolves to Bitmap, Vertical, or
+//!   HashTree after the transformation phase from cheap database
+//!   statistics (see [`auto_decide`]); the decision and its inputs are
+//!   recorded in [`MiningStats`].
 //!
-//! All three produce identical counts (pinned by tests here and by property
-//! tests at the workspace level). The horizontal strategies report the
-//! number of exact containment tests performed; the vertical strategy
-//! reports merge-joins — both feed the harness's machine-independent cost
-//! counters.
+//! All strategies produce identical counts (pinned by tests here and by
+//! property tests at the workspace level). The horizontal strategies report
+//! the number of exact containment tests performed; the vertical strategy
+//! reports merge-joins; the bitmap strategy reports smeared words — all
+//! feed the harness's machine-independent cost counters.
 //!
 //! ## Parallel counting
 //!
@@ -43,6 +50,7 @@
 //! one mining run and is flushed into [`MiningStats`] at the end.
 
 use crate::arena::CandidateArena;
+use crate::bitmap::BitmapState;
 use crate::contain::customer_contains;
 use crate::hash_tree::{SequenceHashTree, VisitSet};
 use crate::stats::MiningStats;
@@ -61,6 +69,11 @@ pub enum CountingStrategy {
     HashTree,
     /// Occurrence-list merge-joins over the vertical index.
     Vertical,
+    /// SPAM-style packed bitmaps with S-step extension kernels.
+    Bitmap,
+    /// Pick Bitmap/Vertical/HashTree from database statistics after the
+    /// transformation phase (see [`auto_decide`]).
+    Auto,
 }
 
 impl std::str::FromStr for CountingStrategy {
@@ -71,8 +84,10 @@ impl std::str::FromStr for CountingStrategy {
             "direct" => Ok(CountingStrategy::Direct),
             "hashtree" | "hash-tree" | "hash_tree" => Ok(CountingStrategy::HashTree),
             "vertical" => Ok(CountingStrategy::Vertical),
+            "bitmap" => Ok(CountingStrategy::Bitmap),
+            "auto" => Ok(CountingStrategy::Auto),
             other => Err(format!(
-                "unknown counting strategy '{other}' (expected direct, hashtree, or vertical)"
+                "unknown counting strategy '{other}' (expected direct, hashtree, vertical, bitmap, or auto)"
             )),
         }
     }
@@ -84,7 +99,118 @@ impl std::fmt::Display for CountingStrategy {
             CountingStrategy::Direct => "direct",
             CountingStrategy::HashTree => "hashtree",
             CountingStrategy::Vertical => "vertical",
+            CountingStrategy::Bitmap => "bitmap",
+            CountingStrategy::Auto => "auto",
         })
+    }
+}
+
+/// Below this many customers any per-run index build costs more than the
+/// scans it saves; Auto falls back to the paper's hash tree. Calibrated by
+/// experiment E11 (see EXPERIMENTS.md).
+pub const AUTO_MIN_CUSTOMERS: u64 = 64;
+
+/// Density (occurrences ÷ (customers × litemsets)) at or above which Auto
+/// picks the bitmap strategy; below it the occurrence lists are sparse
+/// enough that id-list joins touch less memory than word scans. Calibrated
+/// by experiment E11.
+pub const AUTO_DENSITY_CROSSOVER: f64 = 0.05;
+
+/// Hard cap on the bitmap arena Auto is willing to allocate
+/// (`litemsets × words × 8` bytes); beyond it Auto routes to Vertical even
+/// for dense databases.
+pub const AUTO_BITMAP_CAP_BYTES: u64 = 1 << 30;
+
+/// The statistics [`CountingStrategy::Auto`] decided from, plus the choice
+/// and a human-readable reason — recorded in [`MiningStats`] so `--stats`
+/// can show why a strategy was picked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoDecision {
+    /// The concrete strategy Auto resolved to.
+    pub choice: CountingStrategy,
+    /// Customers in the transformed database.
+    pub customers: u64,
+    /// Litemset alphabet size.
+    pub litemsets: u64,
+    /// Mean transformed sequence length (transactions per customer).
+    pub mean_len: f64,
+    /// Occurrences ÷ (customers × litemsets): the fill fraction of the
+    /// (customer, litemset) incidence.
+    pub density: f64,
+    /// Bytes the bitmap arena would occupy for this database.
+    pub bitmap_bytes: u64,
+    /// Why the choice was made.
+    pub reason: &'static str,
+}
+
+/// Picks a concrete strategy for `tdb` from cheap statistics gathered in
+/// one scan. The decision rule (thresholds calibrated by experiment E11):
+///
+/// 1. Tiny databases (under [`AUTO_MIN_CUSTOMERS`] customers, or an empty
+///    alphabet) → [`CountingStrategy::HashTree`] — index builds cost more
+///    than the scans they replace.
+/// 2. A bitmap arena beyond [`AUTO_BITMAP_CAP_BYTES`] →
+///    [`CountingStrategy::Vertical`] — long-tail databases where packed
+///    words would be mostly zeros.
+/// 3. Density at or above [`AUTO_DENSITY_CROSSOVER`] →
+///    [`CountingStrategy::Bitmap`] — dense words amortize the S-step.
+/// 4. Otherwise → [`CountingStrategy::Vertical`] — sparse occurrence lists
+///    beat scanning mostly-empty words.
+pub fn auto_decide(tdb: &TransformedDatabase) -> AutoDecision {
+    let customers = tdb.customers.len() as u64;
+    let litemsets = tdb.table.len() as u64;
+    let mut transactions = 0u64;
+    let mut occurrences = 0u64;
+    let mut words = 0u64;
+    for customer in &tdb.customers {
+        transactions += customer.elements.len() as u64;
+        occurrences += customer
+            .elements
+            .iter()
+            .map(|e| e.len() as u64)
+            .sum::<u64>();
+        words += customer.elements.len().div_ceil(64) as u64;
+    }
+    let mean_len = if customers == 0 {
+        0.0
+    } else {
+        transactions as f64 / customers as f64
+    };
+    let density = if customers == 0 || litemsets == 0 {
+        0.0
+    } else {
+        occurrences as f64 / (customers as f64 * litemsets as f64)
+    };
+    let bitmap_bytes = litemsets * words * std::mem::size_of::<u64>() as u64;
+    let (choice, reason) = if customers < AUTO_MIN_CUSTOMERS || litemsets == 0 {
+        (
+            CountingStrategy::HashTree,
+            "tiny database: index build would cost more than the scans it saves",
+        )
+    } else if bitmap_bytes > AUTO_BITMAP_CAP_BYTES {
+        (
+            CountingStrategy::Vertical,
+            "bitmap arena over the size cap: long-tail database, id-lists stay compact",
+        )
+    } else if density >= AUTO_DENSITY_CROSSOVER {
+        (
+            CountingStrategy::Bitmap,
+            "dense database: word-parallel S-step kernels beat pointer-chasing joins",
+        )
+    } else {
+        (
+            CountingStrategy::Vertical,
+            "sparse database: id-list joins touch only actual occurrences",
+        )
+    };
+    AutoDecision {
+        choice,
+        customers,
+        litemsets,
+        mean_len,
+        density,
+        bitmap_bytes,
+        reason,
     }
 }
 
@@ -114,17 +240,23 @@ impl Default for TreeParams {
 #[derive(Debug)]
 pub struct CountingContext {
     strategy: CountingStrategy,
+    /// The concrete strategy counts dispatch to: equal to `strategy` when
+    /// explicit, filled by [`auto_decide`] on first use for `Auto`.
+    resolved: Option<CountingStrategy>,
+    auto_decision: Option<AutoDecision>,
     tree_params: TreeParams,
     parallelism: Parallelism,
     vertical_params: VerticalParams,
     vertical: Option<VerticalState>,
+    bitmap: Option<BitmapState>,
     /// Exact containment tests executed so far (horizontal strategies and
     /// the on-the-fly pass).
     pub containment_tests: u64,
 }
 
 impl CountingContext {
-    /// A fresh context; no index is built until the first vertical count.
+    /// A fresh context; no index is built until the first vertical or
+    /// bitmap count, and `Auto` decides on first use.
     pub fn new(
         strategy: CountingStrategy,
         tree_params: TreeParams,
@@ -133,17 +265,40 @@ impl CountingContext {
     ) -> Self {
         Self {
             strategy,
+            resolved: None,
+            auto_decision: None,
             tree_params,
             parallelism,
             vertical_params,
             vertical: None,
+            bitmap: None,
             containment_tests: 0,
         }
     }
 
-    /// The strategy this context counts with.
+    /// The strategy this context was configured with (possibly `Auto`).
     pub fn strategy(&self) -> CountingStrategy {
         self.strategy
+    }
+
+    /// The concrete strategy counts dispatch to, resolving `Auto` from
+    /// `tdb` statistics on first call (the decision then sticks for the
+    /// whole run — the transformed database never changes mid-run).
+    pub fn resolved_strategy(&mut self, tdb: &TransformedDatabase) -> CountingStrategy {
+        if let Some(resolved) = self.resolved {
+            return resolved;
+        }
+        let resolved = match self.strategy {
+            CountingStrategy::Auto => {
+                let decision = auto_decide(tdb);
+                let choice = decision.choice;
+                self.auto_decision = Some(decision);
+                choice
+            }
+            explicit => explicit,
+        };
+        self.resolved = Some(resolved);
+        resolved
     }
 
     /// Counts the support of every candidate in the arena. See
@@ -151,7 +306,7 @@ impl CountingContext {
     /// additionally reuses (and refreshes) the pass-to-pass list cache.
     pub fn count(&mut self, tdb: &TransformedDatabase, candidates: &CandidateArena) -> Vec<u64> {
         let threads = self.parallelism.resolved_threads();
-        match self.strategy {
+        match self.resolved_strategy(tdb) {
             CountingStrategy::Direct => {
                 count_direct(tdb, candidates, threads, &mut self.containment_tests)
             }
@@ -163,15 +318,22 @@ impl CountingContext {
                 &mut self.containment_tests,
             ),
             CountingStrategy::Vertical => self.vertical_state(tdb).count(candidates, threads),
+            CountingStrategy::Bitmap => self.bitmap_state(tdb).count(candidates, threads),
+            CountingStrategy::Auto => unreachable!("Auto resolves to a concrete strategy"),
         }
     }
 
     /// The vertical state, building the occurrence index on first use.
     /// Valid for any strategy (DynamicSome's on-the-fly pass uses it only
-    /// when the strategy is vertical).
+    /// when the resolved strategy is vertical).
     pub fn vertical_state(&mut self, tdb: &TransformedDatabase) -> &mut VerticalState {
         self.vertical
             .get_or_insert_with(|| VerticalState::build(tdb, self.vertical_params))
+    }
+
+    /// The bitmap state, building the packed index on first use.
+    pub fn bitmap_state(&mut self, tdb: &TransformedDatabase) -> &mut BitmapState {
+        self.bitmap.get_or_insert_with(|| BitmapState::build(tdb))
     }
 
     /// Adds this run's counters into `stats` (take-semantics: flushing
@@ -182,6 +344,14 @@ impl CountingContext {
             stats.vertical_index_time += std::mem::take(&mut state.index_build_time);
             stats.join_ops += std::mem::take(&mut state.joins);
             stats.vertical_peak_bytes = stats.vertical_peak_bytes.max(state.peak_bytes);
+        }
+        if let Some(state) = &mut self.bitmap {
+            stats.bitmap_index_time += std::mem::take(&mut state.index_build_time);
+            stats.sstep_ops += std::mem::take(&mut state.sstep_ops);
+            stats.bitmap_words = stats.bitmap_words.max(state.index().words());
+        }
+        if self.auto_decision.is_some() {
+            stats.auto_decision = self.auto_decision.take();
         }
     }
 }
@@ -481,6 +651,8 @@ mod tests {
             CountingStrategy::Direct,
             CountingStrategy::HashTree,
             CountingStrategy::Vertical,
+            CountingStrategy::Bitmap,
+            CountingStrategy::Auto,
         ] {
             assert_eq!(s.to_string().parse::<CountingStrategy>(), Ok(s));
         }
@@ -525,12 +697,93 @@ mod tests {
             Parallelism::Serial,
             &mut t3,
         );
+        let mut t4 = 0;
+        let bitmap = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::Bitmap,
+            TreeParams::default(),
+            Parallelism::Serial,
+            &mut t4,
+        );
+        let mut t5 = 0;
+        let auto = count_supports(
+            &db,
+            &candidates,
+            CountingStrategy::Auto,
+            TreeParams::default(),
+            Parallelism::Serial,
+            &mut t5,
+        );
         assert_eq!(direct, vec![2, 2, 2, 0]);
         assert_eq!(tree, direct);
         assert_eq!(vertical, direct);
+        assert_eq!(bitmap, direct);
+        assert_eq!(auto, direct);
         assert!(t1 > 0);
         assert!(t2 > 0);
         assert_eq!(t3, 0); // vertical performs joins, not containment tests
+        assert_eq!(t4, 0); // bitmap performs word smears, not containment tests
+    }
+
+    #[test]
+    fn auto_picks_hashtree_for_tiny_databases() {
+        let decision = auto_decide(&tdb());
+        assert_eq!(decision.choice, CountingStrategy::HashTree);
+        assert_eq!(decision.customers, 6);
+        assert_eq!(decision.litemsets, 5);
+        assert!(decision.density > 0.0);
+    }
+
+    /// A synthetic transformed database: `customers` customers, each with
+    /// `len` transactions of one element drawn round-robin from `ids` ids.
+    fn synth_tdb(customers: usize, len: usize, ids: u32) -> TransformedDatabase {
+        let table = LitemsetTable::new(
+            (0..ids)
+                .map(|i| (Itemset::new(vec![i + 1]), 1))
+                .collect::<Vec<_>>(),
+        );
+        TransformedDatabase {
+            customers: (0..customers)
+                .map(|c| TransformedCustomer {
+                    customer_id: c as u64 + 1,
+                    elements: (0..len).map(|t| vec![((c + t) as u32) % ids]).collect(),
+                })
+                .collect(),
+            table,
+            total_customers: customers,
+        }
+    }
+
+    #[test]
+    fn auto_picks_bitmap_for_dense_and_vertical_for_sparse() {
+        // 100 customers × 8 transactions over 4 ids: density 8/4 = 2.0.
+        let dense = auto_decide(&synth_tdb(100, 8, 4));
+        assert_eq!(dense.choice, CountingStrategy::Bitmap);
+        assert!(dense.density >= AUTO_DENSITY_CROSSOVER);
+        // 100 customers × 3 transactions over 1000 ids: density 0.003.
+        let sparse = auto_decide(&synth_tdb(100, 3, 1000));
+        assert_eq!(sparse.choice, CountingStrategy::Vertical);
+        assert!(sparse.density < AUTO_DENSITY_CROSSOVER);
+    }
+
+    #[test]
+    fn auto_resolution_is_recorded_and_sticks() {
+        let db = synth_tdb(100, 8, 4);
+        let mut ctx = CountingContext::new(
+            CountingStrategy::Auto,
+            TreeParams::default(),
+            Parallelism::Serial,
+            VerticalParams::default(),
+        );
+        assert_eq!(ctx.strategy(), CountingStrategy::Auto);
+        assert_eq!(ctx.resolved_strategy(&db), CountingStrategy::Bitmap);
+        let _ = ctx.count(&db, &arena(&[vec![0, 1]]));
+        let mut stats = MiningStats::default();
+        ctx.flush_into(&mut stats);
+        let decision = stats.auto_decision.expect("auto decision recorded");
+        assert_eq!(decision.choice, CountingStrategy::Bitmap);
+        assert!(stats.bitmap_words > 0);
     }
 
     #[test]
@@ -558,6 +811,8 @@ mod tests {
             CountingStrategy::Direct,
             CountingStrategy::HashTree,
             CountingStrategy::Vertical,
+            CountingStrategy::Bitmap,
+            CountingStrategy::Auto,
         ] {
             let mut tests = 0;
             let supports = count_supports(
@@ -680,6 +935,8 @@ mod tests {
             CountingStrategy::Direct,
             CountingStrategy::HashTree,
             CountingStrategy::Vertical,
+            CountingStrategy::Bitmap,
+            CountingStrategy::Auto,
         ] {
             let mut serial_tests = 0;
             let serial = count_supports(
@@ -717,8 +974,8 @@ mod tests {
 
 /// Property tests pinning the tentpole guarantee: for any generated
 /// database and candidate set, every thread count produces supports and
-/// cost counters bit-identical to the serial run, for all three counting
-/// strategies — and the strategies agree with each other.
+/// cost counters bit-identical to the serial run, for every counting
+/// strategy (including `Auto`) — and the strategies agree with each other.
 #[cfg(test)]
 mod proptests {
     use super::*;
@@ -801,6 +1058,8 @@ mod proptests {
                 CountingStrategy::Direct,
                 CountingStrategy::HashTree,
                 CountingStrategy::Vertical,
+                CountingStrategy::Bitmap,
+                CountingStrategy::Auto,
             ] {
                 let mut serial_tests = 0u64;
                 let serial = count_supports(

@@ -49,6 +49,7 @@
 
 pub mod algorithms;
 pub mod arena;
+pub mod bitmap;
 pub mod contain;
 pub mod counting;
 pub mod fxhash;
@@ -63,7 +64,8 @@ pub mod vertical;
 
 pub use algorithms::Algorithm;
 pub use arena::CandidateArena;
-pub use counting::{CountingContext, CountingStrategy};
+pub use bitmap::{BitmapIndex, BitmapState};
+pub use counting::{auto_decide, AutoDecision, CountingContext, CountingStrategy};
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
 pub use seqpat_itemset::Parallelism;
 pub use stats::{MiningStats, SequencePassStats};

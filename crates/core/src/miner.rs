@@ -361,6 +361,8 @@ mod tests {
                 CountingStrategy::Direct,
                 CountingStrategy::HashTree,
                 CountingStrategy::Vertical,
+                CountingStrategy::Bitmap,
+                CountingStrategy::Auto,
             ] {
                 let got = answer(
                     MinerConfig::new(MinSupport::Fraction(0.25))

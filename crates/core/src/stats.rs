@@ -64,6 +64,19 @@ pub struct MiningStats {
     /// Peak bytes held by the vertical index plus cached occurrence lists
     /// (zero for horizontal strategies).
     pub vertical_peak_bytes: u64,
+    /// Wall time spent building the bitmap index (zero unless the run used
+    /// [`crate::CountingStrategy::Bitmap`], directly or via `Auto`).
+    pub bitmap_index_time: Duration,
+    /// Words processed by the bitmap strategy's S-step smear kernel — its
+    /// analogue of `containment_tests`/`join_ops` (zero for the other
+    /// strategies).
+    pub sstep_ops: u64,
+    /// Size of the bitmap arena in `u64` words (litemsets × packed words;
+    /// zero when no bitmap index was built).
+    pub bitmap_words: u64,
+    /// When the run was configured with [`crate::CountingStrategy::Auto`],
+    /// the strategy it resolved to plus the statistics it decided from.
+    pub auto_decision: Option<crate::counting::AutoDecision>,
     /// Large sequences found before the maximal phase.
     pub large_sequences: u64,
     /// Maximal large sequences (the answer size).

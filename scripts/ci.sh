@@ -16,8 +16,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> bench smoke (one tiny ablation cell per counting strategy)"
+echo "==> bench smoke (one tiny ablation cell for all four strategies + auto)"
 cargo run --release -p seqpat-bench --bin exp_ablation -- \
+  --quick --customers 150 --out target/ci-results
+
+echo "==> bench smoke (bitmap crossover, one dense + one sparse cell)"
+cargo run --release -p seqpat-bench --bin exp_bitmap -- \
   --quick --customers 150 --out target/ci-results
 
 echo "==> CI green"

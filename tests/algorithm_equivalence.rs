@@ -141,6 +141,22 @@ proptest! {
             render_maximal(&direct.patterns),
             render_maximal(&vertical.patterns)
         );
+        let bitmap = Miner::new(
+            MinerConfig::new(MinSupport::Count(min_count)).counting(CountingStrategy::Bitmap),
+        )
+        .mine(&db);
+        prop_assert_eq!(
+            render_maximal(&direct.patterns),
+            render_maximal(&bitmap.patterns)
+        );
+        let auto = Miner::new(
+            MinerConfig::new(MinSupport::Count(min_count)).counting(CountingStrategy::Auto),
+        )
+        .mine(&db);
+        prop_assert_eq!(
+            render_maximal(&direct.patterns),
+            render_maximal(&auto.patterns)
+        );
     }
 
     #[test]

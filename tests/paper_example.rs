@@ -1,5 +1,6 @@
 //! End-to-end integration test on the paper's running example (§2):
-//! every algorithm, all three counting strategies, the facade, and I/O.
+//! every algorithm, every counting strategy (including Auto), the facade,
+//! and I/O.
 
 use seqpat::io::{csv, spmf};
 use seqpat::prefixspan::{prefixspan_maximal, PrefixSpanConfig};
@@ -42,6 +43,8 @@ fn every_algorithm_and_strategy_reproduces_the_paper_answer() {
             CountingStrategy::Direct,
             CountingStrategy::HashTree,
             CountingStrategy::Vertical,
+            CountingStrategy::Bitmap,
+            CountingStrategy::Auto,
         ] {
             let config = MinerConfig::new(MinSupport::Fraction(0.25))
                 .algorithm(algorithm)

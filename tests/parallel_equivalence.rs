@@ -1,7 +1,7 @@
 //! Property tests for the parallel counting layer at the full-miner level:
 //! mining with any thread count must be **bit-identical** to the serial
-//! run — same patterns, same supports, same containment-test counters —
-//! for every algorithm and all three counting strategies.
+//! run — same patterns, same supports, same containment-test/join/S-step
+//! counters — for every algorithm and every counting strategy.
 //!
 //! (The per-function equivalence of `count_supports` itself is pinned by
 //! property tests inside `seqpat-core`; this file covers the end-to-end
@@ -51,6 +51,8 @@ proptest! {
                 CountingStrategy::Direct,
                 CountingStrategy::HashTree,
                 CountingStrategy::Vertical,
+                CountingStrategy::Bitmap,
+                CountingStrategy::Auto,
             ] {
                 let config = |parallelism| {
                     MinerConfig::new(MinSupport::Fraction(minsup))
@@ -82,6 +84,14 @@ proptest! {
                         parallel.stats.join_ops,
                         serial.stats.join_ops,
                         "{} / {:?} with {} threads (joins)",
+                        algorithm,
+                        counting,
+                        threads
+                    );
+                    prop_assert_eq!(
+                        parallel.stats.sstep_ops,
+                        serial.stats.sstep_ops,
+                        "{} / {:?} with {} threads (sstep ops)",
                         algorithm,
                         counting,
                         threads
