@@ -48,6 +48,8 @@ impl Args {
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
                     println!("flags: --customers N  --seed S  --out DIR  --quick");
+                    // Only ever called from the bench binaries' mains.
+                    #[allow(clippy::disallowed_methods)]
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other:?} (try --help)"),

@@ -288,6 +288,25 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             s.containment_tests,
             s.threads_used
         );
+        eprintln!(
+            "sequences: {} large, {} maximal  passes: {} litemset, {} sequence",
+            s.large_sequences,
+            s.maximal_sequences,
+            s.litemset_passes.len(),
+            s.sequence_passes.len()
+        );
+        for p in &s.sequence_passes {
+            eprintln!(
+                "  pass k={}{}: generated {}  counted {}  large {}  pruned {}  in {:?}",
+                p.k,
+                if p.backward { " (backward)" } else { "" },
+                p.generated,
+                p.counted,
+                p.large,
+                p.pruned_by_containment,
+                p.pass_time
+            );
+        }
         if let Some(d) = &s.auto_decision {
             eprintln!(
                 "auto: chose {} ({}) — customers: {}  litemsets: {}  mean length: {:.2}  density: {:.4}",

@@ -12,11 +12,11 @@ use super::candidate;
 use crate::arena::CandidateArena;
 use crate::counting::{large_two_sequences, CountingContext, CountingStrategy, TreeParams};
 use crate::phases::maximal::LargeIdSequence;
+use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
 use crate::vertical::VerticalParams;
 use seqpat_itemset::Parallelism;
-use std::time::Instant;
 
 /// Options shared by all three sequence-phase algorithms.
 #[derive(Debug, Clone, Copy, Default)]
@@ -72,7 +72,7 @@ pub fn apriori_all(
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
     let mut ctx = options.context(tdb);
-    let pass_start = Instant::now();
+    let pass_start = Stopwatch::start();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -94,7 +94,7 @@ pub fn apriori_all(
         if options.max_length.is_some_and(|cap| k > cap) {
             break;
         }
-        let pass_start = Instant::now();
+        let pass_start = Stopwatch::start();
         // Pass 2 fast path: C2 is always the full |L1|² pair grid, so count
         // pairs directly in one database scan (see counting.rs).
         if k == 2 {

@@ -19,9 +19,9 @@ use super::next::next;
 use crate::arena::CandidateArena;
 use crate::counting::large_two_sequences;
 use crate::phases::maximal::LargeIdSequence;
+use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
-use std::time::Instant;
 
 /// Runs AprioriSome. Returns a superset of the maximal large sequences
 /// (every returned sequence is large; non-maximal leftovers are removed by
@@ -33,7 +33,7 @@ pub fn apriori_some(
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
     let mut ctx = options.context(tdb);
-    let pass_start = Instant::now();
+    let pass_start = Stopwatch::start();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -63,7 +63,7 @@ pub fn apriori_some(
         if options.max_length.is_some_and(|cap| k > cap) {
             break;
         }
-        let pass_start = Instant::now();
+        let pass_start = Stopwatch::start();
         // Pass 2 fast path (C2 = the full |L1|² pair grid; count_at is
         // always 2 here, see the schedule note above).
         if k == 2 {

@@ -73,7 +73,7 @@ pub fn backward(
             // Skipped in the forward phase: prune, then count the rest.
             // Filtering preserves the arena's sorted order, so the vertical
             // strategy's prefix runs and list cache stay valid.
-            let pass_start = std::time::Instant::now();
+            let pass_start = crate::stats::Stopwatch::start();
             let before = ck.num_candidates() as u64;
             let mut remaining = CandidateArena::new(k);
             for ids in ck.iter() {

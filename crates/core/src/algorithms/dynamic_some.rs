@@ -23,9 +23,9 @@ use super::otf::otf_generate;
 use crate::arena::CandidateArena;
 use crate::counting::large_two_sequences;
 use crate::phases::maximal::LargeIdSequence;
+use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
 use crate::types::transformed::TransformedDatabase;
-use std::time::Instant;
 
 /// The ids of a counted level as a generation-ready arena.
 fn ids_arena(level: &[LargeIdSequence], len: usize) -> CandidateArena {
@@ -48,7 +48,7 @@ pub fn dynamic_some(
     let mut forward = ForwardOutput::default();
 
     // --- Initialization phase: exact L_1 ..= L_step. ---
-    let pass_start = Instant::now();
+    let pass_start = Stopwatch::start();
     let l1 = large_one_sequences(tdb);
     stats.record_pass(SequencePassStats {
         k: 1,
@@ -62,7 +62,7 @@ pub fn dynamic_some(
     forward.counted.insert(1, l1);
 
     for k in 2..=step.min(options.max_length.unwrap_or(usize::MAX)) {
-        let pass_start = Instant::now();
+        let pass_start = Stopwatch::start();
         // Pass 2 fast path (shared with the other algorithms).
         if k == 2 {
             let (generated, l2) = large_two_sequences(
@@ -136,7 +136,7 @@ pub fn dynamic_some(
                 Some(l) if !l.is_empty() => ids_arena(l, k),
                 _ => break,
             };
-            let pass_start = Instant::now();
+            let pass_start = Stopwatch::start();
             // On-the-fly generation stays serial: it interleaves generation
             // with counting in one scan and is bound by |L_k|·|L_step|, not
             // by the customer scan (see DESIGN.md).
@@ -186,7 +186,7 @@ pub fn dynamic_some(
         } else {
             CandidateArena::default()
         };
-        let pass_start = Instant::now();
+        let pass_start = Stopwatch::start();
         let ck = if source.is_empty() {
             CandidateArena::new(k)
         } else {

@@ -13,6 +13,7 @@
 //! is the usual lexicographic order on rows, which coincides with the order
 //! of the flat buffer because all rows share one length.
 
+use crate::cast::w64;
 use crate::types::transformed::LitemsetId;
 
 /// A set of equal-length candidate id-sequences in one flat buffer.
@@ -75,6 +76,7 @@ impl CandidateArena {
 
     /// The `i`-th candidate.
     pub fn get(&self, i: usize) -> &[LitemsetId] {
+        debug_assert!(i < self.num_candidates(), "candidate index in range");
         &self.ids[i * self.len..(i + 1) * self.len]
     }
 
@@ -108,7 +110,39 @@ impl CandidateArena {
 
     /// Heap bytes held by the id buffer.
     pub fn bytes(&self) -> u64 {
-        (self.ids.len() * std::mem::size_of::<LitemsetId>()) as u64
+        w64(self.ids.len() * std::mem::size_of::<LitemsetId>())
+    }
+
+    /// Maximal runs `(start, end)` of consecutive candidates sharing their
+    /// length-`len-1` prefix. The counting kernels schedule each run whole,
+    /// so a prefix's fold/smear work is never split across workers — runs
+    /// are contiguous because apriori-generated arenas are sorted. An arena
+    /// with `candidate_len() == 0` has no prefixes and yields no runs.
+    pub fn prefix_runs(&self) -> Vec<(usize, usize)> {
+        let n = self.num_candidates();
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        if self.len == 0 || n == 0 {
+            return runs;
+        }
+        let plen = self.len - 1;
+        let mut start = 0usize;
+        while start < n {
+            let prefix = &self.get(start)[..plen];
+            let mut end = start + 1;
+            while end < n && &self.get(end)[..plen] == prefix {
+                end += 1;
+            }
+            debug_assert!(start < end && end <= n, "runs are nonempty and in range");
+            runs.push((start, end));
+            start = end;
+        }
+        debug_assert!(
+            runs.first().is_some_and(|r| r.0 == 0)
+                && runs.last().is_some_and(|r| r.1 == n)
+                && runs.windows(2).all(|w| w[0].1 == w[1].0),
+            "runs tile the arena contiguously"
+        );
+        runs
     }
 }
 
@@ -152,6 +186,17 @@ mod tests {
         assert_eq!(a.binary_search(&[0, 0, 0]), Err(0));
         assert_eq!(a.binary_search(&[1, 0, 1]), Err(3));
         assert_eq!(a.binary_search(&[9, 9, 9]), Err(4));
+    }
+
+    #[test]
+    fn prefix_runs_tile_the_arena() {
+        let a = arena(&[&[0, 1], &[0, 2], &[1, 0], &[1, 5], &[2, 2]]);
+        assert_eq!(a.prefix_runs(), vec![(0, 2), (2, 4), (4, 5)]);
+        // Length-1 candidates share the empty prefix: one run.
+        let singles = arena(&[&[0], &[3], &[7]]);
+        assert_eq!(singles.prefix_runs(), vec![(0, 3)]);
+        assert!(CandidateArena::default().prefix_runs().is_empty());
+        assert!(CandidateArena::new(2).prefix_runs().is_empty());
     }
 
     #[test]

@@ -60,10 +60,12 @@
 //! [`CountingStrategy::Bitmap`]: crate::counting::CountingStrategy
 
 use crate::arena::CandidateArena;
+use crate::cast::{id32, idx, w64};
+use crate::stats::Stopwatch;
 use crate::types::transformed::{LitemsetId, TransformedDatabase};
 use crate::vertical::Occurrence;
 use seqpat_itemset::parallel::{map_chunks, sum_partials};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Single-word S-step: returns the word with every bit **strictly above**
 /// the lowest set bit of `w` set, and all others clear (`0` maps to `0`).
@@ -87,9 +89,17 @@ pub fn sstep(w: u64) -> u64 {
 /// whose words `frontier` holds (`offsets[0]` maps to `frontier[0]`).
 /// Adds one count per word processed to `sstep_ops`.
 fn smear_spans(offsets: &[u32], frontier: &mut [u64], sstep_ops: &mut u64) {
+    debug_assert!(
+        !offsets.is_empty()
+            && offsets.windows(2).all(|s| s[0] <= s[1])
+            && offsets
+                .last()
+                .is_some_and(|&e| idx(e - offsets[0]) <= frontier.len()),
+        "CSR word offsets are monotone and the frontier covers their span"
+    );
     let base = offsets[0];
     for span in offsets.windows(2) {
-        let (a, b) = ((span[0] - base) as usize, (span[1] - base) as usize);
+        let (a, b) = (idx(span[0] - base), idx(span[1] - base));
         let mut carry = false;
         for w in &mut frontier[a..b] {
             if carry {
@@ -99,7 +109,7 @@ fn smear_spans(offsets: &[u32], frontier: &mut [u64], sstep_ops: &mut u64) {
                 carry = true;
             }
         }
-        *sstep_ops += (b - a) as u64;
+        *sstep_ops += w64(b - a);
     }
 }
 
@@ -131,18 +141,23 @@ impl BitmapIndex {
         word_offsets.push(0u32);
         let mut total = 0u32;
         for customer in &tdb.customers {
-            total += customer.elements.len().div_ceil(64) as u32;
+            total += id32(customer.elements.len().div_ceil(64));
             word_offsets.push(total);
         }
-        let total_words = total as usize;
+        let total_words = idx(total);
         let mut bits = vec![0u64; num_ids * total_words];
+        debug_assert_eq!(
+            word_offsets.len(),
+            tdb.customers.len() + 1,
+            "one CSR word offset per customer plus the terminator"
+        );
         for (c, customer) in tdb.customers.iter().enumerate() {
-            let base = word_offsets[c] as usize;
+            let base = idx(word_offsets[c]);
             for (t, element) in customer.elements.iter().enumerate() {
                 let word = base + t / 64;
                 let bit = 1u64 << (t % 64);
                 for &id in element {
-                    bits[id as usize * total_words + word] |= bit;
+                    bits[idx(id) * total_words + word] |= bit;
                 }
             }
         }
@@ -166,18 +181,22 @@ impl BitmapIndex {
 
     /// Total `u64` words in the bitmap arena (`num_ids × words-per-id`).
     pub fn words(&self) -> u64 {
-        self.bits.len() as u64
+        w64(self.bits.len())
     }
 
     /// Heap bytes held by the index (arena + offset table).
     pub fn bytes(&self) -> u64 {
-        (self.bits.len() * std::mem::size_of::<u64>()
-            + self.word_offsets.len() * std::mem::size_of::<u32>()) as u64
+        w64(self.bits.len() * std::mem::size_of::<u64>()
+            + self.word_offsets.len() * std::mem::size_of::<u32>())
     }
 
     /// Words `w0..w1` of litemset `id`'s bitmap.
     fn id_words(&self, id: LitemsetId, w0: usize, w1: usize) -> &[u64] {
-        let base = id as usize * self.total_words;
+        debug_assert!(
+            idx(id) < self.num_ids && w0 <= w1 && w1 <= self.total_words,
+            "id in alphabet and word range within one bitmap"
+        );
+        let base = idx(id) * self.total_words;
         &self.bits[base + w0..base + w1]
     }
 }
@@ -200,9 +219,9 @@ pub struct BitmapState {
 impl BitmapState {
     /// Builds the bitmap index for `tdb`.
     pub fn build(tdb: &TransformedDatabase) -> Self {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let index = BitmapIndex::build(tdb);
-        let index_build_time = start.elapsed();
+        let index_build_time = watch.elapsed();
         Self {
             index,
             index_build_time,
@@ -226,35 +245,37 @@ impl BitmapState {
         }
         let len = candidates.candidate_len();
 
+        debug_assert!(
+            candidates
+                .iter()
+                .flatten()
+                .all(|&id| idx(id) < self.index.num_ids),
+            "every candidate id is within the index alphabet"
+        );
+
         // Maximal blocks of candidates sharing the length-(len-1) prefix
         // (contiguous because arenas are sorted): the prefix frontier is
         // folded once per run, then each candidate in the run costs one
         // fused AND + non-zero test per customer span.
-        let mut runs: Vec<(usize, usize)> = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let prefix = &candidates.get(start)[..len - 1];
-            let mut end = start + 1;
-            while end < n && &candidates.get(end)[..len - 1] == prefix {
-                end += 1;
-            }
-            runs.push((start, end));
-            start = end;
-        }
+        let runs = candidates.prefix_runs();
 
         let index = &self.index;
-        let customers: Vec<u32> = (0..index.num_customers() as u32).collect();
+        let customers: Vec<u32> = (0..id32(index.num_customers())).collect();
         let partials = map_chunks(&customers, threads, |chunk| {
             if chunk.is_empty() {
                 return (vec![0u64; n], 0);
             }
             // Chunks are contiguous customer ranges, so the chunk owns the
             // contiguous word range [w0, w1) of every id's bitmap.
-            let first = chunk[0] as usize;
-            let last = *chunk.last().unwrap() as usize;
+            let first = idx(chunk[0]);
+            let last = first + chunk.len() - 1;
             let offsets = &index.word_offsets[first..=last + 1];
-            let w0 = offsets[0] as usize;
-            let w1 = *offsets.last().unwrap() as usize;
+            let w0 = idx(offsets[0]);
+            let w1 = idx(offsets[offsets.len() - 1]);
+            debug_assert!(
+                w0 <= w1 && offsets.len() == chunk.len() + 1,
+                "a chunk owns a contiguous word range, one offset per customer plus terminator"
+            );
             let mut supports = vec![0u64; n];
             let mut ops = 0u64;
             let mut frontier = vec![0u64; w1 - w0];
@@ -272,7 +293,7 @@ impl BitmapState {
                     let last_id = candidates.get(start + i)[len - 1];
                     let last_bits = index.id_words(last_id, w0, w1);
                     for span in offsets.windows(2) {
-                        let (a, b) = ((span[0] as usize) - w0, (span[1] as usize) - w0);
+                        let (a, b) = (idx(span[0]) - w0, idx(span[1]) - w0);
                         // Fused AND + non-zero: popcount-free support.
                         let hit = if len == 1 {
                             last_bits[a..b].iter().any(|&w| w != 0)
@@ -282,7 +303,7 @@ impl BitmapState {
                                 .zip(&last_bits[a..b])
                                 .any(|(&f, &l)| f & l != 0)
                         };
-                        *support += hit as u64;
+                        *support += u64::from(hit);
                     }
                 }
             }
@@ -310,6 +331,10 @@ impl BitmapState {
         if ids.is_empty() {
             return Vec::new();
         }
+        debug_assert!(
+            ids.iter().all(|&id| idx(id) < self.index.num_ids),
+            "every id is within the index alphabet"
+        );
         let tw = self.index.total_words;
         let offsets = &self.index.word_offsets;
         let mut frontier = self.index.id_words(ids[0], 0, tw).to_vec();
@@ -319,12 +344,12 @@ impl BitmapState {
         }
         let mut out = Vec::new();
         for (c, span) in offsets.windows(2).enumerate() {
-            let (a, b) = (span[0] as usize, span[1] as usize);
+            let (a, b) = (idx(span[0]), idx(span[1]));
             for (wi, &w) in frontier[a..b].iter().enumerate() {
                 if w != 0 {
                     out.push(Occurrence {
-                        customer: c as u32,
-                        pos: (wi * 64 + w.trailing_zeros() as usize) as u32,
+                        customer: id32(c),
+                        pos: id32(wi * 64 + idx(w.trailing_zeros())),
                     });
                     break;
                 }

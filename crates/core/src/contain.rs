@@ -12,36 +12,19 @@ use crate::types::transformed::{LitemsetId, LitemsetTable, TransformedCustomer};
 /// `needle ⊑ hay` over itemset sequences (paper §2): indices
 /// `i1 < … < in` must exist with `needle[j] ⊆ hay[i_j]`.
 pub fn sequence_contains(hay: &[Itemset], needle: &[Itemset]) -> bool {
-    let mut hi = 0;
-    'outer: for n in needle {
-        while hi < hay.len() {
-            let candidate = &hay[hi];
-            hi += 1;
-            if n.is_subset_of(candidate) {
-                continue 'outer;
-            }
-        }
-        return false;
-    }
-    true
+    // `any` consumes the iterator up to and including the first match, so
+    // each needle element resumes scanning strictly after the previous
+    // match — exactly the greedy earliest-match embedding.
+    let mut hay_iter = hay.iter();
+    needle.iter().all(|n| hay_iter.any(|h| n.is_subset_of(h)))
 }
 
 /// Plain subsequence over litemset ids with **equality** element matching.
 /// This is the relation used while *growing* candidates in the transformed
 /// space, where each sequence element is exactly one litemset.
 pub fn id_subsequence(hay: &[LitemsetId], needle: &[LitemsetId]) -> bool {
-    let mut hi = 0;
-    'outer: for &n in needle {
-        while hi < hay.len() {
-            let h = hay[hi];
-            hi += 1;
-            if h == n {
-                continue 'outer;
-            }
-        }
-        return false;
-    }
-    true
+    let mut hay_iter = hay.iter();
+    needle.iter().all(|&n| hay_iter.any(|&h| h == n))
 }
 
 /// Subsequence over litemset ids with **subset-aware** element matching:
@@ -54,19 +37,11 @@ pub fn id_subsequence_with_subsets(
     needle: &[LitemsetId],
     table: &LitemsetTable,
 ) -> bool {
-    let mut hi = 0;
-    'outer: for &n in needle {
+    let mut hay_iter = hay.iter();
+    needle.iter().all(|&n| {
         let n_set = table.itemset(n);
-        while hi < hay.len() {
-            let h_set = table.itemset(hay[hi]);
-            hi += 1;
-            if n_set.is_subset_of(h_set) {
-                continue 'outer;
-            }
-        }
-        return false;
-    }
-    true
+        hay_iter.any(|&h| n_set.is_subset_of(table.itemset(h)))
+    })
 }
 
 /// Is the candidate id-sequence contained in a transformed customer
@@ -86,6 +61,10 @@ pub fn customer_contains_from(
     candidate: &[LitemsetId],
     start: usize,
 ) -> Option<usize> {
+    debug_assert!(
+        start <= customer.elements.len(),
+        "the scan cursor starts within the customer (the while guard keeps it there)"
+    );
     let mut pos = start;
     let mut last = None;
     'outer: for &id in candidate {

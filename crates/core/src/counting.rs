@@ -51,6 +51,7 @@
 
 use crate::arena::CandidateArena;
 use crate::bitmap::BitmapState;
+use crate::cast::{idx, w64};
 use crate::contain::customer_contains;
 use crate::hash_tree::{SequenceHashTree, VisitSet};
 use crate::stats::MiningStats;
@@ -157,19 +158,15 @@ pub struct AutoDecision {
 /// 4. Otherwise → [`CountingStrategy::Vertical`] — sparse occurrence lists
 ///    beat scanning mostly-empty words.
 pub fn auto_decide(tdb: &TransformedDatabase) -> AutoDecision {
-    let customers = tdb.customers.len() as u64;
-    let litemsets = tdb.table.len() as u64;
+    let customers = w64(tdb.customers.len());
+    let litemsets = w64(tdb.table.len());
     let mut transactions = 0u64;
     let mut occurrences = 0u64;
     let mut words = 0u64;
     for customer in &tdb.customers {
-        transactions += customer.elements.len() as u64;
-        occurrences += customer
-            .elements
-            .iter()
-            .map(|e| e.len() as u64)
-            .sum::<u64>();
-        words += customer.elements.len().div_ceil(64) as u64;
+        transactions += w64(customer.elements.len());
+        occurrences += customer.elements.iter().map(|e| w64(e.len())).sum::<u64>();
+        words += w64(customer.elements.len().div_ceil(64));
     }
     let mean_len = if customers == 0 {
         0.0
@@ -181,7 +178,7 @@ pub fn auto_decide(tdb: &TransformedDatabase) -> AutoDecision {
     } else {
         occurrences as f64 / (customers as f64 * litemsets as f64)
     };
-    let bitmap_bytes = litemsets * words * std::mem::size_of::<u64>() as u64;
+    let bitmap_bytes = litemsets * words * w64(std::mem::size_of::<u64>());
     let (choice, reason) = if customers < AUTO_MIN_CUSTOMERS || litemsets == 0 {
         (
             CountingStrategy::HashTree,
@@ -319,6 +316,7 @@ impl CountingContext {
             ),
             CountingStrategy::Vertical => self.vertical_state(tdb).count(candidates, threads),
             CountingStrategy::Bitmap => self.bitmap_state(tdb).count(candidates, threads),
+            // seqpat-lint: allow(no-panic-in-kernels) resolved_strategy maps Auto to a concrete choice before this match, so the arm cannot be reached
             CountingStrategy::Auto => unreachable!("Auto resolves to a concrete strategy"),
         }
     }
@@ -408,6 +406,21 @@ fn count_direct(
 ) -> Vec<u64> {
     let num_litemsets = tdb.table.len();
     let n = candidates.num_candidates();
+    debug_assert!(
+        tdb.customers
+            .iter()
+            .flat_map(|c| &c.elements)
+            .flatten()
+            .all(|&id| idx(id) < num_litemsets),
+        "every transformed litemset id indexes the presence bitmap"
+    );
+    debug_assert!(
+        candidates
+            .iter()
+            .flatten()
+            .all(|&id| idx(id) < num_litemsets),
+        "every candidate id indexes the presence bitmap"
+    );
     let partials = map_chunks(&tdb.customers, threads, |chunk| {
         let mut supports = vec![0u64; n];
         let mut tests = 0u64;
@@ -419,19 +432,19 @@ fn count_direct(
             bitmap.iter_mut().for_each(|b| *b = false);
             for element in &customer.elements {
                 for &id in element {
-                    bitmap[id as usize] = true;
+                    bitmap[idx(id)] = true;
                 }
             }
-            for (idx, cand) in candidates.iter().enumerate() {
+            for (slot, cand) in candidates.iter().enumerate() {
                 if cand.len() > customer.elements.len() {
                     continue;
                 }
-                if !cand.iter().all(|&id| bitmap[id as usize]) {
+                if !cand.iter().all(|&id| bitmap[idx(id)]) {
                     continue;
                 }
                 tests += 1;
                 if customer_contains(customer, cand) {
-                    supports[idx] += 1;
+                    supports[slot] += 1;
                 }
             }
         }
@@ -462,7 +475,7 @@ pub fn large_two_sequences(
     containment_tests: &mut u64,
 ) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
     let n = tdb.table.len();
-    let candidates = (n as u64) * (n as u64);
+    let candidates = w64(n) * w64(n);
     let threads = parallelism.resolved_threads();
     let partials = map_chunks(&tdb.customers, threads, |chunk| {
         let mut counts = PairCounts::new(n);
@@ -490,7 +503,7 @@ pub fn large_two_sequences(
             }
             pairs.sort_unstable();
             pairs.dedup();
-            tests += pairs.len() as u64;
+            tests += w64(pairs.len());
             for &(a, b) in &pairs {
                 counts.bump(a, b);
             }
@@ -528,7 +541,13 @@ impl PairCounts {
 
     fn bump(&mut self, a: LitemsetId, b: LitemsetId) {
         match self {
-            PairCounts::Dense { n, counts } => counts[a as usize * *n + b as usize] += 1,
+            PairCounts::Dense { n, counts } => {
+                debug_assert!(
+                    idx(a) < *n && idx(b) < *n,
+                    "pair ids come from the n-litemset alphabet"
+                );
+                counts[idx(a) * *n + idx(b)] += 1;
+            }
             PairCounts::Sparse(map) => *map.entry((a, b)).or_insert(0) += 1,
         }
     }
@@ -547,21 +566,24 @@ impl PairCounts {
                     *map.entry(pair).or_insert(0) += v;
                 }
             }
+            // seqpat-lint: allow(no-panic-in-kernels) the variant is a pure function of n (see new), and merge only joins counters built for the same alphabet
             _ => unreachable!("PairCounts variants diverged for one alphabet size"),
         }
     }
 
     fn into_large(self, min_count: u64) -> Vec<crate::phases::maximal::LargeIdSequence> {
+        use crate::cast::id32;
         use crate::phases::maximal::LargeIdSequence;
         let mut out = Vec::new();
         match self {
             PairCounts::Dense { n, counts } => {
+                debug_assert!(counts.len() == n * n, "dense matrix is n×n");
                 for a in 0..n {
                     for b in 0..n {
-                        let c = counts[a * n + b] as u64;
+                        let c = u64::from(counts[a * n + b]);
                         if c >= min_count {
                             out.push(LargeIdSequence {
-                                ids: vec![a as LitemsetId, b as LitemsetId],
+                                ids: vec![id32(a), id32(b)],
                                 support: c,
                             });
                         }
@@ -571,12 +593,12 @@ impl PairCounts {
             PairCounts::Sparse(map) => {
                 let mut entries: Vec<_> = map
                     .into_iter()
-                    .filter(|&(_, c)| c as u64 >= min_count)
+                    .filter(|&(_, c)| u64::from(c) >= min_count)
                     .collect();
                 entries.sort_unstable_by_key(|&((a, b), _)| (a, b));
                 out.extend(entries.into_iter().map(|((a, b), c)| LargeIdSequence {
                     ids: vec![a, b],
-                    support: c as u64,
+                    support: u64::from(c),
                 }));
             }
         }
@@ -600,7 +622,8 @@ fn count_hash_tree(
         let mut seen = VisitSet::new(n);
         for customer in chunk {
             tree.for_each_contained(customer, candidates, &mut seen, &mut tests, &mut |id| {
-                supports[id as usize] += 1;
+                debug_assert!(idx(id) < n, "the tree only yields candidate slots below n");
+                supports[idx(id)] += 1;
             });
         }
         (supports, tests)

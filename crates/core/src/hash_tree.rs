@@ -12,6 +12,7 @@
 //! tree).
 
 use crate::arena::CandidateArena;
+use crate::cast::{id32, idx};
 use crate::contain::customer_contains;
 use crate::types::transformed::{LitemsetId, TransformedCustomer};
 
@@ -47,11 +48,11 @@ impl SequenceHashTree {
             candidate_len,
             len: candidates.num_candidates(),
         };
-        for (idx, cand) in candidates.iter().enumerate() {
+        for (i, cand) in candidates.iter().enumerate() {
             insert(
                 &mut tree.root,
                 cand,
-                idx as u32,
+                id32(i),
                 0,
                 fanout,
                 leaf_capacity,
@@ -102,26 +103,30 @@ impl SequenceHashTree {
 }
 
 fn bucket(id: LitemsetId, fanout: usize) -> usize {
-    (id.wrapping_mul(2654435761) as usize) % fanout
+    idx(id.wrapping_mul(2654435761)) % fanout
 }
 
 #[allow(clippy::too_many_arguments)]
 fn insert(
     node: &mut Node,
     cand: &[LitemsetId],
-    idx: u32,
+    slot: u32,
     depth: usize,
     fanout: usize,
     leaf_capacity: usize,
     candidates: &CandidateArena,
 ) {
+    debug_assert!(
+        depth <= cand.len(),
+        "interior nodes only exist above the candidate length, so the depth cursor stays in range"
+    );
     match node {
         Node::Interior(children) => {
             let b = bucket(cand[depth], fanout);
             insert(
                 &mut children[b],
                 cand,
-                idx,
+                slot,
                 depth + 1,
                 fanout,
                 leaf_capacity,
@@ -129,14 +134,14 @@ fn insert(
             );
         }
         Node::Leaf(ids) => {
-            ids.push(idx);
+            ids.push(slot);
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
                 let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
-                    let c = candidates.get(id as usize);
-                    match &mut children[bucket(c[depth], fanout)] {
+                    match &mut children[bucket(candidates.get(idx(id))[depth], fanout)] {
                         Node::Leaf(v) => v.push(id),
+                        // seqpat-lint: allow(no-panic-in-kernels) every child was created as a leaf two lines up and nothing re-splits them before this loop ends
                         Node::Interior(_) => unreachable!(),
                     }
                 }
@@ -157,12 +162,16 @@ fn walk(
     verify_calls: &mut u64,
     on_match: &mut impl FnMut(u32),
 ) {
+    debug_assert!(
+        start_transaction <= customer.elements.len(),
+        "the transaction cursor stays within the customer"
+    );
     match node {
         Node::Leaf(ids) => {
             for &id in ids {
                 if seen.first_visit(id) {
                     *verify_calls += 1;
-                    if customer_contains(customer, candidates.get(id as usize)) {
+                    if customer_contains(customer, candidates.get(idx(id))) {
                         on_match(id);
                     }
                 }
@@ -209,8 +218,9 @@ impl VisitSet {
         self.epoch += 1;
     }
 
-    fn first_visit(&mut self, idx: u32) -> bool {
-        let slot = &mut self.stamps[idx as usize];
+    fn first_visit(&mut self, cand: u32) -> bool {
+        debug_assert!(idx(cand) < self.stamps.len(), "one stamp per candidate");
+        let slot = &mut self.stamps[idx(cand)];
         if *slot == self.epoch {
             false
         } else {

@@ -67,6 +67,7 @@ pub use arena::CandidateArena;
 pub use bitmap::{BitmapIndex, BitmapState};
 pub use counting::{auto_decide, AutoDecision, CountingContext, CountingStrategy};
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
+pub use seqpat_itemset::cast;
 pub use seqpat_itemset::Parallelism;
 pub use stats::{MiningStats, SequencePassStats};
 pub use support::MinSupport;

@@ -1,6 +1,6 @@
 //! The [`Miner`] facade: configure once, run the full five-phase pipeline.
 
-use std::time::Instant;
+use crate::stats::Stopwatch;
 
 use crate::algorithms::apriori_all::SequencePhaseOptions;
 use crate::algorithms::{apriori_all, apriori_some, dynamic_some, Algorithm};
@@ -166,7 +166,7 @@ impl Miner {
         let mut stats = MiningStats::default();
         let min_count = self.config.min_support.to_count(db.num_customers());
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         // The miner-level knob governs the litemset phase too.
         let mut apriori = self.config.apriori.clone();
         apriori.parallelism = self.config.parallelism;
@@ -175,7 +175,7 @@ impl Miner {
         stats.num_litemsets = lit.table.len() as u64;
         stats.litemset_passes = lit.passes;
 
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let tdb = transform_phase(db, lit.table);
         stats.transform_time = t1.elapsed();
 
@@ -207,7 +207,7 @@ impl Miner {
         };
         stats.threads_used = self.config.parallelism.resolved_threads();
 
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let large: Vec<LargeIdSequence> = match self.config.algorithm {
             Algorithm::AprioriAll => apriori_all(tdb, min_count, &options, &mut stats),
             Algorithm::AprioriSome => apriori_some(tdb, min_count, &options, &mut stats),
@@ -218,7 +218,7 @@ impl Miner {
         stats.sequence_time = t2.elapsed();
         stats.large_sequences = large.len() as u64;
 
-        let t3 = Instant::now();
+        let t3 = Stopwatch::start();
         let final_set = if self.config.include_non_maximal {
             large
         } else {

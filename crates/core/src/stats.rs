@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+pub use seqpat_itemset::stats::Stopwatch;
+
 /// Counters for one pass of the sequence phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SequencePassStats {

@@ -55,9 +55,11 @@
 //! [`CountingStrategy::Vertical`]: crate::counting::CountingStrategy
 
 use crate::arena::CandidateArena;
+use crate::cast::{id32, idx, w64};
+use crate::stats::Stopwatch;
 use crate::types::transformed::{LitemsetId, TransformedDatabase};
 use seqpat_itemset::parallel::map_chunks;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Knobs of the vertical strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,11 +107,19 @@ impl VerticalIndex {
     /// every per-id list arrive sorted without a sort pass.
     pub fn build(tdb: &TransformedDatabase) -> Self {
         let n = tdb.table.len();
+        debug_assert!(
+            tdb.customers
+                .iter()
+                .flat_map(|c| &c.elements)
+                .flatten()
+                .all(|&id| idx(id) < n),
+            "every transformed litemset id is within the n-entry alphabet"
+        );
         let mut offsets = vec![0usize; n + 1];
         for customer in &tdb.customers {
             for element in &customer.elements {
                 for &id in element {
-                    offsets[id as usize + 1] += 1;
+                    offsets[idx(id) + 1] += 1;
                 }
             }
         }
@@ -121,25 +131,33 @@ impl VerticalIndex {
         for (c, customer) in tdb.customers.iter().enumerate() {
             for (t, element) in customer.elements.iter().enumerate() {
                 for &id in element {
-                    occ[cursor[id as usize]] = Occurrence {
-                        customer: c as u32,
-                        pos: t as u32,
+                    occ[cursor[idx(id)]] = Occurrence {
+                        customer: id32(c),
+                        pos: id32(t),
                     };
-                    cursor[id as usize] += 1;
+                    cursor[idx(id)] += 1;
                 }
             }
         }
+        debug_assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "CSR offsets are monotone non-decreasing"
+        );
         Self { offsets, occ }
     }
 
     /// All occurrences of litemset `id`.
     pub fn list(&self, id: LitemsetId) -> &[Occurrence] {
-        &self.occ[self.offsets[id as usize]..self.offsets[id as usize + 1]]
+        debug_assert!(
+            idx(id) + 1 < self.offsets.len() && self.offsets[idx(id)] <= self.offsets[idx(id) + 1],
+            "id within the alphabet; CSR offsets monotone"
+        );
+        &self.occ[self.offsets[idx(id)]..self.offsets[idx(id) + 1]]
     }
 
     /// Heap bytes held by the index.
     pub fn bytes(&self) -> u64 {
-        (self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+        w64(self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>())
     }
 }
 
@@ -165,6 +183,10 @@ impl OccLists {
 
     /// The `i`-th candidate's occurrence list.
     pub fn list(&self, i: usize) -> &[Occurrence] {
+        debug_assert!(
+            i + 1 < self.offsets.len() && self.offsets[i] <= self.offsets[i + 1],
+            "list index within bounds; CSR offsets monotone"
+        );
         &self.occ[self.offsets[i]..self.offsets[i + 1]]
     }
 
@@ -180,12 +202,16 @@ impl OccLists {
 
     /// Heap bytes held.
     pub fn bytes(&self) -> u64 {
-        (self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+        w64(self.occ.len() * OCC_BYTES + self.offsets.len() * std::mem::size_of::<usize>())
     }
 
     /// Appends another chunk's lists (used to merge `map_chunks` results in
     /// chunk order).
     fn append(&mut self, other: &OccLists) {
+        debug_assert!(
+            other.offsets.first() == Some(&0),
+            "an OccLists CSR always starts at offset 0"
+        );
         let base = self.occ.len();
         self.occ.extend_from_slice(&other.occ);
         self.offsets
@@ -199,6 +225,15 @@ impl OccLists {
 /// `last` must be sorted by `(customer, pos)` — both invariants hold for
 /// every list this module produces.
 fn join(prefix: &[Occurrence], last: &[Occurrence], out: &mut Vec<Occurrence>) {
+    debug_assert!(
+        prefix.windows(2).all(|w| w[0].customer < w[1].customer),
+        "prefix lists hold ascending unique customers"
+    );
+    debug_assert!(
+        last.windows(2)
+            .all(|w| (w[0].customer, w[0].pos) <= (w[1].customer, w[1].pos)),
+        "index lists are sorted by (customer, pos)"
+    );
     let mut j = 0usize;
     for &p in prefix {
         while j < last.len()
@@ -238,6 +273,10 @@ fn fold_prefix(
     tmp: &mut Vec<Occurrence>,
     joins: &mut u64,
 ) {
+    debug_assert!(
+        !prefix.is_empty(),
+        "a prefix has at least one id to seed from"
+    );
     out.clear();
     seed_first_per_customer(index.list(prefix[0]), out);
     for &id in &prefix[1..] {
@@ -269,9 +308,9 @@ pub struct VerticalState {
 impl VerticalState {
     /// Builds the occurrence index for `tdb`.
     pub fn build(tdb: &TransformedDatabase, params: VerticalParams) -> Self {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let index = VerticalIndex::build(tdb);
-        let index_build_time = start.elapsed();
+        let index_build_time = watch.elapsed();
         let peak_bytes = index.bytes();
         Self {
             index,
@@ -299,22 +338,19 @@ impl VerticalState {
             return Vec::new();
         }
         let len = candidates.candidate_len();
+        debug_assert!(
+            candidates
+                .iter()
+                .flatten()
+                .all(|&id| idx(id) + 1 < self.index.offsets.len()),
+            "every candidate id is within the index alphabet"
+        );
 
         // Maximal blocks of candidates sharing the length-(len-1) prefix;
         // contiguous because the arena is sorted. Each run is scheduled
         // whole, which pins the fold-vs-lookup decision (and hence the join
         // counter) to the run, not to the chunking.
-        let mut runs: Vec<(usize, usize)> = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let prefix = &candidates.get(start)[..len - 1];
-            let mut end = start + 1;
-            while end < n && &candidates.get(end)[..len - 1] == prefix {
-                end += 1;
-            }
-            runs.push((start, end));
-            start = end;
-        }
+        let runs = candidates.prefix_runs();
 
         // Lists are only worth keeping when the next pass can binary-search
         // them, which needs this arena sorted — true for every algorithm
@@ -335,10 +371,15 @@ impl VerticalState {
             let mut out: Vec<Occurrence> = Vec::new();
             for &(start, end) in chunk {
                 let prefix = &candidates.get(start)[..len - 1];
+                let cached_list = if len == 1 {
+                    None
+                } else {
+                    cached.and_then(|(a, l)| a.binary_search(prefix).ok().map(|i| l.list(i)))
+                };
                 let prefix_list: &[Occurrence] = if len == 1 {
                     &[]
-                } else if let Some(i) = cached.and_then(|(a, _)| a.binary_search(prefix).ok()) {
-                    cached.map(|(_, l)| l.list(i)).unwrap()
+                } else if let Some(list) = cached_list {
+                    list
                 } else {
                     fold_prefix(index, prefix, &mut folded, &mut fold_tmp, &mut joins);
                     &folded
@@ -352,7 +393,7 @@ impl VerticalState {
                         join(prefix_list, index.list(last), &mut out);
                         joins += 1;
                     }
-                    supports.push(out.len() as u64);
+                    supports.push(w64(out.len()));
                     if keep_lists {
                         lists.push_list(&out);
                     }
@@ -383,7 +424,7 @@ impl VerticalState {
 
         // The memory cap: retain the pass's lists only when they fit,
         // otherwise the next pass falls back to folding from the index.
-        self.cache = if keep_lists && fresh_bytes <= self.params.cache_cap_bytes as u64 {
+        self.cache = if keep_lists && fresh_bytes <= w64(self.params.cache_cap_bytes) {
             Some((candidates.clone(), new_lists))
         } else {
             None

@@ -15,6 +15,7 @@
 //! `seqpat-bench` harness binaries, not from these micro-benchmarks.
 
 use std::fmt::Display;
+// seqpat-lint: allow(no-wall-clock-outside-stats) this shim IS the timing harness; measuring wall clock is its entire purpose
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -125,6 +126,7 @@ impl Bencher {
         // One warm-up pass, then timed samples of a single call each.
         black_box(routine());
         for _ in 0..self.sample_size {
+            // seqpat-lint: allow(no-wall-clock-outside-stats) the bench loop's sample timer is the harness's reason to exist
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());

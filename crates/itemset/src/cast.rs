@@ -1,0 +1,57 @@
+//! Checked integer conversions for the counting kernels.
+//!
+//! The kernel files are `as`-cast-free (enforced by seqpat-lint's
+//! no-lossy-casts-in-kernels rule): widening conversions go through the
+//! infallible helpers here, and the one narrowing direction the kernels
+//! need (usize indices → u32 ids) is debug-checked so an overflow trips the
+//! debug-assertions CI job instead of silently wrapping.
+
+/// Widens a `u32` id to a `usize` index. Infallible on every supported
+/// target (usize is at least 32 bits on all tier-1 platforms).
+#[inline(always)]
+pub fn idx(v: u32) -> usize {
+    v as usize
+}
+
+/// Widens a `usize` count to a `u64` support value. Infallible on every
+/// supported target (usize is at most 64 bits).
+#[inline(always)]
+pub fn w64(v: usize) -> u64 {
+    v as u64
+}
+
+/// Narrows a `usize` index to a `u32` id. The id spaces in this workspace
+/// (items, litemsets, customers) are bounded far below `u32::MAX`; the
+/// debug assertion documents and checks that bound.
+#[inline(always)]
+pub fn id32(v: usize) -> u32 {
+    debug_assert!(v <= u32::MAX as usize, "id {v} overflows u32");
+    v as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_roundtrips() {
+        assert_eq!(idx(0), 0);
+        assert_eq!(idx(u32::MAX), u32::MAX as usize);
+        assert_eq!(w64(0), 0);
+        assert_eq!(w64(usize::MAX), usize::MAX as u64);
+    }
+
+    #[test]
+    fn id32_roundtrips_in_range() {
+        assert_eq!(id32(0), 0);
+        assert_eq!(id32(123_456), 123_456);
+        assert_eq!(id32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    #[cfg(debug_assertions)]
+    fn id32_checks_overflow_in_debug() {
+        let _ = id32(u32::MAX as usize + 1);
+    }
+}

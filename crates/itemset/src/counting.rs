@@ -7,6 +7,7 @@
 //! one by direct subset tests, one through the candidate [`HashTree`] — and
 //! are interchangeable (a test in `lib.rs` pins their agreement).
 
+use crate::cast::{id32, idx, w64};
 use crate::hash_tree::{HashTree, VisitStamps};
 use crate::parallel::{map_chunks, sum_partials};
 use crate::{AprioriConfig, CustomerTransactions, Item, LargeItemset};
@@ -50,7 +51,7 @@ pub fn distinct_item_count(customers: &[CustomerTransactions]) -> u64 {
         .collect();
     items.sort_unstable();
     items.dedup();
-    items.len() as u64
+    w64(items.len())
 }
 
 /// Counts candidate supports by brute-force subset tests, sharding
@@ -64,18 +65,19 @@ pub fn count_candidates_direct(
     let partials = map_chunks(customers, threads, |chunk| {
         let mut supports = vec![0u64; candidates.len()];
         let mut hit = vec![false; candidates.len()];
+        debug_assert_eq!(supports.len(), hit.len(), "one slot per candidate");
         for customer in chunk {
             hit.iter_mut().for_each(|h| *h = false);
             for transaction in customer {
-                for (idx, cand) in candidates.iter().enumerate() {
-                    if !hit[idx] && sorted_subset(cand, transaction) {
-                        hit[idx] = true;
+                for (slot, cand) in candidates.iter().enumerate() {
+                    if !hit[slot] && sorted_subset(cand, transaction) {
+                        hit[slot] = true;
                     }
                 }
             }
-            for (idx, &h) in hit.iter().enumerate() {
+            for (slot, &h) in hit.iter().enumerate() {
                 if h {
-                    supports[idx] += 1;
+                    supports[slot] += 1;
                 }
             }
         }
@@ -105,8 +107,12 @@ pub fn count_candidates_hash_tree(
             stamps.next_epoch();
             for transaction in customer {
                 tree.for_each_contained(transaction, candidates, &mut |id| {
+                    debug_assert!(
+                        idx(id) < supports.len(),
+                        "the tree only reports indices into the candidate slice"
+                    );
                     if stamps.first_visit(id) {
-                        supports[id as usize] += 1;
+                        supports[idx(id)] += 1;
                     }
                 });
             }
@@ -129,16 +135,16 @@ pub fn count_pairs_direct(
     threads: usize,
 ) -> (u64, Vec<LargeItemset>) {
     let n = l1.len();
-    let n_candidates = (n as u64) * (n as u64 - 1) / 2;
+    let n_candidates = w64(n) * w64(n.saturating_sub(1)) / 2;
     // Item → L1-index map: dense vector for compact universes (branch-free
     // inner loop), binary search over the sorted L1 for sparse/huge item
     // ids (a dense table over ids near u32::MAX would be gigabytes).
     const DENSE_UNIVERSE_LIMIT: usize = 1 << 22;
-    let max_item = l1.iter().map(|l| l.items[0]).max().unwrap_or(0) as usize;
+    let max_item = idx(l1.iter().map(|l| l.items[0]).max().unwrap_or(0));
     let dense: Option<Vec<u32>> = if max_item < DENSE_UNIVERSE_LIMIT {
         let mut index = vec![u32::MAX; max_item + 1];
         for (i, l) in l1.iter().enumerate() {
-            index[l.items[0] as usize] = i as u32;
+            index[idx(l.items[0])] = id32(i);
         }
         Some(index)
     } else {
@@ -146,11 +152,11 @@ pub fn count_pairs_direct(
     };
     let lookup = |item: Item| -> Option<u32> {
         match &dense {
-            Some(index) => index.get(item as usize).copied().filter(|&i| i != u32::MAX),
+            Some(index) => index.get(idx(item)).copied().filter(|&i| i != u32::MAX),
             None => l1
                 .binary_search_by(|l| l.items[0].cmp(&item))
                 .ok()
-                .map(|i| i as u32),
+                .map(id32),
         }
     };
 
@@ -181,7 +187,7 @@ pub fn count_pairs_direct(
             pairs.sort_unstable();
             pairs.dedup();
             for &(i, j) in &pairs {
-                counts[tri(i as usize, j as usize)] += 1;
+                counts[tri(idx(i), idx(j))] += 1;
             }
         }
         counts
@@ -191,7 +197,7 @@ pub fn count_pairs_direct(
     let mut large = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let support = counts[tri(i, j)] as u64;
+            let support = u64::from(counts[tri(i, j)]);
             if support >= min_count {
                 large.push(LargeItemset {
                     items: vec![l1[i].items[0], l1[j].items[0]],
@@ -206,6 +212,10 @@ pub fn count_pairs_direct(
 
 /// `a ⊆ b` for sorted, duplicate-free slices.
 pub fn sorted_subset(a: &[Item], b: &[Item]) -> bool {
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]) && b.windows(2).all(|w| w[0] < w[1]),
+        "both slices are sorted and duplicate-free"
+    );
     let mut bi = 0;
     'outer: for &x in a {
         while bi < b.len() {

@@ -9,6 +9,7 @@
 //! candidate can be reached along several paths, so callers deduplicate with
 //! a visit stamp (see [`VisitStamps`]).
 
+use crate::cast::{id32, idx};
 use crate::Item;
 
 /// Hash tree over a fixed candidate set (all candidates have equal length).
@@ -47,11 +48,11 @@ impl HashTree {
             candidate_len,
             len: candidates.len(),
         };
-        for (idx, cand) in candidates.iter().enumerate() {
+        for (i, cand) in candidates.iter().enumerate() {
             insert(
                 &mut tree.root,
                 cand,
-                idx as u32,
+                id32(i),
                 0,
                 fanout,
                 leaf_capacity,
@@ -97,26 +98,30 @@ impl HashTree {
 fn bucket(item: Item, fanout: usize) -> usize {
     // Multiplicative scrambling: sequential item ids (the common case from
     // the generator) otherwise land in sequential buckets and skew leaves.
-    (item.wrapping_mul(2654435761) as usize) % fanout
+    idx(item.wrapping_mul(2654435761)) % fanout
 }
 
 #[allow(clippy::too_many_arguments)]
 fn insert(
     node: &mut Node,
     cand: &[Item],
-    idx: u32,
+    slot: u32,
     depth: usize,
     fanout: usize,
     leaf_capacity: usize,
     candidates: &[Vec<Item>],
 ) {
+    debug_assert!(
+        depth <= cand.len(),
+        "interior nodes only exist above the candidate length, so the depth cursor stays in range"
+    );
     match node {
         Node::Interior(children) => {
             let b = bucket(cand[depth], fanout);
             insert(
                 &mut children[b],
                 cand,
-                idx,
+                slot,
                 depth + 1,
                 fanout,
                 leaf_capacity,
@@ -124,19 +129,19 @@ fn insert(
             );
         }
         Node::Leaf(ids) => {
-            ids.push(idx);
+            ids.push(slot);
             // Split when over capacity, unless we already hash on the last
             // item position (deeper hashing has nothing left to discriminate).
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
                 let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
-                    let c = &candidates[id as usize];
-                    let b = bucket(c[depth], fanout);
+                    let b = bucket(candidates[idx(id)][depth], fanout);
                     // Direct push: children are fresh leaves; re-splitting is
                     // handled by subsequent inserts if they overflow again.
                     match &mut children[b] {
                         Node::Leaf(v) => v.push(id),
+                        // seqpat-lint: allow(no-panic-in-kernels) every child was created as a leaf above and nothing re-splits them before this loop ends
                         Node::Interior(_) => unreachable!(),
                     }
                 }
@@ -154,6 +159,10 @@ fn walk(
     fanout: usize,
     on_match: &mut impl FnMut(u32),
 ) {
+    debug_assert!(
+        remaining.len() <= full_transaction.len(),
+        "`remaining` is a suffix of the transaction being walked"
+    );
     match node {
         Node::Leaf(ids) => {
             // Verify against the FULL transaction: hash collisions mean the
@@ -162,7 +171,7 @@ fn walk(
             // candidate the walk also descends along the buckets of the
             // candidate's own items.
             for &id in ids {
-                if is_subset(&candidates[id as usize], full_transaction) {
+                if is_subset(&candidates[idx(id)], full_transaction) {
                     on_match(id);
                 }
             }
@@ -185,6 +194,10 @@ fn walk(
 
 /// Subset test on sorted, duplicate-free slices.
 fn is_subset(cand: &[Item], trans: &[Item]) -> bool {
+    debug_assert!(
+        cand.windows(2).all(|w| w[0] < w[1]) && trans.windows(2).all(|w| w[0] < w[1]),
+        "both slices are sorted and duplicate-free"
+    );
     let mut ti = 0;
     'outer: for &c in cand {
         while ti < trans.len() {
@@ -228,10 +241,11 @@ impl VisitStamps {
         self.epoch += 1;
     }
 
-    /// Marks `idx` visited in the current epoch; returns `true` iff this is
+    /// Marks `cand` visited in the current epoch; returns `true` iff this is
     /// the first visit this epoch.
-    pub fn first_visit(&mut self, idx: u32) -> bool {
-        let slot = &mut self.stamps[idx as usize];
+    pub fn first_visit(&mut self, cand: u32) -> bool {
+        debug_assert!(idx(cand) < self.stamps.len(), "one stamp per candidate");
+        let slot = &mut self.stamps[idx(cand)];
         if *slot == self.epoch {
             false
         } else {

@@ -33,9 +33,11 @@
 //! ```
 
 pub mod candidate;
+pub mod cast;
 pub mod counting;
 pub mod hash_tree;
 pub mod parallel;
+pub mod stats;
 
 #[cfg(test)]
 mod proptests;
@@ -43,6 +45,7 @@ mod proptests;
 pub use candidate::apriori_gen;
 pub use hash_tree::HashTree;
 pub use parallel::Parallelism;
+pub use stats::Stopwatch;
 
 /// A raw item identifier.
 ///
@@ -147,7 +150,7 @@ pub fn mine_large_itemsets_with_stats(
     let mut result = AprioriResult::default();
 
     // Pass 1: direct count of single items per customer.
-    let pass_start = std::time::Instant::now();
+    let pass_start = crate::stats::Stopwatch::start();
     let l1 = counting::count_single_items(customers, min_count);
     result.passes.push(AprioriPassStats {
         k: 1,
@@ -174,7 +177,7 @@ pub fn mine_large_itemsets_with_stats(
         // customer instead of probing |L1|²/2 candidates through the tree
         // (the classic special-cased second pass of Apriori).
         if k == 2 {
-            let pass_start = std::time::Instant::now();
+            let pass_start = crate::stats::Stopwatch::start();
             let (n_candidates, l2) =
                 counting::count_pairs_direct(customers, &current, min_count, threads);
             result.large.append(&mut current);
@@ -191,7 +194,7 @@ pub fn mine_large_itemsets_with_stats(
             k = 3;
             continue;
         }
-        let pass_start = std::time::Instant::now();
+        let pass_start = crate::stats::Stopwatch::start();
         let prev_sets: Vec<&[Item]> = current.iter().map(|l| l.items.as_slice()).collect();
         let candidates = candidate::apriori_gen(&prev_sets);
         let n_candidates = candidates.len() as u64;

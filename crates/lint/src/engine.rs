@@ -1,0 +1,292 @@
+//! Workspace walk, suppression handling, and report assembly.
+//!
+//! Suppression grammar (inside any comment):
+//!
+//! ```text
+//! // seqpat-lint: allow(no-panic-in-kernels, deterministic-iteration) why this site is fine
+//! ```
+//!
+//! The justification after `)` is mandatory. A suppression covers its own
+//! line; when the comment is the first thing on its line it covers the next
+//! line instead (the usual "comment above the offending line" style covers
+//! both). Malformed, unknown-rule, or unjustified suppressions are reported
+//! under the meta rule `suppression` and are not themselves suppressible.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{self, Violation};
+
+/// Result of linting the workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed violations (including `suppression` meta findings),
+    /// sorted by path, line, rule.
+    pub violations: Vec<Violation>,
+    /// Count of findings silenced by valid suppression comments.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// One parsed allow-comment.
+struct Suppression {
+    /// Line the comment starts on.
+    line: u32,
+    /// Whether the comment is the first token on its line (then it covers
+    /// the following line too).
+    covers_next: bool,
+    rules: Vec<String>,
+}
+
+/// Lints every `.rs` file under `root` and cross-checks stats coverage.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut all: Vec<Violation> = Vec::new();
+    let mut suppressions: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
+    let mut files_scanned = 0usize;
+
+    for file in &files {
+        let Ok(src) = fs::read_to_string(file) else {
+            // Non-UTF-8 or unreadable; nothing for a Rust linter to do.
+            continue;
+        };
+        files_scanned += 1;
+        let rel = rel_path(root, file);
+        let (sups, mut meta) = parse_suppressions(&rel, &src);
+        suppressions.insert(rel.clone(), sups);
+        all.append(&mut meta);
+        all.append(&mut rules::analyze_file(&rel, &src));
+    }
+
+    // Rule 5 is cross-file: core's stats.rs fields vs the CLI printer.
+    let stats_rel = "crates/core/src/stats.rs";
+    let cli_rel = "crates/cli/src/main.rs";
+    if let (Ok(stats_src), Ok(cli_src)) = (
+        fs::read_to_string(root.join(stats_rel)),
+        fs::read_to_string(root.join(cli_rel)),
+    ) {
+        all.append(&mut rules::stats_coverage(stats_rel, &stats_src, &cli_src));
+    }
+
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for v in all {
+        let covered = suppressions
+            .get(&v.path)
+            .is_some_and(|sups| is_suppressed(&v, sups));
+        if covered {
+            suppressed += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    Ok(Report {
+        violations: kept,
+        suppressed,
+        files_scanned,
+    })
+}
+
+/// Whether a valid suppression in `sups` covers `v`. Meta `suppression`
+/// findings are never suppressible.
+fn is_suppressed(v: &Violation, sups: &[Suppression]) -> bool {
+    v.rule != rules::SUPPRESSION
+        && sups.iter().any(|s| {
+            let covers = if s.covers_next {
+                v.line == s.line || v.line == s.line + 1
+            } else {
+                v.line == s.line
+            };
+            covers && s.rules.iter().any(|r| r == v.rule)
+        })
+}
+
+/// Lints one in-memory file: rule analysis plus suppression handling, the
+/// same per-file pipeline [`run`] applies across the workspace (minus the
+/// cross-file stats-coverage rule). Returns the kept violations and the
+/// count of findings silenced by valid suppressions.
+pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
+    let (sups, meta) = parse_suppressions(rel, src);
+    let mut all = meta;
+    all.append(&mut rules::analyze_file(rel, src));
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for v in all {
+        if is_suppressed(&v, &sups) {
+            suppressed += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    (kept, suppressed)
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts suppression comments from `src`, returning them plus meta
+/// violations for malformed/unknown/unjustified ones.
+fn parse_suppressions(rel: &str, src: &str) -> (Vec<Suppression>, Vec<Violation>) {
+    let tokens = lex(src);
+    let mut sups = Vec::new();
+    let mut meta = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        let Some(at) = text.find("seqpat-lint:") else {
+            continue;
+        };
+        let rest = text[at + "seqpat-lint:".len()..].trim_start();
+        let mut bad = |msg: String| {
+            meta.push(Violation {
+                path: rel.to_string(),
+                line: tok.line,
+                rule: rules::SUPPRESSION,
+                message: msg,
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow") else {
+            bad("malformed seqpat-lint comment: expected `allow(<rule>)`".to_string());
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix('(') else {
+            bad("malformed seqpat-lint comment: expected `(` after `allow`".to_string());
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad("malformed seqpat-lint comment: unclosed `allow(`".to_string());
+            continue;
+        };
+        let (rule_list, after) = args.split_at(close);
+        let mut rule_names = Vec::new();
+        for raw in rule_list.split(',') {
+            let name = raw.trim();
+            if name.is_empty() {
+                continue;
+            }
+            if rules::is_known_rule(name) {
+                rule_names.push(name.to_string());
+            } else {
+                bad(format!(
+                    "suppression names unknown rule `{name}` (see --list-rules)"
+                ));
+            }
+        }
+        let justification = after[1..]
+            .trim_start_matches(|c: char| {
+                c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | '.')
+            })
+            .trim_end_matches("*/")
+            .trim();
+        if justification.is_empty() {
+            bad(
+                "suppression lacks a justification: write why the site is sound after \
+                 the closing `)`"
+                    .to_string(),
+            );
+            continue;
+        }
+        if rule_names.is_empty() {
+            continue;
+        }
+        sups.push(Suppression {
+            line: tok.line,
+            covers_next: comment_starts_line(&tokens, i, src),
+            rules: rule_names,
+        });
+    }
+    (sups, meta)
+}
+
+/// True if no code token precedes comment `i` on its line.
+fn comment_starts_line(tokens: &[Token], i: usize, _src: &str) -> bool {
+    let line = tokens[i].line;
+    tokens[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .all(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+}
+
+/// Renders the report as stable, dependency-free JSON.
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    s.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        report.violations.len()
+    ));
+    s.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": \"{}\", ", json_escape(v.rule)));
+        s.push_str(&format!("\"path\": \"{}\", ", json_escape(&v.path)));
+        s.push_str(&format!("\"line\": {}, ", v.line));
+        s.push_str(&format!("\"message\": \"{}\"", json_escape(&v.message)));
+        s.push('}');
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,391 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! rule engine to reason about real code without being fooled by comments,
+//! string literals, char literals, raw strings, or lifetimes.
+//!
+//! The lexer is lossless for the rule engine's purposes: every byte of the
+//! input is covered by whitespace or exactly one token, tokens carry byte
+//! spans and 1-based line numbers, and comments are kept as tokens (the
+//! suppression scanner reads them; the rules skip them).
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Integer or float literal (suffix included, e.g. `0u64`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime token: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Any other single byte of punctuation.
+    Punct,
+}
+
+/// One token: kind plus byte span plus the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Unterminated literals are closed at end of
+/// input rather than reported — the linter lints code that `rustc` already
+/// accepts, so error recovery only needs to be non-catastrophic.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Lexes a `"…"` string (escapes honored) with the opening quote at the
+    /// current position.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Lexes a raw string `r"…"` / `r#"…"#` with the current position at
+    /// the first `#` or `"` (the `r` prefix already consumed).
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'scan: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal), with the quote at
+    /// the current position.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'` followed by an escape is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 1;
+            return self.char_rest();
+        }
+        // `'x'` — ident-looking but closed right after one character.
+        if self
+            .peek(1)
+            .is_some_and(|b| b != b'\'' && self.peek(2) == Some(b'\''))
+        {
+            self.pos += 3;
+            return TokenKind::Char;
+        }
+        // `'ident` — a lifetime.
+        if self.peek(1).is_some_and(is_ident_start) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            return TokenKind::Lifetime;
+        }
+        // Anything else (`'"'`-style punctuation chars): char literal.
+        self.pos += 1;
+        self.char_rest()
+    }
+
+    /// Consumes the body and closing quote of a char literal whose opening
+    /// quote was already consumed.
+    fn char_rest(&mut self) -> TokenKind {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        // Fractional part — but never eat `..` (range) or `.method()`.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// An identifier, or one of the literal prefixes (`r"`, `r#"`, `b"`,
+    /// `br"`, `b'`, `c"`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        let next = self.peek(1);
+        match (b, next) {
+            (b'r', Some(b'"')) => {
+                self.pos += 1;
+                return self.raw_string();
+            }
+            (b'r', Some(b'#')) => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier.
+                if self.peek(2) == Some(b'"') || self.peek(2) == Some(b'#') {
+                    self.pos += 1;
+                    return self.raw_string();
+                }
+                self.pos += 2; // `r#` then fall through to the ident loop
+            }
+            (b'b', Some(b'"')) | (b'c', Some(b'"')) => {
+                self.pos += 1;
+                return self.string();
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 2;
+                return self.char_rest();
+            }
+            (b'b', Some(b'r')) if self.peek(2) == Some(b'"') || self.peek(2) == Some(b'#') => {
+                self.pos += 2;
+                return self.raw_string();
+            }
+            _ => {}
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = 42u64 + 1.25;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "42u64".into()));
+        assert_eq!(toks[5], (TokenKind::Number, "1.25".into()));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = kinds("0..n");
+        assert_eq!(toks[0], (TokenKind::Number, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "n".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "panic! // not a comment";"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+        assert_eq!(toks[3].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; x"###;
+        let toks = kinds(src);
+        assert_eq!(
+            toks[3],
+            (TokenKind::Str, r###"r#"quote " inside"#"###.into())
+        );
+        assert_eq!(toks.last().map(|t| t.1.clone()), Some("x".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw"# c"cstr" b'x'"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let s = '\"'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still-comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#type r#match");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        let b = toks.last().expect("tokens");
+        assert_eq!(b.text(src), "b");
+        assert_eq!(b.line, 6);
+    }
+}

@@ -1,0 +1,12 @@
+//! `seqpat-lint` — the workspace's own static-analysis gate.
+//!
+//! A dependency-free linter (hand-rolled lexer + lexical rule engine) that
+//! enforces the invariants the equivalence suites rely on: panic-free and
+//! cast-checked counting kernels, order-normalized hash iteration,
+//! wall-clock confined to the stats layer, and full `MiningStats` coverage
+//! in the CLI. See DESIGN.md §"Correctness tooling" for the contract and
+//! `rules::RULES` for the rule list.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

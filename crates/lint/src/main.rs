@@ -1,0 +1,78 @@
+//! CLI entry point: `cargo run -p seqpat-lint -- [--root DIR] [--json]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seqpat_lint::{engine, rules};
+
+const USAGE: &str = "usage: seqpat-lint [--root DIR] [--json] [--list-rules]
+  --root DIR    workspace root to scan (default: .)
+  --json        emit the machine-readable report on stdout (human report
+                goes to stderr)
+  --list-rules  print the rule names and exit";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list-rules" => {
+                for (name, desc) in rules::RULES {
+                    println!("{name}\n    {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match engine::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("seqpat-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let human = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for v in &report.violations {
+        human(format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message));
+    }
+    human(format!(
+        "seqpat-lint: {} violation(s), {} suppressed, {} files scanned",
+        report.violations.len(),
+        report.suppressed,
+        report.files_scanned
+    ));
+    if json {
+        print!("{}", engine::to_json(&report));
+    }
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

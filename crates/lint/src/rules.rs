@@ -1,0 +1,752 @@
+//! The five seqpat lint rules, built on top of the lexer.
+//!
+//! All rules are lexical heuristics, tuned for this workspace's idioms. They
+//! are deliberately simple: the goal is to catch the classes of drift named
+//! in DESIGN.md (nondeterministic iteration, panics and lossy casts in the
+//! counting kernels, stray wall-clock reads, unreported stats), not to parse
+//! Rust. Anything a heuristic gets wrong can be silenced at the site with
+//! an allow-comment naming the rule (see `engine` for the grammar).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rule: no `unwrap()`/`expect()`/panic-family macros/unguarded indexing in
+/// kernel files outside `#[cfg(test)]`.
+pub const NO_PANIC_IN_KERNELS: &str = "no-panic-in-kernels";
+/// Rule: iteration over hash containers must be order-normalized.
+pub const DETERMINISTIC_ITERATION: &str = "deterministic-iteration";
+/// Rule: no bare `as <integer>` casts in kernel files.
+pub const NO_LOSSY_CASTS_IN_KERNELS: &str = "no-lossy-casts-in-kernels";
+/// Rule: `Instant`/`SystemTime` only in stats.rs, the bench crate, the CLI.
+pub const NO_WALL_CLOCK_OUTSIDE_STATS: &str = "no-wall-clock-outside-stats";
+/// Rule: every public `MiningStats` field is surfaced by the CLI printer.
+pub const STATS_COVERAGE: &str = "stats-coverage";
+/// Meta rule reported for malformed/unjustified suppression comments.
+pub const SUPPRESSION: &str = "suppression";
+
+/// The five suppressible rules with one-line descriptions (for --list-rules).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        NO_PANIC_IN_KERNELS,
+        "kernel files must not unwrap()/expect(), invoke panic-family macros, \
+         or slice-index outside debug_assert-guarded fns (non-test code)",
+    ),
+    (
+        DETERMINISTIC_ITERATION,
+        "iterating a HashMap/HashSet (incl. FxHash*) requires a following \
+         sort or a BTree/order-insensitive sink",
+    ),
+    (
+        NO_LOSSY_CASTS_IN_KERNELS,
+        "kernel files must use the cast helpers (cast::idx/w64/id32) or \
+         try_into instead of bare `as <integer>` casts",
+    ),
+    (
+        NO_WALL_CLOCK_OUTSIDE_STATS,
+        "Instant/SystemTime are confined to stats.rs, crates/bench, and \
+         crates/cli",
+    ),
+    (
+        STATS_COVERAGE,
+        "every public MiningStats field must be referenced by the CLI \
+         --stats printer",
+    ),
+];
+
+/// True if `name` is one of the five suppressible rule names.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == name)
+}
+
+/// One lint finding, attributed to a workspace-relative path and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of the constants above).
+    pub rule: &'static str,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+/// Basenames of the counting-kernel files (rules 1 and 3 apply here).
+const KERNEL_BASENAMES: &[&str] = &[
+    "counting.rs",
+    "vertical.rs",
+    "bitmap.rs",
+    "arena.rs",
+    "hash_tree.rs",
+    "contain.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Methods that expose a hash container's (nondeterministic) iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Order-insensitive reductions: iterating into these is deterministic.
+const REDUCERS: &[&str] = &["sum", "count", "min", "max", "all", "any", "fold_first"];
+
+/// Idents that may legitimately precede `[` without it being an index
+/// expression (array literals after `return`, slice patterns, etc.).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn is_kernel_path(path: &str) -> bool {
+    KERNEL_BASENAMES.contains(&basename(path))
+}
+
+/// Paths whose whole contents are test code: integration-test trees and the
+/// property-test module kept in its own file.
+fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/") || basename(path) == "proptests.rs"
+}
+
+fn wall_clock_allowed(path: &str) -> bool {
+    basename(path) == "stats.rs"
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/cli/")
+}
+
+/// Byte range of one fn body together with whether it states an invariant.
+struct FnBody {
+    start: usize,
+    end: usize,
+    has_debug_assert: bool,
+}
+
+struct Analysis<'a> {
+    path: &'a str,
+    src: &'a str,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    code: Vec<usize>,
+    test_regions: Vec<(usize, usize)>,
+    debug_assert_spans: Vec<(usize, usize)>,
+    fn_bodies: Vec<FnBody>,
+    out: Vec<Violation>,
+}
+
+/// Runs the per-file rules (1–4) over one source file. `rel_path` must be
+/// workspace-relative with `/` separators — rule applicability is decided
+/// from it.
+pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Violation> {
+    if is_test_path(rel_path) {
+        return Vec::new();
+    }
+    let tokens = lex(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut a = Analysis {
+        path: rel_path,
+        src,
+        tokens,
+        code,
+        test_regions: Vec::new(),
+        debug_assert_spans: Vec::new(),
+        fn_bodies: Vec::new(),
+        out: Vec::new(),
+    };
+    a.find_test_regions();
+    a.find_debug_assert_spans();
+    a.find_fn_bodies();
+    a.rule_no_panic();
+    a.rule_no_lossy_casts();
+    a.rule_no_wall_clock();
+    a.rule_deterministic_iteration();
+    a.out.sort();
+    a.out.dedup();
+    a.out
+}
+
+impl Analysis<'_> {
+    /// Token at code index `ci`, if in range.
+    fn tok(&self, ci: usize) -> Option<&Token> {
+        self.code.get(ci).and_then(|&ti| self.tokens.get(ti))
+    }
+
+    /// Text of the code token at `ci`, or `""` past the end.
+    fn txt(&self, ci: usize) -> &str {
+        match self.tok(ci) {
+            Some(t) => t.text(self.src),
+            None => "",
+        }
+    }
+
+    fn kind(&self, ci: usize) -> Option<TokenKind> {
+        self.tok(ci).map(|t| t.kind)
+    }
+
+    fn push(&mut self, rule: &'static str, line: u32, message: String) {
+        self.out.push(Violation {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// Code index of the delimiter closing the one at `open_ci`.
+    fn match_delim(&self, open_ci: usize) -> Option<usize> {
+        let open = self.txt(open_ci);
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return None,
+        };
+        let mut depth: u32 = 0;
+        let mut ci = open_ci;
+        while ci < self.code.len() {
+            let s = self.txt(ci);
+            if s == open {
+                depth += 1;
+            } else if s == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+            ci += 1;
+        }
+        None
+    }
+
+    fn in_spans(byte: usize, spans: &[(usize, usize)]) -> bool {
+        spans.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    fn in_test(&self, byte: usize) -> bool {
+        Self::in_spans(byte, &self.test_regions)
+    }
+
+    fn in_debug_assert(&self, byte: usize) -> bool {
+        Self::in_spans(byte, &self.debug_assert_spans)
+    }
+
+    /// True if the innermost fn enclosing `byte` states a `debug_assert!`
+    /// invariant (the contract under which kernel indexing is allowed).
+    fn enclosing_fn_has_debug_assert(&self, byte: usize) -> bool {
+        self.fn_bodies
+            .iter()
+            .filter(|f| byte >= f.start && byte < f.end)
+            .max_by_key(|f| f.start)
+            .is_some_and(|f| f.has_debug_assert)
+    }
+
+    /// Records byte ranges of `#[cfg(test)]`-gated items.
+    fn find_test_regions(&mut self) {
+        let mut ci = 0;
+        while ci < self.code.len() {
+            let is_cfg_test = self.txt(ci) == "#"
+                && self.txt(ci + 1) == "["
+                && self.txt(ci + 2) == "cfg"
+                && self.txt(ci + 3) == "("
+                && self.txt(ci + 4) == "test"
+                && self.txt(ci + 5) == ")"
+                && self.txt(ci + 6) == "]";
+            if !is_cfg_test {
+                ci += 1;
+                continue;
+            }
+            let region_start = match self.tok(ci) {
+                Some(t) => t.start,
+                None => break,
+            };
+            // Skip any further attributes between the cfg and the item.
+            let mut j = ci + 7;
+            while self.txt(j) == "#" && self.txt(j + 1) == "[" {
+                match self.match_delim(j + 1) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                }
+            }
+            // The gated item ends at its matching `}` (mod/fn body) or at a
+            // top-level `;` (gated use/static), whichever comes first.
+            let mut end = self.src.len();
+            let mut k = j;
+            loop {
+                match self.txt(k) {
+                    "" => break,
+                    ";" => {
+                        if let Some(t) = self.tok(k) {
+                            end = t.end;
+                        }
+                        break;
+                    }
+                    "{" => {
+                        end = self
+                            .match_delim(k)
+                            .and_then(|c| self.tok(c))
+                            .map_or(self.src.len(), |t| t.end);
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            self.test_regions.push((region_start, end));
+            ci = j;
+        }
+    }
+
+    /// Records byte spans of `debug_assert*!(…)` invocations; rules 1 and 3
+    /// skip tokens inside them (asserts may index and cast freely).
+    fn find_debug_assert_spans(&mut self) {
+        for ci in 0..self.code.len() {
+            let starts = self.kind(ci) == Some(TokenKind::Ident)
+                && self.txt(ci).starts_with("debug_assert")
+                && self.txt(ci + 1) == "!";
+            if !starts {
+                continue;
+            }
+            if !matches!(self.txt(ci + 2), "(" | "[" | "{") {
+                continue;
+            }
+            if let (Some(start), Some(end)) = (
+                self.tok(ci).map(|t| t.start),
+                self.match_delim(ci + 2)
+                    .and_then(|c| self.tok(c))
+                    .map(|t| t.end),
+            ) {
+                self.debug_assert_spans.push((start, end));
+            }
+        }
+    }
+
+    /// Records every fn body's byte range and whether it contains a
+    /// `debug_assert`.
+    fn find_fn_bodies(&mut self) {
+        let mut bodies = Vec::new();
+        for ci in 0..self.code.len() {
+            if self.txt(ci) != "fn" || self.kind(ci) != Some(TokenKind::Ident) {
+                continue;
+            }
+            // Find the body `{`; a `;` first means a bodyless declaration.
+            let mut k = ci + 1;
+            let mut open = None;
+            for _ in 0..400 {
+                match self.txt(k) {
+                    "" | ";" => break,
+                    "{" => {
+                        open = Some(k);
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            let close = self.match_delim(open);
+            let start = match self.tok(open) {
+                Some(t) => t.start,
+                None => continue,
+            };
+            let end = close
+                .and_then(|c| self.tok(c))
+                .map_or(self.src.len(), |t| t.end);
+            let close_ci = close.unwrap_or(self.code.len());
+            let has_debug_assert = (open..close_ci).any(|i| {
+                self.kind(i) == Some(TokenKind::Ident) && self.txt(i).starts_with("debug_assert")
+            });
+            bodies.push(FnBody {
+                start,
+                end,
+                has_debug_assert,
+            });
+        }
+        self.fn_bodies = bodies;
+    }
+
+    /// Rule 1: no-panic-in-kernels.
+    fn rule_no_panic(&mut self) {
+        if !is_kernel_path(self.path) {
+            return;
+        }
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let Some(tok) = self.tok(ci) else { break };
+            let (byte, line, kind) = (tok.start, tok.line, tok.kind);
+            if self.in_test(byte) || self.in_debug_assert(byte) {
+                continue;
+            }
+            let s = self.txt(ci);
+            match kind {
+                TokenKind::Ident if PANIC_MACROS.contains(&s) && self.txt(ci + 1) == "!" => {
+                    found.push((
+                        line,
+                        format!(
+                            "`{s}!` in a kernel file; restructure, or suppress with a \
+                             justification if the branch is provably unreachable"
+                        ),
+                    ));
+                }
+                TokenKind::Ident
+                    if (s == "unwrap" || s == "expect")
+                        && self.txt(ci + 1) == "("
+                        && ci > 0
+                        && self.txt(ci - 1) == "." =>
+                {
+                    found.push((
+                        line,
+                        format!("`.{s}()` in a kernel file; use match/if-let or `unwrap_or*`"),
+                    ));
+                }
+                TokenKind::Punct if s == "[" && ci > 0 => {
+                    let prev_txt = self.txt(ci - 1).to_string();
+                    let indexes = match self.kind(ci - 1) {
+                        Some(TokenKind::Ident) => !NON_INDEX_KEYWORDS.contains(&prev_txt.as_str()),
+                        Some(TokenKind::Punct) => matches!(prev_txt.as_str(), ")" | "]" | "?"),
+                        _ => false,
+                    };
+                    if indexes && !self.enclosing_fn_has_debug_assert(byte) {
+                        found.push((
+                            line,
+                            "slice indexing in a kernel fn with no `debug_assert!` stating \
+                             the bound invariant; add one (or use `.get()`)"
+                                .to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in found {
+            self.push(NO_PANIC_IN_KERNELS, line, msg);
+        }
+    }
+
+    /// Rule 3: no-lossy-casts-in-kernels.
+    fn rule_no_lossy_casts(&mut self) {
+        if !is_kernel_path(self.path) {
+            return;
+        }
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let Some(tok) = self.tok(ci) else { break };
+            if tok.kind != TokenKind::Ident || self.txt(ci) != "as" {
+                continue;
+            }
+            if self.in_test(tok.start) || self.in_debug_assert(tok.start) {
+                continue;
+            }
+            let target = self.txt(ci + 1);
+            if INT_TYPES.contains(&target) {
+                found.push((
+                    tok.line,
+                    format!(
+                        "bare `as {target}` cast in a kernel file; use the cast helpers \
+                         (cast::idx / cast::w64 / cast::id32) or `try_into`"
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in found {
+            self.push(NO_LOSSY_CASTS_IN_KERNELS, line, msg);
+        }
+    }
+
+    /// Rule 4: no-wall-clock-outside-stats.
+    fn rule_no_wall_clock(&mut self) {
+        if wall_clock_allowed(self.path) {
+            return;
+        }
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let Some(tok) = self.tok(ci) else { break };
+            if tok.kind != TokenKind::Ident || self.in_test(tok.start) {
+                continue;
+            }
+            let s = self.txt(ci);
+            if s == "Instant" || s == "SystemTime" {
+                found.push((
+                    tok.line,
+                    format!(
+                        "`{s}` outside stats.rs/bench/cli; time through \
+                         `stats::Stopwatch` so wall-clock stays in one place"
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in found {
+            self.push(NO_WALL_CLOCK_OUTSIDE_STATS, line, msg);
+        }
+    }
+
+    /// Rule 2: deterministic-iteration.
+    fn rule_deterministic_iteration(&mut self) {
+        // Pass A: fns in this file whose return type mentions a hash type.
+        let mut hash_fns: BTreeSet<String> = BTreeSet::new();
+        for ci in 0..self.code.len() {
+            if self.txt(ci) != "fn" || self.kind(ci + 1) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let name = self.txt(ci + 1).to_string();
+            let mut k = ci + 2;
+            let mut after_arrow = false;
+            for _ in 0..300 {
+                match self.txt(k) {
+                    "" | "{" | ";" => break,
+                    "-" if self.txt(k + 1) == ">" => {
+                        after_arrow = true;
+                        k += 2;
+                    }
+                    s => {
+                        if after_arrow && HASH_TYPES.contains(&s) {
+                            hash_fns.insert(name.clone());
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+
+        // Pass B: idents known to hold hash containers.
+        let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+        // B1: `name : <type containing a hash type>` — params, fields, and
+        // annotated lets.
+        for ci in 0..self.code.len() {
+            let is_typed_name = self.kind(ci) == Some(TokenKind::Ident)
+                && self.txt(ci + 1) == ":"
+                && self.txt(ci + 2) != ":"
+                && (ci == 0 || self.txt(ci - 1) != ":");
+            if !is_typed_name {
+                continue;
+            }
+            let mut angle: u32 = 0;
+            for k in ci + 2..ci + 32 {
+                let s = self.txt(k);
+                match s {
+                    "" => break,
+                    "<" => angle += 1,
+                    ">" => angle = angle.saturating_sub(1),
+                    "," | ";" | "=" | ")" | "{" | "}" if angle == 0 => break,
+                    _ => {
+                        if HASH_TYPES.contains(&s) {
+                            hash_idents.insert(self.txt(ci).to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // B2: `let name = <rhs mentioning a hash type or hash-returning fn>`.
+        for ci in 0..self.code.len() {
+            if self.txt(ci) != "let" {
+                continue;
+            }
+            let mut j = ci + 1;
+            if self.txt(j) == "mut" {
+                j += 1;
+            }
+            if self.kind(j) != Some(TokenKind::Ident) || self.txt(j + 1) != "=" {
+                continue;
+            }
+            let mut depth: u32 = 0;
+            for k in j + 2..j + 502 {
+                let s = self.txt(k);
+                match s {
+                    "" => break,
+                    "(" | "{" | "[" => depth += 1,
+                    ")" | "}" | "]" => depth = depth.saturating_sub(1),
+                    ";" if depth == 0 => break,
+                    _ => {
+                        if HASH_TYPES.contains(&s) || hash_fns.contains(s) {
+                            hash_idents.insert(self.txt(j).to_string());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass C: flag order-exposing uses of those idents.
+        let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let Some(tok) = self.tok(ci) else { break };
+            if self.in_test(tok.start) {
+                continue;
+            }
+            let s = self.txt(ci);
+            if tok.kind == TokenKind::Ident
+                && hash_idents.contains(s)
+                && self.txt(ci + 1) == "."
+                && ITER_METHODS.contains(&self.txt(ci + 2))
+                && self.txt(ci + 3) == "("
+                && !self.iteration_is_normalized(ci)
+                && seen.insert((tok.line, s.to_string()))
+            {
+                found.push((
+                    tok.line,
+                    format!(
+                        "`{s}.{}()` iterates a hash container in nondeterministic order; \
+                         sort the result or collect into a BTree container",
+                        self.txt(ci + 2)
+                    ),
+                ));
+            }
+            if s == "for" && tok.kind == TokenKind::Ident {
+                // `for <pat> in <expr> {` — flag when <expr> names a hash ident.
+                let mut k = ci + 1;
+                let mut in_at = None;
+                for _ in 0..25 {
+                    match self.txt(k) {
+                        "" | "{" => break,
+                        "in" => {
+                            in_at = Some(k);
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                if let Some(in_at) = in_at {
+                    for k in in_at + 1..in_at + 41 {
+                        let e = self.txt(k);
+                        if e.is_empty() || e == "{" {
+                            break;
+                        }
+                        if self.kind(k) == Some(TokenKind::Ident)
+                            && hash_idents.contains(e)
+                            && !self.iteration_is_normalized(ci)
+                            && seen.insert((tok.line, e.to_string()))
+                        {
+                            found.push((
+                                tok.line,
+                                format!(
+                                    "`for … in` over hash container `{e}` is \
+                                     nondeterministic; sort into a Vec (or BTree) first"
+                                ),
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for (line, msg) in found {
+            self.push(DETERMINISTIC_ITERATION, line, msg);
+        }
+    }
+
+    /// True if the hash iteration starting at code index `ci` is made
+    /// deterministic downstream: an order-insensitive reduction right after
+    /// it, or a sort/BTree within the next ~150 code tokens.
+    fn iteration_is_normalized(&self, ci: usize) -> bool {
+        // `.sum()` / `.count()` / … directly on the iterator chain.
+        for k in ci..(ci + 14).min(self.code.len()) {
+            if self.txt(k) == "." && REDUCERS.contains(&self.txt(k + 1)) && self.txt(k + 2) == "(" {
+                return true;
+            }
+        }
+        // A sort or a BTree sink not far behind.
+        for k in ci..(ci + 150).min(self.code.len()) {
+            if self.kind(k) == Some(TokenKind::Ident) {
+                let s = self.txt(k);
+                if s.starts_with("sort") || s.contains("BTree") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Rule 5: stats-coverage. Parses the public fields of `MiningStats` out of
+/// `stats_src` (core's stats.rs) and requires each field ident to appear
+/// somewhere in `cli_src` (the CLI, which owns the `--stats` printer).
+pub fn stats_coverage(stats_rel_path: &str, stats_src: &str, cli_src: &str) -> Vec<Violation> {
+    let fields = mining_stats_fields(stats_src);
+    if fields.is_empty() {
+        return Vec::new();
+    }
+    let cli_tokens = lex(cli_src);
+    let cli_idents: BTreeSet<&str> = cli_tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(cli_src))
+        .collect();
+    fields
+        .into_iter()
+        .filter(|(name, _)| !cli_idents.contains(name.as_str()))
+        .map(|(name, line)| Violation {
+            path: stats_rel_path.to_string(),
+            line,
+            rule: STATS_COVERAGE,
+            message: format!(
+                "public MiningStats field `{name}` is never referenced by the CLI; \
+                 surface it in the --stats printer"
+            ),
+        })
+        .collect()
+}
+
+/// `(name, line)` of each `pub` field of `struct MiningStats` in `src`.
+fn mining_stats_fields(src: &str) -> Vec<(String, u32)> {
+    let tokens = lex(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let txt = |i: usize| -> &str {
+        match code.get(i) {
+            Some(t) => t.text(src),
+            None => "",
+        }
+    };
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if txt(i) == "struct" && txt(i + 1) == "MiningStats" && txt(i + 2) == "{" {
+            let mut depth: u32 = 1;
+            let mut j = i + 3;
+            while j < code.len() && depth > 0 {
+                match txt(j) {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    "pub"
+                        if depth == 1
+                            && code.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                            && txt(j + 2) == ":"
+                            && txt(j + 3) != ":" =>
+                    {
+                        if let Some(t) = code.get(j + 1) {
+                            fields.push((t.text(src).to_string(), t.line));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    fields
+}

@@ -1,0 +1,349 @@
+//! Fixture tests for every lint rule: seeded violations are caught, clean
+//! idioms are not, suppressions work, and the lexer-driven heuristics do
+//! not false-positive on tricky token streams.
+//!
+//! Fixtures are inline strings analyzed under fake workspace paths — this
+//! file lives under `tests/`, which the real lint run whole-file-exempts,
+//! so the seeded violations below never show up in `seqpat-lint` output.
+
+use seqpat_lint::engine::{lint_source, to_json, Report};
+use seqpat_lint::rules::{self, analyze_file, stats_coverage};
+
+const KERNEL: &str = "crates/core/src/counting.rs";
+const NON_KERNEL: &str = "crates/core/src/miner.rs";
+
+/// Distinct rule names fired on `src` at `path`.
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = analyze_file(path, src).iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+// ---- rule 1: no-panic-in-kernels -----------------------------------------
+
+#[test]
+fn unwrap_and_expect_fire_only_in_kernel_files() {
+    let src = r#"
+fn f(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("non-empty");
+    a + b
+}
+"#;
+    assert_eq!(fired(KERNEL, src), vec![rules::NO_PANIC_IN_KERNELS]);
+    assert!(fired(NON_KERNEL, src).is_empty());
+}
+
+#[test]
+fn panic_family_macros_fire() {
+    for mac in [
+        "panic!(\"boom\")",
+        "unreachable!()",
+        "todo!()",
+        "unimplemented!()",
+    ] {
+        let src = format!("fn f() {{ {mac}; }}\n");
+        assert_eq!(
+            fired(KERNEL, &src),
+            vec![rules::NO_PANIC_IN_KERNELS],
+            "{mac}"
+        );
+    }
+}
+
+#[test]
+fn slice_indexing_needs_a_debug_assert_in_the_fn() {
+    let bare = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+    assert_eq!(fired(KERNEL, bare), vec![rules::NO_PANIC_IN_KERNELS]);
+
+    let guarded = r#"
+fn f(v: &[u32], i: usize) -> u32 {
+    debug_assert!(i < v.len(), "index in range");
+    v[i]
+}
+"#;
+    assert!(fired(KERNEL, guarded).is_empty());
+}
+
+#[test]
+fn cfg_test_modules_and_tests_dirs_are_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(v: &[u32]) -> u32 { v.first().unwrap() + v[0] }
+}
+"#;
+    assert!(fired(KERNEL, src).is_empty());
+    let loose = "fn f() { panic!(\"anywhere\"); }\n";
+    assert!(fired("crates/core/tests/integration.rs", loose).is_empty());
+    assert!(fired("crates/core/src/proptests.rs", loose).is_empty());
+}
+
+// ---- rule 2: deterministic-iteration -------------------------------------
+
+#[test]
+fn hash_map_iteration_without_normalization_fires() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) {
+    for (k, v) in m.iter() {
+        println!("{k} {v}");
+    }
+}
+"#;
+    assert_eq!(fired(NON_KERNEL, src), vec![rules::DETERMINISTIC_ITERATION]);
+}
+
+#[test]
+fn hash_map_iteration_followed_by_sort_is_clean() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+"#;
+    assert!(fired(NON_KERNEL, src).is_empty());
+}
+
+#[test]
+fn order_insensitive_reductions_over_hash_maps_are_clean() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    m.iter().count()
+}
+"#;
+    assert!(fired(NON_KERNEL, src).is_empty());
+}
+
+#[test]
+fn hash_typed_let_binding_is_tracked() {
+    let src = r#"
+fn f() {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    for k in m.keys() {
+        println!("{k}");
+    }
+}
+"#;
+    assert_eq!(fired(NON_KERNEL, src), vec![rules::DETERMINISTIC_ITERATION]);
+}
+
+// ---- rule 3: no-lossy-casts-in-kernels -----------------------------------
+
+#[test]
+fn bare_int_casts_fire_only_in_kernel_files() {
+    let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+    assert_eq!(fired(KERNEL, src), vec![rules::NO_LOSSY_CASTS_IN_KERNELS]);
+    assert!(fired(NON_KERNEL, src).is_empty());
+}
+
+#[test]
+fn float_casts_and_debug_assert_interiors_are_clean() {
+    let to_float = "fn f(n: usize) -> f64 { n as f64 }\n";
+    assert!(fired(KERNEL, to_float).is_empty());
+    let inside_assert = r#"
+fn f(n: usize, m: u64) {
+    debug_assert!(m <= n as u64, "fits");
+}
+"#;
+    assert!(fired(KERNEL, inside_assert).is_empty());
+}
+
+// ---- rule 4: no-wall-clock-outside-stats ---------------------------------
+
+#[test]
+fn instant_fires_outside_stats_bench_and_cli() {
+    let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+    assert_eq!(
+        fired(NON_KERNEL, src),
+        vec![rules::NO_WALL_CLOCK_OUTSIDE_STATS]
+    );
+    assert!(fired("crates/core/src/stats.rs", src).is_empty());
+    assert!(fired("crates/itemset/src/stats.rs", src).is_empty());
+    assert!(fired("crates/bench/src/harness.rs", src).is_empty());
+    assert!(fired("crates/cli/src/main.rs", src).is_empty());
+}
+
+#[test]
+fn system_time_fires_too() {
+    let src = "fn f() { let _ = std::time::SystemTime::now(); }\n";
+    assert_eq!(
+        fired(NON_KERNEL, src),
+        vec![rules::NO_WALL_CLOCK_OUTSIDE_STATS]
+    );
+}
+
+// ---- rule 5: stats-coverage ----------------------------------------------
+
+#[test]
+fn unprinted_stats_fields_are_reported() {
+    let stats = r#"
+pub struct MiningStats {
+    pub covered_time: u64,
+    pub missing_count: u64,
+}
+"#;
+    let cli = r#"
+fn print_stats(s: &MiningStats) {
+    eprintln!("{}", s.covered_time);
+}
+"#;
+    let violations = stats_coverage("crates/core/src/stats.rs", stats, cli);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, rules::STATS_COVERAGE);
+    assert!(violations[0].message.contains("missing_count"));
+}
+
+#[test]
+fn fully_printed_stats_are_clean() {
+    let stats = "pub struct MiningStats {\n    pub a: u64,\n    pub b: u64,\n}\n";
+    let cli = "fn p(s: &MiningStats) { eprintln!(\"{} {}\", s.a, s.b); }\n";
+    assert!(stats_coverage("crates/core/src/stats.rs", stats, cli).is_empty());
+}
+
+// ---- suppressions --------------------------------------------------------
+
+#[test]
+fn justified_suppression_on_previous_line_silences_the_finding() {
+    let src = r#"
+fn f(v: &[u32]) -> u32 {
+    // seqpat-lint: allow(no-panic-in-kernels) the caller guarantees v is non-empty
+    v.first().unwrap()
+}
+"#;
+    let (kept, suppressed) = lint_source(KERNEL, src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn same_line_suppression_works() {
+    let src = "fn f(v: &[u32]) -> u32 { v.first().unwrap() } // seqpat-lint: allow(no-panic-in-kernels) fixture site\n";
+    let (kept, suppressed) = lint_source(KERNEL, src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn suppression_does_not_leak_past_the_next_line() {
+    let src = r#"
+fn f(v: &[u32]) -> u32 {
+    // seqpat-lint: allow(no-panic-in-kernels) only the next line is covered
+    let a = v.first().unwrap();
+
+    let b = v.last().unwrap();
+    a + b
+}
+"#;
+    let (kept, suppressed) = lint_source(KERNEL, src);
+    assert_eq!(suppressed, 1);
+    assert_eq!(kept.len(), 1);
+    assert_eq!(kept[0].rule, rules::NO_PANIC_IN_KERNELS);
+}
+
+#[test]
+fn unjustified_suppression_is_a_meta_violation_and_does_not_suppress() {
+    let src = r#"
+fn f(v: &[u32]) -> u32 {
+    // seqpat-lint: allow(no-panic-in-kernels)
+    v.first().unwrap()
+}
+"#;
+    let (kept, suppressed) = lint_source(KERNEL, src);
+    assert_eq!(suppressed, 0);
+    let rule_names: Vec<&str> = kept.iter().map(|v| v.rule).collect();
+    assert!(rule_names.contains(&rules::SUPPRESSION));
+    assert!(rule_names.contains(&rules::NO_PANIC_IN_KERNELS));
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_a_meta_violation() {
+    let src = "// seqpat-lint: allow(no-such-rule) misspelled\nfn f() {}\n";
+    let (kept, _) = lint_source(KERNEL, src);
+    assert_eq!(kept.len(), 1);
+    assert_eq!(kept[0].rule, rules::SUPPRESSION);
+    assert!(kept[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn wrong_rule_name_does_not_suppress_a_different_finding() {
+    let src = r#"
+fn f(n: usize) -> u32 {
+    // seqpat-lint: allow(no-panic-in-kernels) names the wrong rule for a cast
+    n as u32
+}
+"#;
+    let (kept, suppressed) = lint_source(KERNEL, src);
+    assert_eq!(suppressed, 0);
+    assert_eq!(kept.len(), 1);
+    assert_eq!(kept[0].rule, rules::NO_LOSSY_CASTS_IN_KERNELS);
+}
+
+// ---- lexing corner cases: no false positives -----------------------------
+
+#[test]
+fn panicky_text_inside_strings_and_comments_is_ignored() {
+    let src = r##"
+fn f() -> &'static str {
+    // this comment mentions panic!("x") and .unwrap() and m.iter()
+    let plain = "call .unwrap() then panic!(\"boom\") as u32 [0]";
+    let raw = r#"Instant::now() and v[i] and "quoted" text"#;
+    let _ = plain;
+    raw
+}
+"##;
+    assert!(fired(KERNEL, src).is_empty());
+}
+
+#[test]
+fn lifetimes_and_char_literals_do_not_confuse_the_lexer() {
+    let src = r#"
+fn f<'a>(x: &'a [u32]) -> usize {
+    let quote = '\'';
+    let dquote = '"';
+    let _ = (quote, dquote);
+    x.len()
+}
+"#;
+    assert!(fired(KERNEL, src).is_empty());
+}
+
+#[test]
+fn range_expressions_are_not_float_literals() {
+    let src = r#"
+fn f(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        total += i;
+    }
+    total
+}
+"#;
+    assert!(fired(KERNEL, src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_hide_their_contents() {
+    let src = "/* outer /* inner panic!() */ still comment .unwrap() */\nfn f() {}\n";
+    assert!(fired(KERNEL, src).is_empty());
+}
+
+// ---- report rendering ----------------------------------------------------
+
+#[test]
+fn json_output_escapes_and_counts() {
+    let report = Report {
+        violations: analyze_file(KERNEL, "fn f() { panic!(\"quoted \\\"x\\\"\"); }\n"),
+        suppressed: 2,
+        files_scanned: 1,
+    };
+    let json = to_json(&report);
+    assert!(json.contains("\"violation_count\": 1"));
+    assert!(json.contains("\"suppressed\": 2"));
+    assert!(json.contains("\"rule\": \"no-panic-in-kernels\""));
+    assert!(json.contains("\"line\": 1"));
+}

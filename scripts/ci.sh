@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> seqpat-lint (workspace rules: determinism, panic-safety, kernel invariants)"
+mkdir -p target/ci-results
+cargo run -q -p seqpat-lint -- --json > target/ci-results/lint.json
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -15,6 +19,13 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> equivalence suites with debug assertions in release"
+# The kernels' debug_assert!s mirror the lint contract (CSR monotonicity,
+# word-span consistency, arena run boundaries); exercise them against the
+# optimized code paths. A separate target dir keeps the cache warm.
+CARGO_TARGET_DIR=target/ci-debug-assert RUSTFLAGS="-C debug-assertions" \
+  cargo test --release -q -p seqpat-core -p seqpat-itemset
 
 echo "==> bench smoke (one tiny ablation cell for all four strategies + auto)"
 cargo run --release -p seqpat-bench --bin exp_ablation -- \
