@@ -7,7 +7,7 @@
 //!    AprioriAll.
 //! 2. **Jump** — from exact `L_k` (k a multiple of `step`), the candidates
 //!    of length `k + step` are generated *and counted in the same scan* by
-//!    [`otf::otf_generate`] pairing `L_k` with `L_step`; thresholding gives
+//!    [`super::otf::otf_generate`] pairing `L_k` with `L_step`; thresholding gives
 //!    exact `L_{k+step}`. Jumps continue while new large sequences appear.
 //! 3. **Intermediate** — candidates for the skipped lengths between the
 //!    multiples (and up to `step - 1` beyond the last jump) are generated

@@ -3,14 +3,14 @@
 //! All three operate on the transformed database, where a *k-sequence* is a
 //! vector of `k` litemset ids, and produce large id-sequences:
 //!
-//! * [`apriori_all`] counts **every** large sequence length by length — the
+//! * [`apriori_all()`] counts **every** large sequence length by length — the
 //!   baseline the paper measures the others against.
-//! * [`apriori_some`] counts only *some* lengths going forward (skipping
+//! * [`apriori_some()`] counts only *some* lengths going forward (skipping
 //!   ahead by the [`next`] heuristic) and picks up skipped lengths going
 //!   backward, where candidates contained in an already-found longer large
 //!   sequence need no counting at all — a win when most large sequences are
 //!   non-maximal.
-//! * [`dynamic_some`] jumps in fixed `step`s and generates the jumped-to
+//! * [`dynamic_some()`] jumps in fixed `step`s and generates the jumped-to
 //!   candidates **on the fly** from pairs of known large sequences while
 //!   scanning each customer ([`otf`]), at the price of a candidate explosion
 //!   when supports are low.
@@ -62,7 +62,7 @@ impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Algorithm::DynamicSome { step } => write!(f, "dynamic-some(step={step})"),
-            other => f.write_str(other.name()),
+            Algorithm::AprioriAll | Algorithm::AprioriSome => f.write_str(self.name()),
         }
     }
 }

@@ -52,10 +52,15 @@ pub fn otf_generate(
     if lk.is_empty() || lj.is_empty() {
         return Vec::new();
     }
+    // `Auto` never reaches the dispatch (resolved_strategy resolves it to a
+    // concrete strategy), but it is named rather than wildcarded so a new
+    // strategy fails lint here until it gets an otf path.
     let counts = match ctx.resolved_strategy(tdb) {
         CountingStrategy::Vertical => otf_vertical(tdb, lk, lj, ctx),
         CountingStrategy::Bitmap => otf_bitmap(tdb, lk, lj, ctx),
-        _ => otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests),
+        CountingStrategy::Direct | CountingStrategy::HashTree | CountingStrategy::Auto => {
+            otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests)
+        }
     };
     let mut out: Vec<(IdSeq, u64)> = counts.into_iter().collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -114,11 +119,12 @@ fn otf_vertical(
 ) -> FxHashMap<IdSeq, u64> {
     let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
     let mut tests = 0u64;
+    // One occurrence buffer for the whole Lk loop; the state borrow ends
+    // with each fill, freeing `ctx` for the counter update below.
+    let mut occ = Vec::new();
     for x in lk.iter() {
-        // The state borrow ends with the owned list, freeing `ctx` for the
-        // counter update below.
-        let occ = ctx.vertical_state(tdb).occurrences_of(x);
-        for o in occ {
+        ctx.vertical_state(tdb).occurrences_of(x, &mut occ);
+        for o in &occ {
             let customer = &tdb.customers[o.customer as usize];
             for y in lj.iter() {
                 tests += 1;
@@ -143,9 +149,10 @@ fn otf_bitmap(
 ) -> FxHashMap<IdSeq, u64> {
     let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
     let mut tests = 0u64;
+    let mut occ = Vec::new();
     for x in lk.iter() {
-        let occ = ctx.bitmap_state(tdb).occurrences_of(x);
-        for o in occ {
+        ctx.bitmap_state(tdb).occurrences_of(x, &mut occ);
+        for o in &occ {
             let customer = &tdb.customers[o.customer as usize];
             for y in lj.iter() {
                 tests += 1;

@@ -209,6 +209,12 @@ impl BitmapIndex {
 #[derive(Debug)]
 pub struct BitmapState {
     index: BitmapIndex,
+    /// Customer indices `0..num_customers`, precomputed once so every
+    /// [`BitmapState::count`] call can shard without rebuilding the list.
+    customers: Vec<u32>,
+    /// Whole-database frontier scratch reused across
+    /// [`BitmapState::occurrences_of`] calls.
+    frontier: Vec<u64>,
     /// Wall time spent building the index.
     pub index_build_time: Duration,
     /// Words processed by the smear kernel so far (the bitmap analogue of
@@ -222,8 +228,11 @@ impl BitmapState {
         let watch = Stopwatch::start();
         let index = BitmapIndex::build(tdb);
         let index_build_time = watch.elapsed();
+        let customers: Vec<u32> = (0..id32(index.num_customers())).collect();
         Self {
             index,
+            customers,
+            frontier: Vec::new(),
             index_build_time,
             sstep_ops: 0,
         }
@@ -260,8 +269,7 @@ impl BitmapState {
         let runs = candidates.prefix_runs();
 
         let index = &self.index;
-        let customers: Vec<u32> = (0..id32(index.num_customers())).collect();
-        let partials = map_chunks(&customers, threads, |chunk| {
+        let partials = map_chunks(&self.customers, threads, |chunk| {
             if chunk.is_empty() {
                 return (vec![0u64; n], 0);
             }
@@ -322,14 +330,16 @@ impl BitmapState {
         supports
     }
 
-    /// The earliest-match end of `ids` per supporting customer, as
-    /// `(customer, pos)` occurrences — identical to
-    /// [`crate::vertical::VerticalState::occurrences_of`]. Used by
-    /// DynamicSome's on-the-fly pass: fold the whole-database frontier,
-    /// then take the first set bit of each non-zero span.
-    pub fn occurrences_of(&mut self, ids: &[LitemsetId]) -> Vec<Occurrence> {
+    /// The earliest-match end of `ids` per supporting customer, written
+    /// into `out` (cleared first) as `(customer, pos)` occurrences —
+    /// identical to [`crate::vertical::VerticalState::occurrences_of`].
+    /// Used by DynamicSome's on-the-fly pass: fold the whole-database
+    /// frontier (into scratch retained on the state), then take the first
+    /// set bit of each non-zero span.
+    pub fn occurrences_of(&mut self, ids: &[LitemsetId], out: &mut Vec<Occurrence>) {
+        out.clear();
         if ids.is_empty() {
-            return Vec::new();
+            return;
         }
         debug_assert!(
             ids.iter().all(|&id| idx(id) < self.index.num_ids),
@@ -337,12 +347,13 @@ impl BitmapState {
         );
         let tw = self.index.total_words;
         let offsets = &self.index.word_offsets;
-        let mut frontier = self.index.id_words(ids[0], 0, tw).to_vec();
+        let frontier = &mut self.frontier;
+        frontier.clear();
+        frontier.extend_from_slice(self.index.id_words(ids[0], 0, tw));
         for &id in &ids[1..] {
-            smear_spans(offsets, &mut frontier, &mut self.sstep_ops);
-            and_words(&mut frontier, self.index.id_words(id, 0, tw));
+            smear_spans(offsets, frontier, &mut self.sstep_ops);
+            and_words(frontier, self.index.id_words(id, 0, tw));
         }
-        let mut out = Vec::new();
         for (c, span) in offsets.windows(2).enumerate() {
             let (a, b) = (idx(span[0]), idx(span[1]));
             for (wi, &w) in frontier[a..b].iter().enumerate() {
@@ -355,7 +366,6 @@ impl BitmapState {
                 }
             }
         }
-        out
     }
 }
 
@@ -389,6 +399,12 @@ mod tests {
 
     fn occ(customer: u32, pos: u32) -> Occurrence {
         Occurrence { customer, pos }
+    }
+
+    fn occs(state: &mut BitmapState, ids: &[LitemsetId]) -> Vec<Occurrence> {
+        let mut out = vec![occ(9, 9)]; // stale content must be cleared
+        state.occurrences_of(ids, &mut out);
+        out
     }
 
     #[test]
@@ -507,7 +523,7 @@ mod tests {
                 "{threads} threads"
             );
         }
-        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 69)]);
+        assert_eq!(occs(&mut state, &[0, 1]), vec![occ(0, 69)]);
     }
 
     #[test]
@@ -533,13 +549,13 @@ mod tests {
             2,
         );
         let mut state = BitmapState::build(&db);
-        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 1), occ(2, 1)]);
-        assert_eq!(state.occurrences_of(&[1, 0]), vec![occ(1, 1)]);
+        assert_eq!(occs(&mut state, &[0, 1]), vec![occ(0, 1), occ(2, 1)]);
+        assert_eq!(occs(&mut state, &[1, 0]), vec![occ(1, 1)]);
         assert_eq!(
-            state.occurrences_of(&[0]),
+            occs(&mut state, &[0]),
             vec![occ(0, 0), occ(1, 1), occ(2, 0)]
         );
-        assert!(state.occurrences_of(&[]).is_empty());
+        assert!(occs(&mut state, &[]).is_empty());
     }
 
     #[test]

@@ -292,7 +292,10 @@ impl CountingContext {
                 self.auto_decision = Some(decision);
                 choice
             }
-            explicit => explicit,
+            CountingStrategy::Direct
+            | CountingStrategy::HashTree
+            | CountingStrategy::Vertical
+            | CountingStrategy::Bitmap => self.strategy,
         };
         self.resolved = Some(resolved);
         resolved
@@ -466,7 +469,7 @@ fn count_direct(
 /// incremented once per distinct `(a, b)` pair observed per customer.
 ///
 /// Customers are sharded over the workers `parallelism` resolves to, each
-/// with a private [`PairCounts`] (dense workers cost `n²` u32 apiece —
+/// with a private `PairCounts` (dense workers cost `n²` u32 apiece —
 /// bounded by `DENSE_LIMIT` at 64 MiB per worker), merged in chunk order.
 pub fn large_two_sequences(
     tdb: &TransformedDatabase,
@@ -583,6 +586,7 @@ impl PairCounts {
                         let c = u64::from(counts[a * n + b]);
                         if c >= min_count {
                             out.push(LargeIdSequence {
+                                // seqpat-lint: allow(no-alloc-in-hot-loop) one owned ids vec per emitted large sequence — output-proportional, not input-proportional
                                 ids: vec![id32(a), id32(b)],
                                 support: c,
                             });
@@ -597,6 +601,7 @@ impl PairCounts {
                     .collect();
                 entries.sort_unstable_by_key(|&((a, b), _)| (a, b));
                 out.extend(entries.into_iter().map(|((a, b), c)| LargeIdSequence {
+                    // seqpat-lint: allow(no-alloc-in-hot-loop) one owned ids vec per emitted large sequence — output-proportional, not input-proportional
                     ids: vec![a, b],
                     support: u64::from(c),
                 }));

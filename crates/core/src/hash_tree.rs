@@ -137,6 +137,7 @@ fn insert(
             ids.push(slot);
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
+                // seqpat-lint: allow(no-alloc-in-hot-loop) Vec::new() is capacity-0 (no heap allocation) and the split path is cold — it runs once per overflowing leaf, not per insert
                 let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
                     match &mut children[bucket(candidates.get(idx(id))[depth], fanout)] {

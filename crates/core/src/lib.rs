@@ -17,8 +17,8 @@
 //!    replaced by the set of litemset ids it contains, so containment tests
 //!    in the sequence phase become integer-set operations.
 //! 4. **Sequence** ([`algorithms`]) — the large sequences are found by one
-//!    of the paper's three algorithms: [`algorithms::apriori_all`],
-//!    [`algorithms::apriori_some`] or [`algorithms::dynamic_some`].
+//!    of the paper's three algorithms: [`algorithms::apriori_all()`],
+//!    [`algorithms::apriori_some()`] or [`algorithms::dynamic_some()`].
 //! 5. **Maximal** ([`phases::maximal`]) — sequences contained in another
 //!    large sequence are pruned (AprioriSome/DynamicSome fold most of this
 //!    into their backward passes).

@@ -20,7 +20,7 @@
 //!
 //! For a single litemset id the index list may hold *several* entries per
 //! customer (every transaction containing the id, ascending) — the join and
-//! the [`seed_first_per_customer`] kernel reduce those to earliest matches.
+//! the `seed_first_per_customer` kernel reduce those to earliest matches.
 //!
 //! ## The join
 //!
@@ -296,6 +296,8 @@ pub struct VerticalState {
     params: VerticalParams,
     /// Lists of the last counted pass, keyed by that pass's sorted arena.
     cache: Option<(CandidateArena, OccLists)>,
+    /// Join scratch reused across [`VerticalState::occurrences_of`] calls.
+    fold_tmp: Vec<Occurrence>,
     /// Wall time spent building the index.
     pub index_build_time: Duration,
     /// Merge-joins executed so far (the vertical analogue of an exact
@@ -316,6 +318,7 @@ impl VerticalState {
             index,
             params,
             cache: None,
+            fold_tmp: Vec::new(),
             index_build_time,
             joins: 0,
             peak_bytes,
@@ -432,24 +435,25 @@ impl VerticalState {
         supports
     }
 
-    /// The occurrence list of one sequence: a cache lookup when the last
-    /// counted pass covered it, else a fold from the index lists (counted
-    /// in [`VerticalState::joins`]). Used by DynamicSome's on-the-fly pass.
-    pub fn occurrences_of(&mut self, ids: &[LitemsetId]) -> Vec<Occurrence> {
+    /// The occurrence list of one sequence, written into `out` (cleared
+    /// first): a cache lookup when the last counted pass covered it, else a
+    /// fold from the index lists (counted in [`VerticalState::joins`]). The
+    /// out-parameter lets DynamicSome's on-the-fly pass reuse one buffer
+    /// across its whole `Lk` loop instead of allocating per sequence.
+    pub fn occurrences_of(&mut self, ids: &[LitemsetId], out: &mut Vec<Occurrence>) {
+        out.clear();
         if ids.is_empty() {
-            return Vec::new();
+            return;
         }
         if let Some((arena, lists)) = &self.cache {
             if arena.candidate_len() == ids.len() {
                 if let Ok(i) = arena.binary_search(ids) {
-                    return lists.list(i).to_vec();
+                    out.extend_from_slice(lists.list(i));
+                    return;
                 }
             }
         }
-        let mut out = Vec::new();
-        let mut tmp = Vec::new();
-        fold_prefix(&self.index, ids, &mut out, &mut tmp, &mut self.joins);
-        out
+        fold_prefix(&self.index, ids, out, &mut self.fold_tmp, &mut self.joins);
     }
 }
 
@@ -616,9 +620,13 @@ mod tests {
             2,
         );
         let mut state = VerticalState::build(&db, VerticalParams::default());
-        assert_eq!(state.occurrences_of(&[0, 1]), vec![occ(0, 1), occ(2, 1)]);
-        assert_eq!(state.occurrences_of(&[1, 0]), vec![occ(1, 1)]);
-        assert!(state.occurrences_of(&[]).is_empty());
+        let mut out = vec![occ(9, 9)]; // stale content must be cleared
+        state.occurrences_of(&[0, 1], &mut out);
+        assert_eq!(out, vec![occ(0, 1), occ(2, 1)]);
+        state.occurrences_of(&[1, 0], &mut out);
+        assert_eq!(out, vec![occ(1, 1)]);
+        state.occurrences_of(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

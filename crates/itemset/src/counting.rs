@@ -33,6 +33,7 @@ pub fn count_single_items(customers: &[CustomerTransactions], min_count: u64) ->
         .into_iter()
         .filter(|&(_, support)| support >= min_count)
         .map(|(item, support)| LargeItemset {
+            // seqpat-lint: allow(no-alloc-in-hot-loop) one owned items vec per emitted large itemset — output-proportional, not input-proportional
             items: vec![item],
             support,
         })
@@ -200,6 +201,7 @@ pub fn count_pairs_direct(
             let support = u64::from(counts[tri(i, j)]);
             if support >= min_count {
                 large.push(LargeItemset {
+                    // seqpat-lint: allow(no-alloc-in-hot-loop) one owned items vec per emitted large pair — output-proportional, not input-proportional
                     items: vec![l1[i].items[0], l1[j].items[0]],
                     support,
                 });

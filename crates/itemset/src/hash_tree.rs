@@ -134,6 +134,7 @@ fn insert(
             // item position (deeper hashing has nothing left to discriminate).
             if ids.len() > leaf_capacity && depth < cand.len() {
                 let old = std::mem::take(ids);
+                // seqpat-lint: allow(no-alloc-in-hot-loop) Vec::new() is capacity-0 (no heap allocation) and the split path is cold — it runs once per overflowing leaf, not per insert
                 let mut children: Vec<Node> = (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
                 for id in old {
                     let b = bucket(candidates[idx(id)][depth], fanout);

@@ -94,7 +94,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("counting worker panicked"))
+            .map(|h| match h.join() {
+                Ok(counts) => counts,
+                // A worker panic is a bug in `map`; re-raise its payload on
+                // the caller's thread rather than panicking a second time.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

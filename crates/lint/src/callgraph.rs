@@ -1,0 +1,237 @@
+//! Workspace symbol table and call graph over [`crate::parser`] output.
+//!
+//! Resolution is name-based and deliberately over-approximate: a call edge
+//! is added to every workspace `fn` the call site could plausibly name.
+//! That direction of error is safe for reachability-style rules (a spurious
+//! edge can only make the analysis more conservative, never hide a real
+//! kernel→helper→panic chain), and it makes `pub use` re-exports work
+//! without tracking module trees — the re-exported name resolves to its one
+//! real definition wherever it lives. `use … as …` renames are expanded
+//! through each file's alias map before lookup.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parser::ParsedFile;
+
+/// Call graph over every non-test `fn` in the parsed workspace.
+pub struct CallGraph {
+    /// `(file index, fn index)` per node, in deterministic source order.
+    pub nodes: Vec<(usize, usize)>,
+    /// Sorted, deduped adjacency lists (indices into `nodes`).
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files (test fns are excluded).
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, g) in file.fns.iter().enumerate() {
+                if g.is_test {
+                    continue;
+                }
+                by_name
+                    .entry(g.name.as_str())
+                    .or_default()
+                    .push(nodes.len());
+                nodes.push((fi, gi));
+            }
+        }
+        let aliases: Vec<BTreeMap<&str, &str>> = files
+            .iter()
+            .map(|f| {
+                f.aliases
+                    .iter()
+                    .map(|(a, t)| (a.as_str(), t.as_str()))
+                    .collect()
+            })
+            .collect();
+        let mut edges = vec![Vec::new(); nodes.len()];
+        for (id, &(fi, gi)) in nodes.iter().enumerate() {
+            let caller = &files[fi].fns[gi];
+            let mut outs: BTreeSet<usize> = BTreeSet::new();
+            for c in &caller.calls {
+                let name = aliases[fi]
+                    .get(c.name.as_str())
+                    .copied()
+                    .unwrap_or(c.name.as_str());
+                let Some(cands) = by_name.get(name) else {
+                    continue;
+                };
+                for &t in cands {
+                    let (tfi, tgi) = nodes[t];
+                    let target = &files[tfi].fns[tgi];
+                    let ok = if c.is_method {
+                        // `.name(…)` can only land on an impl/trait method.
+                        target.impl_type.is_some()
+                    } else if let Some(last) = c.path.last() {
+                        if last == "Self" {
+                            caller.impl_type.is_some() && target.impl_type == caller.impl_type
+                        } else if last.starts_with(|ch: char| ch.is_ascii_uppercase()) {
+                            // `Type::name(…)` — the qualifier names the type.
+                            target.impl_type.as_deref() == Some(last.as_str())
+                        } else {
+                            // `module::name(…)` — a free fn.
+                            target.impl_type.is_none()
+                        }
+                    } else {
+                        // Bare `name(…)`: any free fn, or anything in-file.
+                        target.impl_type.is_none() || tfi == fi
+                    };
+                    if ok {
+                        outs.insert(t);
+                    }
+                }
+            }
+            edges[id] = outs.into_iter().collect();
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node IDs whose `(file, fn)` satisfy `pred`, in node order.
+    pub fn nodes_where(&self, mut pred: impl FnMut(usize, usize) -> bool) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(fi, gi))| pred(fi, gi))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Deterministic BFS from `starts`; the returned map sends every
+    /// reachable node to its BFS parent (start nodes map to themselves).
+    pub fn reachable_with_parents(&self, starts: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut starts: Vec<usize> = starts.to_vec();
+        starts.sort_unstable();
+        starts.dedup();
+        for s in starts {
+            parent.insert(s, s);
+            queue.push_back(s);
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The chain `entry → … → node` implied by a BFS parent map, rendered
+    /// as fn names joined with arrows.
+    pub fn chain(
+        &self,
+        files: &[ParsedFile],
+        parents: &BTreeMap<usize, usize>,
+        node: usize,
+    ) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        let mut n = node;
+        loop {
+            let (fi, gi) = self.nodes[n];
+            names.push(files[fi].fns[gi].name.as_str());
+            let Some(&p) = parents.get(&n) else { break };
+            if p == n {
+                break;
+            }
+            n = p;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let files: Vec<ParsedFile> = sources.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    fn id_of(files: &[ParsedFile], g: &CallGraph, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|&(fi, gi)| files[fi].fns[gi].name == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn cross_file_chains_resolve_through_reexports() {
+        let (files, g) = graph(&[
+            (
+                "crates/a/src/kernel.rs",
+                "fn entry() { crate::helpers::run_chunks(); }\n",
+            ),
+            (
+                "crates/a/src/helpers.rs",
+                "pub use crate::chunk::run_chunks;\n",
+            ),
+            (
+                "crates/a/src/chunk.rs",
+                "pub fn run_chunks() { inner() }\nfn inner() { x.unwrap(); }\n",
+            ),
+        ]);
+        let entry = id_of(&files, &g, "entry");
+        let inner = id_of(&files, &g, "inner");
+        let reach = g.reachable_with_parents(&[entry]);
+        assert!(reach.contains_key(&inner));
+        assert_eq!(
+            g.chain(&files, &reach, inner),
+            "entry -> run_chunks -> inner"
+        );
+    }
+
+    #[test]
+    fn method_calls_only_reach_impl_fns() {
+        let (files, g) = graph(&[
+            (
+                "a.rs",
+                "fn caller(t: T) { t.work(); }\nfn work() { free_only(); }\n",
+            ),
+            (
+                "b.rs",
+                "impl T { pub fn work(&self) { self.deep(); } fn deep(&self) {} }\n",
+            ),
+        ]);
+        let caller = id_of(&files, &g, "caller");
+        let deep = id_of(&files, &g, "deep");
+        let reach = g.reachable_with_parents(&[caller]);
+        // `.work()` resolves to the impl method (and conservatively also
+        // to nothing else impl-less), so `deep` is reachable.
+        assert!(reach.contains_key(&deep));
+    }
+
+    #[test]
+    fn use_as_aliases_expand_before_lookup() {
+        let (files, g) = graph(&[
+            (
+                "a.rs",
+                "use crate::b::real_name as alias;\nfn caller() { alias(); }\n",
+            ),
+            ("b.rs", "pub fn real_name() {}\n"),
+        ]);
+        let caller = id_of(&files, &g, "caller");
+        let real = id_of(&files, &g, "real_name");
+        let reach = g.reachable_with_parents(&[caller]);
+        assert!(reach.contains_key(&real));
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let (files, g) = graph(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn t() {} }\nfn live() {}\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(id_of(&files, &g, "live"), 0);
+    }
+}

@@ -1,6 +1,7 @@
-//! Workspace walk, suppression handling, and report assembly.
+//! Workspace walk, suppression handling, semantic-rule orchestration, and
+//! report assembly.
 //!
-//! Suppression grammar (inside any comment):
+//! Suppression grammar (inside any non-doc comment):
 //!
 //! ```text
 //! // seqpat-lint: allow(no-panic-in-kernels, deterministic-iteration) why this site is fine
@@ -11,25 +12,41 @@
 //! line instead (the usual "comment above the offending line" style covers
 //! both). Malformed, unknown-rule, or unjustified suppressions are reported
 //! under the meta rule `suppression` and are not themselves suppressible.
+//! A valid suppression that silences nothing is reported under
+//! `stale-suppression` — allow-comments must stay honest as code moves.
+//! Doc comments and `#[cfg(test)]` regions are exempt from both: a grammar
+//! example in a doc comment is not a live suppression.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{self, ParsedFile};
 use crate::rules::{self, Violation};
+use crate::semantic;
 
 /// Result of linting the workspace.
 #[derive(Debug)]
 pub struct Report {
-    /// Unsuppressed violations (including `suppression` meta findings),
-    /// sorted by path, line, rule.
+    /// Unsuppressed violations (including meta findings), sorted by path,
+    /// line, rule.
     pub violations: Vec<Violation>,
     /// Count of findings silenced by valid suppression comments.
     pub suppressed: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when any violation's rule is deny-severity (the exit/CI gate).
+    pub fn has_deny(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| rules::severity_of(v.rule) == rules::Severity::Deny)
+    }
 }
 
 /// One parsed allow-comment.
@@ -42,94 +59,143 @@ struct Suppression {
     rules: Vec<String>,
 }
 
-/// Lints every `.rs` file under `root` and cross-checks stats coverage.
+impl Suppression {
+    fn covers(&self, line: u32) -> bool {
+        line == self.line || (self.covers_next && line == self.line + 1)
+    }
+}
+
+/// Lints every `.rs` file under `root`.
 pub fn run(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-
-    let mut all: Vec<Violation> = Vec::new();
-    let mut suppressions: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
-    let mut files_scanned = 0usize;
-
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for file in &files {
         let Ok(src) = fs::read_to_string(file) else {
             // Non-UTF-8 or unreadable; nothing for a Rust linter to do.
             continue;
         };
-        files_scanned += 1;
-        let rel = rel_path(root, file);
-        let (sups, mut meta) = parse_suppressions(&rel, &src);
-        suppressions.insert(rel.clone(), sups);
-        all.append(&mut meta);
-        all.append(&mut rules::analyze_file(&rel, &src));
+        inputs.push((rel_path(root, file), src));
     }
-
-    // Rule 5 is cross-file: core's stats.rs fields vs the CLI printer.
-    let stats_rel = "crates/core/src/stats.rs";
-    let cli_rel = "crates/cli/src/main.rs";
-    if let (Ok(stats_src), Ok(cli_src)) = (
-        fs::read_to_string(root.join(stats_rel)),
-        fs::read_to_string(root.join(cli_rel)),
-    ) {
-        all.append(&mut rules::stats_coverage(stats_rel, &stats_src, &cli_src));
-    }
-
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for v in all {
-        let covered = suppressions
-            .get(&v.path)
-            .is_some_and(|sups| is_suppressed(&v, sups));
-        if covered {
-            suppressed += 1;
-        } else {
-            kept.push(v);
-        }
-    }
-    kept.sort();
-    kept.dedup();
+    let files_scanned = inputs.len();
+    let (violations, suppressed) = lint_sources(&inputs);
     Ok(Report {
-        violations: kept,
+        violations,
         suppressed,
         files_scanned,
     })
 }
 
-/// Whether a valid suppression in `sups` covers `v`. Meta `suppression`
-/// findings are never suppressible.
-fn is_suppressed(v: &Violation, sups: &[Suppression]) -> bool {
-    v.rule != rules::SUPPRESSION
-        && sups.iter().any(|s| {
-            let covers = if s.covers_next {
-                v.line == s.line || v.line == s.line + 1
-            } else {
-                v.line == s.line
-            };
-            covers && s.rules.iter().any(|r| r == v.rule)
-        })
-}
+/// The full lint pipeline over in-memory `(rel_path, source)` pairs: lexical
+/// rules, suppression handling, the parser/call-graph semantic rules, and
+/// stale-suppression accounting. Test-path files are skipped wholesale.
+/// Returns the kept violations (sorted, deduped) and the count of findings
+/// silenced by valid suppressions.
+pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
+    let mut all: Vec<Violation> = Vec::new();
+    let mut sups_by_path: BTreeMap<&str, Vec<Suppression>> = BTreeMap::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
 
-/// Lints one in-memory file: rule analysis plus suppression handling, the
-/// same per-file pipeline [`run`] applies across the workspace (minus the
-/// cross-file stats-coverage rule). Returns the kept violations and the
-/// count of findings silenced by valid suppressions.
-pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
-    let (sups, meta) = parse_suppressions(rel, src);
-    let mut all = meta;
-    all.append(&mut rules::analyze_file(rel, src));
-    let mut kept = Vec::new();
+    for (rel, src) in inputs {
+        if rules::is_test_path(rel) {
+            continue;
+        }
+        let (sups, mut meta) = parse_suppressions(rel, src);
+        sups_by_path.insert(rel.as_str(), sups);
+        all.append(&mut meta);
+        all.append(&mut rules::analyze_file(rel, src));
+        parsed.push(parser::parse_file(rel, src));
+    }
+
+    // Cross-file lexical rule: core's stats.rs fields vs the CLI printer.
+    let stats_rel = "crates/core/src/stats.rs";
+    let cli_rel = "crates/cli/src/main.rs";
+    let find = |want: &str| inputs.iter().find(|(rel, _)| rel == want);
+    if let (Some((_, stats_src)), Some((_, cli_src))) = (find(stats_rel), find(cli_rel)) {
+        all.append(&mut rules::stats_coverage(stats_rel, stats_src, cli_src));
+    }
+
+    // Semantic rules over the parsed workspace.
+    let graph = CallGraph::build(&parsed);
     let mut suppressed = 0usize;
+    // (path, suppression line, rule name) triples that earned their keep.
+    let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    {
+        let absorb = |path: &str, line: u32| -> bool {
+            let Some(sups) = sups_by_path.get(path) else {
+                return false;
+            };
+            let mut hit = false;
+            for s in sups.iter().filter(|s| s.covers(line)) {
+                for r in &s.rules {
+                    if r == rules::NO_PANIC_IN_KERNELS || r == rules::TRANSITIVE_PANIC_REACHABILITY
+                    {
+                        used.insert((path.to_string(), s.line, r.clone()));
+                        hit = true;
+                    }
+                }
+            }
+            if hit {
+                suppressed += 1;
+            }
+            hit
+        };
+        all.append(&mut semantic::transitive_panic(&parsed, &graph, absorb));
+    }
+    all.append(&mut semantic::no_alloc_in_hot_loop(&parsed));
+    all.append(&mut semantic::exhaustive_strategy_match(&parsed));
+
+    // Apply suppressions to everything else, tracking which earned use.
+    let mut kept = Vec::new();
     for v in all {
-        if is_suppressed(&v, &sups) {
-            suppressed += 1;
+        let matched = if rules::rule_info(v.rule).is_some_and(|r| !r.suppressible) {
+            None
         } else {
-            kept.push(v);
+            sups_by_path.get(v.path.as_str()).and_then(|sups| {
+                sups.iter()
+                    .find(|s| s.covers(v.line) && s.rules.iter().any(|r| r == v.rule))
+            })
+        };
+        match matched {
+            Some(s) => {
+                used.insert((v.path.clone(), s.line, v.rule.to_string()));
+                suppressed += 1;
+            }
+            None => kept.push(v),
         }
     }
+
+    // Stale-suppression: every named rule of every valid suppression must
+    // have silenced at least one finding.
+    for (path, sups) in &sups_by_path {
+        for s in sups {
+            for r in &s.rules {
+                if !used.contains(&(path.to_string(), s.line, r.clone())) {
+                    kept.push(Violation {
+                        path: path.to_string(),
+                        line: s.line,
+                        rule: rules::STALE_SUPPRESSION,
+                        message: format!(
+                            "suppression allows `{r}` but no such finding fires on the \
+                             covered line(s); delete or update the allow-comment"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     kept.sort();
     kept.dedup();
     (kept, suppressed)
+}
+
+/// Lints one in-memory file: the per-file slice of [`lint_sources`] (the
+/// cross-file stats-coverage rule and the workspace call graph see only
+/// this file). Returns the kept violations and the suppressed count.
+pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
+    lint_sources(&[(rel.to_string(), src.to_string())])
 }
 
 /// Workspace-relative path with `/` separators.
@@ -159,10 +225,21 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// True for `///`, `//!`, `/**`, `/*!` comments — documentation, where a
+/// suppression-shaped line is an example, not a directive.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("/**") && text != "/**/")
+}
+
 /// Extracts suppression comments from `src`, returning them plus meta
-/// violations for malformed/unknown/unjustified ones.
+/// violations for malformed/unknown/unjustified ones. Doc comments and
+/// `#[cfg(test)]` regions are skipped entirely.
 fn parse_suppressions(rel: &str, src: &str) -> (Vec<Suppression>, Vec<Violation>) {
     let tokens = lex(src);
+    let test_regions = rules::test_region_spans(src);
     let mut sups = Vec::new();
     let mut meta = Vec::new();
     for (i, tok) in tokens.iter().enumerate() {
@@ -170,6 +247,15 @@ fn parse_suppressions(rel: &str, src: &str) -> (Vec<Suppression>, Vec<Violation>
             continue;
         }
         let text = tok.text(src);
+        if is_doc_comment(text) {
+            continue;
+        }
+        if test_regions
+            .iter()
+            .any(|&(s, e)| tok.start >= s && tok.start < e)
+        {
+            continue;
+        }
         let Some(at) = text.find("seqpat-lint:") else {
             continue;
         };
@@ -202,12 +288,15 @@ fn parse_suppressions(rel: &str, src: &str) -> (Vec<Suppression>, Vec<Violation>
             if name.is_empty() {
                 continue;
             }
-            if rules::is_known_rule(name) {
-                rule_names.push(name.to_string());
-            } else {
-                bad(format!(
+            match rules::rule_info(name) {
+                Some(info) if info.suppressible => rule_names.push(name.to_string()),
+                Some(_) => bad(format!(
+                    "rule `{name}` cannot be suppressed (meta rules keep the \
+                     suppression system honest)"
+                )),
+                None => bad(format!(
                     "suppression names unknown rule `{name}` (see --list-rules)"
-                ));
+                )),
             }
         }
         let justification = after[1..]
@@ -263,6 +352,10 @@ pub fn to_json(report: &Report) -> String {
         }
         s.push_str("\n    {");
         s.push_str(&format!("\"rule\": \"{}\", ", json_escape(v.rule)));
+        s.push_str(&format!(
+            "\"severity\": \"{}\", ",
+            rules::severity_of(v.rule).as_str()
+        ));
         s.push_str(&format!("\"path\": \"{}\", ", json_escape(&v.path)));
         s.push_str(&format!("\"line\": {}, ", v.line));
         s.push_str(&format!("\"message\": \"{}\"", json_escape(&v.message)));
@@ -272,6 +365,64 @@ pub fn to_json(report: &Report) -> String {
         s.push_str("\n  ");
     }
     s.push_str("]\n}\n");
+    s
+}
+
+/// Renders the report as minimal SARIF 2.1.0 (one run, one driver, all
+/// rules listed, one result per violation).
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"seqpat-lint\",\n");
+    s.push_str("          \"rules\": [");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n            {");
+        s.push_str(&format!("\"id\": \"{}\", ", json_escape(r.name)));
+        s.push_str(&format!(
+            "\"shortDescription\": {{\"text\": \"{}\"}}, ",
+            json_escape(r.desc)
+        ));
+        s.push_str(&format!(
+            "\"defaultConfiguration\": {{\"level\": \"{}\"}}",
+            r.severity.sarif_level()
+        ));
+        s.push('}');
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n        {");
+        s.push_str(&format!("\"ruleId\": \"{}\", ", json_escape(v.rule)));
+        s.push_str(&format!(
+            "\"level\": \"{}\", ",
+            rules::severity_of(v.rule).sarif_level()
+        ));
+        s.push_str(&format!(
+            "\"message\": {{\"text\": \"{}\"}}, ",
+            json_escape(&v.message)
+        ));
+        s.push_str(&format!(
+            "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+            json_escape(&v.path),
+            v.line.max(1)
+        ));
+        s.push('}');
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
     s
 }
 

@@ -1,23 +1,74 @@
-//! CLI entry point: `cargo run -p seqpat-lint -- [--root DIR] [--json]`.
+//! CLI entry point: `cargo run -p seqpat-lint -- [--root DIR] [--format F]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use seqpat_lint::{engine, rules};
 
-const USAGE: &str = "usage: seqpat-lint [--root DIR] [--json] [--list-rules]
-  --root DIR    workspace root to scan (default: .)
-  --json        emit the machine-readable report on stdout (human report
-                goes to stderr)
-  --list-rules  print the rule names and exit";
+const USAGE: &str =
+    "usage: seqpat-lint [--root DIR] [--format human|json|sarif] [--rules R1,R2] [--list-rules]
+  --root DIR     workspace root to scan (default: .)
+  --format FMT   report format: human (default), json, or sarif; machine
+                 formats go to stdout with the human report on stderr
+  --json         legacy alias for --format json (conflicts with --format)
+  --rules LIST   comma-separated rule names; only their findings are
+                 reported (exit code follows the filtered set)
+  --list-rules   print each rule's name, severity, and tier, then exit";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut format: Option<Format> = None;
+    let mut legacy_json = false;
+    let mut rule_filter: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => legacy_json = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Some(Format::Human),
+                Some("json") => format = Some(Format::Json),
+                Some("sarif") => format = Some(Format::Sarif),
+                Some(other) => {
+                    eprintln!("--format must be human, json, or sarif (got `{other}`)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--format needs an argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rules" => match args.next() {
+                Some(list) => {
+                    let names: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    for name in &names {
+                        if !rules::is_known_rule(name) {
+                            let known: Vec<&str> = rules::RULES.iter().map(|r| r.name).collect();
+                            eprintln!(
+                                "--rules names unknown rule `{name}`; known rules: {}",
+                                known.join(", ")
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    rule_filter = Some(names);
+                }
+                None => {
+                    eprintln!("--rules needs a comma-separated list of rule names\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -26,8 +77,14 @@ fn main() -> ExitCode {
                 }
             },
             "--list-rules" => {
-                for (name, desc) in rules::RULES {
-                    println!("{name}\n    {desc}");
+                for r in rules::RULES {
+                    println!(
+                        "{} [{}/{}]\n    {}",
+                        r.name,
+                        r.severity.as_str(),
+                        r.tier.as_str(),
+                        r.desc
+                    );
                 }
                 return ExitCode::SUCCESS;
             }
@@ -42,23 +99,45 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match engine::run(&root) {
+    let format = match (format, legacy_json) {
+        (Some(_), true) => {
+            eprintln!("--json is a legacy alias for --format json; pass one or the other\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        (Some(f), false) => f,
+        (None, true) => Format::Json,
+        (None, false) => Format::Human,
+    };
+
+    let mut report = match engine::run(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("seqpat-lint: failed to scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(filter) = &rule_filter {
+        report
+            .violations
+            .retain(|v| filter.iter().any(|r| r == v.rule));
+    }
 
     let human = |line: String| {
-        if json {
-            eprintln!("{line}");
-        } else {
+        if format == Format::Human {
             println!("{line}");
+        } else {
+            eprintln!("{line}");
         }
     };
     for v in &report.violations {
-        human(format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message));
+        human(format!(
+            "{}:{}: [{} {}] {}",
+            v.path,
+            v.line,
+            rules::severity_of(v.rule).as_str(),
+            v.rule,
+            v.message
+        ));
     }
     human(format!(
         "seqpat-lint: {} violation(s), {} suppressed, {} files scanned",
@@ -66,13 +145,15 @@ fn main() -> ExitCode {
         report.suppressed,
         report.files_scanned
     ));
-    if json {
-        print!("{}", engine::to_json(&report));
+    match format {
+        Format::Human => {}
+        Format::Json => print!("{}", engine::to_json(&report)),
+        Format::Sarif => print!("{}", engine::to_sarif(&report)),
     }
 
-    if report.violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if report.has_deny() {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

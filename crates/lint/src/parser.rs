@@ -1,0 +1,1116 @@
+//! Recursive-descent item parser over the lexer's token stream.
+//!
+//! Produces an item-level view of one source file: functions (with the
+//! calls, panic constructs, allocation sites, and `match` expressions inside
+//! their bodies), enum declarations, and `use … as …` aliases. This is not a
+//! full Rust parser — it recognizes exactly the item structure the semantic
+//! rules need (modules, impls, traits, fns, enums, use-trees) and skips
+//! everything else by balanced-delimiter matching, so unknown syntax
+//! degrades to "no facts extracted" rather than misparses.
+//!
+//! Loop-scope model: a *loop scope* is the body of a lexical `for`/`while`/
+//! `loop` **or of a closure** (closures passed to iterator adapters and
+//! `map_chunks` run per element, so for allocation discipline they count as
+//! loops). A scope is *innermost* when no other loop scope nests strictly
+//! inside it; an allocation site is "in the innermost loop" when its
+//! smallest enclosing loop scope is innermost.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parsed view of one source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Every `fn` item found, in source order (tests included, flagged).
+    pub fns: Vec<FnDef>,
+    /// Every `enum` declaration found.
+    pub enums: Vec<EnumDef>,
+    /// `use … as …` renames: (local alias, real last path segment).
+    pub aliases: Vec<(String, String)>,
+}
+
+/// One `enum` declaration.
+#[derive(Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// One `fn` item and the facts extracted from its body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Name with any `r#` prefix stripped.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// Enclosing `impl Type` / `trait Type` name, if any.
+    pub impl_type: Option<String>,
+    /// Inside `#[cfg(test)]` / annotated `#[test]` (body facts are skipped).
+    pub is_test: bool,
+    /// Whether the fn has a body at all (trait method decls do not).
+    pub has_body: bool,
+    /// Call sites in the body (excluding `debug_assert*!` interiors).
+    pub calls: Vec<CallSite>,
+    /// Panic constructs in the body (excluding `debug_assert*!` interiors).
+    pub panics: Vec<PanicSite>,
+    /// Allocation sites in the body.
+    pub allocs: Vec<AllocSite>,
+    /// `match` expressions in the body.
+    pub matches: Vec<MatchExpr>,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Called name (last segment, `r#` stripped).
+    pub name: String,
+    /// Qualifying path segments before the name (empty for bare calls).
+    pub path: Vec<String>,
+    /// 1-based line.
+    pub line: u32,
+    /// True for `.name(…)` method-call syntax.
+    pub is_method: bool,
+}
+
+/// One panic construct (`.unwrap()`, `.expect()`, `panic!`-family macro).
+#[derive(Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the construct, e.g. "`.unwrap()`".
+    pub what: String,
+}
+
+/// One allocation site.
+#[derive(Debug)]
+pub struct AllocSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description, e.g. "`vec!`" or "`.collect()`".
+    pub what: String,
+    /// True when the smallest enclosing loop scope exists and is innermost.
+    pub in_innermost_loop: bool,
+}
+
+/// One `match` expression: its line and the (flattened) arm alternatives.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// One entry per `|`-alternative of each arm.
+    pub arms: Vec<MatchArm>,
+}
+
+/// One arm alternative of a `match`.
+#[derive(Debug)]
+pub struct MatchArm {
+    /// 1-based line the alternative starts on.
+    pub line: u32,
+    /// Leading path of the pattern, e.g. `["CountingStrategy", "Direct"]`.
+    /// Empty for literal/tuple/parenthesized patterns.
+    pub head: Vec<String>,
+    /// True for `_` or a bare lowercase binding (a catch-all).
+    pub wildcard: bool,
+}
+
+/// Idents that look like calls when followed by `(` but are keywords.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "move", "mut", "ref", "unsafe", "where", "use", "pub", "mod", "struct", "enum", "trait",
+    "type", "const", "static", "dyn", "box", "await", "yield", "union", "fn", "impl",
+];
+
+/// Method names that allocate (or may) when invoked.
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "clone", "to_string"];
+
+/// Growth methods that allocate only when growing a locally-owned buffer.
+const GROW_METHODS: &[&str] = &["push", "extend", "extend_from_slice"];
+
+/// Associated constructors on uppercase types that allocate (or may).
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "default"];
+
+/// Tokens that can directly precede the opening `|` of a closure.
+const CLOSURE_STARTERS: &[&str] = &["(", ",", "=", "{", ";", ">", "&", "move", "return", "else"];
+
+/// Parses one file. `rel_path` is carried through for attribution only.
+pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        src,
+        tokens,
+        code,
+        out: ParsedFile {
+            path: rel_path.to_string(),
+            fns: Vec::new(),
+            enums: Vec::new(),
+            aliases: Vec::new(),
+        },
+    };
+    let end = p.code.len();
+    p.items(0, end, false, None);
+    p.out
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    code: Vec<usize>,
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn tok(&self, ci: usize) -> Option<&Token> {
+        self.code.get(ci).and_then(|&ti| self.tokens.get(ti))
+    }
+
+    fn txt(&self, ci: usize) -> &str {
+        match self.tok(ci) {
+            Some(t) => t.text(self.src),
+            None => "",
+        }
+    }
+
+    fn kind(&self, ci: usize) -> Option<TokenKind> {
+        self.tok(ci).map(|t| t.kind)
+    }
+
+    fn line(&self, ci: usize) -> u32 {
+        self.tok(ci).map_or(0, |t| t.line)
+    }
+
+    /// Code index of the delimiter closing the one at `open_ci`.
+    fn match_delim(&self, open_ci: usize) -> Option<usize> {
+        let open = self.txt(open_ci);
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return None,
+        };
+        let mut depth: u32 = 0;
+        let mut ci = open_ci;
+        while ci < self.code.len() {
+            let s = self.txt(ci);
+            if s == open {
+                depth += 1;
+            } else if s == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+            ci += 1;
+        }
+        None
+    }
+
+    /// With `ci` at `<`, returns the index just past the matching `>`.
+    /// `->` arrows inside do not close the angle bracket.
+    fn skip_angles(&self, ci: usize) -> usize {
+        let mut depth: u32 = 0;
+        let mut k = ci;
+        while k < self.code.len() {
+            match self.txt(k) {
+                "<" => depth += 1,
+                ">" if k == 0 || self.txt(k - 1) != "-" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                "" | ";" | "{" => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Walks items in `[ci, end)`, recursing into `mod`/`impl`/`trait`.
+    fn items(&mut self, mut ci: usize, end: usize, in_test: bool, impl_type: Option<&str>) {
+        while ci < end {
+            let mut item_test = in_test;
+            // Attributes (inner attributes are skipped; `#[test]` and
+            // `#[cfg(test)]` mark the following item as test code).
+            loop {
+                if self.txt(ci) == "#" && self.txt(ci + 1) == "!" && self.txt(ci + 2) == "[" {
+                    ci = self.match_delim(ci + 2).map_or(end, |c| c + 1);
+                    continue;
+                }
+                if self.txt(ci) == "#" && self.txt(ci + 1) == "[" {
+                    let Some(close) = self.match_delim(ci + 1) else {
+                        return;
+                    };
+                    let first = self.txt(ci + 2);
+                    if first == "test"
+                        || (first == "cfg" && (ci + 3..close).any(|k| self.txt(k) == "test"))
+                    {
+                        item_test = true;
+                    }
+                    ci = close + 1;
+                    continue;
+                }
+                break;
+            }
+            // Item modifiers.
+            loop {
+                match self.txt(ci) {
+                    "pub" => {
+                        ci += 1;
+                        if self.txt(ci) == "(" {
+                            ci = self.match_delim(ci).map_or(end, |c| c + 1);
+                        }
+                    }
+                    "unsafe" | "async" | "default" => ci += 1,
+                    "extern" => {
+                        ci += 1;
+                        if self.kind(ci) == Some(TokenKind::Str) {
+                            ci += 1;
+                        }
+                    }
+                    "const" if self.txt(ci + 1) == "fn" => ci += 1,
+                    _ => break,
+                }
+            }
+            match self.txt(ci) {
+                "" => return,
+                "fn" => ci = self.item_fn(ci, item_test, impl_type),
+                "mod" => {
+                    let mut k = ci + 2;
+                    if self.txt(k) == "{" {
+                        let close = self.match_delim(k).unwrap_or(end);
+                        self.items(k + 1, close, item_test, None);
+                        k = close;
+                    }
+                    ci = k + 1;
+                }
+                "impl" | "trait" => {
+                    let is_trait = self.txt(ci) == "impl";
+                    let mut k = ci + 1;
+                    if self.txt(k) == "<" {
+                        k = self.skip_angles(k);
+                    }
+                    // For `impl`: the self type is the last ident before the
+                    // body (segments after `for` win in `impl Trait for T`).
+                    // For `trait`: the name is the first ident.
+                    let mut ty: Option<String> = if is_trait {
+                        None
+                    } else {
+                        Some(self.txt(k).to_string())
+                    };
+                    loop {
+                        match self.txt(k) {
+                            "" => return,
+                            "{" | "where" => break,
+                            "for" => {
+                                ty = None;
+                                k += 1;
+                            }
+                            "<" => k = self.skip_angles(k),
+                            s => {
+                                if is_trait && self.kind(k) == Some(TokenKind::Ident) {
+                                    ty = Some(s.to_string());
+                                }
+                                k += 1;
+                            }
+                        }
+                    }
+                    while self.txt(k) != "{" {
+                        if self.txt(k).is_empty() {
+                            return;
+                        }
+                        k = if self.txt(k) == "<" {
+                            self.skip_angles(k)
+                        } else {
+                            k + 1
+                        };
+                    }
+                    let close = self.match_delim(k).unwrap_or(end);
+                    self.items(k + 1, close, item_test, ty.as_deref());
+                    ci = close + 1;
+                }
+                "enum" => ci = self.item_enum(ci),
+                "use" => ci = self.item_use(ci),
+                "struct" | "union" | "static" | "type" | "const" => {
+                    // Skip to the terminating `;` or the end of a `{…}` body.
+                    let mut k = ci + 1;
+                    loop {
+                        match self.txt(k) {
+                            "" => return,
+                            ";" => {
+                                k += 1;
+                                break;
+                            }
+                            "{" => {
+                                k = self.match_delim(k).map_or(end, |c| c + 1);
+                                break;
+                            }
+                            "(" | "[" => k = self.match_delim(k).map_or(end, |c| c + 1),
+                            "<" => k = self.skip_angles(k),
+                            _ => k += 1,
+                        }
+                    }
+                    ci = k;
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { … }` — skip the whole blob.
+                    let mut k = ci + 1;
+                    while !matches!(self.txt(k), "{" | "(" | "[" | "") {
+                        k += 1;
+                    }
+                    ci = self.match_delim(k).map_or(end, |c| c + 1);
+                }
+                _ => ci += 1,
+            }
+        }
+    }
+
+    /// Parses a `fn` item with `ci` at the `fn` keyword; returns the index
+    /// just past the item.
+    fn item_fn(&mut self, ci: usize, is_test: bool, impl_type: Option<&str>) -> usize {
+        let name = self.txt(ci + 1).trim_start_matches("r#").to_string();
+        let line = self.line(ci + 1);
+        let mut def = FnDef {
+            name,
+            line,
+            impl_type: impl_type.map(str::to_string),
+            is_test,
+            has_body: false,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            allocs: Vec::new(),
+            matches: Vec::new(),
+        };
+        // Scan the signature for the body `{` (or `;` for declarations).
+        let mut k = ci + 2;
+        let mut depth: u32 = 0;
+        let open = loop {
+            match self.txt(k) {
+                "" => {
+                    self.out.fns.push(def);
+                    return self.code.len();
+                }
+                ";" if depth == 0 => {
+                    self.out.fns.push(def);
+                    return k + 1;
+                }
+                "{" if depth == 0 => break k,
+                "(" | "[" => {
+                    depth += 1;
+                    k += 1;
+                }
+                ")" | "]" => {
+                    depth = depth.saturating_sub(1);
+                    k += 1;
+                }
+                "<" if depth == 0 => k = self.skip_angles(k),
+                _ => k += 1,
+            }
+        };
+        let close = self.match_delim(open).unwrap_or(self.code.len());
+        def.has_body = true;
+        if !is_test {
+            self.analyze_body(open + 1, close, &mut def);
+        }
+        self.out.fns.push(def);
+        close + 1
+    }
+
+    /// Parses an `enum` item with `ci` at the `enum` keyword.
+    fn item_enum(&mut self, ci: usize) -> usize {
+        let name = self.txt(ci + 1).to_string();
+        let line = self.line(ci + 1);
+        let mut k = ci + 2;
+        while self.txt(k) != "{" {
+            if self.txt(k).is_empty() || self.txt(k) == ";" {
+                return k + 1;
+            }
+            k = if self.txt(k) == "<" {
+                self.skip_angles(k)
+            } else {
+                k + 1
+            };
+        }
+        let Some(close) = self.match_delim(k) else {
+            return self.code.len();
+        };
+        let mut variants = Vec::new();
+        let mut j = k + 1;
+        while j < close {
+            // Variant attributes.
+            while self.txt(j) == "#" && self.txt(j + 1) == "[" {
+                j = self.match_delim(j + 1).map_or(close, |c| c + 1);
+            }
+            if j >= close {
+                break;
+            }
+            if self.kind(j) == Some(TokenKind::Ident) {
+                variants.push(self.txt(j).to_string());
+                j += 1;
+                // Payload / discriminant.
+                if matches!(self.txt(j), "(" | "{") {
+                    j = self.match_delim(j).map_or(close, |c| c + 1);
+                }
+                while j < close && self.txt(j) != "," {
+                    j += 1;
+                }
+            }
+            j += 1;
+        }
+        self.out.enums.push(EnumDef {
+            name,
+            line,
+            variants,
+        });
+        close + 1
+    }
+
+    /// Parses a `use` item with `ci` at the `use` keyword, recording
+    /// `as`-renames only (plain re-exports resolve by name anyway).
+    fn item_use(&mut self, ci: usize) -> usize {
+        let mut k = ci + 1;
+        let mut brace: u32 = 0;
+        let mut last_seg = String::new();
+        loop {
+            match self.txt(k) {
+                "" => return k,
+                ";" if brace == 0 => return k + 1,
+                "{" => brace += 1,
+                "}" => brace = brace.saturating_sub(1),
+                "as" => {
+                    let alias = self.txt(k + 1).trim_start_matches("r#").to_string();
+                    if !alias.is_empty() && !last_seg.is_empty() && alias != "_" {
+                        self.out.aliases.push((alias, last_seg.clone()));
+                    }
+                    k += 1;
+                }
+                s => {
+                    if self.kind(k) == Some(TokenKind::Ident) {
+                        last_seg = s.trim_start_matches("r#").to_string();
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+
+    /// Extracts calls, panics, allocations, and matches from a fn body
+    /// spanning code indices `[b0, b1)`.
+    fn analyze_body(&mut self, b0: usize, b1: usize, def: &mut FnDef) {
+        let da = self.debug_assert_spans(b0, b1);
+        let in_da = |ci: usize| da.iter().any(|&(s, e)| ci >= s && ci <= e);
+        let scopes = self.loop_scopes(b0, b1);
+        // A scope is innermost when no other scope nests strictly inside it.
+        let innermost: Vec<bool> = scopes
+            .iter()
+            .map(|s| {
+                !scopes
+                    .iter()
+                    .any(|t| t.0 >= s.0 && t.1 <= s.1 && (t.0 > s.0 || t.1 < s.1))
+            })
+            .collect();
+        // Smallest enclosing loop scope of a site, if any.
+        let enclosing = |ci: usize| -> Option<usize> {
+            scopes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.0 <= ci && ci < s.1)
+                .min_by_key(|(_, s)| s.1 - s.0)
+                .map(|(i, _)| i)
+        };
+
+        let mut ci = b0;
+        while ci < b1 {
+            if self.kind(ci) != Some(TokenKind::Ident) || in_da(ci) {
+                ci += 1;
+                continue;
+            }
+            let t = self.txt(ci);
+            let line = self.line(ci);
+            let after_dot = ci > b0 && self.txt(ci.wrapping_sub(1)) == ".";
+            let after_fn = ci > b0 && self.txt(ci.wrapping_sub(1)) == "fn";
+            let bang = self.txt(ci + 1) == "!";
+
+            // Panic constructs.
+            if bang && crate::rules::PANIC_MACROS.contains(&t) {
+                def.panics.push(PanicSite {
+                    line,
+                    what: format!("`{t}!`"),
+                });
+            }
+            if after_dot && (t == "unwrap" || t == "expect") && self.txt(ci + 1) == "(" {
+                def.panics.push(PanicSite {
+                    line,
+                    what: format!("`.{t}()`"),
+                });
+            }
+
+            // Allocation sites.
+            let mut alloc_what: Option<String> = None;
+            if bang && (t == "vec" || t == "format") {
+                alloc_what = Some(format!("`{t}!`"));
+            } else if after_dot && ALLOC_METHODS.contains(&t) && self.paren_after(ci + 1).is_some()
+            {
+                alloc_what = Some(format!("`.{t}()`"));
+            } else if after_dot && GROW_METHODS.contains(&t) && self.txt(ci + 1) == "(" {
+                // Growth only counts against a buffer owned by the loop
+                // scope itself; pushes into hoisted/param buffers are the
+                // fix, not the violation.
+                if let Some(si) = enclosing(ci) {
+                    let recv = self.txt(ci.wrapping_sub(2)).to_string();
+                    let (lo, _) = scopes[si];
+                    let owned = self.kind(ci.wrapping_sub(2)) == Some(TokenKind::Ident)
+                        && (lo..ci).any(|k| {
+                            self.txt(k) == "let"
+                                && (self.txt(k + 1) == recv
+                                    || (self.txt(k + 1) == "mut" && self.txt(k + 2) == recv))
+                        });
+                    if owned {
+                        alloc_what = Some(format!("`.{t}()` into a loop-local buffer"));
+                    }
+                }
+            } else if ALLOC_CTORS.contains(&t)
+                && ci >= 3
+                && self.txt(ci - 1) == ":"
+                && self.txt(ci - 2) == ":"
+                && self.txt(ci + 1) == "("
+                && self
+                    .txt(ci - 3)
+                    .trim_start_matches("r#")
+                    .starts_with(|c: char| c.is_ascii_uppercase())
+            {
+                alloc_what = Some(format!("`{}::{t}()`", self.txt(ci - 3)));
+            }
+            if let Some(what) = alloc_what {
+                let in_innermost_loop = enclosing(ci).is_some_and(|si| innermost[si]);
+                def.allocs.push(AllocSite {
+                    line,
+                    what,
+                    in_innermost_loop,
+                });
+            }
+
+            // Call sites.
+            if !bang
+                && !after_fn
+                && !NON_CALL_KEYWORDS.contains(&t)
+                && self.paren_after(ci + 1).is_some()
+            {
+                let mut path = Vec::new();
+                if !after_dot {
+                    let mut j = ci;
+                    while j >= 3
+                        && self.txt(j - 1) == ":"
+                        && self.txt(j - 2) == ":"
+                        && self.kind(j - 3) == Some(TokenKind::Ident)
+                    {
+                        path.insert(0, self.txt(j - 3).trim_start_matches("r#").to_string());
+                        j -= 3;
+                    }
+                }
+                def.calls.push(CallSite {
+                    name: t.trim_start_matches("r#").to_string(),
+                    path,
+                    line,
+                    is_method: after_dot,
+                });
+            }
+
+            // `match` expressions.
+            if t == "match" && !after_dot && !after_fn {
+                self.parse_match(ci, b1, def);
+            }
+
+            ci += 1;
+        }
+    }
+
+    /// `debug_assert*!(…)` interiors as inclusive code-index spans.
+    fn debug_assert_spans(&self, b0: usize, b1: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for ci in b0..b1 {
+            if self.kind(ci) == Some(TokenKind::Ident)
+                && self.txt(ci).starts_with("debug_assert")
+                && self.txt(ci + 1) == "!"
+                && matches!(self.txt(ci + 2), "(" | "[" | "{")
+            {
+                if let Some(close) = self.match_delim(ci + 2) {
+                    out.push((ci, close));
+                }
+            }
+        }
+        out
+    }
+
+    /// Loop scopes in `[b0, b1)` as half-open interior code-index ranges:
+    /// `for`/`while`/`loop` bodies and closure bodies.
+    fn loop_scopes(&self, b0: usize, b1: usize) -> Vec<(usize, usize)> {
+        let mut scopes = Vec::new();
+        let mut ci = b0;
+        while ci < b1 {
+            let t = self.txt(ci);
+            if self.kind(ci) == Some(TokenKind::Ident)
+                && matches!(t, "for" | "while" | "loop")
+                && self.txt(ci + 1) != "<"
+            {
+                // Header: first `{` outside parens/brackets opens the body.
+                let mut k = ci + 1;
+                let mut depth: u32 = 0;
+                loop {
+                    match self.txt(k) {
+                        "" | ";" => break,
+                        "(" | "[" => {
+                            depth += 1;
+                            k += 1;
+                        }
+                        ")" | "]" => {
+                            depth = depth.saturating_sub(1);
+                            k += 1;
+                        }
+                        "{" if depth == 0 => {
+                            if let Some(close) = self.match_delim(k) {
+                                scopes.push((k + 1, close));
+                            }
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+            } else if t == "|"
+                && ci > b0
+                && CLOSURE_STARTERS.contains(&self.txt(ci.wrapping_sub(1)))
+            {
+                // Closure: `|params| body` or `|| body`.
+                let params_end = if self.txt(ci + 1) == "|" {
+                    ci + 1
+                } else {
+                    let mut k = ci + 1;
+                    let mut depth: u32 = 0;
+                    loop {
+                        match self.txt(k) {
+                            "" | ";" | "{" => break,
+                            "(" | "[" => {
+                                depth += 1;
+                                k += 1;
+                            }
+                            ")" | "]" => {
+                                depth = depth.saturating_sub(1);
+                                k += 1;
+                            }
+                            "<" => k = self.skip_angles(k),
+                            "|" if depth == 0 => break,
+                            _ => k += 1,
+                        }
+                    }
+                    k
+                };
+                if self.txt(params_end) == "|" {
+                    let mut k = params_end + 1;
+                    if self.txt(k) == "-" && self.txt(k + 1) == ">" {
+                        // Return type forces a braced body.
+                        k += 2;
+                        while !matches!(self.txt(k), "{" | "" | ";") {
+                            k = if self.txt(k) == "<" {
+                                self.skip_angles(k)
+                            } else {
+                                k + 1
+                            };
+                        }
+                    }
+                    if self.txt(k) == "{" {
+                        if let Some(close) = self.match_delim(k) {
+                            scopes.push((k + 1, close));
+                        }
+                    } else {
+                        // Expression body: up to a depth-0 `,` `)` `}` `;`.
+                        let start = k;
+                        let mut depth: u32 = 0;
+                        loop {
+                            match self.txt(k) {
+                                "" => break,
+                                "(" | "[" | "{" => depth += 1,
+                                ")" | "]" | "}" if depth == 0 => break,
+                                ")" | "]" | "}" => depth -= 1,
+                                "," | ";" if depth == 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if k > start {
+                            scopes.push((start, k));
+                        }
+                    }
+                }
+            }
+            ci += 1;
+        }
+        scopes
+    }
+
+    /// If a call's argument list opens at `ci` (directly `(` or after a
+    /// `::<…>` turbofish), returns the index of the `(`.
+    fn paren_after(&self, ci: usize) -> Option<usize> {
+        if self.txt(ci) == "(" {
+            return Some(ci);
+        }
+        if self.txt(ci) == ":" && self.txt(ci + 1) == ":" && self.txt(ci + 2) == "<" {
+            let j = self.skip_angles(ci + 2);
+            if self.txt(j) == "(" {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Parses one `match` expression with `ci` at the keyword; records the
+    /// arm alternatives on `def`. Nested matches are found by the caller's
+    /// flat scan, so this does not recurse.
+    fn parse_match(&self, ci: usize, b1: usize, def: &mut FnDef) {
+        // Scrutinee: first `{` outside parens/brackets opens the arm block.
+        let mut k = ci + 1;
+        let mut depth: u32 = 0;
+        let open = loop {
+            if k >= b1 {
+                return;
+            }
+            match self.txt(k) {
+                "" | ";" => return,
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => break k,
+                "{" => match self.match_delim(k) {
+                    Some(c) => k = c,
+                    None => return,
+                },
+                _ => {}
+            }
+            k += 1;
+        };
+        let Some(close) = self.match_delim(open) else {
+            return;
+        };
+        let mut arms = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            // Pattern region: up to `=>` at depth 0.
+            let pat_start = k;
+            let mut d: u32 = 0;
+            let mut arrow = None;
+            let mut j = k;
+            while j < close {
+                match self.txt(j) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d = d.saturating_sub(1),
+                    "=" if d == 0 && self.txt(j + 1) == ">" => {
+                        arrow = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            // A depth-0 `if` starts the guard; alternatives end there.
+            let mut pat_end = arrow;
+            let mut d: u32 = 0;
+            for j in pat_start..arrow {
+                match self.txt(j) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d = d.saturating_sub(1),
+                    "if" if d == 0 => {
+                        pat_end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            // Split alternatives at depth-0 `|`.
+            let mut alt_start = pat_start;
+            let mut d: u32 = 0;
+            for j in pat_start..=pat_end {
+                let at_end = j == pat_end;
+                let split = at_end
+                    || match self.txt(j) {
+                        "(" | "[" | "{" => {
+                            d += 1;
+                            false
+                        }
+                        ")" | "]" | "}" => {
+                            d = d.saturating_sub(1);
+                            false
+                        }
+                        "|" => d == 0,
+                        _ => false,
+                    };
+                if split {
+                    if j > alt_start {
+                        arms.push(self.parse_alt(alt_start, j));
+                    }
+                    alt_start = j + 1;
+                }
+            }
+            // Arm body: braced (skip) or expression (to a depth-0 `,`).
+            let mut j = arrow + 2;
+            if self.txt(j) == "{" {
+                j = self.match_delim(j).map_or(close, |c| c + 1);
+                if self.txt(j) == "," {
+                    j += 1;
+                }
+            } else {
+                let mut d: u32 = 0;
+                while j < close {
+                    match self.txt(j) {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d = d.saturating_sub(1),
+                        "," if d == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            k = j.max(k + 1);
+        }
+        def.matches.push(MatchExpr {
+            line: self.line(ci),
+            arms,
+        });
+    }
+
+    /// Parses one arm alternative spanning `[s, e)` into its leading path
+    /// and catch-all-ness.
+    fn parse_alt(&self, s: usize, e: usize) -> MatchArm {
+        let line = self.line(s);
+        let mut k = s;
+        while k < e && matches!(self.txt(k), "&" | "ref" | "mut" | "box") {
+            k += 1;
+        }
+        if self.txt(k) == "_" {
+            return MatchArm {
+                line,
+                head: Vec::new(),
+                wildcard: true,
+            };
+        }
+        let mut head = Vec::new();
+        if self.kind(k) == Some(TokenKind::Ident) {
+            head.push(self.txt(k).trim_start_matches("r#").to_string());
+            k += 1;
+            while self.txt(k) == ":" && self.txt(k + 1) == ":" {
+                if self.kind(k + 2) == Some(TokenKind::Ident) {
+                    head.push(self.txt(k + 2).trim_start_matches("r#").to_string());
+                    k += 3;
+                } else {
+                    break;
+                }
+            }
+        }
+        // A single lowercase segment followed by nothing is a bare binding —
+        // semantically a catch-all.
+        let wildcard = head.len() == 1
+            && k >= e
+            && head[0].starts_with(|c: char| c.is_ascii_lowercase() || c == '_');
+        MatchArm {
+            line,
+            head,
+            wildcard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_enums_and_aliases_are_collected() {
+        let src = r#"
+pub enum CountingStrategy { Direct, HashTree, Auto }
+use crate::helpers::run as go;
+impl Foo {
+    pub fn method(&self) -> u32 { helper() }
+}
+fn helper() -> u32 { 7 }
+"#;
+        let f = parse_file("crates/x/src/lib.rs", src);
+        assert_eq!(f.enums.len(), 1);
+        assert_eq!(f.enums[0].variants, vec!["Direct", "HashTree", "Auto"]);
+        assert_eq!(f.aliases, vec![("go".to_string(), "run".to_string())]);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "method");
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(f.fns[0].calls.len(), 1);
+        assert_eq!(f.fns[0].calls[0].name, "helper");
+        assert!(f.fns[1].impl_type.is_none());
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_to_the_type() {
+        let src = "impl std::fmt::Display for Bar { fn fmt(&self) {} }\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("Bar"));
+    }
+
+    #[test]
+    fn test_code_is_flagged_and_not_analyzed() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { v.unwrap(); }
+}
+fn live() { x.unwrap(); }
+"#;
+        let f = parse_file("x.rs", src);
+        let t = f.fns.iter().find(|g| g.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(t.panics.is_empty());
+        let live = f.fns.iter().find(|g| g.name == "live").unwrap();
+        assert!(!live.is_test);
+        assert_eq!(live.panics.len(), 1);
+    }
+
+    #[test]
+    fn innermost_loop_allocs_are_flagged_but_hoisted_ones_are_not() {
+        let src = r#"
+fn f(n: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            let row = vec![i as u32, j as u32];
+            out.push(row);
+        }
+    }
+    out
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let g = &f.fns[0];
+        let hot: Vec<_> = g.allocs.iter().filter(|a| a.in_innermost_loop).collect();
+        // `vec![…]` and the push into `out`? `out` is let-bound *outside*
+        // the loop, so only the vec! macro is hot.
+        assert_eq!(hot.len(), 1);
+        assert!(hot[0].what.contains("vec!"));
+        // The top-level Vec::new is not in any loop.
+        assert!(g
+            .allocs
+            .iter()
+            .any(|a| a.what.contains("Vec::new") && !a.in_innermost_loop));
+    }
+
+    #[test]
+    fn closures_count_as_loop_scopes() {
+        let src = r#"
+fn f(v: &[u32]) -> Vec<Vec<u32>> {
+    v.iter().map(|x| vec![*x]).collect()
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let g = &f.fns[0];
+        assert!(g
+            .allocs
+            .iter()
+            .any(|a| a.what.contains("vec!") && a.in_innermost_loop));
+        // The trailing `.collect()` is outside the closure.
+        assert!(g
+            .allocs
+            .iter()
+            .any(|a| a.what.contains("collect") && !a.in_innermost_loop));
+    }
+
+    #[test]
+    fn match_arms_record_heads_and_wildcards() {
+        let src = r#"
+fn f(s: Strategy) -> u32 {
+    match s {
+        Strategy::A => 1,
+        Strategy::B | Strategy::C => 2,
+        _ => 0,
+    }
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let m = &f.fns[0].matches[0];
+        assert_eq!(m.arms.len(), 4);
+        assert_eq!(m.arms[0].head, vec!["Strategy", "A"]);
+        assert_eq!(m.arms[2].head, vec!["Strategy", "C"]);
+        assert!(m.arms[3].wildcard);
+    }
+
+    #[test]
+    fn guards_do_not_extend_the_pattern_head() {
+        let src = r#"
+fn f(s: S, n: u32) -> u32 {
+    match s {
+        S::A if n > 3 => 1,
+        other => 0,
+    }
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let m = &f.fns[0].matches[0];
+        assert_eq!(m.arms[0].head, vec!["S", "A"]);
+        assert!(!m.arms[0].wildcard);
+        assert!(m.arms[1].wildcard);
+    }
+
+    #[test]
+    fn turbofish_calls_and_qualified_paths_resolve() {
+        let src = r#"
+fn f() {
+    let v = build::<u32>();
+    crate::chunk::run_chunks(v);
+    std::panic::resume_unwind(Box::new(1));
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let calls: Vec<(&str, Vec<&str>)> = f.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.path.iter().map(String::as_str).collect()))
+            .collect();
+        assert!(calls.contains(&("build", vec![])));
+        assert!(calls.contains(&("run_chunks", vec!["crate", "chunk"])));
+        assert!(calls.contains(&("resume_unwind", vec!["std", "panic"])));
+    }
+
+    #[test]
+    fn panic_in_a_path_is_not_a_panic_macro() {
+        let src = "fn f(p: Box<dyn std::any::Any>) { std::panic::resume_unwind(p); }\n";
+        let f = parse_file("x.rs", src);
+        assert!(f.fns[0].panics.is_empty());
+    }
+
+    #[test]
+    fn debug_assert_interiors_are_skipped() {
+        let src = "fn f(v: &[u32]) { debug_assert!(v.first().unwrap() < &10); }\n";
+        let f = parse_file("x.rs", src);
+        assert!(f.fns[0].panics.is_empty());
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped_entirely() {
+        let src = r#"
+macro_rules! m {
+    ($x:expr) => { $x.unwrap() };
+}
+fn f() {}
+"#;
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns.len(), 1);
+        assert!(f.fns[0].panics.is_empty());
+    }
+}

@@ -24,39 +24,182 @@ pub const NO_WALL_CLOCK_OUTSIDE_STATS: &str = "no-wall-clock-outside-stats";
 pub const STATS_COVERAGE: &str = "stats-coverage";
 /// Meta rule reported for malformed/unjustified suppression comments.
 pub const SUPPRESSION: &str = "suppression";
+/// Rule: no panic construct reachable from kernel entry points through the
+/// workspace call graph (the cross-file generalization of
+/// [`NO_PANIC_IN_KERNELS`]).
+pub const TRANSITIVE_PANIC_REACHABILITY: &str = "transitive-panic-reachability";
+/// Rule: no allocation in the innermost loop of a kernel fn.
+pub const NO_ALLOC_IN_HOT_LOOP: &str = "no-alloc-in-hot-loop";
+/// Rule: `match` on the strategy/parallelism/algorithm enums must name
+/// every variant (no catch-all arm).
+pub const EXHAUSTIVE_STRATEGY_MATCH: &str = "exhaustive-strategy-match";
+/// Meta rule: an allow-comment whose rule no longer fires on the covered
+/// line(s) must be deleted.
+pub const STALE_SUPPRESSION: &str = "stale-suppression";
 
-/// The five suppressible rules with one-line descriptions (for --list-rules).
-pub const RULES: &[(&str, &str)] = &[
-    (
-        NO_PANIC_IN_KERNELS,
-        "kernel files must not unwrap()/expect(), invoke panic-family macros, \
-         or slice-index outside debug_assert-guarded fns (non-test code)",
-    ),
-    (
-        DETERMINISTIC_ITERATION,
-        "iterating a HashMap/HashSet (incl. FxHash*) requires a following \
-         sort or a BTree/order-insensitive sink",
-    ),
-    (
-        NO_LOSSY_CASTS_IN_KERNELS,
-        "kernel files must use the cast helpers (cast::idx/w64/id32) or \
-         try_into instead of bare `as <integer>` casts",
-    ),
-    (
-        NO_WALL_CLOCK_OUTSIDE_STATS,
-        "Instant/SystemTime are confined to stats.rs, crates/bench, and \
-         crates/cli",
-    ),
-    (
-        STATS_COVERAGE,
-        "every public MiningStats field must be referenced by the CLI \
-         --stats printer",
-    ),
+/// How a rule's findings gate the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Findings fail the run (and CI).
+    Deny,
+    /// Findings are reported but do not fail the run.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase name, as printed by `--list-rules` and the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// The SARIF `level` for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        }
+    }
+}
+
+/// Which analysis layer produces a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Per-file token-stream heuristics.
+    Lexical,
+    /// Parser/call-graph driven, workspace-wide.
+    Semantic,
+    /// About the lint comments themselves.
+    Meta,
+}
+
+impl Tier {
+    /// Lowercase name, as printed by `--list-rules`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Lexical => "lexical",
+            Tier::Semantic => "semantic",
+            Tier::Meta => "meta",
+        }
+    }
+}
+
+/// Registry entry for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name (one of the constants above).
+    pub name: &'static str,
+    /// Whether findings fail the run.
+    pub severity: Severity,
+    /// Which analysis layer produces the findings.
+    pub tier: Tier,
+    /// Whether an allow-comment may silence the rule. Meta rules are not
+    /// suppressible: a suppression cannot vouch for itself.
+    pub suppressible: bool,
+    /// One-line description for `--list-rules` and SARIF.
+    pub desc: &'static str,
+}
+
+/// Every rule, in `--list-rules` order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: NO_PANIC_IN_KERNELS,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "kernel files must not unwrap()/expect(), invoke panic-family macros, \
+               or slice-index outside debug_assert-guarded fns (non-test code)",
+    },
+    RuleInfo {
+        name: DETERMINISTIC_ITERATION,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "iterating a HashMap/HashSet (incl. FxHash*) requires a following \
+               sort or a BTree/order-insensitive sink",
+    },
+    RuleInfo {
+        name: NO_LOSSY_CASTS_IN_KERNELS,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "kernel files must use the cast helpers (cast::idx/w64/id32) or \
+               try_into instead of bare `as <integer>` casts",
+    },
+    RuleInfo {
+        name: NO_WALL_CLOCK_OUTSIDE_STATS,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "Instant/SystemTime are confined to stats.rs, crates/bench, and \
+               crates/cli",
+    },
+    RuleInfo {
+        name: STATS_COVERAGE,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "every public MiningStats field must be referenced by the CLI \
+               --stats printer",
+    },
+    RuleInfo {
+        name: TRANSITIVE_PANIC_REACHABILITY,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "no unwrap()/expect()/panic-family macro in any fn reachable from \
+               a kernel entry point through the workspace call graph",
+    },
+    RuleInfo {
+        name: NO_ALLOC_IN_HOT_LOOP,
+        severity: Severity::Warn,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "no Vec::new/push/collect/to_vec/clone/format! in the innermost \
+               loop (or per-element closure) of a kernel fn",
+    },
+    RuleInfo {
+        name: EXHAUSTIVE_STRATEGY_MATCH,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "match on CountingStrategy/Parallelism/Algorithm must name every \
+               variant — no `_` or binding catch-all arm",
+    },
+    RuleInfo {
+        name: STALE_SUPPRESSION,
+        severity: Severity::Deny,
+        tier: Tier::Meta,
+        suppressible: false,
+        desc: "an allow() comment whose rule no longer fires on the covered \
+               line(s) must be removed",
+    },
+    RuleInfo {
+        name: SUPPRESSION,
+        severity: Severity::Deny,
+        tier: Tier::Meta,
+        suppressible: false,
+        desc: "allow() comments must be well-formed, name known suppressible \
+               rules, and carry a justification",
+    },
 ];
 
-/// True if `name` is one of the five suppressible rule names.
+/// Registry entry for `name`, if it is a rule.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// True if `name` is any rule name (suppressible or not).
 pub fn is_known_rule(name: &str) -> bool {
-    RULES.iter().any(|(r, _)| *r == name)
+    rule_info(name).is_some()
+}
+
+/// Severity of a rule, defaulting to deny for unknown names (there are
+/// none, but the total function keeps call sites simple).
+pub fn severity_of(name: &str) -> Severity {
+    rule_info(name).map_or(Severity::Deny, |r| r.severity)
 }
 
 /// One lint finding, attributed to a workspace-relative path and line.
@@ -82,7 +225,9 @@ const KERNEL_BASENAMES: &[&str] = &[
     "contain.rs",
 ];
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macros that unconditionally panic when reached (shared with the parser's
+/// panic-site extraction).
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 const INT_TYPES: &[&str] = &[
     "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
@@ -118,13 +263,14 @@ fn basename(path: &str) -> &str {
     path.rsplit('/').next().unwrap_or(path)
 }
 
-fn is_kernel_path(path: &str) -> bool {
+/// True for the counting-kernel files (by basename).
+pub fn is_kernel_path(path: &str) -> bool {
     KERNEL_BASENAMES.contains(&basename(path))
 }
 
 /// Paths whose whole contents are test code: integration-test trees and the
 /// property-test module kept in its own file.
-fn is_test_path(path: &str) -> bool {
+pub fn is_test_path(path: &str) -> bool {
     path.contains("/tests/") || basename(path) == "proptests.rs"
 }
 
@@ -187,6 +333,31 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Violation> {
     a.out.sort();
     a.out.dedup();
     a.out
+}
+
+/// Byte spans of `#[cfg(test)]`-gated items in `src`. The engine's
+/// suppression scanner uses this so allow-comments inside test-only code
+/// are neither live nor reported stale.
+pub fn test_region_spans(src: &str) -> Vec<(usize, usize)> {
+    let tokens = lex(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut a = Analysis {
+        path: "",
+        src,
+        tokens,
+        code,
+        test_regions: Vec::new(),
+        debug_assert_spans: Vec::new(),
+        fn_bodies: Vec::new(),
+        out: Vec::new(),
+    };
+    a.find_test_regions();
+    a.test_regions
 }
 
 impl Analysis<'_> {

@@ -1,0 +1,342 @@
+//! The three call-graph / AST driven rules.
+//!
+//! These run over the whole parsed workspace at once (unlike the per-file
+//! lexical rules in [`crate::rules`]): transitive panic reachability walks
+//! the call graph from the kernel entry points, the hot-loop allocation
+//! rule uses the parser's loop-scope nesting, and the exhaustive-match rule
+//! cross-references `match` arms against the workspace's own enum
+//! declarations. The fourth semantic rule, `stale-suppression`, lives in
+//! the engine because it is defined by what the other rules did (not) do.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::parser::ParsedFile;
+use crate::rules::{self, Violation};
+
+/// Enums whose dispatch sites must stay exhaustive: adding a variant has to
+/// fail lint at every `match` until the new case is handled explicitly.
+pub const TARGET_ENUMS: &[&str] = &["CountingStrategy", "Parallelism", "Algorithm"];
+
+/// Rule: transitive-panic-reachability.
+///
+/// Entry points are all non-test fns defined in kernel files. Any panic
+/// construct in a *non*-kernel fn reachable from an entry point is flagged
+/// (panic sites inside kernel files themselves are the lexical rule's
+/// domain — reporting them here too would double-count every finding).
+/// `absorb(path, line)` is consulted per panic site; returning `true`
+/// (a valid suppression covers the site) silences it.
+pub fn transitive_panic(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    mut absorb: impl FnMut(&str, u32) -> bool,
+) -> Vec<Violation> {
+    let entries = graph.nodes_where(|fi, _| rules::is_kernel_path(&files[fi].path));
+    let parents = graph.reachable_with_parents(&entries);
+    let mut out = Vec::new();
+    for &node in parents.keys() {
+        let (fi, gi) = graph.nodes[node];
+        let file = &files[fi];
+        if rules::is_kernel_path(&file.path) {
+            continue;
+        }
+        let f = &file.fns[gi];
+        for p in &f.panics {
+            if absorb(&file.path, p.line) {
+                continue;
+            }
+            let chain = graph.chain(files, &parents, node);
+            out.push(Violation {
+                path: file.path.clone(),
+                line: p.line,
+                rule: rules::TRANSITIVE_PANIC_REACHABILITY,
+                message: format!(
+                    "{} in `{}` is reachable from kernel code ({chain}); \
+                     restructure, or suppress at this site with a justification",
+                    p.what, f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Rule: no-alloc-in-hot-loop.
+///
+/// Allocation sites whose smallest enclosing loop scope (lexical loop or
+/// closure body) is innermost, in non-test fns of kernel files.
+pub fn no_alloc_in_hot_loop(files: &[ParsedFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !rules::is_kernel_path(&file.path) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for a in &f.allocs {
+                if !a.in_innermost_loop {
+                    continue;
+                }
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: a.line,
+                    rule: rules::NO_ALLOC_IN_HOT_LOOP,
+                    message: format!(
+                        "{} in the innermost loop of kernel fn `{}`; hoist into a \
+                         reusable scratch buffer, or suppress with a justification",
+                        a.what, f.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule: exhaustive-strategy-match.
+///
+/// A `match` is *targeted* when any arm pattern's leading path starts with
+/// one of [`TARGET_ENUMS`] (or `Self` inside an impl of one). A targeted
+/// match must name every variant of that enum and must not have a
+/// wildcard/binding catch-all arm.
+pub fn exhaustive_strategy_match(files: &[ParsedFile]) -> Vec<Violation> {
+    // Variant lists come from the workspace's own enum declarations, so the
+    // rule stays self-contained (fixtures declare their own mini-enums).
+    let mut variants: BTreeMap<&str, &[String]> = BTreeMap::new();
+    for file in files {
+        for e in &file.enums {
+            if TARGET_ENUMS.contains(&e.name.as_str()) {
+                variants.insert(e.name.as_str(), &e.variants);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for m in &f.matches {
+                let target = m.arms.iter().find_map(|arm| {
+                    let h0 = arm.head.first()?;
+                    if arm.head.len() < 2 {
+                        return None;
+                    }
+                    if variants.contains_key(h0.as_str()) {
+                        return Some(h0.as_str());
+                    }
+                    if h0 == "Self" {
+                        let it = f.impl_type.as_deref()?;
+                        if variants.contains_key(it) {
+                            return Some(it);
+                        }
+                    }
+                    None
+                });
+                let Some(enum_name) = target else { continue };
+                let vars = variants[enum_name];
+                let named: BTreeSet<&str> = m
+                    .arms
+                    .iter()
+                    .filter(|arm| {
+                        arm.head.len() >= 2 && (arm.head[0] == enum_name || arm.head[0] == "Self")
+                    })
+                    .map(|arm| arm.head[1].as_str())
+                    .collect();
+                if let Some(wild) = m.arms.iter().find(|a| a.wildcard) {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: wild.line.max(m.line),
+                        rule: rules::EXHAUSTIVE_STRATEGY_MATCH,
+                        message: format!(
+                            "match on `{enum_name}` in `{}` has a catch-all arm; name \
+                             every variant so adding one fails lint at this dispatch site",
+                            f.name
+                        ),
+                    });
+                    continue;
+                }
+                let missing: Vec<&str> = vars
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|v| !named.contains(v))
+                    .collect();
+                if !missing.is_empty() {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: m.line,
+                        rule: rules::EXHAUSTIVE_STRATEGY_MATCH,
+                        message: format!(
+                            "match on `{enum_name}` in `{}` does not name variant(s) {}; \
+                             handle them explicitly",
+                            f.name,
+                            missing
+                                .iter()
+                                .map(|v| format!("`{v}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn parsed(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
+        sources.iter().map(|(p, s)| parse_file(p, s)).collect()
+    }
+
+    #[test]
+    fn transitive_chain_is_caught_and_kernel_sites_are_not_double_reported() {
+        let files = parsed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count_supports() { helper(); local.unwrap(); }\n",
+            ),
+            (
+                "crates/core/src/helpers.rs",
+                "pub fn helper() { x.unwrap(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let v = transitive_panic(&files, &g, |_, _| false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].path, "crates/core/src/helpers.rs");
+        assert!(v[0].message.contains("count_supports -> helper"));
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_flagged() {
+        let files = parsed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count_supports() {}\n",
+            ),
+            (
+                "crates/core/src/misc.rs",
+                "pub fn island() { x.unwrap(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(transitive_panic(&files, &g, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn absorbed_sites_are_silenced() {
+        let files = parsed(&[
+            ("crates/core/src/counting.rs", "pub fn k() { helper(); }\n"),
+            (
+                "crates/core/src/helpers.rs",
+                "pub fn helper() { x.unwrap(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let mut asked = Vec::new();
+        let v = transitive_panic(&files, &g, |p, l| {
+            asked.push((p.to_string(), l));
+            true
+        });
+        assert!(v.is_empty());
+        assert_eq!(asked.len(), 1);
+    }
+
+    #[test]
+    fn hot_loop_allocs_fire_only_in_kernel_files() {
+        let src = "fn f(n: usize) { for i in 0..n { let v = vec![i]; } }\n";
+        let kernel = parsed(&[("crates/core/src/vertical.rs", src)]);
+        assert_eq!(no_alloc_in_hot_loop(&kernel).len(), 1);
+        let plain = parsed(&[("crates/core/src/miner.rs", src)]);
+        assert!(no_alloc_in_hot_loop(&plain).is_empty());
+    }
+
+    #[test]
+    fn wildcard_match_on_a_target_enum_fires() {
+        let files = parsed(&[(
+            "x.rs",
+            r#"
+pub enum CountingStrategy { Direct, HashTree, Vertical }
+fn dispatch(s: CountingStrategy) -> u32 {
+    match s {
+        CountingStrategy::Direct => 1,
+        _ => 0,
+    }
+}
+"#,
+        )]);
+        let v = exhaustive_strategy_match(&files);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn missing_variant_fires_and_full_match_is_clean() {
+        let files = parsed(&[(
+            "x.rs",
+            r#"
+pub enum Algorithm { All, SomeA, Dynamic }
+fn partial(a: Algorithm) -> u32 {
+    match a {
+        Algorithm::All => 1,
+        Algorithm::SomeA => 2,
+    }
+}
+fn full(a: Algorithm) -> u32 {
+    match a {
+        Algorithm::All => 1,
+        Algorithm::SomeA => 2,
+        Algorithm::Dynamic => 3,
+    }
+}
+"#,
+        )]);
+        let v = exhaustive_strategy_match(&files);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`Dynamic`"));
+    }
+
+    #[test]
+    fn option_wrapped_matches_are_not_targeted() {
+        let files = parsed(&[(
+            "x.rs",
+            r#"
+pub enum Parallelism { Serial, Auto }
+fn f(p: Option<Parallelism>) -> u32 {
+    match p {
+        Some(x) => 1,
+        None => 0,
+    }
+}
+"#,
+        )]);
+        assert!(exhaustive_strategy_match(&files).is_empty());
+    }
+
+    #[test]
+    fn self_matches_inside_the_enum_impl_are_targeted() {
+        let files = parsed(&[(
+            "x.rs",
+            r#"
+pub enum Parallelism { Serial, Auto }
+impl Parallelism {
+    fn n(&self) -> u32 {
+        match self {
+            Self::Serial => 1,
+        }
+    }
+}
+"#,
+        )]);
+        let v = exhaustive_strategy_match(&files);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`Auto`"));
+    }
+}

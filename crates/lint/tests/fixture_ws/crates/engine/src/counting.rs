@@ -1,0 +1,43 @@
+//! Fixture kernel file (kernel basename): entry points for the seeded
+//! transitive-panic chain, one hoisted loop that must stay silent, one
+//! innermost-loop allocation that must fire, and an exhaustive match.
+
+use crate::strategy::CountingStrategy;
+use crate::support::resolve_support as seeded_resolve;
+
+/// Reaches the seeded `unwrap` through the `pub use` in `prelude`.
+pub fn count_pass(xs: &[u32]) -> u64 {
+    crate::prelude::resolve_support(xs)
+}
+
+/// Reaches the same chain through a `use … as …` alias.
+pub fn count_pass_aliased(xs: &[u32]) -> u64 {
+    seeded_resolve(xs)
+}
+
+pub fn accumulate(xs: &[u32]) -> usize {
+    // Hoisted: the buffer is bound at fn scope, pushes inside the loop
+    // grow a pre-existing vector and must stay silent.
+    let mut out = Vec::new();
+    for &x in xs {
+        out.push(x);
+    }
+    let mut total = 0;
+    for &x in xs {
+        let mut scratch = Vec::new(); // seeded: fresh alloc per iteration
+        scratch.push(x);
+        total += scratch.len();
+    }
+    total + out.len()
+}
+
+/// Names every variant: the exhaustive-match rule must stay silent here.
+pub fn dispatch(strategy: CountingStrategy) -> &'static str {
+    match strategy {
+        CountingStrategy::Direct => "direct",
+        CountingStrategy::HashTree => "hash-tree",
+        CountingStrategy::Vertical => "vertical",
+        CountingStrategy::Bitmap => "bitmap",
+        CountingStrategy::Auto => "auto",
+    }
+}

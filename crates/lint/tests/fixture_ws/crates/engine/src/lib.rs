@@ -1,0 +1,8 @@
+//! Fixture workspace root: wires the seeded-rule modules together.
+
+pub mod counting;
+pub mod prelude;
+pub mod stale;
+pub mod strategy;
+pub mod support;
+pub mod tricky;

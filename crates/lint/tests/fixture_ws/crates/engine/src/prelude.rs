@@ -1,0 +1,4 @@
+//! Re-export surface: the kernel calls `crate::prelude::resolve_support`,
+//! so the panic chain is only visible through this `pub use`.
+
+pub use crate::support::resolve_support;

@@ -1,0 +1,26 @@
+//! The fixture's strategy enum plus two seeded non-exhaustive matches.
+
+pub enum CountingStrategy {
+    Direct,
+    HashTree,
+    Vertical,
+    Bitmap,
+    Auto,
+}
+
+pub fn wildcard_dispatch(s: CountingStrategy) -> u32 {
+    match s {
+        CountingStrategy::Direct => 0,
+        _ => 1, // seeded: catch-all arm over a strategy enum
+    }
+}
+
+pub fn missing_variant_dispatch(s: CountingStrategy) -> u32 {
+    // seeded: names four of the five variants, `Auto` is missing
+    match s {
+        CountingStrategy::Direct => 0,
+        CountingStrategy::HashTree => 1,
+        CountingStrategy::Vertical => 2,
+        CountingStrategy::Bitmap => 3,
+    }
+}

@@ -1,0 +1,41 @@
+//! Tricky-parse fixtures: trait impls, macro bodies, closures, raw strings
+//! that look like code, and nested generics. Everything here lints clean.
+
+pub trait Visit {
+    fn visit(&self) -> usize;
+}
+
+pub struct Walker {
+    pub depth: usize,
+}
+
+impl Visit for Walker {
+    fn visit(&self) -> usize {
+        self.depth
+    }
+}
+
+macro_rules! make_getter {
+    ($name:ident, $field:ident) => {
+        pub fn $name(w: &Walker) -> usize {
+            w.$field
+        }
+    };
+}
+
+make_getter!(walker_depth, depth);
+
+/// Raw strings containing `match`/`unwrap` text must not be parsed as code.
+pub fn raw_strings() -> (&'static str, &'static str) {
+    (
+        r#"match CountingStrategy::Direct { _ => "not code" }"#,
+        r"fn fake() { let v: Vec<u32> = broken.unwrap(); }",
+    )
+}
+
+/// Nested generics close with `>>`; the closure body is not a hot loop
+/// because this file is not a kernel basename.
+pub fn nested_generics(rows: Vec<Vec<u32>>) -> usize {
+    let mapper = |row: &Vec<u32>| row.len();
+    rows.iter().map(mapper).sum()
+}

@@ -7,12 +7,24 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> seqpat-lint (workspace rules: determinism, panic-safety, kernel invariants)"
+echo "==> seqpat-lint (lexical + call-graph rules; fails on deny severity)"
 mkdir -p target/ci-results
-cargo run -q -p seqpat-lint -- --json > target/ci-results/lint.json
+# Emit both report formats before gating so the artifacts exist even when
+# the lint fails; the exit code is nonzero iff a deny-severity rule fired
+# (warn-severity findings are recorded but do not break the build).
+lint_status=0
+cargo run -q -p seqpat-lint -- --format json > target/ci-results/lint.json || lint_status=$?
+cargo run -q -p seqpat-lint -- --format sarif > target/ci-results/lint.sarif || lint_status=$?
+if [ "$lint_status" -ne 0 ]; then
+  echo "seqpat-lint: deny-severity violations (see target/ci-results/lint.json)" >&2
+  exit "$lint_status"
+fi
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo build --release"
 cargo build --release --workspace
