@@ -3,11 +3,12 @@
 //! S-step / AND-extension word kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use seqpat_core::bitmap::sstep;
+use seqpat_core::bitmap::{smear_and_words, sstep, support_hits_words};
 use seqpat_core::contain::{customer_contains, id_subsequence, sequence_contains};
 use seqpat_core::hash_tree::{SequenceHashTree, VisitSet};
 use seqpat_core::types::transformed::{LitemsetTable, TransformedCustomer, TransformedDatabase};
-use seqpat_core::{BitmapState, CandidateArena, Itemset};
+use seqpat_core::vertical::VerticalState;
+use seqpat_core::{BitmapState, CandidateArena, Itemset, VerticalParams};
 
 fn pseudo_random(seed: u32) -> impl FnMut(u32) -> u32 {
     let mut x = seed | 1;
@@ -93,15 +94,17 @@ fn bench_sequence_hash_tree(c: &mut Criterion) {
                 let mut seen = VisitSet::new(cands.num_candidates());
                 b.iter(|| {
                     let mut verify = 0u64;
+                    let mut probes = 0u64;
                     let mut hits = 0u32;
                     tree.for_each_contained(
                         black_box(&customer),
                         cands,
                         &mut seen,
                         &mut verify,
+                        &mut probes,
                         &mut |_| hits += 1,
                     );
-                    (verify, hits)
+                    (verify, probes, hits)
                 })
             },
         );
@@ -202,6 +205,100 @@ fn bench_sstep_and_extension(c: &mut Criterion) {
     });
 }
 
+fn bench_bitmap_lanes(c: &mut Criterion) {
+    // The unrolled lane kernels in isolation (one word = one customer
+    // span): the per-variant counterpart of the scalar bitmap_sstep cell.
+    let mut rnd = pseudo_random(61);
+    let base: Vec<u64> = (0..4096).map(|_| 1u64 << rnd(64)).collect();
+    let bits: Vec<u64> = (0..4096)
+        .map(|_| (1u64 << rnd(64)) | (1u64 << rnd(64)) | (1u64 << rnd(64)))
+        .collect();
+    let mut frontier = base.clone();
+    c.bench_function("bitmap_lanes/smear_and/4096words", |b| {
+        b.iter(|| {
+            frontier.copy_from_slice(black_box(&base));
+            smear_and_words(&mut frontier, black_box(&bits));
+        })
+    });
+    c.bench_function("bitmap_lanes/support_hits/4096words", |b| {
+        b.iter(|| support_hits_words(black_box(&base), black_box(&bits)))
+    });
+}
+
+/// Synthetic transformed database shared by the vertical-join benches:
+/// `customers` customers × `len` single-id transactions over `universe`
+/// ids. When `hot_every > 0`, one designated hot id additionally occurs in
+/// every `hot_every`-th transaction, skewing its occurrence list — the
+/// regime the galloping join path is built for.
+fn vertical_tdb(
+    customers: usize,
+    len: usize,
+    universe: u32,
+    hot_every: usize,
+) -> TransformedDatabase {
+    let mut rnd = pseudo_random(47);
+    let table = LitemsetTable::new(
+        (0..universe)
+            .map(|i| (Itemset::new(vec![i + 1]), 1))
+            .collect(),
+    );
+    let customers: Vec<TransformedCustomer> = (0..customers)
+        .map(|i| TransformedCustomer {
+            customer_id: i as u64 + 1,
+            elements: (0..len)
+                .map(|t| {
+                    let mut e = vec![rnd(universe)];
+                    if hot_every > 0 && t % hot_every == 0 && e[0] != 0 {
+                        e.push(0);
+                        e.sort_unstable();
+                    }
+                    e
+                })
+                .collect(),
+        })
+        .collect();
+    TransformedDatabase {
+        total_customers: customers.len(),
+        customers,
+        table,
+    }
+}
+
+fn bench_vertical_count(c: &mut Criterion) {
+    // End-to-end vertical support counting over occurrence-list joins:
+    // 512 customers of 40 transactions, 3-sequence candidates over a
+    // 48-id alphabet — the merge-join inner loop dominates.
+    let universe = 48u32;
+    let tdb = vertical_tdb(512, 40, universe, 0);
+    let mut rnd = pseudo_random(53);
+    let mut candidates: Vec<Vec<u32>> = (0..256)
+        .map(|_| (0..3).map(|_| rnd(universe)).collect())
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    let candidates = CandidateArena::from_rows(3, candidates.iter().map(|c| c.as_slice()));
+    let mut state = VerticalState::build(&tdb, VerticalParams::default());
+    c.bench_function("vertical_count/512x40/~250cands", |b| {
+        b.iter(|| state.count(black_box(&candidates), 1))
+    });
+
+    // Skewed cell: id 0 occurs in every second transaction of every
+    // customer, so its occurrence list dwarfs every prefix list — the
+    // galloping-join regime.
+    let tdb = vertical_tdb(512, 40, universe, 2);
+    let mut rnd = pseudo_random(59);
+    let mut skewed: Vec<Vec<u32>> = (0..128)
+        .map(|_| vec![1 + rnd(universe - 1), 1 + rnd(universe - 1), 0])
+        .collect();
+    skewed.sort();
+    skewed.dedup();
+    let skewed = CandidateArena::from_rows(3, skewed.iter().map(|c| c.as_slice()));
+    let mut state = VerticalState::build(&tdb, VerticalParams::default());
+    c.bench_function("vertical_count/512x40/skewed_hot_id", |b| {
+        b.iter(|| state.count(black_box(&skewed), 1))
+    });
+}
+
 fn bench_bitmap_count(c: &mut Criterion) {
     // End-to-end bitmap support counting: 256 customers of 96 transactions
     // (two-word spans) against 3-sequence candidates over a 32-id alphabet.
@@ -245,6 +342,8 @@ criterion_group!(
     bench_itemset_hash_tree,
     bench_sstep,
     bench_sstep_and_extension,
+    bench_bitmap_lanes,
+    bench_vertical_count,
     bench_bitmap_count
 );
 criterion_main!(kernels);

@@ -288,6 +288,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             s.containment_tests,
             s.threads_used
         );
+        if s.probe_nodes > 0 {
+            eprintln!("hash tree: probe nodes visited: {}", s.probe_nodes);
+        }
         eprintln!(
             "sequences: {} large, {} maximal  passes: {} litemset, {} sequence",
             s.large_sequences,
@@ -315,14 +318,14 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         }
         if strategy == CountingStrategy::Vertical || s.vertical_peak_bytes > 0 {
             eprintln!(
-                "vertical: index build {:?}  joins: {}  peak index bytes: {}",
-                s.vertical_index_time, s.join_ops, s.vertical_peak_bytes
+                "vertical: index build {:?}  joins: {}  gallop skips: {}  peak index bytes: {}",
+                s.vertical_index_time, s.join_ops, s.gallop_skips, s.vertical_peak_bytes
             );
         }
         if strategy == CountingStrategy::Bitmap || s.bitmap_words > 0 {
             eprintln!(
-                "bitmap: index build {:?}  sstep ops: {}  arena words: {}",
-                s.bitmap_index_time, s.sstep_ops, s.bitmap_words
+                "bitmap: index build {:?}  sstep ops: {}  lane words: {}  carry fixups: {}  arena words: {}",
+                s.bitmap_index_time, s.sstep_ops, s.lane_words, s.carry_fixups, s.bitmap_words
             );
         }
         eprintln!(

@@ -44,10 +44,38 @@ pub fn id_subsequence_with_subsets(
     })
 }
 
+/// Element sizes up to this length are membership-tested with a linear
+/// scan instead of a binary search: typical transformed transactions hold
+/// a handful of litemset ids, where the scan's predictable forward walk
+/// beats the binary search's data-dependent branches and lets the hash-tree
+/// probe's leaf verification stay in one cache line.
+const LINEAR_SCAN_MAX: usize = 8;
+
+/// Membership of `id` in one ascending-sorted element: linear scan with
+/// early exit for short elements, binary search past [`LINEAR_SCAN_MAX`].
+/// Both arms are exact, so the hybrid is invisible to every caller.
+#[inline]
+fn element_contains(element: &[LitemsetId], id: LitemsetId) -> bool {
+    debug_assert!(
+        element.windows(2).all(|w| w[0] < w[1]),
+        "transformed elements hold ascending unique litemset ids"
+    );
+    if element.len() <= LINEAR_SCAN_MAX {
+        for &h in element {
+            if h >= id {
+                return h == id;
+            }
+        }
+        false
+    } else {
+        element.binary_search(&id).is_ok()
+    }
+}
+
 /// Is the candidate id-sequence contained in a transformed customer
 /// sequence? `candidate[j]` must occur in some element (transaction) of the
 /// customer, at strictly increasing transaction positions. Elements store
-/// ascending ids, so membership is a binary search.
+/// ascending ids, so membership is a hybrid scan (`element_contains`).
 pub fn customer_contains(customer: &TransformedCustomer, candidate: &[LitemsetId]) -> bool {
     customer_contains_from(customer, candidate, 0).is_some()
 }
@@ -71,7 +99,7 @@ pub fn customer_contains_from(
         while pos < customer.elements.len() {
             let element = &customer.elements[pos];
             pos += 1;
-            if element.binary_search(&id).is_ok() {
+            if element_contains(element, id) {
                 last = Some(pos - 1);
                 continue 'outer;
             }
@@ -141,6 +169,30 @@ mod tests {
         assert!(!id_subsequence_with_subsets(&[0], &[2], &table));
         // order matters
         assert!(!id_subsequence_with_subsets(&[1, 0], &[0, 1], &table));
+    }
+
+    #[test]
+    fn element_contains_agrees_with_binary_search_on_both_arms() {
+        // Short (linear-scan) arm, including early exit past the id.
+        let short: Vec<LitemsetId> = vec![2, 5, 9];
+        for id in 0..12 {
+            assert_eq!(
+                element_contains(&short, id),
+                short.binary_search(&id).is_ok(),
+                "short element, id {id}"
+            );
+        }
+        // Long (binary-search) arm: strictly more than LINEAR_SCAN_MAX ids.
+        let long: Vec<LitemsetId> = (0..=2 * LINEAR_SCAN_MAX as u32).map(|i| 2 * i).collect();
+        assert!(long.len() > LINEAR_SCAN_MAX);
+        for id in 0..4 * LINEAR_SCAN_MAX as u32 {
+            assert_eq!(
+                element_contains(&long, id),
+                long.binary_search(&id).is_ok(),
+                "long element, id {id}"
+            );
+        }
+        assert!(!element_contains(&[], 0));
     }
 
     #[test]

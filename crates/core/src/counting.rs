@@ -249,6 +249,9 @@ pub struct CountingContext {
     /// Exact containment tests executed so far (horizontal strategies and
     /// the on-the-fly pass).
     pub containment_tests: u64,
+    /// Flat hash-tree nodes visited by probes so far (thread-invariant:
+    /// the per-customer probe is a pure function of the data).
+    pub probe_nodes: u64,
 }
 
 impl CountingContext {
@@ -270,6 +273,7 @@ impl CountingContext {
             vertical: None,
             bitmap: None,
             containment_tests: 0,
+            probe_nodes: 0,
         }
     }
 
@@ -316,6 +320,7 @@ impl CountingContext {
                 self.tree_params,
                 threads,
                 &mut self.containment_tests,
+                &mut self.probe_nodes,
             ),
             CountingStrategy::Vertical => self.vertical_state(tdb).count(candidates, threads),
             CountingStrategy::Bitmap => self.bitmap_state(tdb).count(candidates, threads),
@@ -341,14 +346,18 @@ impl CountingContext {
     /// twice adds nothing twice).
     pub fn flush_into(&mut self, stats: &mut MiningStats) {
         stats.containment_tests += std::mem::take(&mut self.containment_tests);
+        stats.probe_nodes += std::mem::take(&mut self.probe_nodes);
         if let Some(state) = &mut self.vertical {
             stats.vertical_index_time += std::mem::take(&mut state.index_build_time);
             stats.join_ops += std::mem::take(&mut state.joins);
+            stats.gallop_skips += std::mem::take(&mut state.gallop_skips);
             stats.vertical_peak_bytes = stats.vertical_peak_bytes.max(state.peak_bytes);
         }
         if let Some(state) = &mut self.bitmap {
             stats.bitmap_index_time += std::mem::take(&mut state.index_build_time);
             stats.sstep_ops += std::mem::take(&mut state.sstep_ops);
+            stats.lane_words += std::mem::take(&mut state.lane_words);
+            stats.carry_fixups += std::mem::take(&mut state.carry_fixups);
             stats.bitmap_words = stats.bitmap_words.max(state.index().words());
         }
         if self.auto_decision.is_some() {
@@ -617,6 +626,7 @@ fn count_hash_tree(
     params: TreeParams,
     threads: usize,
     containment_tests: &mut u64,
+    probe_nodes: &mut u64,
 ) -> Vec<u64> {
     // Built once, shared immutably by every worker.
     let tree = SequenceHashTree::build(candidates, params.fanout, params.leaf_capacity);
@@ -624,16 +634,37 @@ fn count_hash_tree(
     let partials = map_chunks(&tdb.customers, threads, |chunk| {
         let mut supports = vec![0u64; n];
         let mut tests = 0u64;
+        let mut probes = 0u64;
         let mut seen = VisitSet::new(n);
         for customer in chunk {
-            tree.for_each_contained(customer, candidates, &mut seen, &mut tests, &mut |id| {
-                debug_assert!(idx(id) < n, "the tree only yields candidate slots below n");
-                supports[idx(id)] += 1;
-            });
+            tree.for_each_contained(
+                customer,
+                candidates,
+                &mut seen,
+                &mut tests,
+                &mut probes,
+                &mut |id| {
+                    debug_assert!(idx(id) < n, "the tree only yields candidate slots below n");
+                    supports[idx(id)] += 1;
+                },
+            );
         }
-        (supports, tests)
+        (supports, tests, probes)
     });
-    merge_counts(partials, n, containment_tests)
+    let mut probes_total = 0u64;
+    let supports = merge_counts(
+        partials
+            .into_iter()
+            .map(|(supports, tests, probes)| {
+                probes_total += probes;
+                (supports, tests)
+            })
+            .collect(),
+        n,
+        containment_tests,
+    );
+    *probe_nodes += probes_total;
+    supports
 }
 
 #[cfg(test)]

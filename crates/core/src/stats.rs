@@ -57,12 +57,19 @@ pub struct MiningStats {
     pub candidates_counted: u64,
     /// Total customer-vs-candidate containment tests executed.
     pub containment_tests: u64,
+    /// Flat hash-tree nodes visited by containment probes (zero unless a
+    /// pass used [`crate::CountingStrategy::HashTree`]); a proxy for probe
+    /// depth × breadth, thread-invariant like every counter here.
+    pub probe_nodes: u64,
     /// Wall time spent building the vertical occurrence index (zero unless
     /// the run used [`crate::CountingStrategy::Vertical`]).
     pub vertical_index_time: Duration,
     /// Occurrence-list merge-joins executed by the vertical strategy — its
     /// analogue of `containment_tests` (zero for horizontal strategies).
     pub join_ops: u64,
+    /// Occurrence entries skipped by the vertical strategy's galloping
+    /// joins (zero when no join was skewed enough to gallop).
+    pub gallop_skips: u64,
     /// Peak bytes held by the vertical index plus cached occurrence lists
     /// (zero for horizontal strategies).
     pub vertical_peak_bytes: u64,
@@ -73,6 +80,12 @@ pub struct MiningStats {
     /// analogue of `containment_tests`/`join_ops` (zero for the other
     /// strategies).
     pub sstep_ops: u64,
+    /// Words the bitmap strategy pushed through its 4×-unrolled
+    /// single-word-span lane kernels (a subset of `sstep_ops`' words).
+    pub lane_words: u64,
+    /// Words the bitmap strategy saturated via the multi-word carry fix-up
+    /// pass (nonzero only with customers longer than 64 transactions).
+    pub carry_fixups: u64,
     /// Size of the bitmap arena in `u64` words (litemsets × packed words;
     /// zero when no bitmap index was built).
     pub bitmap_words: u64,

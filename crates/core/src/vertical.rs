@@ -31,6 +31,26 @@
 //! occurrence is the candidate's earliest end. Both sides are scanned once
 //! (two-pointer), so a join costs `O(|occ(p)| + |list(x)|)`.
 //!
+//! ## Join micro-architecture (see DESIGN.md "Kernel micro-architecture")
+//!
+//! Both sides compare as one packed `u64` key `(customer << 32) | pos`
+//! (`key`) — the lexicographic `(customer, pos)` order becomes a single
+//! integer compare, and "strictly after the earliest end" is exactly
+//! `key(last) > key(prefix)` because a prefix entry's customer matches
+//! before its position is compared. The inner advancement runs
+//! **branchless**: the comparison flag is monotone over the sorted list, so
+//! a 4-entry window advances by the *sum* of four independent flag adds
+//! (`setcc`/`cmov` codegen, no data-dependent branch in the steady state) —
+//! see `join_linear`. When the index list is more than `GALLOP_RATIO`×
+//! longer than the prefix list, `join_gallop` replaces the linear walk
+//! with exponential probing plus binary search per prefix entry, skipping
+//! runs of irrelevant occurrences in `O(log run)` (counted in
+//! [`VerticalState::gallop_skips`]). The dispatch is a pure function of the
+//! two list lengths, so results and counters stay deterministic. Either
+//! path visits the same frontier entry the two-pointer walk would — the
+//! first occurrence with `key > key(p)` — so the earliest-end invariant is
+//! untouched.
+//!
 //! ## Pass-to-pass reuse and the memory cap
 //!
 //! [`VerticalState`] retains the occurrence lists of the last counted pass
@@ -219,28 +239,145 @@ impl OccLists {
     }
 }
 
+/// Packed comparison key: `(customer << 32) | pos`. Integer order on keys
+/// is lexicographic `(customer, pos)` order, so the two-pointer advancement
+/// condition `customer < p.customer || (customer == p.customer && pos <=
+/// p.pos)` collapses to the single compare `key <= key(p)`.
+#[inline]
+fn key(o: Occurrence) -> u64 {
+    (u64::from(o.customer) << 32) | u64::from(o.pos)
+}
+
+/// Last-list-to-prefix-list length ratio above which [`join`] switches from
+/// the linear branchless walk to galloping: past this skew the `O(log run)`
+/// probes beat touching every irrelevant occurrence once. A pure function
+/// of the two lists, so the dispatch (and every counter) is deterministic.
+const GALLOP_RATIO: usize = 8;
+
+/// Per-join-kernel counters, merged into [`VerticalState`] after a pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct JoinCounters {
+    /// Merge-joins executed.
+    joins: u64,
+    /// Occurrence entries skipped over by galloping probes.
+    gallop_skips: u64,
+}
+
+impl JoinCounters {
+    fn add(&mut self, other: JoinCounters) {
+        self.joins += other.joins;
+        self.gallop_skips += other.gallop_skips;
+    }
+}
+
 /// Temporal merge-join: `out` gets one `(customer, pos)` entry per customer
 /// of `prefix` that has an entry in `last` at a strictly later transaction
 /// (the earliest such). `prefix` must hold ascending unique customers;
 /// `last` must be sorted by `(customer, pos)` — both invariants hold for
-/// every list this module produces.
-fn join(prefix: &[Occurrence], last: &[Occurrence], out: &mut Vec<Occurrence>) {
+/// every list this module produces. Dispatches on list-length skew between
+/// the branchless linear walk and the galloping walk (see the module docs);
+/// both return the identical earliest-end list.
+fn join(
+    prefix: &[Occurrence],
+    last: &[Occurrence],
+    out: &mut Vec<Occurrence>,
+    st: &mut JoinCounters,
+) {
     debug_assert!(
         prefix.windows(2).all(|w| w[0].customer < w[1].customer),
         "prefix lists hold ascending unique customers"
     );
     debug_assert!(
-        last.windows(2)
-            .all(|w| (w[0].customer, w[0].pos) <= (w[1].customer, w[1].pos)),
+        last.windows(2).all(|w| key(w[0]) <= key(w[1])),
         "index lists are sorted by (customer, pos)"
+    );
+    st.joins += 1;
+    if last.len() > GALLOP_RATIO * prefix.len().max(1) {
+        join_gallop(prefix, last, out, &mut st.gallop_skips);
+    } else {
+        join_linear(prefix, last, out);
+    }
+}
+
+/// The dense-side join: two-pointer walk with **branchless** advancement.
+/// `key(·) <= pk` is monotone over the sorted `last` list, so the advance
+/// within a 4-entry window is the sum of four independent comparison flags
+/// — straight-line flag adds with no data-dependent branch; the only
+/// branches are the (predictable) per-window continue/exit tests.
+fn join_linear(prefix: &[Occurrence], last: &[Occurrence], out: &mut Vec<Occurrence>) {
+    debug_assert!(
+        last.windows(2).all(|w| key(w[0]) <= key(w[1])),
+        "last is sorted by key: w[0..=3] index the exactly-4-entry window \
+         from get(j..j + 4), and last[j] is guarded by j < last.len()"
     );
     let mut j = 0usize;
     for &p in prefix {
-        while j < last.len()
-            && (last[j].customer < p.customer
-                || (last[j].customer == p.customer && last[j].pos <= p.pos))
-        {
+        let pk = key(p);
+        while let Some(w) = last.get(j..j + 4) {
+            let step = usize::from(key(w[0]) <= pk)
+                + usize::from(key(w[1]) <= pk)
+                + usize::from(key(w[2]) <= pk)
+                + usize::from(key(w[3]) <= pk);
+            j += step;
+            if step < 4 {
+                break;
+            }
+        }
+        // Tail: fewer than 4 entries left (or the window already stopped,
+        // making this a no-op check).
+        while j < last.len() && key(last[j]) <= pk {
             j += 1;
+        }
+        if j < last.len() && last[j].customer == p.customer {
+            out.push(Occurrence {
+                customer: p.customer,
+                pos: last[j].pos,
+            });
+        }
+    }
+}
+
+/// The skewed-side join: per prefix entry, exponential probing followed by
+/// binary search finds the first `last` entry with `key > pk` in
+/// `O(log run)` instead of touching every entry of the run. Entries jumped
+/// over (beyond the one comparison the linear walk would also pay) are
+/// counted in `gallop_skips`.
+fn join_gallop(
+    prefix: &[Occurrence],
+    last: &[Occurrence],
+    out: &mut Vec<Occurrence>,
+    gallop_skips: &mut u64,
+) {
+    debug_assert!(
+        last.windows(2).all(|w| key(w[0]) <= key(w[1])),
+        "last is sorted by key: probe index j + step is bounds-checked before \
+         every read, hi is clamped by min(len), and lo < mid < hi <= len keeps \
+         the binary-search reads in range"
+    );
+    let mut j = 0usize;
+    for &p in prefix {
+        let pk = key(p);
+        if j < last.len() && key(last[j]) <= pk {
+            // Exponential probe: double until last[j + step] > pk (or the
+            // list ends). Invariant: key(last[lo]) <= pk for lo = j + step/2.
+            let mut step = 1usize;
+            while j + step < last.len() && key(last[j + step]) <= pk {
+                step <<= 1;
+            }
+            let mut lo = j + step / 2;
+            let mut hi = (j + step).min(last.len());
+            // Binary search the boundary in (lo, hi]: smallest index whose
+            // key exceeds pk (hi == len counts as past-the-end boundary).
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                if key(last[mid]) <= pk {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            *gallop_skips += w64(hi - j - 1);
+            j = hi;
         }
         if j < last.len() && last[j].customer == p.customer {
             out.push(Occurrence {
@@ -265,13 +402,13 @@ fn seed_first_per_customer(list: &[Occurrence], out: &mut Vec<Occurrence>) {
 
 /// Computes `occ(prefix)` from the litemset index lists alone: seed with
 /// the first id, then one join per remaining id (`prefix.len() - 1` joins,
-/// added to `joins`). `out` receives the result; `tmp` is scratch.
+/// added to `st`). `out` receives the result; `tmp` is scratch.
 fn fold_prefix(
     index: &VerticalIndex,
     prefix: &[LitemsetId],
     out: &mut Vec<Occurrence>,
     tmp: &mut Vec<Occurrence>,
-    joins: &mut u64,
+    st: &mut JoinCounters,
 ) {
     debug_assert!(
         !prefix.is_empty(),
@@ -281,9 +418,8 @@ fn fold_prefix(
     seed_first_per_customer(index.list(prefix[0]), out);
     for &id in &prefix[1..] {
         tmp.clear();
-        join(out, index.list(id), tmp);
+        join(out, index.list(id), tmp, st);
         std::mem::swap(out, tmp);
-        *joins += 1;
     }
 }
 
@@ -303,6 +439,10 @@ pub struct VerticalState {
     /// Merge-joins executed so far (the vertical analogue of an exact
     /// containment test).
     pub joins: u64,
+    /// Occurrence entries skipped by galloping joins so far
+    /// (thread-invariant: the gallop dispatch and probe path are pure
+    /// functions of the joined lists).
+    pub gallop_skips: u64,
     /// Peak bytes held across index, cached lists, and a pass's fresh lists.
     pub peak_bytes: u64,
 }
@@ -321,6 +461,7 @@ impl VerticalState {
             fold_tmp: Vec::new(),
             index_build_time,
             joins: 0,
+            gallop_skips: 0,
             peak_bytes,
         }
     }
@@ -368,7 +509,7 @@ impl VerticalState {
         let partials = map_chunks(&runs, threads, |chunk| {
             let mut supports: Vec<u64> = Vec::new();
             let mut lists = OccLists::new();
-            let mut joins = 0u64;
+            let mut st = JoinCounters::default();
             let mut folded: Vec<Occurrence> = Vec::new();
             let mut fold_tmp: Vec<Occurrence> = Vec::new();
             let mut out: Vec<Occurrence> = Vec::new();
@@ -384,7 +525,7 @@ impl VerticalState {
                 } else if let Some(list) = cached_list {
                     list
                 } else {
-                    fold_prefix(index, prefix, &mut folded, &mut fold_tmp, &mut joins);
+                    fold_prefix(index, prefix, &mut folded, &mut fold_tmp, &mut st);
                     &folded
                 };
                 for i in start..end {
@@ -393,8 +534,7 @@ impl VerticalState {
                     if len == 1 {
                         seed_first_per_customer(index.list(last), &mut out);
                     } else {
-                        join(prefix_list, index.list(last), &mut out);
-                        joins += 1;
+                        join(prefix_list, index.list(last), &mut out, &mut st);
                     }
                     supports.push(w64(out.len()));
                     if keep_lists {
@@ -402,18 +542,21 @@ impl VerticalState {
                     }
                 }
             }
-            (supports, lists, joins)
+            (supports, lists, st)
         });
 
         let mut supports: Vec<u64> = Vec::with_capacity(n);
         let mut new_lists = OccLists::new();
-        for (s, l, j) in partials {
+        let mut totals = JoinCounters::default();
+        for (s, l, st) in partials {
             supports.extend(s);
             if keep_lists {
                 new_lists.append(&l);
             }
-            self.joins += j;
+            totals.add(st);
         }
+        self.joins += totals.joins;
+        self.gallop_skips += totals.gallop_skips;
 
         let fresh_bytes = if keep_lists {
             candidates.bytes() + new_lists.bytes()
@@ -453,7 +596,10 @@ impl VerticalState {
                 }
             }
         }
-        fold_prefix(&self.index, ids, out, &mut self.fold_tmp, &mut self.joins);
+        let mut st = JoinCounters::default();
+        fold_prefix(&self.index, ids, out, &mut self.fold_tmp, &mut st);
+        self.joins += st.joins;
+        self.gallop_skips += st.gallop_skips;
     }
 }
 
@@ -511,10 +657,70 @@ mod tests {
         let prefix = [occ(0, 1), occ(2, 0), occ(5, 3)];
         let last = [occ(0, 0), occ(0, 1), occ(0, 4), occ(2, 0), occ(4, 0)];
         let mut out = Vec::new();
-        join(&prefix, &last, &mut out);
+        let mut st = JoinCounters::default();
+        join(&prefix, &last, &mut out, &mut st);
         // Customer 0: earliest entry after pos 1 is pos 4. Customer 2: only
         // entry is at pos 0, not strictly later. Customer 5: absent.
         assert_eq!(out, vec![occ(0, 4)]);
+        assert_eq!(st.joins, 1);
+    }
+
+    #[test]
+    fn packed_key_orders_by_customer_then_pos() {
+        assert!(key(occ(0, u32::MAX)) < key(occ(1, 0)));
+        assert!(key(occ(3, 5)) < key(occ(3, 6)));
+        assert_eq!(key(occ(2, 7)), (2u64 << 32) | 7);
+    }
+
+    #[test]
+    fn linear_and_galloping_joins_agree_on_skewed_lists() {
+        // Pathological skew: 3 prefix entries against a 600-entry index
+        // list (ratio 200 ≫ GALLOP_RATIO forces the gallop path in join),
+        // with long runs of a hot customer between the matches.
+        let prefix = [occ(5, 2), occ(7, 90), occ(900, 0)];
+        let mut last = Vec::new();
+        for pos in 0..250 {
+            last.push(occ(5, pos)); // hot customer, run crossing pos 2
+        }
+        for pos in 0..100 {
+            last.push(occ(6, pos)); // run the gallop must leap entirely
+        }
+        for pos in 0..249 {
+            last.push(occ(7, pos)); // hot customer, run crossing pos 90
+        }
+        last.push(occ(901, 3)); // customer 900 absent
+        let mut linear = Vec::new();
+        join_linear(&prefix, &last, &mut linear);
+        let mut galloped = Vec::new();
+        let mut skips = 0u64;
+        join_gallop(&prefix, &last, &mut galloped, &mut skips);
+        assert_eq!(galloped, linear);
+        assert_eq!(linear, vec![occ(5, 3), occ(7, 91)]);
+        assert!(skips > 0, "skew this extreme must take galloping shortcuts");
+
+        // The public entry point dispatches to the gallop path here.
+        let mut via_join = Vec::new();
+        let mut st = JoinCounters::default();
+        join(&prefix, &last, &mut via_join, &mut st);
+        assert_eq!(via_join, linear);
+        assert_eq!(st.gallop_skips, skips);
+    }
+
+    #[test]
+    fn gallop_handles_boundary_runs() {
+        // Match at the very last entry, prefix entry past every customer,
+        // and a probe that overshoots the list end mid-doubling.
+        let prefix = [occ(1, 0), occ(2, 0), occ(9, 9)];
+        let mut last: Vec<Occurrence> = (1..64).map(|p| occ(0, p)).collect();
+        last.push(occ(1, 5));
+        last.push(occ(2, 1));
+        let mut linear = Vec::new();
+        join_linear(&prefix, &last, &mut linear);
+        let mut galloped = Vec::new();
+        let mut skips = 0u64;
+        join_gallop(&prefix, &last, &mut galloped, &mut skips);
+        assert_eq!(galloped, linear);
+        assert_eq!(linear, vec![occ(1, 5), occ(2, 1)]);
     }
 
     #[test]
@@ -661,11 +867,63 @@ mod tests {
         let run = |threads: usize| {
             let mut state = VerticalState::build(&db, VerticalParams::default());
             let supports = state.count(&pairs, threads);
-            (supports, state.joins, state.peak_bytes)
+            (supports, state.joins, state.gallop_skips, state.peak_bytes)
         };
         let serial = run(1);
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), serial, "{threads} threads");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Sorted duplicate-free occurrence lists in packed-key order —
+        /// exactly the invariant the index lists and join outputs hold.
+        fn arb_list(
+            customers: u32,
+            size: core::ops::Range<usize>,
+        ) -> impl Strategy<Value = Vec<Occurrence>> {
+            proptest::collection::btree_set((0..customers, 0u32..300), size).prop_map(|set| {
+                set.into_iter()
+                    .map(|(customer, pos)| Occurrence { customer, pos })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The branchless linear join and the galloping join are
+            /// interchangeable on any (prefix, last) pair, including the
+            /// skewed shapes the dispatcher sends to the gallop path.
+            #[test]
+            fn linear_and_galloping_joins_agree(
+                prefix in arb_list(8, 1..4),
+                last in arb_list(8, 64..256),
+            ) {
+                // Prefix lists hold at most one (earliest) occurrence per
+                // customer — the invariant `join` debug-asserts.
+                let mut prefix = prefix;
+                prefix.dedup_by_key(|o| o.customer);
+                let mut linear = Vec::new();
+                join_linear(&prefix, &last, &mut linear);
+                let mut galloped = Vec::new();
+                let mut skips = 0u64;
+                join_gallop(&prefix, &last, &mut galloped, &mut skips);
+                prop_assert_eq!(&galloped, &linear);
+
+                // This size ratio always exceeds GALLOP_RATIO, so the
+                // public dispatcher must agree with (and route to) the
+                // galloping path.
+                prop_assert!(last.len() > GALLOP_RATIO * prefix.len());
+                let mut via_join = Vec::new();
+                let mut st = JoinCounters::default();
+                join(&prefix, &last, &mut via_join, &mut st);
+                prop_assert_eq!(&via_join, &linear);
+                prop_assert_eq!(st.gallop_skips, skips);
+            }
         }
     }
 }

@@ -13,14 +13,71 @@
 //! bench targets) every body runs exactly once, untimed, so the tier-1
 //! gate stays fast. Rigorous measurements in this workspace come from the
 //! `seqpat-bench` harness binaries, not from these micro-benchmarks.
+//!
+//! Two CLI extensions beyond the criterion API surface:
+//!
+//! * **Substring filters** — positional arguments select benchmarks whose
+//!   full label contains any of them (criterion's filter behaviour), so CI
+//!   can smoke one fast cell per kernel family.
+//! * **`--json PATH`** — after all groups run, a machine-readable summary
+//!   (`{"results": [{"label", "mean_ns", "min_ns", "max_ns", "n"}]}`) is
+//!   written to `PATH` for the tracked kernel-benchmark baseline
+//!   (`results/bench_kernels.json`) and the `bench_compare.sh` gate.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 // seqpat-lint: allow(no-wall-clock-outside-stats) this shim IS the timing harness; measuring wall clock is its entire purpose
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// One finished benchmark, queued for the `--json` report.
+struct BenchRecord {
+    label: String,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    n: usize,
+}
+
+/// Results accumulated across every group of the run (benches execute on
+/// the main thread; the mutex just satisfies `static` requirements).
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Process-wide CLI configuration, parsed once.
+struct Config {
+    test_mode: bool,
+    json_path: Option<String>,
+    filters: Vec<String>,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut test_mode = false;
+        let mut json_path = None;
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--test" {
+                test_mode = true;
+            } else if arg == "--json" {
+                json_path = args.next();
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other flags (--bench, --nocapture, ...) are cargo harness
+            // plumbing; ignore them like criterion does.
+        }
+        Config {
+            test_mode,
+            json_path,
+            filters,
+        }
+    })
+}
 
 /// Entry point handed to each benchmark group function.
 pub struct Criterion {
@@ -30,7 +87,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Self {
-            test_mode: std::env::args().any(|a| a == "--test"),
+            test_mode: config().test_mode,
         }
     }
 }
@@ -135,6 +192,10 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let cfg = config();
+    if !cfg.filters.is_empty() && !cfg.filters.iter().any(|needle| label.contains(needle)) {
+        return;
+    }
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
@@ -156,6 +217,46 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: b
         "{label}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
         bencher.samples.len()
     );
+    let mut results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    results.push(BenchRecord {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        n: bencher.samples.len(),
+    });
+}
+
+/// Minimal JSON string escape (labels are plain ASCII identifiers, but a
+/// stray quote must not corrupt the report).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the accumulated results to the `--json` path, if one was given.
+/// Called by [`criterion_main!`] after every group has run; a no-op
+/// without the flag (and in `--test` mode, where nothing is recorded).
+pub fn write_json_report() {
+    let Some(path) = config().json_path.as_deref() else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"n\": {}}}{comma}\n",
+            escape(&r.label),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.n
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("criterion-compat: failed to write {path}: {e}");
+    }
 }
 
 /// Bundles benchmark functions into one group runner, mirroring
@@ -180,6 +281,7 @@ macro_rules! criterion_main {
             $(
                 $group();
             )+
+            $crate::write_json_report();
         }
     };
 }
@@ -203,6 +305,12 @@ mod tests {
         let mut c = Criterion { test_mode: true };
         tiny_bench(&mut c);
         c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(escape("plain/label_1"), "plain/label_1");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 
     #[test]

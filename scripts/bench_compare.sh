@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Kernel-benchmark regression gate: compares a fresh bench_kernels.json
+# against the committed baseline in results/bench_kernels.json and fails
+# when any kernel's mean regressed by more than the threshold.
+#
+#   ./scripts/bench_compare.sh <fresh.json> [baseline.json]
+#
+# Environment:
+#   BENCH_COMPARE_SKIP=1        skip entirely (known-noisy hosts / CI boxes)
+#   BENCH_COMPARE_THRESHOLD=25  allowed mean regression in percent
+#
+# Only labels present in BOTH files are compared (the key intersection), so
+# adding or renaming benches never breaks the gate by itself. Absolute
+# numbers are machine-dependent; the gate exists to catch *relative* cliffs
+# introduced by a code change, hence the generous default threshold.
+set -euo pipefail
+
+if [ "${BENCH_COMPARE_SKIP:-0}" = "1" ]; then
+  echo "bench_compare: skipped (BENCH_COMPARE_SKIP=1)"
+  exit 0
+fi
+
+fresh="${1:?usage: bench_compare.sh <fresh.json> [baseline.json]}"
+baseline="${2:-$(dirname "$0")/../results/bench_kernels.json}"
+threshold="${BENCH_COMPARE_THRESHOLD:-25}"
+
+for f in "$fresh" "$baseline"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_compare: missing $f" >&2
+    exit 1
+  fi
+done
+
+# Flatten one result-per-line: label<TAB>mean_ns. The JSON is written by
+# criterion-compat's --json mode, one object per line, so line-oriented
+# extraction is exact.
+extract() {
+  sed -n 's/.*"label": "\([^"]*\)", "mean_ns": \([0-9]*\).*/\1\t\2/p' "$1"
+}
+
+extract "$fresh" | sort > /tmp/bench_compare_fresh.$$
+extract "$baseline" | sort > /tmp/bench_compare_base.$$
+trap 'rm -f /tmp/bench_compare_fresh.$$ /tmp/bench_compare_base.$$' EXIT
+
+join -t "$(printf '\t')" /tmp/bench_compare_base.$$ /tmp/bench_compare_fresh.$$ | awk -F '\t' -v thr="$threshold" '
+  {
+    base = $2; now = $3;
+    if (base == 0) next;
+    delta = (now - base) * 100.0 / base;
+    printf "  %-48s base %12d ns  now %12d ns  %+7.1f%%\n", $1, base, now, delta;
+    if (delta > thr) { bad++; worst = $1; }
+    compared++;
+  }
+  END {
+    if (compared == 0) { print "bench_compare: no common labels to compare" > "/dev/stderr"; exit 1 }
+    if (bad > 0) {
+      printf "bench_compare: %d kernel(s) regressed beyond %s%% (e.g. %s)\n", bad, thr, worst > "/dev/stderr";
+      exit 1
+    }
+    printf "bench_compare: %d kernels within %s%% of baseline\n", compared, thr;
+  }
+'

@@ -47,4 +47,20 @@ echo "==> bench smoke (bitmap crossover, one dense + one sparse cell)"
 cargo run --release -p seqpat-bench --bin exp_bitmap -- \
   --quick --customers 150 --out target/ci-results
 
+echo "==> kernels bench smoke (one fast cell per kernel family, JSON report)"
+# Substring filters keep this under the wall-time budget: one cell each for
+# the bitmap lanes, the vertical join (incl. the galloping cell), and the
+# hash-tree probe. The JSON lands next to the other CI artifacts so
+# bench_compare can diff it against the committed baseline.
+# Absolute path: cargo runs bench binaries from the package dir, not the
+# workspace root.
+cargo bench -p seqpat-bench --bench kernels -- \
+  --json "$PWD/target/ci-results/bench_kernels.json" \
+  bitmap_lanes vertical_count sequence_hash_tree/probe
+
+echo "==> kernel regression gate (skip with BENCH_COMPARE_SKIP=1)"
+# Shared CI boxes are noisy; the threshold is generous and the gate only
+# compares labels present in both files.
+./scripts/bench_compare.sh target/ci-results/bench_kernels.json
+
 echo "==> CI green"
