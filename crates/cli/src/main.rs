@@ -1,23 +1,29 @@
 //! `seqmine` — command-line front end for the workspace.
 //!
 //! ```text
-//! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S] [--format spmf|csv]
+//! seqmine gen   --out data.spmf [--dataset C10-T2.5-S4-I1.25] [--customers N] [--seed S]
+//!               [--format spmf|csv|colstore] [--minsup F]  (colstore requires --minsup;
+//!               customers are streamed to disk, never resident all at once)
 //! seqmine mine  --in data.spmf  --minsup 0.01 [--algorithm apriori-all|apriori-some|dynamic-some|prefixspan]
 //!               [--step K] [--all] [--max-length L] [--window W] [--threads N|auto]
 //!               [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N]
+//!               [--backend mem|mmap] [--shard-customers N]
 //!               [--format spmf|csv] [--stats]
 //! seqmine stats --in data.spmf [--format spmf|csv]
-//! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions)
+//! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions;
+//!               `--out x.colstore --minsup F` builds the on-disk transformed store)
 //! ```
 
 use std::process::ExitCode;
 
 use seqpat_core::{
-    Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig, Parallelism,
+    Algorithm, CountingStrategy, Database, MinSupport, Miner, MinerConfig, MiningResult,
+    Parallelism,
 };
-use seqpat_datagen::{generate, GenParams};
+use seqpat_datagen::{generate, stream, GenParams};
 use seqpat_gsp::{gsp, gsp_maximal, GspConfig};
-use seqpat_io::{csv, spmf, DatasetStats};
+use seqpat_io::stream::min_count_for;
+use seqpat_io::{build_colstore, csv, spmf, ColstoreDataset, DatasetStats};
 use seqpat_prefixspan::{prefixspan, prefixspan_maximal, PrefixSpanConfig};
 
 fn main() -> ExitCode {
@@ -50,10 +56,10 @@ const USAGE: &str = "\
 seqmine — sequential pattern mining (Agrawal & Srikant, ICDE 1995)
 
 commands:
-  gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv])
-  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N] [--stats])
+  gen      generate a synthetic dataset        (--out FILE [--dataset NAME] [--customers N] [--seed S] [--format spmf|csv|colstore] [--minsup F])
+  mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N] [--backend mem|mmap] [--shard-customers N] [--stats])
   stats    print dataset statistics            (--in FILE)
-  convert  convert between spmf and csv        (--in FILE --out FILE)
+  convert  convert between spmf and csv        (--in FILE --out FILE; --out x.colstore --minsup F builds the on-disk store)
 
 algorithms: apriori-all (default), apriori-some, dynamic-some, prefixspan,
             gsp (supports --min-gap G --max-gap G --element-window W)";
@@ -113,17 +119,27 @@ fn detect_format(flags: &Flags, path: &str) -> Result<&'static str, String> {
         return match f {
             "spmf" => Ok("spmf"),
             "csv" => Ok("csv"),
-            other => Err(format!("unknown format {other:?} (use spmf or csv)")),
+            "colstore" => Ok("colstore"),
+            other => Err(format!(
+                "unknown format {other:?} (use spmf, csv, or colstore)"
+            )),
         };
     }
     if path.ends_with(".csv") {
         Ok("csv")
+    } else if path.ends_with(".colstore") {
+        Ok("colstore")
     } else {
         Ok("spmf")
     }
 }
 
 fn load(path: &str, format: &str) -> Result<Database, String> {
+    if format == "colstore" {
+        return Err(format!(
+            "{path}: a colstore holds the transformed database; only `mine --backend mmap` reads it"
+        ));
+    }
     let db = match format {
         "csv" => csv::read_file(path),
         _ => spmf::read_file(path),
@@ -153,8 +169,34 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             )
         })?
         .customers(customers);
-    let db = generate(&params, seed);
     let format = detect_format(&flags, out)?;
+    if format == "colstore" {
+        // Out-of-core generation: customers stream straight through the
+        // litemset/transform passes to disk; the full database is never
+        // resident. The transformed store depends on minsup, so it is
+        // required here.
+        let minsup: f64 = flags
+            .get_parsed("minsup")?
+            .ok_or("--format colstore requires --minsup")?;
+        if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
+            return Err("--minsup must be in (0, 1]".into());
+        }
+        let min_count = min_count_for(customers as u64, minsup);
+        let summary = build_colstore(
+            || stream(&params, seed),
+            min_count,
+            &Default::default(),
+            4096,
+            out,
+        )
+        .map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "generated {dataset} with {} customers → {out} (colstore: {} litemsets, {} litemset passes, minsup {minsup})",
+            summary.total_customers, summary.litemsets, summary.passes
+        );
+        return Ok(());
+    }
+    let db = generate(&params, seed);
     store(&db, out, format)?;
     println!(
         "generated {dataset} with {} customers ({} transactions) → {out}",
@@ -172,14 +214,19 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         return Err("--minsup must be in (0, 1]".into());
     }
     let format = detect_format(&flags, input)?;
-    let mut db = load(input, format)?;
-    // Optional sliding-window re-grouping (paper's conclusion extension):
-    // transactions within --window time units merge into one element.
-    if let Some(window) = flags.get_parsed::<i64>("window")? {
-        if window < 0 {
-            return Err("--window must be non-negative".into());
-        }
-        db = Database::from_rows_windowed(db.to_rows(), window);
+    // Backend selection: "mem" (default) loads the whole database; "mmap"
+    // opens an on-disk colstore (see `gen --format colstore` / `convert`)
+    // and pages customer rows in shard by shard. A .colstore input implies
+    // --backend mmap.
+    let backend = match flags.get("backend") {
+        None if format == "colstore" => "mmap",
+        None | Some("mem") => "mem",
+        Some("mmap") => "mmap",
+        Some(other) => return Err(format!("unknown backend {other:?} (use mem or mmap)")),
+    };
+    let shard_customers = flags.get_parsed::<usize>("shard-customers")?;
+    if shard_customers == Some(0) {
+        return Err("--shard-customers must be positive".into());
     }
     let algorithm_name = flags.get("algorithm").unwrap_or("apriori-all");
     let include_all = flags.has("all");
@@ -206,7 +253,28 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     // Vertical strategy pass-to-pass occurrence-list cache cap (MiB).
     let vertical_cache_mb = flags.get_parsed::<usize>("vertical-cache-mb")?;
 
+    // Loads the resident database, applying the optional sliding-window
+    // re-grouping (paper's conclusion extension): transactions within
+    // --window time units merge into one element.
+    let load_mem_db = || -> Result<Database, String> {
+        let mut db = load(input, format)?;
+        if let Some(window) = flags.get_parsed::<i64>("window")? {
+            if window < 0 {
+                return Err("--window must be non-negative".into());
+            }
+            db = Database::from_rows_windowed(db.to_rows(), window);
+        }
+        Ok(db)
+    };
+
+    if backend == "mmap" && (algorithm_name == "gsp" || algorithm_name == "prefixspan") {
+        return Err(format!(
+            "--backend mmap supports the paper algorithms only; {algorithm_name} needs the raw database (--backend mem)"
+        ));
+    }
+
     if algorithm_name == "gsp" {
+        let db = load_mem_db()?;
         let mut config = GspConfig::default();
         if let Some(g) = flags.get_parsed::<i64>("min-gap")? {
             config = config.min_gap(g);
@@ -230,6 +298,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     }
 
     if algorithm_name == "prefixspan" {
+        let db = load_mem_db()?;
         let config = PrefixSpanConfig {
             max_length,
             ..Default::default()
@@ -268,7 +337,21 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     if let Some(mb) = vertical_cache_mb {
         config.vertical.cache_cap_bytes = mb << 20;
     }
-    let result = Miner::new(config).mine(&db);
+    if let Some(s) = shard_customers {
+        config = config.shard_customers(s);
+    }
+    let result: MiningResult = if backend == "mmap" {
+        if flags.get("window").is_some() {
+            return Err(
+                "--window re-groups raw transactions; a colstore is already transformed".into(),
+            );
+        }
+        let store = ColstoreDataset::open(input).map_err(|e| format!("opening {input}: {e}"))?;
+        Miner::new(config).mine_dataset(&store)
+    } else {
+        let db = load_mem_db()?;
+        Miner::new(config).mine(&db)
+    };
     for p in &result.patterns {
         println!("{p} #SUP: {}", p.support);
     }
@@ -328,6 +411,13 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                 s.bitmap_index_time, s.sstep_ops, s.lane_words, s.carry_fixups, s.bitmap_words
             );
         }
+        if s.shards_processed > 0 {
+            eprintln!(
+                "shards: {} processed  {} bytes paged in",
+                s.shards_processed, s.shard_bytes
+            );
+        }
+        eprintln!("memory: peak rss bytes: {}", s.peak_rss_bytes);
         eprintln!(
             "times: litemset {:?}, transform {:?}, sequence {:?}, maximal {:?}",
             s.litemset_time, s.transform_time, s.sequence_time, s.maximal_time
@@ -356,10 +446,36 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     };
     let out_format = if output.ends_with(".csv") {
         "csv"
+    } else if output.ends_with(".colstore") {
+        "colstore"
     } else {
         "spmf"
     };
     let db = load(input, in_format)?;
+    if out_format == "colstore" {
+        // The store holds the *transformed* database, so the litemset
+        // threshold must be fixed at conversion time.
+        let minsup: f64 = flags
+            .get_parsed("minsup")?
+            .ok_or("a .colstore output requires --minsup")?;
+        if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
+            return Err("--minsup must be in (0, 1]".into());
+        }
+        let min_count = min_count_for(db.num_customers() as u64, minsup);
+        let summary = build_colstore(
+            || db.customers().iter().cloned(),
+            min_count,
+            &Default::default(),
+            4096,
+            output,
+        )
+        .map_err(|e| format!("writing {output}: {e}"))?;
+        println!(
+            "converted {input} ({in_format}) → {output} (colstore: {} customers, {} litemsets at minsup {minsup})",
+            summary.total_customers, summary.litemsets
+        );
+        return Ok(());
+    }
     store(&db, output, out_format)?;
     println!("converted {input} ({in_format}) → {output} ({out_format})");
     Ok(())
@@ -609,6 +725,130 @@ mod tests {
             "1.0".into(),
             "--window".into(),
             "-3".into(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn colstore_backend_end_to_end() {
+        let dir = std::env::temp_dir().join("seqmine_cli_colstore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spmf_path = dir.join("c.spmf").to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            spmf_path.clone(),
+            "--customers".into(),
+            "30".into(),
+            "--seed".into(),
+            "5".into(),
+        ])
+        .expect("gen spmf");
+
+        // convert → colstore, then mine it through the mmap backend
+        // (implied by the extension) with sharding and explicit flags.
+        let col = dir.join("c.colstore").to_string_lossy().into_owned();
+        cmd_convert(&[
+            "--in".into(),
+            spmf_path.clone(),
+            "--out".into(),
+            col.clone(),
+            "--minsup".into(),
+            "0.2".into(),
+        ])
+        .expect("convert to colstore");
+        cmd_mine(&[
+            "--in".into(),
+            col.clone(),
+            "--minsup".into(),
+            "0.2".into(),
+            "--max-length".into(),
+            "4".into(),
+            "--shard-customers".into(),
+            "7".into(),
+            "--stats".into(),
+        ])
+        .expect("mine colstore sharded");
+        cmd_mine(&[
+            "--in".into(),
+            col.clone(),
+            "--minsup".into(),
+            "0.2".into(),
+            "--max-length".into(),
+            "4".into(),
+            "--backend".into(),
+            "mmap".into(),
+        ])
+        .expect("mine colstore explicit backend");
+
+        // gen --format colstore streams straight to disk.
+        let gen_col = dir.join("g.colstore").to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            gen_col.clone(),
+            "--customers".into(),
+            "25".into(),
+            "--seed".into(),
+            "5".into(),
+            "--minsup".into(),
+            "0.25".into(),
+        ])
+        .expect("gen colstore");
+        cmd_mine(&[
+            "--in".into(),
+            gen_col.clone(),
+            "--minsup".into(),
+            "0.25".into(),
+            "--max-length".into(),
+            "4".into(),
+        ])
+        .expect("mine generated colstore");
+
+        // Error surface: prefixspan/window/backends/shard sizes.
+        let base = ["--in".to_string(), col.clone(), "--minsup".to_string()];
+        assert!(cmd_mine(
+            &[
+                &base[..],
+                &["0.2".into(), "--algorithm".into(), "prefixspan".into()]
+            ]
+            .concat()
+        )
+        .is_err());
+        assert!(
+            cmd_mine(&[&base[..], &["0.2".into(), "--window".into(), "1".into()]].concat())
+                .is_err()
+        );
+        assert!(cmd_mine(
+            &[
+                &base[..],
+                &["0.2".into(), "--backend".into(), "bogus".into()]
+            ]
+            .concat()
+        )
+        .is_err());
+        assert!(cmd_mine(
+            &[
+                &base[..],
+                &["0.2".into(), "--shard-customers".into(), "0".into()]
+            ]
+            .concat()
+        )
+        .is_err());
+        assert!(cmd_gen(&[
+            "--out".into(),
+            gen_col.clone(),
+            "--format".into(),
+            "colstore".into()
+        ])
+        .is_err());
+        assert!(cmd_stats(&["--in".into(), gen_col]).is_err());
+        assert!(cmd_convert(&[
+            "--in".into(),
+            spmf_path,
+            "--out".into(),
+            dir.join("no-minsup.colstore")
+                .to_string_lossy()
+                .into_owned(),
         ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

@@ -10,11 +10,11 @@
 
 use super::candidate;
 use crate::arena::CandidateArena;
-use crate::counting::{large_two_sequences, CountingContext, CountingStrategy, TreeParams};
+use crate::counting::{CountingContext, CountingStrategy, TreeParams};
+use crate::dataset::Dataset;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
-use crate::types::transformed::TransformedDatabase;
 use crate::vertical::VerticalParams;
 use seqpat_itemset::Parallelism;
 
@@ -33,20 +33,24 @@ pub struct SequencePhaseOptions {
     pub parallelism: Parallelism,
     /// Vertical-strategy knobs (occurrence-list cache cap).
     pub vertical: VerticalParams,
+    /// Customers per counting shard (`None` = count the whole database at
+    /// once). Sharded runs return bit-identical supports; see `counting`.
+    pub shard_customers: Option<usize>,
 }
 
 impl SequencePhaseOptions {
     /// The per-run [`CountingContext`] these options describe. Resolves
     /// `Auto` up front so the decision is recorded in the run's stats even
     /// when mining finishes before any counting pass runs.
-    pub fn context(&self, tdb: &TransformedDatabase) -> CountingContext {
+    pub fn context(&self, ds: &dyn Dataset) -> CountingContext {
         let mut ctx = CountingContext::new(
             self.counting,
             self.tree_params,
             self.parallelism,
             self.vertical,
-        );
-        ctx.resolved_strategy(tdb);
+        )
+        .with_shard_customers(self.shard_customers);
+        ctx.resolved_strategy(ds);
         ctx
     }
 }
@@ -54,8 +58,8 @@ impl SequencePhaseOptions {
 /// The large 1-sequences: every litemset id, with the support the litemset
 /// phase already counted (`support(⟨l⟩)` equals the customer support of the
 /// itemset `l` by definition).
-pub fn large_one_sequences(tdb: &TransformedDatabase) -> Vec<LargeIdSequence> {
-    tdb.table
+pub fn large_one_sequences(ds: &dyn Dataset) -> Vec<LargeIdSequence> {
+    ds.table()
         .iter()
         .map(|(id, _, support)| LargeIdSequence {
             ids: vec![id],
@@ -66,14 +70,14 @@ pub fn large_one_sequences(tdb: &TransformedDatabase) -> Vec<LargeIdSequence> {
 
 /// Runs AprioriAll. Returns **all** large sequences (every length).
 pub fn apriori_all(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     min_count: u64,
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
-    let mut ctx = options.context(tdb);
+    let mut ctx = options.context(ds);
     let pass_start = Stopwatch::start();
-    let l1 = large_one_sequences(tdb);
+    let l1 = large_one_sequences(ds);
     stats.record_pass(SequencePassStats {
         k: 1,
         generated: l1.len() as u64,
@@ -99,12 +103,7 @@ pub fn apriori_all(
         // pairs directly in one database scan (see counting.rs).
         if k == 2 {
             all.append(&mut current);
-            let (generated, l2) = large_two_sequences(
-                tdb,
-                min_count,
-                options.parallelism,
-                &mut stats.containment_tests,
-            );
+            let (generated, l2) = ctx.large_two(ds, min_count);
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -124,7 +123,7 @@ pub fn apriori_all(
         if candidates.is_empty() {
             break;
         }
-        let supports = ctx.count(tdb, &candidates);
+        let supports = ctx.count(ds, &candidates);
         let next: Vec<LargeIdSequence> = candidates
             .iter()
             .zip(&supports)
@@ -156,6 +155,7 @@ pub(crate) mod tests {
     use super::*;
     use crate::phases::litemset::{litemset_phase, tests::paper_db};
     use crate::phases::transform::transform_phase;
+    use crate::types::transformed::TransformedDatabase;
     use seqpat_itemset::AprioriConfig;
 
     pub(crate) fn paper_tdb() -> TransformedDatabase {

@@ -17,24 +17,23 @@ use super::backward::{backward, ForwardOutput};
 use super::candidate;
 use super::next::next;
 use crate::arena::CandidateArena;
-use crate::counting::large_two_sequences;
+use crate::dataset::Dataset;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
-use crate::types::transformed::TransformedDatabase;
 
 /// Runs AprioriSome. Returns a superset of the maximal large sequences
 /// (every returned sequence is large; non-maximal leftovers are removed by
 /// the maximal phase).
 pub fn apriori_some(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     min_count: u64,
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
-    let mut ctx = options.context(tdb);
+    let mut ctx = options.context(ds);
     let pass_start = Stopwatch::start();
-    let l1 = large_one_sequences(tdb);
+    let l1 = large_one_sequences(ds);
     stats.record_pass(SequencePassStats {
         k: 1,
         generated: l1.len() as u64,
@@ -68,12 +67,7 @@ pub fn apriori_some(
         // always 2 here, see the schedule note above).
         if k == 2 {
             debug_assert_eq!(count_at, 2);
-            let (generated, l2) = large_two_sequences(
-                tdb,
-                min_count,
-                options.parallelism,
-                &mut stats.containment_tests,
-            );
+            let (generated, l2) = ctx.large_two(ds, min_count);
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -95,7 +89,7 @@ pub fn apriori_some(
             break;
         }
         if k == count_at {
-            let supports = ctx.count(tdb, &candidates);
+            let supports = ctx.count(ds, &candidates);
             let lk: Vec<LargeIdSequence> = candidates
                 .iter()
                 .zip(&supports)
@@ -139,7 +133,7 @@ pub fn apriori_some(
         k += 1;
     }
 
-    let kept = backward(tdb, min_count, &mut ctx, stats, forward);
+    let kept = backward(ds, min_count, &mut ctx, stats, forward);
     ctx.flush_into(stats);
     kept
 }
@@ -149,6 +143,7 @@ mod tests {
     use super::*;
     use crate::algorithms::apriori_all::{apriori_all, tests::paper_tdb};
     use crate::phases::maximal::maximal_phase;
+    use crate::types::transformed::TransformedDatabase;
 
     fn maximal_strings(tdb: &TransformedDatabase, seqs: Vec<LargeIdSequence>) -> Vec<String> {
         let mut v: Vec<String> = maximal_phase(seqs, &tdb.table)

@@ -25,9 +25,10 @@ use std::collections::BTreeMap;
 use crate::arena::CandidateArena;
 use crate::contain::id_subsequence_with_subsets;
 use crate::counting::CountingContext;
+use crate::dataset::Dataset;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::{MiningStats, SequencePassStats};
-use crate::types::transformed::TransformedDatabase;
+use crate::types::transformed::LitemsetTable;
 
 /// Forward-phase output handed to the backward phase.
 #[derive(Debug, Default)]
@@ -43,7 +44,7 @@ pub struct ForwardOutput {
 /// counting context the forward phase used, so the vertical strategy's
 /// occurrence index carries over.
 pub fn backward(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     min_count: u64,
     ctx: &mut CountingContext,
     stats: &mut MiningStats,
@@ -77,12 +78,12 @@ pub fn backward(
             let before = ck.num_candidates() as u64;
             let mut remaining = CandidateArena::new(k);
             for ids in ck.iter() {
-                if !contained_in_any(ids, &kept, tdb) {
+                if !contained_in_any(ids, &kept, ds.table()) {
                     remaining.push(ids);
                 }
             }
             let pruned = before - remaining.num_candidates() as u64;
-            let supports = ctx.count(tdb, &remaining);
+            let supports = ctx.count(ds, &remaining);
             let survivors: Vec<LargeIdSequence> = remaining
                 .iter()
                 .zip(supports)
@@ -107,9 +108,9 @@ pub fn backward(
     kept
 }
 
-fn contained_in_any(ids: &[u32], kept: &[LargeIdSequence], tdb: &TransformedDatabase) -> bool {
+fn contained_in_any(ids: &[u32], kept: &[LargeIdSequence], table: &LitemsetTable) -> bool {
     kept.iter()
-        .any(|k| k.ids.len() > ids.len() && id_subsequence_with_subsets(&k.ids, ids, &tdb.table))
+        .any(|k| k.ids.len() > ids.len() && id_subsequence_with_subsets(&k.ids, ids, table))
 }
 
 #[cfg(test)]

@@ -21,11 +21,10 @@ use super::backward::{backward, ForwardOutput};
 use super::candidate;
 use super::otf::otf_generate;
 use crate::arena::CandidateArena;
-use crate::counting::large_two_sequences;
+use crate::dataset::Dataset;
 use crate::phases::maximal::LargeIdSequence;
 use crate::stats::Stopwatch;
 use crate::stats::{MiningStats, SequencePassStats};
-use crate::types::transformed::TransformedDatabase;
 
 /// The ids of a counted level as a generation-ready arena.
 fn ids_arena(level: &[LargeIdSequence], len: usize) -> CandidateArena {
@@ -37,19 +36,19 @@ fn ids_arena(level: &[LargeIdSequence], len: usize) -> CandidateArena {
 ///
 /// Returns a superset of the maximal large sequences, like AprioriSome.
 pub fn dynamic_some(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     min_count: u64,
     step: usize,
     options: &SequencePhaseOptions,
     stats: &mut MiningStats,
 ) -> Vec<LargeIdSequence> {
     assert!(step >= 1, "DynamicSome requires step >= 1");
-    let mut ctx = options.context(tdb);
+    let mut ctx = options.context(ds);
     let mut forward = ForwardOutput::default();
 
     // --- Initialization phase: exact L_1 ..= L_step. ---
     let pass_start = Stopwatch::start();
-    let l1 = large_one_sequences(tdb);
+    let l1 = large_one_sequences(ds);
     stats.record_pass(SequencePassStats {
         k: 1,
         generated: l1.len() as u64,
@@ -65,12 +64,7 @@ pub fn dynamic_some(
         let pass_start = Stopwatch::start();
         // Pass 2 fast path (shared with the other algorithms).
         if k == 2 {
-            let (generated, l2) = large_two_sequences(
-                tdb,
-                min_count,
-                options.parallelism,
-                &mut stats.containment_tests,
-            );
+            let (generated, l2) = ctx.large_two(ds, min_count);
             stats.record_pass(SequencePassStats {
                 k,
                 generated,
@@ -93,7 +87,7 @@ pub fn dynamic_some(
             forward.counted.insert(k, Vec::new());
             break;
         }
-        let supports = ctx.count(tdb, &candidates);
+        let supports = ctx.count(ds, &candidates);
         let lk: Vec<LargeIdSequence> = candidates
             .iter()
             .zip(&supports)
@@ -140,7 +134,7 @@ pub fn dynamic_some(
             // On-the-fly generation stays serial: it interleaves generation
             // with counting in one scan and is bound by |L_k|·|L_step|, not
             // by the customer scan (see DESIGN.md).
-            let counted_pairs = otf_generate(tdb, &lk_ids, &l_step_ids, &mut ctx);
+            let counted_pairs = otf_generate(ds, &lk_ids, &l_step_ids, &mut ctx);
             let generated = counted_pairs.len() as u64;
             let l_next: Vec<LargeIdSequence> = counted_pairs
                 .into_iter()
@@ -210,7 +204,7 @@ pub fn dynamic_some(
     forward.skipped.retain(|_, v| !v.is_empty());
 
     // --- Backward phase (shared). ---
-    let kept = backward(tdb, min_count, &mut ctx, stats, forward);
+    let kept = backward(ds, min_count, &mut ctx, stats, forward);
     ctx.flush_into(stats);
     kept
 }
@@ -221,6 +215,7 @@ mod tests {
     use crate::algorithms::apriori_all::{apriori_all, tests::paper_tdb};
     use crate::algorithms::apriori_some::apriori_some;
     use crate::phases::maximal::maximal_phase;
+    use crate::types::transformed::TransformedDatabase;
 
     fn maximal_ids(tdb: &TransformedDatabase, seqs: Vec<LargeIdSequence>) -> Vec<Vec<u32>> {
         let mut v: Vec<Vec<u32>> = maximal_phase(seqs, &tdb.table)

@@ -35,16 +35,22 @@
 use super::candidate::IdSeq;
 use crate::arena::CandidateArena;
 use crate::contain::customer_contains_from;
-use crate::counting::{CountingContext, CountingStrategy};
+use crate::counting::{CountingContext, CountingStrategy, SCAN_SHARD_ROWS};
+use crate::dataset::{shard_ranges, Dataset, ShardScratch};
 use crate::fxhash::FxHashMap;
-use crate::types::transformed::TransformedDatabase;
+use crate::types::transformed::TransformedCustomer;
 
 /// Runs otf-generate over the whole database. Returns `(candidate, support)`
 /// pairs sorted by candidate; containment probes (and, vertically, joins)
 /// are recorded on `ctx`. Stays serial: it interleaves generation with
 /// counting in one scan and is bound by `|Lk|·|Lj|`, not the customer scan.
+///
+/// Non-resident backends stream the horizontal scan shard by shard (the
+/// per-customer probe is self-contained, so the counts are additive across
+/// shards and the supports identical; the index-based paths need the whole
+/// database resident, which is exactly what streaming avoids).
 pub fn otf_generate(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     lk: &CandidateArena,
     lj: &CandidateArena,
     ctx: &mut CountingContext,
@@ -52,31 +58,67 @@ pub fn otf_generate(
     if lk.is_empty() || lj.is_empty() {
         return Vec::new();
     }
-    // `Auto` never reaches the dispatch (resolved_strategy resolves it to a
-    // concrete strategy), but it is named rather than wildcarded so a new
-    // strategy fails lint here until it gets an otf path.
-    let counts = match ctx.resolved_strategy(tdb) {
-        CountingStrategy::Vertical => otf_vertical(tdb, lk, lj, ctx),
-        CountingStrategy::Bitmap => otf_bitmap(tdb, lk, lj, ctx),
-        CountingStrategy::Direct | CountingStrategy::HashTree | CountingStrategy::Auto => {
-            otf_horizontal(tdb, lk, lj, &mut ctx.containment_tests)
-        }
+    let counts = match ds.resident() {
+        // `Auto` never reaches the dispatch (resolved_strategy resolves it
+        // to a concrete strategy), but it is named rather than wildcarded
+        // so a new strategy fails lint here until it gets an otf path.
+        Some(rows) => match ctx.resolved_strategy(ds) {
+            CountingStrategy::Vertical => otf_vertical(ds, rows, lk, lj, ctx),
+            CountingStrategy::Bitmap => otf_bitmap(ds, rows, lk, lj, ctx),
+            CountingStrategy::Direct | CountingStrategy::HashTree | CountingStrategy::Auto => {
+                let mut counts = FxHashMap::default();
+                otf_horizontal(
+                    rows,
+                    ds.table().len(),
+                    lk,
+                    lj,
+                    &mut ctx.containment_tests,
+                    &mut counts,
+                );
+                counts
+            }
+        },
+        None => otf_streaming(ds, lk, lj, ctx),
     };
     let mut out: Vec<(IdSeq, u64)> = counts.into_iter().collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
 }
 
+/// Shard-by-shard horizontal otf over a non-resident backend: per-customer
+/// counts are added into one map across shards, so the result matches the
+/// resident horizontal scan exactly while holding one shard at a time.
+fn otf_streaming(
+    ds: &dyn Dataset,
+    lk: &CandidateArena,
+    lj: &CandidateArena,
+    ctx: &mut CountingContext,
+) -> FxHashMap<IdSeq, u64> {
+    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
+    let num_litemsets = ds.table().len();
+    let shard = ctx.shard_customers().or(Some(SCAN_SHARD_ROWS));
+    let mut scratch = ShardScratch::new();
+    let mut tests = 0u64;
+    for range in shard_ranges(ds.num_rows(), shard) {
+        ctx.shards_processed += 1;
+        ctx.shard_bytes += ds.shard_bytes(range.clone());
+        let rows = ds.load_shard(range, &mut scratch);
+        otf_horizontal(rows, num_litemsets, lk, lj, &mut tests, &mut counts);
+    }
+    ctx.containment_tests += tests;
+    counts
+}
+
 fn otf_horizontal(
-    tdb: &TransformedDatabase,
+    customers: &[TransformedCustomer],
+    num_litemsets: usize,
     lk: &CandidateArena,
     lj: &CandidateArena,
     containment_tests: &mut u64,
-) -> FxHashMap<IdSeq, u64> {
-    let mut counts: FxHashMap<IdSeq, u64> = FxHashMap::default();
-    let num_litemsets = tdb.table.len();
+    counts: &mut FxHashMap<IdSeq, u64>,
+) {
     let mut bitmap = vec![false; num_litemsets];
-    for customer in &tdb.customers {
+    for customer in customers {
         if customer.elements.is_empty() {
             continue;
         }
@@ -100,19 +142,19 @@ fn otf_horizontal(
                 }
                 *containment_tests += 1;
                 if customer_contains_from(customer, y, end + 1).is_some() {
-                    bump(&mut counts, x, y);
+                    bump(counts, x, y);
                 }
             }
         }
     }
-    counts
 }
 
 /// Vertical variant: occurrence lists give each `x`'s supporting customers
 /// with earliest ends directly, replacing the prefix scan with cache
-/// lookups/folds over the index.
+/// lookups/folds over the index. `rows` is the resident row slice of `ds`.
 fn otf_vertical(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
+    rows: &[TransformedCustomer],
     lk: &CandidateArena,
     lj: &CandidateArena,
     ctx: &mut CountingContext,
@@ -123,9 +165,9 @@ fn otf_vertical(
     // with each fill, freeing `ctx` for the counter update below.
     let mut occ = Vec::new();
     for x in lk.iter() {
-        ctx.vertical_state(tdb).occurrences_of(x, &mut occ);
+        ctx.vertical_state(ds).occurrences_of(x, &mut occ);
         for o in &occ {
-            let customer = &tdb.customers[o.customer as usize];
+            let customer = &rows[o.customer as usize];
             for y in lj.iter() {
                 tests += 1;
                 if customer_contains_from(customer, y, o.pos as usize + 1).is_some() {
@@ -142,7 +184,8 @@ fn otf_vertical(
 /// computed by an S-step fold over the packed index (smeared words are
 /// counted on the state).
 fn otf_bitmap(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
+    rows: &[TransformedCustomer],
     lk: &CandidateArena,
     lj: &CandidateArena,
     ctx: &mut CountingContext,
@@ -151,9 +194,9 @@ fn otf_bitmap(
     let mut tests = 0u64;
     let mut occ = Vec::new();
     for x in lk.iter() {
-        ctx.bitmap_state(tdb).occurrences_of(x, &mut occ);
+        ctx.bitmap_state(ds).occurrences_of(x, &mut occ);
         for o in &occ {
-            let customer = &tdb.customers[o.customer as usize];
+            let customer = &rows[o.customer as usize];
             for y in lj.iter() {
                 tests += 1;
                 if customer_contains_from(customer, y, o.pos as usize + 1).is_some() {
@@ -178,6 +221,7 @@ mod tests {
     use super::*;
     use crate::algorithms::apriori_all::tests::paper_tdb;
     use crate::algorithms::apriori_all::SequencePhaseOptions;
+    use crate::types::transformed::TransformedDatabase;
 
     fn arena(rows: &[Vec<u32>]) -> CandidateArena {
         CandidateArena::from_rows(

@@ -91,7 +91,7 @@
 use crate::arena::CandidateArena;
 use crate::cast::{id32, idx, w64};
 use crate::stats::Stopwatch;
-use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use crate::types::transformed::{LitemsetId, TransformedCustomer, TransformedDatabase};
 use crate::vertical::Occurrence;
 use seqpat_itemset::parallel::{map_chunks, sum_partials};
 use std::time::Duration;
@@ -514,11 +514,18 @@ pub struct BitmapIndex {
 impl BitmapIndex {
     /// Builds the index in one scan of the transformed database.
     pub fn build(tdb: &TransformedDatabase) -> Self {
-        let num_ids = tdb.table.len();
-        let mut word_offsets = Vec::with_capacity(tdb.customers.len() + 1);
+        Self::build_slice(&tdb.customers, tdb.table.len())
+    }
+
+    /// Like [`BitmapIndex::build`], but over any contiguous row slice — a
+    /// whole database or one shard of it. Customer indices are relative to
+    /// `customers`, so per-shard indexes are self-contained (supports are
+    /// additive across shards).
+    pub fn build_slice(customers: &[TransformedCustomer], num_ids: usize) -> Self {
+        let mut word_offsets = Vec::with_capacity(customers.len() + 1);
         word_offsets.push(0u32);
         let mut total = 0u32;
-        for customer in &tdb.customers {
+        for customer in customers {
             total += id32(customer.elements.len().div_ceil(64));
             word_offsets.push(total);
         }
@@ -526,10 +533,10 @@ impl BitmapIndex {
         let mut bits = vec![0u64; num_ids * total_words];
         debug_assert_eq!(
             word_offsets.len(),
-            tdb.customers.len() + 1,
+            customers.len() + 1,
             "one CSR word offset per customer plus the terminator"
         );
-        for (c, customer) in tdb.customers.iter().enumerate() {
+        for (c, customer) in customers.iter().enumerate() {
             let base = idx(word_offsets[c]);
             for (t, element) in customer.elements.iter().enumerate() {
                 let word = base + t / 64;
@@ -609,8 +616,14 @@ pub struct BitmapState {
 impl BitmapState {
     /// Builds the bitmap index for `tdb`.
     pub fn build(tdb: &TransformedDatabase) -> Self {
+        Self::build_slice(&tdb.customers, tdb.table.len())
+    }
+
+    /// Like [`BitmapState::build`], but over any contiguous row slice — a
+    /// whole database or one shard of it.
+    pub fn build_slice(customers: &[TransformedCustomer], num_ids: usize) -> Self {
         let watch = Stopwatch::start();
-        let index = BitmapIndex::build(tdb);
+        let index = BitmapIndex::build_slice(customers, num_ids);
         let index_build_time = watch.elapsed();
         let customers: Vec<u32> = (0..id32(index.num_customers())).collect();
         Self {

@@ -53,12 +53,14 @@ use crate::arena::CandidateArena;
 use crate::bitmap::BitmapState;
 use crate::cast::{idx, w64};
 use crate::contain::customer_contains;
+use crate::dataset::{shard_ranges, Dataset, ShardScratch};
 use crate::hash_tree::{SequenceHashTree, VisitSet};
 use crate::stats::MiningStats;
-use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use crate::types::transformed::{LitemsetId, TransformedCustomer};
 use crate::vertical::{VerticalParams, VerticalState};
 use seqpat_itemset::parallel::{map_chunks, sum_partials};
 use seqpat_itemset::Parallelism;
+use std::time::Duration;
 
 /// Strategy for counting candidate supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,6 +124,10 @@ pub const AUTO_DENSITY_CROSSOVER: f64 = 0.05;
 /// for dense databases.
 pub const AUTO_BITMAP_CAP_BYTES: u64 = 1 << 30;
 
+/// Rows per bounded scan slice when a statistics pass streams a
+/// non-resident backend that has no explicit shard size configured.
+pub const SCAN_SHARD_ROWS: usize = 65_536;
+
 /// The statistics [`CountingStrategy::Auto`] decided from, plus the choice
 /// and a human-readable reason — recorded in [`MiningStats`] so `--stats`
 /// can show why a strategy was picked.
@@ -144,7 +150,7 @@ pub struct AutoDecision {
     pub reason: &'static str,
 }
 
-/// Picks a concrete strategy for `tdb` from cheap statistics gathered in
+/// Picks a concrete strategy for `ds` from cheap statistics gathered in
 /// one scan. The decision rule (thresholds calibrated by experiment E11):
 ///
 /// 1. Tiny databases (under [`AUTO_MIN_CUSTOMERS`] customers, or an empty
@@ -157,16 +163,26 @@ pub struct AutoDecision {
 ///    [`CountingStrategy::Bitmap`] — dense words amortize the S-step.
 /// 4. Otherwise → [`CountingStrategy::Vertical`] — sparse occurrence lists
 ///    beat scanning mostly-empty words.
-pub fn auto_decide(tdb: &TransformedDatabase) -> AutoDecision {
-    let customers = w64(tdb.customers.len());
-    let litemsets = w64(tdb.table.len());
+pub fn auto_decide(ds: &dyn Dataset) -> AutoDecision {
+    let customers = w64(ds.num_rows());
+    let litemsets = w64(ds.table().len());
     let mut transactions = 0u64;
     let mut occurrences = 0u64;
     let mut words = 0u64;
-    for customer in &tdb.customers {
-        transactions += w64(customer.elements.len());
-        occurrences += customer.elements.iter().map(|e| w64(e.len())).sum::<u64>();
-        words += w64(customer.elements.len().div_ceil(64));
+    // Non-resident backends are scanned in bounded slices; every statistic
+    // is additive, so the decision matches a whole-database scan exactly.
+    let scan = if ds.resident().is_some() {
+        None
+    } else {
+        Some(SCAN_SHARD_ROWS)
+    };
+    let mut scratch = ShardScratch::new();
+    for range in shard_ranges(ds.num_rows(), scan) {
+        for customer in ds.load_shard(range, &mut scratch) {
+            transactions += w64(customer.elements.len());
+            occurrences += customer.elements.iter().map(|e| w64(e.len())).sum::<u64>();
+            words += w64(customer.elements.len().div_ceil(64));
+        }
     }
     let mean_len = if customers == 0 {
         0.0
@@ -229,11 +245,35 @@ impl Default for TreeParams {
     }
 }
 
+/// Counters of ephemeral per-shard index states, folded across shards (the
+/// sharded path drops each shard's index before the next is built, so its
+/// counters survive here until [`CountingContext::flush_into`]).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    vertical_index_time: Duration,
+    joins: u64,
+    gallop_skips: u64,
+    vertical_peak_bytes: u64,
+    bitmap_index_time: Duration,
+    sstep_ops: u64,
+    lane_words: u64,
+    carry_fixups: u64,
+    bitmap_words: u64,
+}
+
 /// Per-mining-run counting state: strategy knobs, the cost counters, and
 /// the vertical index/list-cache (built lazily on the first vertical
 /// count). Create one per run via `SequencePhaseOptions::context`, thread
 /// it through every pass, and [`CountingContext::flush_into`] the run's
 /// [`MiningStats`] once at the end.
+///
+/// With a shard size set (see [`CountingContext::with_shard_customers`]),
+/// every counting pass streams the dataset shard by shard: each shard's
+/// rows are loaded, its scratch index built, counted, and dropped before
+/// the next shard, so peak memory is proportional to one shard rather than
+/// the whole database — and the per-shard partial counts are summed in
+/// shard order by the same exact-integer reducer that merges per-thread
+/// partials, keeping sharded supports bit-identical to unsharded ones.
 #[derive(Debug)]
 pub struct CountingContext {
     strategy: CountingStrategy,
@@ -244,14 +284,25 @@ pub struct CountingContext {
     tree_params: TreeParams,
     parallelism: Parallelism,
     vertical_params: VerticalParams,
+    /// Rows per counting shard; `None` counts the whole database at once.
+    shard_customers: Option<usize>,
     vertical: Option<VerticalState>,
     bitmap: Option<BitmapState>,
+    /// Decode-once row cache for non-resident backends counted unsharded.
+    whole: ShardScratch,
+    whole_loaded: bool,
+    shard: ShardCounters,
     /// Exact containment tests executed so far (horizontal strategies and
     /// the on-the-fly pass).
     pub containment_tests: u64,
     /// Flat hash-tree nodes visited by probes so far (thread-invariant:
     /// the per-customer probe is a pure function of the data).
     pub probe_nodes: u64,
+    /// Shard loads performed through this context (0 when counting a
+    /// resident database unsharded).
+    pub shards_processed: u64,
+    /// Bytes of customer rows covered by those shard loads.
+    pub shard_bytes: u64,
 }
 
 impl CountingContext {
@@ -270,11 +321,24 @@ impl CountingContext {
             tree_params,
             parallelism,
             vertical_params,
+            shard_customers: None,
             vertical: None,
             bitmap: None,
+            whole: ShardScratch::new(),
+            whole_loaded: false,
+            shard: ShardCounters::default(),
             containment_tests: 0,
             probe_nodes: 0,
+            shards_processed: 0,
+            shard_bytes: 0,
         }
+    }
+
+    /// Sets the shard size for shard-by-shard counting (builder-style);
+    /// `None` or a size covering the whole dataset counts unsharded.
+    pub fn with_shard_customers(mut self, shard_customers: Option<usize>) -> Self {
+        self.shard_customers = shard_customers;
+        self
     }
 
     /// The strategy this context was configured with (possibly `Auto`).
@@ -282,16 +346,21 @@ impl CountingContext {
         self.strategy
     }
 
+    /// The configured shard size (rows per counting shard), if any.
+    pub fn shard_customers(&self) -> Option<usize> {
+        self.shard_customers
+    }
+
     /// The concrete strategy counts dispatch to, resolving `Auto` from
-    /// `tdb` statistics on first call (the decision then sticks for the
+    /// `ds` statistics on first call (the decision then sticks for the
     /// whole run — the transformed database never changes mid-run).
-    pub fn resolved_strategy(&mut self, tdb: &TransformedDatabase) -> CountingStrategy {
+    pub fn resolved_strategy(&mut self, ds: &dyn Dataset) -> CountingStrategy {
         if let Some(resolved) = self.resolved {
             return resolved;
         }
         let resolved = match self.strategy {
             CountingStrategy::Auto => {
-                let decision = auto_decide(tdb);
+                let decision = auto_decide(ds);
                 let choice = decision.choice;
                 self.auto_decision = Some(decision);
                 choice
@@ -305,41 +374,205 @@ impl CountingContext {
         resolved
     }
 
-    /// Counts the support of every candidate in the arena. See
-    /// [`count_supports`] for the contract; the vertical strategy
-    /// additionally reuses (and refreshes) the pass-to-pass list cache.
-    pub fn count(&mut self, tdb: &TransformedDatabase, candidates: &CandidateArena) -> Vec<u64> {
-        let threads = self.parallelism.resolved_threads();
-        match self.resolved_strategy(tdb) {
-            CountingStrategy::Direct => {
-                count_direct(tdb, candidates, threads, &mut self.containment_tests)
+    /// The full row slice — resident, or decoded once into the context's
+    /// scratch and retained for the rest of the run.
+    fn whole_rows<'a>(&'a mut self, ds: &'a dyn Dataset) -> &'a [TransformedCustomer] {
+        match ds.resident() {
+            Some(rows) => rows,
+            None => {
+                if !self.whole_loaded {
+                    self.whole.clear();
+                    ds.load_shard(0..ds.num_rows(), &mut self.whole);
+                    self.whole_loaded = true;
+                    self.shards_processed += 1;
+                    self.shard_bytes += ds.shard_bytes(0..ds.num_rows());
+                }
+                self.whole.rows()
             }
-            CountingStrategy::HashTree => count_hash_tree(
-                tdb,
-                candidates,
-                self.tree_params,
-                threads,
-                &mut self.containment_tests,
-                &mut self.probe_nodes,
-            ),
-            CountingStrategy::Vertical => self.vertical_state(tdb).count(candidates, threads),
-            CountingStrategy::Bitmap => self.bitmap_state(tdb).count(candidates, threads),
+        }
+    }
+
+    /// Counts the support of every candidate in the arena. See
+    /// [`count_supports`] for the contract; unsharded, the vertical
+    /// strategy additionally reuses (and refreshes) the pass-to-pass list
+    /// cache, while a configured shard size routes through the
+    /// shard-by-shard loop (bit-identical supports, O(shard) peak memory).
+    pub fn count(&mut self, ds: &dyn Dataset, candidates: &CandidateArena) -> Vec<u64> {
+        let threads = self.parallelism.resolved_threads();
+        let strategy = self.resolved_strategy(ds);
+        let num_litemsets = ds.table().len();
+        let ranges = shard_ranges(ds.num_rows(), self.shard_customers);
+        if ranges.len() > 1 {
+            return self.count_sharded(ds, candidates, strategy, threads, num_litemsets, ranges);
+        }
+        match strategy {
+            CountingStrategy::Direct => {
+                let rows = self.whole_rows(ds);
+                let (supports, tests) =
+                    count_direct_slice(rows, num_litemsets, candidates, threads);
+                self.containment_tests += tests;
+                supports
+            }
+            CountingStrategy::HashTree => {
+                let tree = SequenceHashTree::build(
+                    candidates,
+                    self.tree_params.fanout,
+                    self.tree_params.leaf_capacity,
+                );
+                let rows = self.whole_rows(ds);
+                let (supports, tests, probes) = probe_hash_tree(rows, &tree, candidates, threads);
+                self.containment_tests += tests;
+                self.probe_nodes += probes;
+                supports
+            }
+            CountingStrategy::Vertical => self.vertical_state(ds).count(candidates, threads),
+            CountingStrategy::Bitmap => self.bitmap_state(ds).count(candidates, threads),
             // seqpat-lint: allow(no-panic-in-kernels) resolved_strategy maps Auto to a concrete choice before this match, so the arm cannot be reached
             CountingStrategy::Auto => unreachable!("Auto resolves to a concrete strategy"),
         }
     }
 
-    /// The vertical state, building the occurrence index on first use.
-    /// Valid for any strategy (DynamicSome's on-the-fly pass uses it only
-    /// when the resolved strategy is vertical).
-    pub fn vertical_state(&mut self, tdb: &TransformedDatabase) -> &mut VerticalState {
-        self.vertical
-            .get_or_insert_with(|| VerticalState::build(tdb, self.vertical_params))
+    /// The shard-by-shard counting loop: per shard, load the rows, count
+    /// them with throwaway scratch state (index builds included), fold the
+    /// scratch counters, and sum the partial supports in shard order. The
+    /// partials feed the reducer lazily, so only one shard's rows and
+    /// index are alive at any time.
+    fn count_sharded(
+        &mut self,
+        ds: &dyn Dataset,
+        candidates: &CandidateArena,
+        strategy: CountingStrategy,
+        threads: usize,
+        num_litemsets: usize,
+        ranges: Vec<std::ops::Range<usize>>,
+    ) -> Vec<u64> {
+        let n = candidates.num_candidates();
+        // The hash tree depends only on the candidates: built once, probed
+        // over every shard.
+        let tree = match strategy {
+            CountingStrategy::HashTree => Some(SequenceHashTree::build(
+                candidates,
+                self.tree_params.fanout,
+                self.tree_params.leaf_capacity,
+            )),
+            CountingStrategy::Direct
+            | CountingStrategy::Vertical
+            | CountingStrategy::Bitmap
+            | CountingStrategy::Auto => None,
+        };
+        let mut scratch = ShardScratch::new();
+        sum_partials(
+            ranges.into_iter().map(|range| {
+                self.shards_processed += 1;
+                // seqpat-lint: allow(no-alloc-in-hot-loop) once per shard, not per row; a Range clone is two word copies
+                self.shard_bytes += ds.shard_bytes(range.clone());
+                let rows = ds.load_shard(range, &mut scratch);
+                match strategy {
+                    CountingStrategy::Direct => {
+                        let (supports, tests) =
+                            count_direct_slice(rows, num_litemsets, candidates, threads);
+                        self.containment_tests += tests;
+                        supports
+                    }
+                    CountingStrategy::HashTree => {
+                        let (supports, tests, probes) = match &tree {
+                            Some(tree) => probe_hash_tree(rows, tree, candidates, threads),
+                            // Unreachable by construction (the tree is
+                            // built above for this strategy); zero counts
+                            // keep the arm panic-free.
+                            // seqpat-lint: allow(no-alloc-in-hot-loop) dead arm kept only to avoid a panic site
+                            None => (vec![0u64; n], 0, 0),
+                        };
+                        self.containment_tests += tests;
+                        self.probe_nodes += probes;
+                        supports
+                    }
+                    CountingStrategy::Vertical => {
+                        // cache_cap_bytes = 0: the state dies with the
+                        // shard, so list retention would only waste the
+                        // shard's memory budget.
+                        let mut state = VerticalState::build_slice(
+                            rows,
+                            num_litemsets,
+                            VerticalParams { cache_cap_bytes: 0 },
+                        );
+                        let supports = state.count(candidates, threads);
+                        self.shard.vertical_index_time += state.index_build_time;
+                        self.shard.joins += state.joins;
+                        self.shard.gallop_skips += state.gallop_skips;
+                        self.shard.vertical_peak_bytes =
+                            self.shard.vertical_peak_bytes.max(state.peak_bytes);
+                        supports
+                    }
+                    CountingStrategy::Bitmap => {
+                        let mut state = BitmapState::build_slice(rows, num_litemsets);
+                        let supports = state.count(candidates, threads);
+                        self.shard.bitmap_index_time += state.index_build_time;
+                        self.shard.sstep_ops += state.sstep_ops;
+                        self.shard.lane_words += state.lane_words;
+                        self.shard.carry_fixups += state.carry_fixups;
+                        self.shard.bitmap_words =
+                            self.shard.bitmap_words.max(state.index().words());
+                        supports
+                    }
+                    CountingStrategy::Auto => {
+                        // seqpat-lint: allow(no-panic-in-kernels) resolved_strategy maps Auto to a concrete choice before this match, so the arm cannot be reached
+                        unreachable!("Auto resolves to a concrete strategy")
+                    }
+                }
+            }),
+            n,
+        )
     }
 
-    /// The bitmap state, building the packed index on first use.
-    pub fn bitmap_state(&mut self, tdb: &TransformedDatabase) -> &mut BitmapState {
-        self.bitmap.get_or_insert_with(|| BitmapState::build(tdb))
+    /// The pass-2 fast path through this context: shard-aware, with shard
+    /// loads recorded in the context's counters. See
+    /// [`large_two_sequences`] for the counting contract.
+    pub fn large_two(
+        &mut self,
+        ds: &dyn Dataset,
+        min_count: u64,
+    ) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
+        large_two_sharded(
+            ds,
+            min_count,
+            self.parallelism,
+            self.shard_customers,
+            &mut self.containment_tests,
+            &mut self.shards_processed,
+            &mut self.shard_bytes,
+        )
+    }
+
+    /// The vertical state over the whole database, building the occurrence
+    /// index on first use. Valid for any strategy (DynamicSome's
+    /// on-the-fly pass uses it only when the resolved strategy is
+    /// vertical).
+    pub fn vertical_state(&mut self, ds: &dyn Dataset) -> &mut VerticalState {
+        let state = match self.vertical.take() {
+            Some(state) => state,
+            None => {
+                let params = self.vertical_params;
+                let num_litemsets = ds.table().len();
+                let rows = self.whole_rows(ds);
+                VerticalState::build_slice(rows, num_litemsets, params)
+            }
+        };
+        self.vertical.insert(state)
+    }
+
+    /// The bitmap state over the whole database, building the packed index
+    /// on first use.
+    pub fn bitmap_state(&mut self, ds: &dyn Dataset) -> &mut BitmapState {
+        let state = match self.bitmap.take() {
+            Some(state) => state,
+            None => {
+                let num_ids = ds.table().len();
+                let rows = self.whole_rows(ds);
+                BitmapState::build_slice(rows, num_ids)
+            }
+        };
+        self.bitmap.insert(state)
     }
 
     /// Adds this run's counters into `stats` (take-semantics: flushing
@@ -347,6 +580,8 @@ impl CountingContext {
     pub fn flush_into(&mut self, stats: &mut MiningStats) {
         stats.containment_tests += std::mem::take(&mut self.containment_tests);
         stats.probe_nodes += std::mem::take(&mut self.probe_nodes);
+        stats.shards_processed += std::mem::take(&mut self.shards_processed);
+        stats.shard_bytes += std::mem::take(&mut self.shard_bytes);
         if let Some(state) = &mut self.vertical {
             stats.vertical_index_time += std::mem::take(&mut state.index_build_time);
             stats.join_ops += std::mem::take(&mut state.joins);
@@ -360,6 +595,16 @@ impl CountingContext {
             stats.carry_fixups += std::mem::take(&mut state.carry_fixups);
             stats.bitmap_words = stats.bitmap_words.max(state.index().words());
         }
+        let shard = std::mem::take(&mut self.shard);
+        stats.vertical_index_time += shard.vertical_index_time;
+        stats.join_ops += shard.joins;
+        stats.gallop_skips += shard.gallop_skips;
+        stats.vertical_peak_bytes = stats.vertical_peak_bytes.max(shard.vertical_peak_bytes);
+        stats.bitmap_index_time += shard.bitmap_index_time;
+        stats.sstep_ops += shard.sstep_ops;
+        stats.lane_words += shard.lane_words;
+        stats.carry_fixups += shard.carry_fixups;
+        stats.bitmap_words = stats.bitmap_words.max(shard.bitmap_words);
         if self.auto_decision.is_some() {
             stats.auto_decision = self.auto_decision.take();
         }
@@ -375,7 +620,7 @@ impl CountingContext {
 /// builds a throwaway index here, so algorithm code goes through
 /// [`CountingContext`] instead to amortize it across passes.
 pub fn count_supports(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     candidates: &CandidateArena,
     strategy: CountingStrategy,
     tree_params: TreeParams,
@@ -388,7 +633,7 @@ pub fn count_supports(
         parallelism,
         VerticalParams::default(),
     );
-    let supports = ctx.count(tdb, candidates);
+    let supports = ctx.count(ds, candidates);
     *containment_tests += ctx.containment_tests;
     supports
 }
@@ -410,16 +655,19 @@ fn merge_counts(
     )
 }
 
-fn count_direct(
-    tdb: &TransformedDatabase,
+/// Direct counting over a row slice (one shard or the whole database).
+/// Returns `(supports, containment_tests)` — both exact sums, so callers
+/// can add the partials of consecutive shards in shard order and land on
+/// the unsharded totals bit for bit.
+fn count_direct_slice(
+    customers: &[TransformedCustomer],
+    num_litemsets: usize,
     candidates: &CandidateArena,
     threads: usize,
-    containment_tests: &mut u64,
-) -> Vec<u64> {
-    let num_litemsets = tdb.table.len();
+) -> (Vec<u64>, u64) {
     let n = candidates.num_candidates();
     debug_assert!(
-        tdb.customers
+        customers
             .iter()
             .flat_map(|c| &c.elements)
             .flatten()
@@ -433,7 +681,7 @@ fn count_direct(
             .all(|&id| idx(id) < num_litemsets),
         "every candidate id indexes the presence bitmap"
     );
-    let partials = map_chunks(&tdb.customers, threads, |chunk| {
+    let partials = map_chunks(customers, threads, |chunk| {
         let mut supports = vec![0u64; n];
         let mut tests = 0u64;
         let mut bitmap = vec![false; num_litemsets];
@@ -462,7 +710,9 @@ fn count_direct(
         }
         (supports, tests)
     });
-    merge_counts(partials, n, containment_tests)
+    let mut tests_total = 0u64;
+    let supports = merge_counts(partials, n, &mut tests_total);
+    (supports, tests_total)
 }
 
 /// Fast path for pass 2 (the candidate set is always **all** `|L1|²`
@@ -481,51 +731,88 @@ fn count_direct(
 /// with a private `PairCounts` (dense workers cost `n²` u32 apiece —
 /// bounded by `DENSE_LIMIT` at 64 MiB per worker), merged in chunk order.
 pub fn large_two_sequences(
-    tdb: &TransformedDatabase,
+    ds: &dyn Dataset,
     min_count: u64,
     parallelism: Parallelism,
     containment_tests: &mut u64,
 ) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
-    let n = tdb.table.len();
+    let mut shards = 0u64;
+    let mut bytes = 0u64;
+    large_two_sharded(
+        ds,
+        min_count,
+        parallelism,
+        None,
+        containment_tests,
+        &mut shards,
+        &mut bytes,
+    )
+}
+
+/// Shard-aware body of [`large_two_sequences`]: counts pairs one shard at
+/// a time, merging each shard's per-chunk `PairCounts` in chunk order, then
+/// shards in shard order — exact integer merges, so the totals match the
+/// unsharded run bit for bit. Shard-load statistics are recorded only when
+/// rows actually stream (multiple shards, or a non-resident backend).
+fn large_two_sharded(
+    ds: &dyn Dataset,
+    min_count: u64,
+    parallelism: Parallelism,
+    shard_customers: Option<usize>,
+    containment_tests: &mut u64,
+    shards_processed: &mut u64,
+    shard_bytes: &mut u64,
+) -> (u64, Vec<crate::phases::maximal::LargeIdSequence>) {
+    let n = ds.table().len();
     let candidates = w64(n) * w64(n);
     let threads = parallelism.resolved_threads();
-    let partials = map_chunks(&tdb.customers, threads, |chunk| {
-        let mut counts = PairCounts::new(n);
-        let mut tests = 0u64;
-        // Per-customer pair set: collect, sort, dedup, then bump counts.
-        let mut pairs: Vec<(LitemsetId, LitemsetId)> = Vec::new();
-        let mut seen_before: Vec<LitemsetId> = Vec::new();
-        for customer in chunk {
-            if customer.elements.len() < 2 {
-                continue;
-            }
-            pairs.clear();
-            seen_before.clear();
-            for element in &customer.elements {
-                if !seen_before.is_empty() {
-                    for &b in element {
-                        for &a in &seen_before {
-                            pairs.push((a, b));
+    let ranges = shard_ranges(ds.num_rows(), shard_customers);
+    let streaming = ranges.len() > 1 || ds.resident().is_none();
+    let mut counts = PairCounts::new(n);
+    let mut scratch = ShardScratch::new();
+    for range in ranges {
+        if streaming {
+            *shards_processed += 1;
+            *shard_bytes += ds.shard_bytes(range.clone());
+        }
+        let rows = ds.load_shard(range, &mut scratch);
+        let partials = map_chunks(rows, threads, |chunk| {
+            let mut counts = PairCounts::new(n);
+            let mut tests = 0u64;
+            // Per-customer pair set: collect, sort, dedup, then bump counts.
+            let mut pairs: Vec<(LitemsetId, LitemsetId)> = Vec::new();
+            let mut seen_before: Vec<LitemsetId> = Vec::new();
+            for customer in chunk {
+                if customer.elements.len() < 2 {
+                    continue;
+                }
+                pairs.clear();
+                seen_before.clear();
+                for element in &customer.elements {
+                    if !seen_before.is_empty() {
+                        for &b in element {
+                            for &a in &seen_before {
+                                pairs.push((a, b));
+                            }
                         }
                     }
+                    seen_before.extend_from_slice(element);
+                    seen_before.sort_unstable();
+                    seen_before.dedup();
                 }
-                seen_before.extend_from_slice(element);
-                seen_before.sort_unstable();
-                seen_before.dedup();
+                pairs.sort_unstable();
+                pairs.dedup();
+                tests += w64(pairs.len());
+                for &(a, b) in &pairs {
+                    counts.bump(a, b);
+                }
             }
-            pairs.sort_unstable();
-            pairs.dedup();
-            tests += w64(pairs.len());
-            for &(a, b) in &pairs {
-                counts.bump(a, b);
-            }
+            (counts, tests)
+        });
+        for (partial, tests) in partials {
+            counts.merge(partial);
+            *containment_tests += tests;
         }
-        (counts, tests)
-    });
-    let mut counts = PairCounts::new(n);
-    for (partial, tests) in partials {
-        counts.merge(partial);
-        *containment_tests += tests;
     }
     (candidates, counts.into_large(min_count))
 }
@@ -620,18 +907,18 @@ impl PairCounts {
     }
 }
 
-fn count_hash_tree(
-    tdb: &TransformedDatabase,
+/// Probes a prebuilt hash tree over a row slice (one shard or the whole
+/// database). Returns `(supports, containment_tests, probe_nodes)`; the
+/// tree depends only on the candidate set, so the sharded path builds it
+/// once and probes it over every shard.
+fn probe_hash_tree(
+    customers: &[TransformedCustomer],
+    tree: &SequenceHashTree,
     candidates: &CandidateArena,
-    params: TreeParams,
     threads: usize,
-    containment_tests: &mut u64,
-    probe_nodes: &mut u64,
-) -> Vec<u64> {
-    // Built once, shared immutably by every worker.
-    let tree = SequenceHashTree::build(candidates, params.fanout, params.leaf_capacity);
+) -> (Vec<u64>, u64, u64) {
     let n = candidates.num_candidates();
-    let partials = map_chunks(&tdb.customers, threads, |chunk| {
+    let partials = map_chunks(customers, threads, |chunk| {
         let mut supports = vec![0u64; n];
         let mut tests = 0u64;
         let mut probes = 0u64;
@@ -651,6 +938,7 @@ fn count_hash_tree(
         }
         (supports, tests, probes)
     });
+    let mut tests_total = 0u64;
     let mut probes_total = 0u64;
     let supports = merge_counts(
         partials
@@ -661,17 +949,16 @@ fn count_hash_tree(
             })
             .collect(),
         n,
-        containment_tests,
+        &mut tests_total,
     );
-    *probe_nodes += probes_total;
-    supports
+    (supports, tests_total, probes_total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::types::itemset::Itemset;
-    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer, TransformedDatabase};
 
     fn arena(rows: &[Vec<LitemsetId>]) -> CandidateArena {
         CandidateArena::from_rows(
@@ -1039,7 +1326,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::types::itemset::Itemset;
-    use crate::types::transformed::{LitemsetTable, TransformedCustomer};
+    use crate::types::transformed::{LitemsetTable, TransformedCustomer, TransformedDatabase};
     use proptest::prelude::*;
 
     const NUM_LITEMSETS: usize = 6;

@@ -1,0 +1,226 @@
+//! Backend abstraction over customer-sequence access (out-of-core mining).
+//!
+//! The sequence phase only ever touches the transformed database through
+//! two access patterns: the litemset table (id ↔ itemset mapping) and
+//! contiguous runs of [`TransformedCustomer`] rows. [`Dataset`] captures
+//! exactly that surface, so every counting strategy can run against either
+//! the resident [`TransformedDatabase`] or an on-disk columnar store
+//! (`seqpat-io`'s colstore) without knowing which one it has.
+//!
+//! Supports are additive across disjoint customer partitions, so
+//! [`shard_ranges`] splits the row space into fixed-size shards and the
+//! counting layer sums per-shard partial counts with the same
+//! deterministic reducer used for per-thread partials — sharded runs are
+//! bit-identical to whole-database runs for every strategy.
+
+use std::ops::Range;
+
+use crate::cast::w64;
+use crate::types::transformed::{LitemsetTable, TransformedCustomer, TransformedDatabase};
+
+/// Reusable decode buffer for non-resident backends. A shard load decodes
+/// rows into the scratch's vector (clearing previous contents); resident
+/// backends ignore it and hand out subslices directly.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    rows: Vec<TransformedCustomer>,
+}
+
+impl ShardScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rows decoded by the most recent load into this scratch.
+    pub fn rows(&self) -> &[TransformedCustomer] {
+        &self.rows
+    }
+
+    /// Clears the buffer, keeping its allocation for the next shard.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Appends one decoded row (used by backend loaders).
+    pub fn push(&mut self, row: TransformedCustomer) {
+        self.rows.push(row);
+    }
+}
+
+/// A source of transformed customer rows, resident or on-disk.
+///
+/// # Contract
+///
+/// * Rows are indexed `0..num_rows()` in a fixed, deterministic order (the
+///   transformation phase's customer order).
+/// * [`Dataset::load_shard`] must return exactly the rows of `range`, in
+///   order, and must be repeatable: loading the same range twice yields
+///   equal rows. Ranges passed in are always within `0..num_rows()`.
+/// * [`Dataset::total_customers`] is the support denominator — the number
+///   of customers in the *original* database, which may exceed
+///   `num_rows()` when a backend drops empty rows.
+/// * [`Dataset::resident`] returns the full row slice when the backend
+///   already holds all rows in memory; callers use it to skip scratch
+///   copies and to enable pass-to-pass caches that borrow the rows.
+pub trait Dataset {
+    /// The litemset id table (always memory-resident).
+    fn table(&self) -> &LitemsetTable;
+
+    /// Support denominator: customers in the original database.
+    fn total_customers(&self) -> usize;
+
+    /// Number of stored customer rows.
+    fn num_rows(&self) -> usize;
+
+    /// The full row slice, when this backend is memory-resident.
+    fn resident(&self) -> Option<&[TransformedCustomer]>;
+
+    /// Loads the rows of `range` — either a borrowed subslice (resident
+    /// backends) or rows decoded into `scratch` (on-disk backends).
+    fn load_shard<'a>(
+        &'a self,
+        range: Range<usize>,
+        scratch: &'a mut ShardScratch,
+    ) -> &'a [TransformedCustomer];
+
+    /// Approximate bytes occupied by the rows of `range` — storage bytes
+    /// for on-disk backends, heap bytes for resident ones. Drives the
+    /// `shard_bytes` statistic.
+    fn shard_bytes(&self, range: Range<usize>) -> u64;
+}
+
+impl Dataset for TransformedDatabase {
+    fn table(&self) -> &LitemsetTable {
+        &self.table
+    }
+
+    fn total_customers(&self) -> usize {
+        self.total_customers
+    }
+
+    fn num_rows(&self) -> usize {
+        self.customers.len()
+    }
+
+    fn resident(&self) -> Option<&[TransformedCustomer]> {
+        Some(&self.customers)
+    }
+
+    fn load_shard<'a>(
+        &'a self,
+        range: Range<usize>,
+        _scratch: &'a mut ShardScratch,
+    ) -> &'a [TransformedCustomer] {
+        debug_assert!(range.start <= range.end && range.end <= self.customers.len());
+        &self.customers[range]
+    }
+
+    fn shard_bytes(&self, range: Range<usize>) -> u64 {
+        debug_assert!(range.start <= range.end && range.end <= self.customers.len());
+        let mut bytes = 0u64;
+        for row in &self.customers[range] {
+            bytes += w64(std::mem::size_of::<TransformedCustomer>());
+            for element in &row.elements {
+                bytes += w64(std::mem::size_of::<Vec<u32>>());
+                bytes += w64(element.len()) * w64(std::mem::size_of::<u32>());
+            }
+        }
+        bytes
+    }
+}
+
+/// Splits `0..num_rows` into consecutive shards of `shard_customers` rows
+/// (the last shard may be shorter). `None`, zero, or a shard size covering
+/// every row yields a single whole-range shard. The split is a pure
+/// function of `(num_rows, shard_customers)`, so shard boundaries — and
+/// therefore the order partial counts are merged in — are deterministic.
+pub fn shard_ranges(num_rows: usize, shard_customers: Option<usize>) -> Vec<Range<usize>> {
+    let size = match shard_customers {
+        Some(s) if s > 0 && s < num_rows => s,
+        // One whole-range shard; the single-element vec is intentional,
+        // not a misspelled `(0..num_rows).collect()`.
+        _ => return std::iter::once(0..num_rows).collect(),
+    };
+    let mut ranges = Vec::with_capacity(num_rows.div_ceil(size));
+    let mut start = 0usize;
+    while start < num_rows {
+        let end = (start + size).min(num_rows);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::itemset::Itemset;
+
+    fn tiny_db() -> TransformedDatabase {
+        let table =
+            LitemsetTable::new(vec![(Itemset::new(vec![1]), 3), (Itemset::new(vec![2]), 2)]);
+        let customers = (0..5)
+            .map(|i| TransformedCustomer {
+                customer_id: i,
+                elements: vec![vec![0], vec![0, 1]],
+            })
+            .collect();
+        TransformedDatabase {
+            customers,
+            table,
+            total_customers: 6,
+        }
+    }
+
+    #[test]
+    fn resident_backend_hands_out_subslices() {
+        let db = tiny_db();
+        let ds: &dyn Dataset = &db;
+        assert_eq!(ds.num_rows(), 5);
+        assert_eq!(ds.total_customers(), 6);
+        assert_eq!(ds.table().len(), 2);
+        assert!(ds.resident().is_some());
+        let mut scratch = ShardScratch::new();
+        let rows = ds.load_shard(1..4, &mut scratch);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].customer_id, 1);
+        // The resident path never touches the scratch buffer.
+        assert!(scratch.rows().is_empty());
+    }
+
+    #[test]
+    fn shard_bytes_is_positive_and_monotone() {
+        let db = tiny_db();
+        let ds: &dyn Dataset = &db;
+        let one = ds.shard_bytes(0..1);
+        let all = ds.shard_bytes(0..5);
+        assert!(one > 0);
+        assert_eq!(all, one * 5);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for rows in [0usize, 1, 5, 7, 64] {
+            for shard in [None, Some(0), Some(1), Some(3), Some(7), Some(100)] {
+                let ranges = shard_ranges(rows, shard);
+                let mut expect = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(r.end > r.start || rows == 0);
+                    expect = r.end;
+                }
+                assert_eq!(expect, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_degenerate_to_single_range() {
+        assert_eq!(shard_ranges(10, None), vec![0..10]);
+        assert_eq!(shard_ranges(10, Some(0)), vec![0..10]);
+        assert_eq!(shard_ranges(10, Some(10)), vec![0..10]);
+        assert_eq!(shard_ranges(10, Some(11)), vec![0..10]);
+        assert_eq!(shard_ranges(10, Some(4)), vec![0..4, 4..8, 8..10]);
+    }
+}

@@ -52,6 +52,7 @@ pub mod arena;
 pub mod bitmap;
 pub mod contain;
 pub mod counting;
+pub mod dataset;
 pub mod fxhash;
 pub mod hash_tree;
 pub mod miner;
@@ -66,7 +67,9 @@ pub use algorithms::Algorithm;
 pub use arena::CandidateArena;
 pub use bitmap::{BitmapIndex, BitmapState};
 pub use counting::{auto_decide, AutoDecision, CountingContext, CountingStrategy};
+pub use dataset::{shard_ranges, Dataset, ShardScratch};
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
+pub use phases::transform::TransformContext;
 pub use seqpat_itemset::cast;
 pub use seqpat_itemset::Parallelism;
 pub use stats::{MiningStats, SequencePassStats};

@@ -5,6 +5,7 @@ use crate::stats::Stopwatch;
 use crate::algorithms::apriori_all::SequencePhaseOptions;
 use crate::algorithms::{apriori_all, apriori_some, dynamic_some, Algorithm};
 use crate::counting::{CountingStrategy, TreeParams};
+use crate::dataset::Dataset;
 use crate::phases::litemset::litemset_phase;
 use crate::phases::maximal::{maximal_phase, LargeIdSequence};
 use crate::phases::transform::transform_phase;
@@ -45,6 +46,11 @@ pub struct MinerConfig {
     /// overrides `apriori.parallelism` so one knob governs the whole
     /// pipeline.
     pub parallelism: Parallelism,
+    /// Customers per counting shard (`None` = count the whole database at
+    /// once). Sharding bounds the counting passes' peak memory at one
+    /// shard's rows plus its scratch index; supports and patterns are
+    /// bit-identical to the unsharded run.
+    pub shard_customers: Option<usize>,
 }
 
 impl MinerConfig {
@@ -61,6 +67,7 @@ impl MinerConfig {
             max_length: None,
             include_non_maximal: false,
             parallelism: Parallelism::default(),
+            shard_customers: None,
         }
     }
 
@@ -97,6 +104,12 @@ impl MinerConfig {
     /// Sets the worker-thread policy for support counting.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Shards every counting pass to `shard` customers at a time.
+    pub fn shard_customers(mut self, shard: usize) -> Self {
+        self.shard_customers = Some(shard);
         self
     }
 }
@@ -191,9 +204,20 @@ impl Miner {
         self.mine_transformed_inner(tdb, min_count, tdb.total_customers, MiningStats::default())
     }
 
+    /// Mines any [`Dataset`] backend — resident or on-disk — through the
+    /// sequence and maximal phases (litemset + transform are assumed done:
+    /// the backend stores their output). With an on-disk backend plus
+    /// [`MinerConfig::shard_customers`], the run never holds more than one
+    /// shard of customer rows in memory, and the patterns are bit-identical
+    /// to mining the same data resident.
+    pub fn mine_dataset(&self, ds: &dyn Dataset) -> MiningResult {
+        let min_count = self.config.min_support.to_count(ds.total_customers());
+        self.mine_transformed_inner(ds, min_count, ds.total_customers(), MiningStats::default())
+    }
+
     fn mine_transformed_inner(
         &self,
-        tdb: &TransformedDatabase,
+        ds: &dyn Dataset,
         min_count: u64,
         num_customers: usize,
         mut stats: MiningStats,
@@ -204,15 +228,16 @@ impl Miner {
             max_length: self.config.max_length,
             parallelism: self.config.parallelism,
             vertical: self.config.vertical,
+            shard_customers: self.config.shard_customers,
         };
         stats.threads_used = self.config.parallelism.resolved_threads();
 
         let t2 = Stopwatch::start();
         let large: Vec<LargeIdSequence> = match self.config.algorithm {
-            Algorithm::AprioriAll => apriori_all(tdb, min_count, &options, &mut stats),
-            Algorithm::AprioriSome => apriori_some(tdb, min_count, &options, &mut stats),
+            Algorithm::AprioriAll => apriori_all(ds, min_count, &options, &mut stats),
+            Algorithm::AprioriSome => apriori_some(ds, min_count, &options, &mut stats),
             Algorithm::DynamicSome { step } => {
-                dynamic_some(tdb, min_count, step, &options, &mut stats)
+                dynamic_some(ds, min_count, step, &options, &mut stats)
             }
         };
         stats.sequence_time = t2.elapsed();
@@ -222,15 +247,16 @@ impl Miner {
         let final_set = if self.config.include_non_maximal {
             large
         } else {
-            maximal_phase(large, &tdb.table)
+            maximal_phase(large, ds.table())
         };
         stats.maximal_time = t3.elapsed();
         stats.maximal_sequences = final_set.len() as u64;
+        stats.peak_rss_bytes = crate::stats::peak_rss_bytes();
 
         let mut patterns: Vec<Pattern> = final_set
             .into_iter()
             .map(|s| Pattern {
-                sequence: tdb.to_sequence(&s.ids),
+                sequence: ds.table().to_sequence(&s.ids),
                 support: s.support,
             })
             .collect();

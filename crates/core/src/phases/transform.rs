@@ -8,33 +8,54 @@
 //! support counting — after transformation, testing whether a customer
 //! supports a candidate is pure integer work.
 
-use crate::types::database::Database;
+use crate::fxhash::FxHashMap;
+use crate::types::database::{CustomerSequence, Database};
+use crate::types::itemset::Item;
 use crate::types::transformed::{
     LitemsetId, LitemsetTable, TransformedCustomer, TransformedDatabase,
 };
 
-/// Runs the transformation phase.
-pub fn transform_phase(db: &Database, table: LitemsetTable) -> TransformedDatabase {
+/// Reusable per-customer transformer: the litemset table plus its
+/// first-item anchor index.
+///
+/// [`transform_phase`] builds one and maps every customer through it;
+/// streaming converters (seqpat-io's colstore builder) build one and feed
+/// customers through it one batch at a time, producing rows identical to
+/// the in-memory phase.
+pub struct TransformContext<'a> {
+    table: &'a LitemsetTable,
     // Index litemsets by their smallest item: a litemset can only be
     // contained in a transaction that holds its first item, so each
     // transaction tests only the litemsets anchored at one of its items
     // instead of the whole table (the table is often in the thousands, a
     // transaction has a handful of items).
-    let mut by_first_item: crate::fxhash::FxHashMap<crate::types::itemset::Item, Vec<LitemsetId>> =
-        crate::fxhash::FxHashMap::default();
-    for (id, set, _) in table.iter() {
-        by_first_item.entry(set.items()[0]).or_default().push(id);
+    by_first_item: FxHashMap<Item, Vec<LitemsetId>>,
+}
+
+impl<'a> TransformContext<'a> {
+    /// Builds the anchor index over `table`.
+    pub fn new(table: &'a LitemsetTable) -> Self {
+        let mut by_first_item: FxHashMap<Item, Vec<LitemsetId>> = FxHashMap::default();
+        for (id, set, _) in table.iter() {
+            by_first_item.entry(set.items()[0]).or_default().push(id);
+        }
+        Self {
+            table,
+            by_first_item,
+        }
     }
 
-    let mut customers = Vec::with_capacity(db.num_customers());
-    for customer in db.customers() {
+    /// Transforms one customer sequence: per transaction, the sorted set of
+    /// litemset ids contained in it (empty transactions dropped, empty
+    /// customers kept — they still count in the support denominator).
+    pub fn transform_customer(&self, customer: &CustomerSequence) -> TransformedCustomer {
         let mut elements: Vec<Vec<LitemsetId>> = Vec::with_capacity(customer.transactions.len());
         for transaction in &customer.transactions {
             let mut ids: Vec<LitemsetId> = Vec::new();
             for &item in transaction.items.items() {
-                if let Some(anchored) = by_first_item.get(&item) {
+                if let Some(anchored) = self.by_first_item.get(&item) {
                     for &id in anchored {
-                        if table.itemset(id).is_subset_of(&transaction.items) {
+                        if self.table.itemset(id).is_subset_of(&transaction.items) {
                             ids.push(id);
                         }
                     }
@@ -46,11 +67,22 @@ pub fn transform_phase(db: &Database, table: LitemsetTable) -> TransformedDataba
                 elements.push(ids);
             }
         }
-        customers.push(TransformedCustomer {
+        TransformedCustomer {
             customer_id: customer.customer_id,
             elements,
-        });
+        }
     }
+}
+
+/// Runs the transformation phase.
+pub fn transform_phase(db: &Database, table: LitemsetTable) -> TransformedDatabase {
+    let customers = {
+        let ctx = TransformContext::new(&table);
+        db.customers()
+            .iter()
+            .map(|c| ctx.transform_customer(c))
+            .collect()
+    };
     TransformedDatabase {
         customers,
         table,

@@ -92,6 +92,17 @@ pub struct MiningStats {
     /// When the run was configured with [`crate::CountingStrategy::Auto`],
     /// the strategy it resolved to plus the statistics it decided from.
     pub auto_decision: Option<crate::counting::AutoDecision>,
+    /// Peak resident-set size of the process when the run finished
+    /// (`VmHWM` from `/proc/self/status`; 0 on platforms without procfs).
+    /// Process-wide and monotonic: comparing backends needs one process
+    /// per run.
+    pub peak_rss_bytes: u64,
+    /// Shard loads performed by the counting passes (0 when a resident
+    /// database was counted unsharded).
+    pub shards_processed: u64,
+    /// Bytes of customer rows covered by those shard loads (storage bytes
+    /// for on-disk backends, heap bytes for resident ones).
+    pub shard_bytes: u64,
     /// Large sequences found before the maximal phase.
     pub large_sequences: u64,
     /// Maximal large sequences (the answer size).
@@ -112,6 +123,35 @@ impl MiningStats {
         self.candidates_generated += pass.generated;
         self.candidates_counted += pass.counted;
         self.sequence_passes.push(pass);
+    }
+}
+
+/// Peak resident-set size of this process in bytes — the `VmHWM` line of
+/// `/proc/self/status` on Linux, 0 where that interface does not exist.
+/// The high-water mark is process-wide and never resets, so backend
+/// memory comparisons must run each configuration in its own process.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0);
+                return kib * 1024;
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 
@@ -152,6 +192,17 @@ mod tests {
         assert_eq!(stats.candidates_generated, 16);
         assert_eq!(stats.candidates_counted, 11);
         assert_eq!(stats.sequence_passes.len(), 3);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any running process has touched at least a page.
+            assert!(rss > 0);
+        } else {
+            assert_eq!(rss, 0);
+        }
     }
 
     #[test]

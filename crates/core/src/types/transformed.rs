@@ -69,6 +69,13 @@ impl LitemsetTable {
             .map(|(i, (s, &sup))| (i as LitemsetId, s, sup))
     }
 
+    /// Maps an id-sequence back to the original itemset sequence.
+    pub fn to_sequence(&self, ids: &[LitemsetId]) -> crate::types::sequence::Sequence {
+        crate::types::sequence::Sequence::new(
+            ids.iter().map(|&id| self.itemset(id).clone()).collect(),
+        )
+    }
+
     /// All ids whose itemset is a **subset** of the given id's itemset
     /// (including the id itself). Used by subset-aware containment.
     pub fn subset_ids(&self, id: LitemsetId) -> Vec<LitemsetId> {
@@ -121,11 +128,7 @@ pub struct TransformedDatabase {
 impl TransformedDatabase {
     /// Maps an id-sequence back to the original itemset sequence.
     pub fn to_sequence(&self, ids: &[LitemsetId]) -> crate::types::sequence::Sequence {
-        crate::types::sequence::Sequence::new(
-            ids.iter()
-                .map(|&id| self.table.itemset(id).clone())
-                .collect(),
-        )
+        self.table.to_sequence(ids)
     }
 }
 

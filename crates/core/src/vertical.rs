@@ -77,7 +77,7 @@
 use crate::arena::CandidateArena;
 use crate::cast::{id32, idx, w64};
 use crate::stats::Stopwatch;
-use crate::types::transformed::{LitemsetId, TransformedDatabase};
+use crate::types::transformed::{LitemsetId, TransformedCustomer, TransformedDatabase};
 use seqpat_itemset::parallel::map_chunks;
 use std::time::Duration;
 
@@ -126,9 +126,17 @@ impl VerticalIndex {
     /// order — customers ascending, transactions ascending — is what makes
     /// every per-id list arrive sorted without a sort pass.
     pub fn build(tdb: &TransformedDatabase) -> Self {
-        let n = tdb.table.len();
+        Self::build_slice(&tdb.customers, tdb.table.len())
+    }
+
+    /// Like [`VerticalIndex::build`], but over any contiguous row slice —
+    /// a whole database or one shard of it. `customer` fields of the
+    /// resulting occurrences index into `customers`, so per-shard indexes
+    /// are self-contained (supports are additive across shards).
+    pub fn build_slice(customers: &[TransformedCustomer], num_litemsets: usize) -> Self {
+        let n = num_litemsets;
         debug_assert!(
-            tdb.customers
+            customers
                 .iter()
                 .flat_map(|c| &c.elements)
                 .flatten()
@@ -136,7 +144,7 @@ impl VerticalIndex {
             "every transformed litemset id is within the n-entry alphabet"
         );
         let mut offsets = vec![0usize; n + 1];
-        for customer in &tdb.customers {
+        for customer in customers {
             for element in &customer.elements {
                 for &id in element {
                     offsets[idx(id) + 1] += 1;
@@ -148,7 +156,7 @@ impl VerticalIndex {
         }
         let mut occ = vec![Occurrence::default(); offsets[n]];
         let mut cursor = offsets.clone();
-        for (c, customer) in tdb.customers.iter().enumerate() {
+        for (c, customer) in customers.iter().enumerate() {
             for (t, element) in customer.elements.iter().enumerate() {
                 for &id in element {
                     occ[cursor[idx(id)]] = Occurrence {
@@ -450,8 +458,18 @@ pub struct VerticalState {
 impl VerticalState {
     /// Builds the occurrence index for `tdb`.
     pub fn build(tdb: &TransformedDatabase, params: VerticalParams) -> Self {
+        Self::build_slice(&tdb.customers, tdb.table.len(), params)
+    }
+
+    /// Like [`VerticalState::build`], but over any contiguous row slice —
+    /// a whole database or one shard of it.
+    pub fn build_slice(
+        customers: &[TransformedCustomer],
+        num_litemsets: usize,
+        params: VerticalParams,
+    ) -> Self {
         let watch = Stopwatch::start();
-        let index = VerticalIndex::build(tdb);
+        let index = VerticalIndex::build_slice(customers, num_litemsets);
         let index_build_time = watch.elapsed();
         let peak_bytes = index.bytes();
         Self {

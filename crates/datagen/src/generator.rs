@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use crate::corpus::Corpus;
 use crate::distributions::poisson_at_least_one;
 use crate::params::GenParams;
-use seqpat_core::{Database, Item};
+use seqpat_core::{CustomerSequence, Database, Item};
 
 /// Generates a customer-sequence database. Fully deterministic per
 /// `(params, seed)` pair.
@@ -28,71 +28,145 @@ pub fn generate(params: &GenParams, seed: u64) -> Database {
 pub fn generate_with_corpus(params: &GenParams, corpus: &Corpus, rng: &mut StdRng) -> Database {
     let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
     for customer_id in 0..params.num_customers as u64 {
-        let n_transactions =
-            poisson_at_least_one(rng, params.avg_transactions_per_customer) as usize;
-        let mut transactions: Vec<Vec<Item>> = vec![Vec::new(); n_transactions];
-        let target_sizes: Vec<usize> = (0..n_transactions)
-            .map(|_| poisson_at_least_one(rng, params.avg_items_per_transaction) as usize)
-            .collect();
-
-        // Lay potentially large sequences into the transactions: each drawn
-        // sequence is placed at a random starting transaction, one element
-        // per consecutive transaction (a dropped element leaves a gap, so
-        // the surviving elements still occur in order, with gaps — exactly
-        // what subsequence containment allows). Transactions hold the union
-        // of the elements every overlapping sequence contributes, and
-        // drawing continues until the customer's total item budget
-        // (Σ target sizes) is covered — with |T| = 2.5 and |I| = 1.25 a
-        // transaction carries ~2 pattern elements, so a customer
-        // accumulates on the order of |C| pattern sequences.
-        let total_target: usize = target_sizes.iter().sum();
-        let mut placed = 0usize;
-        // A guard keeps degenerate corpora (e.g. everything corrupted away)
-        // from looping forever.
-        let mut attempts = 0usize;
-        let max_attempts = 8 * n_transactions + 16;
-        while placed < total_target && attempts < max_attempts {
-            attempts += 1;
-            let seq = &corpus.sequences[corpus.sample_sequence(rng)];
-            let len = seq.elements.len().min(n_transactions);
-            let start = if n_transactions > len {
-                rng.gen_range(0..=n_transactions - len)
-            } else {
-                0
-            };
-            for (offset, &itemset_idx) in seq.elements.iter().take(len).enumerate() {
-                // Sequence-level corruption drops whole elements (leaving a
-                // transaction gap; the surviving elements keep their order).
-                if rng.gen::<f64>() < seq.corruption {
-                    continue;
-                }
-                let keep = corrupt_itemset(&corpus.itemsets[itemset_idx], rng);
-                if keep.is_empty() {
-                    continue;
-                }
-                placed += keep.len();
-                transactions[start + offset].extend_from_slice(&keep);
-            }
-        }
-
-        // Normalize and make sure no transaction ends up empty (an empty
-        // slot gets one uncorrupted weighted itemset — still skewed corpus
-        // content; the generator has no uniform noise source).
-        for slot in &mut transactions {
-            slot.sort_unstable();
-            slot.dedup();
-            if slot.is_empty() {
-                let potential = &corpus.itemsets[corpus.sample_itemset(rng)];
-                slot.extend_from_slice(&potential.items);
-            }
-        }
-
-        for (t, items) in transactions.into_iter().enumerate() {
-            debug_assert!(!items.is_empty());
-            rows.push((customer_id, t as i64, items));
-        }
+        generate_customer_rows(params, corpus, rng, customer_id, &mut rows);
     }
     Database::from_rows(rows)
+}
+
+/// Streaming generation: yields customer sequences one at a time without
+/// materializing the database. The stream consumes the RNG in exactly the
+/// same order as [`generate`], so `Database::new(stream(params, seed).collect())`
+/// equals `generate(params, seed)` — out-of-core runs can regenerate the
+/// identical database pass by pass from `(params, seed)` alone.
+///
+/// # Panics
+/// Panics when `params` fail [`GenParams::validate`].
+pub fn stream(params: &GenParams, seed: u64) -> CustomerStream {
+    params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid generator parameters: {e}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus = Corpus::build(params, &mut rng);
+    CustomerStream {
+        params: params.clone(),
+        corpus,
+        rng,
+        next_id: 0,
+    }
+}
+
+/// Iterator over generated [`CustomerSequence`]s, in customer-id order.
+/// Created by [`stream`]; owns its corpus and RNG, so it can be recreated
+/// from the same `(params, seed)` for each mining pass.
+#[derive(Debug, Clone)]
+pub struct CustomerStream {
+    params: GenParams,
+    corpus: Corpus,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Iterator for CustomerStream {
+    type Item = CustomerSequence;
+
+    fn next(&mut self) -> Option<CustomerSequence> {
+        if self.next_id >= self.params.num_customers as u64 {
+            return None;
+        }
+        let mut rows: Vec<(u64, i64, Vec<Item>)> = Vec::new();
+        generate_customer_rows(
+            &self.params,
+            &self.corpus,
+            &mut self.rng,
+            self.next_id,
+            &mut rows,
+        );
+        self.next_id += 1;
+        // Route the rows through the ordinary sort phase so a streamed
+        // customer is structurally identical to its batch-generated twin.
+        let db = Database::from_rows(rows);
+        debug_assert_eq!(db.num_customers(), 1);
+        db.customers().first().cloned()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.params.num_customers as u64).saturating_sub(self.next_id) as usize;
+        (left, Some(left))
+    }
+}
+
+/// One customer's transaction rows, appended to `rows`. The single place
+/// RNG draws happen per customer — both the batch and the streaming paths
+/// go through here, which is what keeps them bit-identical.
+fn generate_customer_rows(
+    params: &GenParams,
+    corpus: &Corpus,
+    rng: &mut StdRng,
+    customer_id: u64,
+    rows: &mut Vec<(u64, i64, Vec<Item>)>,
+) {
+    let n_transactions = poisson_at_least_one(rng, params.avg_transactions_per_customer) as usize;
+    let mut transactions: Vec<Vec<Item>> = vec![Vec::new(); n_transactions];
+    let target_sizes: Vec<usize> = (0..n_transactions)
+        .map(|_| poisson_at_least_one(rng, params.avg_items_per_transaction) as usize)
+        .collect();
+
+    // Lay potentially large sequences into the transactions: each drawn
+    // sequence is placed at a random starting transaction, one element
+    // per consecutive transaction (a dropped element leaves a gap, so
+    // the surviving elements still occur in order, with gaps — exactly
+    // what subsequence containment allows). Transactions hold the union
+    // of the elements every overlapping sequence contributes, and
+    // drawing continues until the customer's total item budget
+    // (Σ target sizes) is covered — with |T| = 2.5 and |I| = 1.25 a
+    // transaction carries ~2 pattern elements, so a customer
+    // accumulates on the order of |C| pattern sequences.
+    let total_target: usize = target_sizes.iter().sum();
+    let mut placed = 0usize;
+    // A guard keeps degenerate corpora (e.g. everything corrupted away)
+    // from looping forever.
+    let mut attempts = 0usize;
+    let max_attempts = 8 * n_transactions + 16;
+    while placed < total_target && attempts < max_attempts {
+        attempts += 1;
+        let seq = &corpus.sequences[corpus.sample_sequence(rng)];
+        let len = seq.elements.len().min(n_transactions);
+        let start = if n_transactions > len {
+            rng.gen_range(0..=n_transactions - len)
+        } else {
+            0
+        };
+        for (offset, &itemset_idx) in seq.elements.iter().take(len).enumerate() {
+            // Sequence-level corruption drops whole elements (leaving a
+            // transaction gap; the surviving elements keep their order).
+            if rng.gen::<f64>() < seq.corruption {
+                continue;
+            }
+            let keep = corrupt_itemset(&corpus.itemsets[itemset_idx], rng);
+            if keep.is_empty() {
+                continue;
+            }
+            placed += keep.len();
+            transactions[start + offset].extend_from_slice(&keep);
+        }
+    }
+
+    // Normalize and make sure no transaction ends up empty (an empty
+    // slot gets one uncorrupted weighted itemset — still skewed corpus
+    // content; the generator has no uniform noise source).
+    for slot in &mut transactions {
+        slot.sort_unstable();
+        slot.dedup();
+        if slot.is_empty() {
+            let potential = &corpus.itemsets[corpus.sample_itemset(rng)];
+            slot.extend_from_slice(&potential.items);
+        }
+    }
+
+    for (t, items) in transactions.into_iter().enumerate() {
+        debug_assert!(!items.is_empty());
+        rows.push((customer_id, t as i64, items));
+    }
 }
 
 /// Corruption: drop random items while `U(0,1)` stays below the itemset's
@@ -121,6 +195,22 @@ mod tests {
     fn deterministic_per_seed() {
         let p = quick_params();
         assert_eq!(generate(&p, 5), generate(&p, 5));
+    }
+
+    #[test]
+    fn stream_matches_batch_generation() {
+        let p = quick_params();
+        let streamed: Vec<_> = stream(&p, 5).collect();
+        assert_eq!(streamed.len(), 200);
+        assert_eq!(Database::new(streamed), generate(&p, 5));
+    }
+
+    #[test]
+    fn stream_is_replayable() {
+        let p = quick_params().customers(40);
+        let a: Vec<_> = stream(&p, 9).collect();
+        let b: Vec<_> = stream(&p, 9).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

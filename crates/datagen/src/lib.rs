@@ -43,5 +43,5 @@ pub mod distributions;
 pub mod generator;
 pub mod params;
 
-pub use generator::generate;
+pub use generator::{generate, stream, CustomerStream};
 pub use params::GenParams;

@@ -1,6 +1,6 @@
 //! # seqpat-io — dataset input/output.
 //!
-//! Two text formats plus dataset statistics:
+//! Two text formats, one binary store, plus dataset statistics:
 //!
 //! * [`spmf`] — the de-facto standard sequence-database format of the SPMF
 //!   library (the repository the paper's successors are benchmarked
@@ -8,13 +8,22 @@
 //!   line terminated by `-2`.
 //! * [`csv`] — raw transaction rows `customer,time,items…`, the shape the
 //!   paper's sort phase consumes.
+//! * [`colstore`] — the on-disk columnar (CSR) store of the *transformed*
+//!   database; opens as a [`seqpat_core::Dataset`] so mining can run
+//!   shard-by-shard without the database resident.
+//! * [`stream`] — streaming colstore construction (litemset + transform
+//!   phases over a replayable customer stream, bounded memory).
 //! * [`stats`] — summary statistics used by the experiment harness's
 //!   dataset table (experiment E0).
 
+pub mod colstore;
 pub mod csv;
 pub mod error;
 pub mod spmf;
 pub mod stats;
+pub mod stream;
 
+pub use colstore::{ColstoreDataset, ColstoreWriter};
 pub use error::IoError;
 pub use stats::DatasetStats;
+pub use stream::{build_colstore, BuildSummary};

@@ -223,6 +223,8 @@ const KERNEL_BASENAMES: &[&str] = &[
     "arena.rs",
     "hash_tree.rs",
     "contain.rs",
+    "dataset.rs",
+    "colstore.rs",
 ];
 
 /// Macros that unconditionally panic when reached (shared with the parser's

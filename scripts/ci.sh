@@ -32,6 +32,28 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> shard smoke (mmap backend, 3-customer shards, diff vs mem backend)"
+# End-to-end out-of-core check through the CLI: generate a tiny dataset,
+# build its colstore, and require the sharded mmap-backend mine to print
+# byte-identical output to the in-memory mine.
+smoke=target/ci-results/shard-smoke
+mkdir -p "$smoke"
+cargo run --release -q -p seqpat-cli -- gen \
+  --out "$smoke/tiny.spmf" --customers 40 --seed 11
+cargo run --release -q -p seqpat-cli -- convert \
+  --in "$smoke/tiny.spmf" --out "$smoke/tiny.colstore" --minsup 0.05
+cargo run --release -q -p seqpat-cli -- mine \
+  --in "$smoke/tiny.spmf" --minsup 0.05 --max-length 4 \
+  > "$smoke/mem.txt" 2> /dev/null
+cargo run --release -q -p seqpat-cli -- mine \
+  --in "$smoke/tiny.colstore" --minsup 0.05 --max-length 4 \
+  --backend mmap --shard-customers 3 \
+  > "$smoke/mmap.txt" 2> /dev/null
+# Guard against a vacuous pass: an empty pattern list would diff clean.
+[ -s "$smoke/mem.txt" ] || { echo "shard smoke: no patterns mined" >&2; exit 1; }
+diff "$smoke/mem.txt" "$smoke/mmap.txt"
+echo "shard smoke: mem and mmap outputs identical ($(wc -l < "$smoke/mem.txt") patterns)"
+
 echo "==> equivalence suites with debug assertions in release"
 # The kernels' debug_assert!s mirror the lint contract (CSR monotonicity,
 # word-span consistency, arena run boundaries); exercise them against the
@@ -62,5 +84,11 @@ echo "==> kernel regression gate (skip with BENCH_COMPARE_SKIP=1)"
 # Shared CI boxes are noisy; the threshold is generous and the gate only
 # compares labels present in both files.
 ./scripts/bench_compare.sh target/ci-results/bench_kernels.json
+
+echo "==> snapshot kernel bench report (perf trajectory)"
+# Top-level BENCH_kernels.json is committed each PR so git history records
+# the kernel-performance trajectory across the stack (results/ keeps the
+# regression-gate baseline; this file is the per-PR measurement).
+cp target/ci-results/bench_kernels.json BENCH_kernels.json
 
 echo "==> CI green"
