@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the pattern-serving layer: index build
+//! time and `predict_into` lookup latency at two index sizes.
+//!
+//! The lookup groups use a large sample count with a *single* query per
+//! sample, so the JSON report's `p50_ns`/`p99_ns` are genuine per-lookup
+//! order statistics (the hot path allocates nothing, so the spread is
+//! probe depth + timer overhead, not allocator noise). The batch group
+//! times 4096 queries per sample; queries-per-second is
+//! `4096 × 1e9 / mean_ns`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqpat_core::{Itemset, LargeIdSequence, LitemsetTable};
+use seqpat_datagen::{query_workload, QueryWorkloadParams};
+use seqpat_serve::{run_workload, PatternTrie, Prediction, WorkloadOptions};
+
+fn pseudo_random(seed: u32) -> impl FnMut(u32) -> u32 {
+    let mut x = seed | 1;
+    move |m: u32| {
+        x = x.wrapping_mul(48271) % 0x7fff_ffff;
+        x % m
+    }
+}
+
+/// Deterministic synthetic pattern set: `count` distinct sequences of
+/// 2..=7 litemset ids over a `universe`-entry table, supports skewed so
+/// the trie's rank ordering has real work to do.
+fn synth(count: usize, universe: u32, seed: u32) -> (Vec<LargeIdSequence>, LitemsetTable) {
+    let table = LitemsetTable::new(
+        (0..universe)
+            .map(|i| (Itemset::new(vec![i + 1]), 50))
+            .collect(),
+    );
+    let mut rnd = pseudo_random(seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut patterns = Vec::with_capacity(count);
+    while patterns.len() < count {
+        let len = 2 + rnd(6) as usize;
+        let ids: Vec<u32> = (0..len).map(|_| rnd(universe)).collect();
+        if seen.insert(ids.clone()) {
+            let support = 1 + u64::from(rnd(1000));
+            patterns.push(LargeIdSequence { ids, support });
+        }
+    }
+    (patterns, table)
+}
+
+const SIZES: [(usize, &str); 2] = [(1_000, "1k"), (50_000, "50k")];
+
+fn build_index(count: usize, seed: u32) -> (Arc<PatternTrie>, Vec<LargeIdSequence>) {
+    let (patterns, table) = synth(count, 2_000, seed);
+    let trie = PatternTrie::build(&patterns, table, 1_000_000).expect("bench trie");
+    (Arc::new(trie), patterns)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_build");
+    group.sample_size(10);
+    for (count, label) in SIZES {
+        let (patterns, table) = synth(count, 2_000, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &patterns, |b, ps| {
+            b.iter(|| PatternTrie::build(black_box(ps), table.clone(), 1_000_000).expect("build"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_lookup");
+    // One lookup per sample: the percentiles in the JSON are per-lookup.
+    group.sample_size(4096);
+    for (count, label) in SIZES {
+        let (trie, patterns) = build_index(count, 31);
+        let queries = query_workload(
+            &patterns,
+            &QueryWorkloadParams {
+                count: 1024,
+                skew: 1.0,
+                miss_rate: 0.1,
+            },
+            7,
+        );
+        let mut out = [Prediction::default(); 5];
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new(label, "mixed_k5"), |b| {
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i = i.wrapping_add(1);
+                trie.predict_into(black_box(q), &mut out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(20);
+    for (count, label) in SIZES {
+        let (trie, patterns) = build_index(count, 31);
+        let queries = query_workload(
+            &patterns,
+            &QueryWorkloadParams {
+                count: 4096,
+                skew: 1.0,
+                miss_rate: 0.1,
+            },
+            7,
+        );
+        let mut out = [Prediction::default(); 5];
+        group.bench_function(BenchmarkId::new(label, "4096q_k5"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    if trie.predict_into(black_box(q), &mut out) > 0 {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_runner(c: &mut Criterion) {
+    // The full concurrent runner (Arc fan-out + per-query timing), to keep
+    // its fixed overhead on the record next to the raw loop above.
+    let mut group = c.benchmark_group("serve_workload");
+    group.sample_size(10);
+    let (trie, patterns) = build_index(50_000, 31);
+    let queries = query_workload(
+        &patterns,
+        &QueryWorkloadParams {
+            count: 4096,
+            skew: 1.0,
+            miss_rate: 0.1,
+        },
+        7,
+    );
+    let opts = WorkloadOptions {
+        threads: 1,
+        repeat: 1,
+        k: 5,
+    };
+    group.bench_function("50k/4096q_instrumented", |b| {
+        b.iter(|| run_workload(black_box(&trie), black_box(&queries), &opts).checksum)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_lookup,
+    bench_batch,
+    bench_workload_runner
+);
+criterion_main!(benches);

@@ -12,7 +12,15 @@
 //! seqmine stats --in data.spmf [--format spmf|csv]
 //! seqmine convert --in data.spmf --out data.csv  (format inferred from extensions;
 //!               `--out x.colstore --minsup F` builds the on-disk transformed store)
+//! seqmine queries --index idx.seqpats --out q.txt [--count N] [--skew F] [--miss-rate F] [--seed S]
+//! seqmine query --index idx.seqpats (--prefix "10 20 -1" | --queries q.txt) [--k N] [--oracle] [--stats]
+//! seqmine serve --index idx.seqpats --queries q.txt [--threads N] [--repeat N] [--k N]
 //! ```
+//!
+//! `mine --index-out idx.seqpats` additionally compiles the mined maximal
+//! patterns into a `SEQPATS1` prefix-trie index for the serving commands.
+
+mod serve;
 
 use std::process::ExitCode;
 
@@ -37,6 +45,9 @@ fn main() -> ExitCode {
         "mine" => cmd_mine(rest),
         "stats" => cmd_stats(rest),
         "convert" => cmd_convert(rest),
+        "queries" => serve::cmd_queries(rest),
+        "query" => serve::cmd_query(rest),
+        "serve" => serve::cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,9 +71,13 @@ commands:
   mine     mine maximal sequential patterns    (--in FILE --minsup F [--algorithm NAME] [--step K] [--all] [--max-length L] [--window W] [--threads N|auto] [--strategy direct|hashtree|vertical|bitmap|auto] [--vertical-cache-mb N] [--backend mem|mmap] [--shard-customers N] [--stats])
   stats    print dataset statistics            (--in FILE)
   convert  convert between spmf and csv        (--in FILE --out FILE; --out x.colstore --minsup F builds the on-disk store)
+  queries  sample a query workload from an index (--index FILE --out FILE [--count N] [--skew F] [--miss-rate F] [--seed S])
+  query    answer prefix queries against an index (--index FILE --prefix STR|--queries FILE [--k N] [--oracle] [--stats])
+  serve    replay a query workload concurrently (--index FILE --queries FILE [--threads N] [--repeat N] [--k N])
 
 algorithms: apriori-all (default), apriori-some, dynamic-some, prefixspan,
-            gsp (supports --min-gap G --max-gap G --element-window W)";
+            gsp (supports --min-gap G --max-gap G --element-window W)
+mine --index-out FILE writes a SEQPATS1 prefix-trie index for query/serve";
 
 /// Tiny flag parser: `--key value` pairs plus boolean switches.
 struct Flags(Vec<(String, Option<String>)>);
@@ -273,6 +288,16 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         ));
     }
 
+    // The serving index is compiled from litemset-id-space patterns, which
+    // only the paper algorithms carry through `MiningResult`.
+    if flags.get("index-out").is_some()
+        && (algorithm_name == "gsp" || algorithm_name == "prefixspan")
+    {
+        return Err(format!(
+            "--index-out requires a paper algorithm (apriori-all/-some, dynamic-some); {algorithm_name} does not produce id-space patterns"
+        ));
+    }
+
     if algorithm_name == "gsp" {
         let db = load_mem_db()?;
         let mut config = GspConfig::default();
@@ -361,6 +386,23 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.min_support_count,
         result.num_customers
     );
+    if let Some(index_out) = flags.get("index-out") {
+        let trie = seqpat_serve::PatternTrie::build(
+            &result.id_patterns,
+            result.table.clone(),
+            result.num_customers as u64,
+        )
+        .map_err(|e| format!("building index: {e}"))?;
+        trie.save(index_out)
+            .map_err(|e| format!("writing {index_out}: {e}"))?;
+        eprintln!(
+            "index: {} patterns → {index_out} ({} nodes, {} children, {} bytes)",
+            trie.num_patterns(),
+            trie.num_nodes(),
+            trie.num_children(),
+            trie.serialized_len()
+        );
+    }
     if flags.has("stats") {
         let s = &result.stats;
         eprintln!(
@@ -849,6 +891,65 @@ mod tests {
             dir.join("no-minsup.colstore")
                 .to_string_lossy()
                 .into_owned(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_index_out_builds_a_servable_index() {
+        let dir = std::env::temp_dir().join("seqmine_cli_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.spmf").to_string_lossy().into_owned();
+        let idx = dir.join("d.seqpats").to_string_lossy().into_owned();
+        cmd_gen(&[
+            "--out".into(),
+            data.clone(),
+            "--customers".into(),
+            "40".into(),
+            "--seed".into(),
+            "7".into(),
+        ])
+        .expect("gen");
+        cmd_mine(&[
+            "--in".into(),
+            data.clone(),
+            "--minsup".into(),
+            "0.1".into(),
+            "--index-out".into(),
+            idx.clone(),
+        ])
+        .expect("mine with index");
+        let qfile = dir.join("q.txt").to_string_lossy().into_owned();
+        serve::cmd_queries(&[
+            "--index".into(),
+            idx.clone(),
+            "--out".into(),
+            qfile.clone(),
+            "--count".into(),
+            "25".into(),
+        ])
+        .expect("queries");
+        serve::cmd_query(&[
+            "--index".into(),
+            idx.clone(),
+            "--queries".into(),
+            qfile.clone(),
+            "--stats".into(),
+        ])
+        .expect("query");
+        serve::cmd_serve(&["--index".into(), idx.clone(), "--queries".into(), qfile])
+            .expect("serve");
+        // gsp/prefixspan cannot carry id-space patterns out.
+        assert!(cmd_mine(&[
+            "--in".into(),
+            data,
+            "--minsup".into(),
+            "0.2".into(),
+            "--algorithm".into(),
+            "prefixspan".into(),
+            "--index-out".into(),
+            idx,
         ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

@@ -69,6 +69,7 @@ pub use bitmap::{BitmapIndex, BitmapState};
 pub use counting::{auto_decide, AutoDecision, CountingContext, CountingStrategy};
 pub use dataset::{shard_ranges, Dataset, ShardScratch};
 pub use miner::{Miner, MinerConfig, MiningResult, Pattern};
+pub use phases::maximal::LargeIdSequence;
 pub use phases::transform::TransformContext;
 pub use seqpat_itemset::cast;
 pub use seqpat_itemset::Parallelism;

@@ -13,7 +13,7 @@ use crate::stats::MiningStats;
 use crate::support::MinSupport;
 use crate::types::database::Database;
 use crate::types::sequence::Sequence;
-use crate::types::transformed::TransformedDatabase;
+use crate::types::transformed::{LitemsetTable, TransformedDatabase};
 use crate::vertical::VerticalParams;
 use seqpat_itemset::Parallelism;
 
@@ -136,6 +136,16 @@ pub struct MiningResult {
     /// [`MinerConfig::include_non_maximal`]), sorted by length then
     /// lexicographically.
     pub patterns: Vec<Pattern>,
+    /// The same answer in **litemset-id space** (ids + supports), sorted by
+    /// length then lexicographically by ids. This is the form the serving
+    /// layer compiles into a prefix trie (`seqpat-serve`): ids are dense
+    /// `u32`s, so the trie never touches item-space itemsets on its hot
+    /// path.
+    pub id_patterns: Vec<crate::phases::maximal::LargeIdSequence>,
+    /// The litemset table the id patterns are expressed over. Carried out
+    /// of the run so downstream consumers (index serialization, query
+    /// parsing) can map between id space and item space without re-mining.
+    pub table: LitemsetTable,
     /// Customers in the mined database (the support denominator).
     pub num_customers: usize,
     /// The resolved absolute support threshold.
@@ -254,7 +264,7 @@ impl Miner {
         stats.peak_rss_bytes = crate::stats::peak_rss_bytes();
 
         let mut patterns: Vec<Pattern> = final_set
-            .into_iter()
+            .iter()
             .map(|s| Pattern {
                 sequence: ds.table().to_sequence(&s.ids),
                 support: s.support,
@@ -264,9 +274,13 @@ impl Miner {
             (a.sequence.len(), a.sequence.elements())
                 .cmp(&(b.sequence.len(), b.sequence.elements()))
         });
+        let mut id_patterns = final_set;
+        id_patterns.sort_by(|a, b| (a.ids.len(), &a.ids).cmp(&(b.ids.len(), &b.ids)));
 
         MiningResult {
             patterns,
+            id_patterns,
+            table: ds.table().clone(),
             num_customers,
             min_support_count: min_count,
             stats,
@@ -397,6 +411,27 @@ mod tests {
                 );
                 assert_eq!(got, expected, "{algorithm} with {counting}");
             }
+        }
+    }
+
+    #[test]
+    fn id_patterns_mirror_item_space_patterns() {
+        let result = Miner::new(MinerConfig::new(MinSupport::Fraction(0.25))).mine(&paper_db());
+        assert_eq!(result.id_patterns.len(), result.patterns.len());
+        for p in &result.id_patterns {
+            let seq = result.table.to_sequence(&p.ids);
+            assert!(
+                result
+                    .patterns
+                    .iter()
+                    .any(|q| q.sequence == seq && q.support == p.support),
+                "id pattern {:?} has no item-space twin",
+                p.ids
+            );
+        }
+        // Sorted by length, then lexicographically by ids.
+        for w in result.id_patterns.windows(2) {
+            assert!((w[0].ids.len(), &w[0].ids) <= (w[1].ids.len(), &w[1].ids));
         }
     }
 

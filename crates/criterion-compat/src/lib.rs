@@ -8,7 +8,8 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros.
 //!
 //! Statistics are intentionally minimal: each benchmark runs a short
-//! warm-up then `sample_size` timed iterations and reports min/mean/max.
+//! warm-up then `sample_size` timed iterations and reports
+//! min/mean/p50/p99/max (nearest-rank percentiles).
 //! When invoked with `--test` (as `cargo test` does for `harness = false`
 //! bench targets) every body runs exactly once, untimed, so the tier-1
 //! gate stays fast. Rigorous measurements in this workspace come from the
@@ -20,7 +21,8 @@
 //!   full label contains any of them (criterion's filter behaviour), so CI
 //!   can smoke one fast cell per kernel family.
 //! * **`--json PATH`** — after all groups run, a machine-readable summary
-//!   (`{"results": [{"label", "mean_ns", "min_ns", "max_ns", "n"}]}`) is
+//!   (`{"results": [{"label", "mean_ns", "min_ns", "max_ns", "p50_ns",
+//!   "p99_ns", "n"}]}`) is
 //!   written to `PATH` for the tracked kernel-benchmark baseline
 //!   (`results/bench_kernels.json`) and the `bench_compare.sh` gate.
 
@@ -39,6 +41,8 @@ struct BenchRecord {
     mean_ns: u128,
     min_ns: u128,
     max_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
     n: usize,
 }
 
@@ -210,20 +214,27 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: b
         println!("{label}: no samples recorded");
         return;
     }
-    let min = bencher.samples.iter().min().unwrap();
-    let max = bencher.samples.iter().max().unwrap();
-    let mean: Duration = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
-    println!(
-        "{label}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
-        bencher.samples.len()
-    );
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let min = sorted[0];
+    let max = sorted[n - 1];
+    let mean: Duration = sorted.iter().sum::<Duration>() / n as u32;
+    // Nearest-rank percentiles over the sorted samples (matches
+    // `seqpat_serve::stats::summarize`).
+    let at = |q_num: usize, q_den: usize| sorted[(n * q_num).div_ceil(q_den).clamp(1, n) - 1];
+    let p50 = at(50, 100);
+    let p99 = at(99, 100);
+    println!("{label}: mean {mean:?} (min {min:?}, p50 {p50:?}, p99 {p99:?}, max {max:?}, n={n})");
     let mut results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
     results.push(BenchRecord {
         label: label.to_string(),
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
-        n: bencher.samples.len(),
+        p50_ns: p50.as_nanos(),
+        p99_ns: p99.as_nanos(),
+        n,
     });
 }
 
@@ -244,12 +255,16 @@ pub fn write_json_report() {
     let mut out = String::from("{\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        // `p50_ns`/`p99_ns` sit after `max_ns` so bench_compare.sh's
+        // label/mean_ns/min_ns field adjacency keeps working.
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"n\": {}}}{comma}\n",
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"n\": {}}}{comma}\n",
             escape(&r.label),
             r.mean_ns,
             r.min_ns,
             r.max_ns,
+            r.p50_ns,
+            r.p99_ns,
             r.n
         ));
     }

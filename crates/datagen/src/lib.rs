@@ -42,6 +42,8 @@ pub mod corpus;
 pub mod distributions;
 pub mod generator;
 pub mod params;
+pub mod queries;
 
 pub use generator::{generate, stream, CustomerStream};
 pub use params::GenParams;
+pub use queries::{query_workload, QueryWorkloadParams, MISS_ID};

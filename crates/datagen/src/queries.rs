@@ -1,0 +1,201 @@
+//! Query-workload generator for the pattern-serving layer.
+//!
+//! Serve benches and CI smokes need reproducible query streams that look
+//! like production traffic against a pattern index: mostly prefixes of
+//! actually-mined patterns (hits), skewed toward the popular ones, with a
+//! controlled fraction of guaranteed misses. Given the mined pattern list
+//! (id space), [`query_workload`] draws:
+//!
+//! * a **pattern** per query, with probability ∝ `support^skew` —
+//!   `skew = 0` is uniform, `skew = 1` is support-proportional, larger
+//!   values concentrate traffic on the head of the distribution;
+//! * a **prefix length** uniform in `1..=len` (full-length prefixes land
+//!   on leaves and legitimately predict nothing);
+//! * with probability `miss_rate`, one element is overwritten with
+//!   [`MISS_ID`], an id no index built over a real litemset table can
+//!   contain — a guaranteed miss with a realistic shape.
+//!
+//! Everything is deterministic per seed, like the rest of this crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::WeightedIndex;
+use seqpat_core::{LargeIdSequence, LitemsetId};
+
+/// Sentinel litemset id used to corrupt queries into guaranteed misses.
+/// Trie ids are dense indices into the litemset table, which is always
+/// far smaller than `u32::MAX` entries, so this id never matches.
+pub const MISS_ID: LitemsetId = LitemsetId::MAX;
+
+/// Knobs for [`query_workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadParams {
+    /// Number of queries to draw.
+    pub count: usize,
+    /// Popularity skew: pattern pick weight is `support^skew`.
+    pub skew: f64,
+    /// Fraction of queries corrupted into guaranteed misses (clamped to
+    /// `[0, 1]`).
+    pub miss_rate: f64,
+}
+
+impl Default for QueryWorkloadParams {
+    fn default() -> Self {
+        Self {
+            count: 1000,
+            skew: 1.0,
+            miss_rate: 0.1,
+        }
+    }
+}
+
+/// Draws a reproducible prefix-query workload from mined patterns.
+/// Patterns with no elements or zero support are ignored; an empty usable
+/// pattern list yields an empty workload.
+pub fn query_workload(
+    patterns: &[LargeIdSequence],
+    params: &QueryWorkloadParams,
+    seed: u64,
+) -> Vec<Vec<LitemsetId>> {
+    let usable: Vec<&LargeIdSequence> = patterns
+        .iter()
+        .filter(|p| !p.ids.is_empty() && p.support > 0)
+        .collect();
+    if usable.is_empty() || params.count == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = usable
+        .iter()
+        .map(|p| (p.support as f64).powf(params.skew))
+        .collect();
+    let picker = if weights.iter().all(|w| w.is_finite()) && weights.iter().sum::<f64>() > 0.0 {
+        WeightedIndex::new(&weights)
+    } else {
+        // Degenerate skews (e.g. huge exponents overflowing to inf) fall
+        // back to uniform rather than panicking mid-bench.
+        WeightedIndex::new(&vec![1.0; usable.len()])
+    };
+    let miss_rate = params.miss_rate.clamp(0.0, 1.0);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(params.count);
+    for _ in 0..params.count {
+        let p = usable[picker.sample(&mut rng)];
+        let len = rng.gen_range(1..=p.ids.len());
+        let mut query = p.ids[..len].to_vec();
+        if rng.gen::<f64>() < miss_rate {
+            let pos = rng.gen_range(0..query.len());
+            query[pos] = MISS_ID;
+        }
+        out.push(query);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<LargeIdSequence> {
+        vec![
+            LargeIdSequence {
+                ids: vec![0, 1, 2],
+                support: 100,
+            },
+            LargeIdSequence {
+                ids: vec![3, 4],
+                support: 1,
+            },
+            LargeIdSequence {
+                ids: vec![],
+                support: 50,
+            }, // ignored: empty
+            LargeIdSequence {
+                ids: vec![5],
+                support: 0,
+            }, // ignored: zero support
+        ]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = QueryWorkloadParams::default();
+        let a = query_workload(&patterns(), &params, 7);
+        let b = query_workload(&patterns(), &params, 7);
+        let c = query_workload(&patterns(), &params, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), params.count);
+    }
+
+    #[test]
+    fn clean_queries_are_prefixes_of_usable_patterns() {
+        let params = QueryWorkloadParams {
+            count: 300,
+            skew: 1.0,
+            miss_rate: 0.0,
+        };
+        let ps = patterns();
+        for q in query_workload(&ps, &params, 3) {
+            assert!(!q.is_empty());
+            assert!(
+                ps.iter().any(|p| p.support > 0 && p.ids.starts_with(&q)),
+                "query {q:?} is not a prefix of any usable pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_rate_bounds_hold() {
+        let ps = patterns();
+        let all_miss = QueryWorkloadParams {
+            count: 200,
+            skew: 1.0,
+            miss_rate: 1.0,
+        };
+        for q in query_workload(&ps, &all_miss, 9) {
+            assert!(q.contains(&MISS_ID));
+        }
+        let no_miss = QueryWorkloadParams {
+            miss_rate: 0.0,
+            ..all_miss
+        };
+        for q in query_workload(&ps, &no_miss, 9) {
+            assert!(!q.contains(&MISS_ID));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_popular_patterns() {
+        let ps = patterns();
+        let count = 2000;
+        let head_share = |skew: f64| -> f64 {
+            let params = QueryWorkloadParams {
+                count,
+                skew,
+                miss_rate: 0.0,
+            };
+            let from_head = query_workload(&ps, &params, 11)
+                .iter()
+                .filter(|q| q[0] == 0)
+                .count();
+            from_head as f64 / count as f64
+        };
+        let uniform = head_share(0.0);
+        let skewed = head_share(2.0);
+        assert!((uniform - 0.5).abs() < 0.1, "skew 0 share {uniform}");
+        assert!(skewed > 0.99, "skew 2 share {skewed}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_workloads() {
+        let params = QueryWorkloadParams::default();
+        assert!(query_workload(&[], &params, 1).is_empty());
+        let only_unusable = vec![LargeIdSequence {
+            ids: vec![],
+            support: 3,
+        }];
+        assert!(query_workload(&only_unusable, &params, 1).is_empty());
+    }
+}

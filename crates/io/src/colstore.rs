@@ -64,6 +64,7 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use crate::error::IoError;
+use crate::readat::{u32s_from, u64s_from, ReadAt};
 use seqpat_core::cast::w64;
 use seqpat_core::{
     Dataset, Itemset, LitemsetTable, ShardScratch, TransformedCustomer, TransformedDatabase,
@@ -136,26 +137,6 @@ fn uz(v: u64) -> usize {
     debug_assert!(usize::try_from(v).is_ok(), "offset {v} overflows usize");
     // seqpat-lint: allow(no-lossy-casts-in-kernels) open() rejects files whose length overflows usize, and every value narrowed here is bounded by a validated file length
     v as usize
-}
-
-fn u64s_from(buf: &[u8]) -> Vec<u64> {
-    let mut out = Vec::with_capacity(buf.len() / 8);
-    for c in buf.chunks_exact(8) {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(c);
-        out.push(u64::from_le_bytes(b));
-    }
-    out
-}
-
-fn u32s_from(buf: &[u8]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(buf.len() / 4);
-    for c in buf.chunks_exact(4) {
-        let mut b = [0u8; 4];
-        b.copy_from_slice(c);
-        out.push(u32::from_le_bytes(b));
-    }
-    out
 }
 
 // ---------------------------------------------------------------------------
@@ -334,49 +315,6 @@ pub fn write_transformed(tdb: &TransformedDatabase, path: impl AsRef<Path>) -> R
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
-
-/// Positioned reads over the store file: `pread` on Unix (no shared cursor,
-/// so concurrent shard loads never race), a mutex-guarded seek+read
-/// fallback elsewhere.
-#[derive(Debug)]
-struct ReadAt {
-    #[cfg(unix)]
-    file: File,
-    #[cfg(not(unix))]
-    file: std::sync::Mutex<File>,
-}
-
-impl ReadAt {
-    fn new(file: File) -> Self {
-        #[cfg(unix)]
-        {
-            Self { file }
-        }
-        #[cfg(not(unix))]
-        {
-            Self {
-                file: std::sync::Mutex::new(file),
-            }
-        }
-    }
-
-    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
-        #[cfg(unix)]
-        {
-            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
-        }
-        #[cfg(not(unix))]
-        {
-            use std::io::{Read, Seek, SeekFrom};
-            let mut file = match self.file.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(buf)
-        }
-    }
-}
 
 /// An opened colstore file, serving shards of [`TransformedCustomer`] rows
 /// through the [`Dataset`] trait. Only the header and the litemset table

@@ -15,15 +15,19 @@
 //!   phases over a replayable customer stream, bounded memory).
 //! * [`stats`] — summary statistics used by the experiment harness's
 //!   dataset table (experiment E0).
+//! * [`readat`] — the positioned-read shim (`pread` on Unix, mutex-seek
+//!   elsewhere) shared by the binary stores.
 
 pub mod colstore;
 pub mod csv;
 pub mod error;
+pub mod readat;
 pub mod spmf;
 pub mod stats;
 pub mod stream;
 
 pub use colstore::{ColstoreDataset, ColstoreWriter};
 pub use error::IoError;
+pub use readat::ReadAt;
 pub use stats::DatasetStats;
 pub use stream::{build_colstore, BuildSummary};

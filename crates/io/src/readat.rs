@@ -1,0 +1,116 @@
+//! Positioned reads shared by the binary stores (`colstore`, and the
+//! serve layer's `SEQPATS1` index reader in `seqpat-serve`).
+//!
+//! The workspace forbids `unsafe`, so there is no real `mmap(2)` backend:
+//! [`ReadAt`] keeps the file open and serves byte ranges with positioned
+//! reads — `pread` via `FileExt::read_exact_at` on Unix (no shared cursor,
+//! so concurrent readers never race), and a mutex-guarded seek+read
+//! fallback elsewhere. The kernel's page cache provides the same lazy,
+//! page-granular behaviour mmap would, without the UB surface of a
+//! remappable slice.
+
+use std::fs::File;
+use std::io;
+
+/// Positioned reads over an open file. See the module docs for the
+/// platform split.
+#[derive(Debug)]
+pub struct ReadAt {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+}
+
+impl ReadAt {
+    /// Wraps an open file. The file's cursor is never used on Unix; on
+    /// other platforms it is owned by the internal mutex.
+    pub fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: std::sync::Mutex::new(file),
+            }
+        }
+    }
+
+    /// Fills `buf` from `offset`, failing if the range runs past EOF.
+    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = match self.file.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+}
+
+/// Decodes a little-endian `u64` column from raw bytes.
+pub fn u64s_from(buf: &[u8]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(buf.len() / 8);
+    for c in buf.chunks_exact(8) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        out.push(u64::from_le_bytes(b));
+    }
+    out
+}
+
+/// Decodes a little-endian `u32` column from raw bytes.
+pub fn u32s_from(buf: &[u8]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(buf.len() / 4);
+    for c in buf.chunks_exact(4) {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(c);
+        out.push(u32::from_le_bytes(b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn positioned_reads_do_not_disturb_each_other() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("seqpat-readat-{}.bin", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        drop(f);
+        let r = ReadAt::new(File::open(&path).unwrap());
+        let mut a = [0u8; 2];
+        let mut b = [0u8; 2];
+        r.read_exact_at(&mut a, 6).unwrap();
+        r.read_exact_at(&mut b, 0).unwrap();
+        assert_eq!(a, [6, 7]);
+        assert_eq!(b, [0, 1]);
+        assert!(r.read_exact_at(&mut a, 7).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn column_decoders_are_little_endian() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&(u64::MAX - 1).to_le_bytes());
+        assert_eq!(u64s_from(&bytes), vec![1, u64::MAX - 1]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(u32s_from(&bytes), vec![7, u32::MAX]);
+    }
+}

@@ -216,6 +216,8 @@ pub struct Violation {
 }
 
 /// Basenames of the counting-kernel files (rules 1 and 3 apply here).
+/// `trie.rs` and `lookup.rs` are the serve layer's index builder and query
+/// hot path (`crates/serve`), held to the same discipline.
 const KERNEL_BASENAMES: &[&str] = &[
     "counting.rs",
     "vertical.rs",
@@ -225,6 +227,8 @@ const KERNEL_BASENAMES: &[&str] = &[
     "contain.rs",
     "dataset.rs",
     "colstore.rs",
+    "trie.rs",
+    "lookup.rs",
 ];
 
 /// Macros that unconditionally panic when reached (shared with the parser's

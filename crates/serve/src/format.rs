@@ -1,0 +1,613 @@
+//! `SEQPATS1` — the on-disk form of a [`PatternTrie`].
+//!
+//! Mirrors the `SEQPATC1` colstore discipline (`seqpat-io`): a fixed
+//! little-endian header whose magic+version pair versions the format and
+//! whose endianness tag rejects byte-swapped files, followed by contiguous
+//! sections at offsets that are both *stored* and *recomputed* from the
+//! counts — any disagreement, or a file length mismatch, fails the open.
+//! Loading uses positioned reads ([`seqpat_io::ReadAt`]; the workspace
+//! forbids `unsafe`, so there is no mmap) and re-validates every
+//! structural invariant the lookup path leans on before the index answers
+//! a single query. Serialization is canonical: equal tries produce
+//! byte-identical files, which the round-trip property tests assert.
+//!
+//! # File layout (all integers little-endian)
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0   | magic `b"SEQPATS1"` |
+//! | 8   | `u32` version (currently 1) |
+//! | 12  | `u32` endianness tag `0x1A2B3C4D` |
+//! | 16  | `u64` num_nodes |
+//! | 24  | `u64` num_children (= num_nodes − 1) |
+//! | 32  | `u64` num_patterns (terminal nodes) |
+//! | 40  | `u64` num_litemsets |
+//! | 48  | `u64` num_table_items (items across all litemsets) |
+//! | 56  | `u64` total_customers (support denominator) |
+//! | 64  | `u64` ×8 section offsets: child_offsets, best_support, terminal_support, child_ids, child_nodes, rank_order, table, file_len |
+//! | 128 | sections, contiguous, in that order |
+//!
+//! Sections:
+//!
+//! * `child_offsets` — `u32` × (num_nodes + 1), the CSR offsets.
+//! * `best_support` — `u64` × num_nodes.
+//! * `terminal_support` — `u64` × num_nodes.
+//! * `child_ids` — `u32` × num_children, ascending within each node.
+//! * `child_nodes` — `u32` × num_children, preorder child indices.
+//! * `rank_order` — `u32` × num_children, per-node rank permutations.
+//! * `table` — the litemset table, exactly the colstore shape: supports
+//!   (`u64` × L), item offsets (`u64` × (L+1)), items (`u32` × T).
+//!
+//! # Failure model
+//!
+//! [`PatternTrie::load`] fails closed with [`IoError`] on any structural
+//! problem. After a successful load the index is fully resident and
+//! immutable, so queries cannot fail — unlike the colstore there is no
+//! post-open disk access to defend.
+
+use std::fs::File;
+use std::path::Path;
+
+use seqpat_core::{Itemset, LitemsetTable};
+use seqpat_io::readat::{u32s_from, u64s_from, ReadAt};
+use seqpat_io::IoError;
+
+use crate::trie::PatternTrie;
+
+/// First eight bytes of every index file.
+pub const MAGIC: [u8; 8] = *b"SEQPATS1";
+/// Format version written (and the only one read).
+pub const VERSION: u32 = 1;
+/// Endianness tag: reads back byte-swapped if the file is foreign-endian.
+const ENDIAN_TAG: u32 = 0x1A2B_3C4D;
+/// Fixed header size in bytes (sections start here).
+const HEADER_LEN: u64 = 128;
+
+/// The header's six counts; section offsets are derived from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Header {
+    num_nodes: u64,
+    num_children: u64,
+    num_patterns: u64,
+    num_litemsets: u64,
+    num_table_items: u64,
+    total_customers: u64,
+}
+
+/// Absolute byte offsets of each section (and the expected file length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sections {
+    child_offsets: u64,
+    best_support: u64,
+    terminal_support: u64,
+    child_ids: u64,
+    child_nodes: u64,
+    rank_order: u64,
+    table: u64,
+    file_len: u64,
+}
+
+impl Header {
+    /// Section offsets, or `None` when the counts overflow u64 byte
+    /// arithmetic (only possible for a corrupt header).
+    fn sections(&self) -> Option<Sections> {
+        let child_offsets = HEADER_LEN;
+        let best_support =
+            child_offsets.checked_add(self.num_nodes.checked_add(1)?.checked_mul(4)?)?;
+        let terminal_support = best_support.checked_add(self.num_nodes.checked_mul(8)?)?;
+        let child_ids = terminal_support.checked_add(self.num_nodes.checked_mul(8)?)?;
+        let child_nodes = child_ids.checked_add(self.num_children.checked_mul(4)?)?;
+        let rank_order = child_nodes.checked_add(self.num_children.checked_mul(4)?)?;
+        let table = rank_order.checked_add(self.num_children.checked_mul(4)?)?;
+        let table_len = self
+            .num_litemsets
+            .checked_mul(8)?
+            .checked_add(self.num_litemsets.checked_add(1)?.checked_mul(8)?)?
+            .checked_add(self.num_table_items.checked_mul(4)?)?;
+        let file_len = table.checked_add(table_len)?;
+        Some(Sections {
+            child_offsets,
+            best_support,
+            terminal_support,
+            child_ids,
+            child_nodes,
+            rank_order,
+            table,
+            file_len,
+        })
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line: 0,
+        message: msg.into(),
+    }
+}
+
+/// Narrows a validated `u64` count/offset to `usize`. Loading rejects
+/// files whose length overflows `usize` before any value reaches here.
+fn uz(v: u64) -> usize {
+    debug_assert!(usize::try_from(v).is_ok(), "count {v} overflows usize");
+    v as usize
+}
+
+impl PatternTrie {
+    fn header(&self) -> Header {
+        let num_table_items: u64 = self
+            .table
+            .iter()
+            .map(|(_, set, _)| set.items().len() as u64)
+            .sum();
+        Header {
+            num_nodes: self.best_support.len() as u64,
+            num_children: self.child_ids.len() as u64,
+            num_patterns: self.num_patterns,
+            num_litemsets: self.table.len() as u64,
+            num_table_items,
+            total_customers: self.total_customers,
+        }
+    }
+
+    /// Exact size in bytes of the serialized index.
+    pub fn serialized_len(&self) -> u64 {
+        // A built trie's counts are bounded by u32 node indices, far below
+        // u64 byte-arithmetic overflow.
+        self.header().sections().map_or(u64::MAX, |s| s.file_len)
+    }
+
+    /// Serializes the index into the canonical `SEQPATS1` byte image.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, IoError> {
+        let header = self.header();
+        let sections = header
+            .sections()
+            .ok_or_else(|| corrupt("index too large for the SEQPATS1 format"))?;
+        let mut out = Vec::with_capacity(uz(sections.file_len));
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+        for count in [
+            header.num_nodes,
+            header.num_children,
+            header.num_patterns,
+            header.num_litemsets,
+            header.num_table_items,
+            header.total_customers,
+        ] {
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        for off in [
+            sections.child_offsets,
+            sections.best_support,
+            sections.terminal_support,
+            sections.child_ids,
+            sections.child_nodes,
+            sections.rank_order,
+            sections.table,
+            sections.file_len,
+        ] {
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        for &v in &self.child_offsets {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.best_support {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.terminal_support {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.child_ids {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.child_nodes {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.rank_order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        // Litemset table: supports, item offsets, items (colstore shape).
+        for (_, _, support) in self.table.iter() {
+            out.extend_from_slice(&support.to_le_bytes());
+        }
+        let mut item_off = 0u64;
+        out.extend_from_slice(&item_off.to_le_bytes());
+        for (_, set, _) in self.table.iter() {
+            item_off += set.items().len() as u64;
+            out.extend_from_slice(&item_off.to_le_bytes());
+        }
+        for (_, set, _) in self.table.iter() {
+            for &item in set.items() {
+                out.extend_from_slice(&item.to_le_bytes());
+            }
+        }
+        if out.len() as u64 != sections.file_len {
+            return Err(corrupt(format!(
+                "serializer produced {} bytes, expected {}",
+                out.len(),
+                sections.file_len
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Writes the index to `path` (atomically enough for a build artifact:
+    /// full image in memory, single `write`).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Opens and fully validates a `SEQPATS1` file: magic / version /
+    /// endianness, section geometry against the real file length, and
+    /// every structural invariant the lookup path indexes by (CSR bounds,
+    /// ascending child ids, preorder tree shape, rank permutations,
+    /// subtree-max consistency, and the whole litemset table). Fails
+    /// closed — a loaded index never panics at query time.
+    pub fn load(path: impl AsRef<Path>) -> Result<PatternTrie, IoError> {
+        let raw = File::open(path.as_ref())?;
+        let actual_len = raw.metadata()?.len();
+        let file = ReadAt::new(raw);
+
+        if actual_len < HEADER_LEN {
+            return Err(corrupt(format!(
+                "file is {actual_len} bytes, shorter than the {HEADER_LEN}-byte header"
+            )));
+        }
+        let mut head = [0u8; 128];
+        file.read_exact_at(&mut head, 0)?;
+        if head[0..8] != MAGIC {
+            return Err(corrupt("bad magic: not a SEQPATS1 index"));
+        }
+        let head_u32 = |at: usize| -> u32 {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&head[at..at + 4]);
+            u32::from_le_bytes(b)
+        };
+        let head_u64 = |at: usize| -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&head[at..at + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = head_u32(8);
+        if version != VERSION {
+            return Err(corrupt(format!(
+                "unsupported SEQPATS1 version {version} (reader supports {VERSION})"
+            )));
+        }
+        let endian = head_u32(12);
+        if endian != ENDIAN_TAG {
+            return Err(corrupt(if endian == ENDIAN_TAG.swap_bytes() {
+                "endianness mismatch: file written with byte-swapped integers".to_string()
+            } else {
+                format!("bad endianness tag {endian:#010x}")
+            }));
+        }
+        let header = Header {
+            num_nodes: head_u64(16),
+            num_children: head_u64(24),
+            num_patterns: head_u64(32),
+            num_litemsets: head_u64(40),
+            num_table_items: head_u64(48),
+            total_customers: head_u64(56),
+        };
+        let sections = header
+            .sections()
+            .ok_or_else(|| corrupt("header counts overflow the section layout"))?;
+        let stored = Sections {
+            child_offsets: head_u64(64),
+            best_support: head_u64(72),
+            terminal_support: head_u64(80),
+            child_ids: head_u64(88),
+            child_nodes: head_u64(96),
+            rank_order: head_u64(104),
+            table: head_u64(112),
+            file_len: head_u64(120),
+        };
+        if stored != sections {
+            return Err(corrupt(
+                "stored section offsets disagree with the header counts",
+            ));
+        }
+        if actual_len != sections.file_len {
+            return Err(corrupt(format!(
+                "file is {actual_len} bytes, header says {}",
+                sections.file_len
+            )));
+        }
+        if usize::try_from(actual_len).is_err() {
+            return Err(corrupt("file too large for this platform's usize"));
+        }
+        if header.num_nodes == 0 {
+            return Err(corrupt(
+                "index has no nodes (even an empty trie has a root)",
+            ));
+        }
+        if header.num_children != header.num_nodes - 1 {
+            return Err(corrupt(format!(
+                "{} children for {} nodes; a trie has exactly num_nodes - 1 edges",
+                header.num_children, header.num_nodes
+            )));
+        }
+
+        let read_u32s = |off: u64, count: u64| -> Result<Vec<u32>, IoError> {
+            let mut buf = vec![0u8; uz(count) * 4];
+            file.read_exact_at(&mut buf, off)?;
+            Ok(u32s_from(&buf))
+        };
+        let read_u64s = |off: u64, count: u64| -> Result<Vec<u64>, IoError> {
+            let mut buf = vec![0u8; uz(count) * 8];
+            file.read_exact_at(&mut buf, off)?;
+            Ok(u64s_from(&buf))
+        };
+        let child_offsets = read_u32s(sections.child_offsets, header.num_nodes + 1)?;
+        let best_support = read_u64s(sections.best_support, header.num_nodes)?;
+        let terminal_support = read_u64s(sections.terminal_support, header.num_nodes)?;
+        let child_ids = read_u32s(sections.child_ids, header.num_children)?;
+        let child_nodes = read_u32s(sections.child_nodes, header.num_children)?;
+        let rank_order = read_u32s(sections.rank_order, header.num_children)?;
+        let table = read_table(&file, &header, &sections)?;
+
+        let trie = PatternTrie {
+            child_offsets,
+            best_support,
+            terminal_support,
+            child_ids,
+            child_nodes,
+            rank_order,
+            table,
+            total_customers: header.total_customers,
+            num_patterns: header.num_patterns,
+        };
+        validate(&trie)?;
+        Ok(trie)
+    }
+}
+
+/// Reads and validates the litemset table section (colstore shape).
+fn read_table(
+    file: &ReadAt,
+    header: &Header,
+    sections: &Sections,
+) -> Result<LitemsetTable, IoError> {
+    let n = uz(header.num_litemsets);
+    let mut supports_buf = vec![0u8; n * 8];
+    file.read_exact_at(&mut supports_buf, sections.table)?;
+    let supports = u64s_from(&supports_buf);
+    let mut offs_buf = vec![0u8; (n + 1) * 8];
+    file.read_exact_at(&mut offs_buf, sections.table + 8 * header.num_litemsets)?;
+    let offs = u64s_from(&offs_buf);
+    let mut items_buf = vec![0u8; uz(header.num_table_items) * 4];
+    file.read_exact_at(
+        &mut items_buf,
+        sections.table + 8 * header.num_litemsets + 8 * (header.num_litemsets + 1),
+    )?;
+    let items = u32s_from(&items_buf);
+
+    if offs.first() != Some(&0) || offs.last() != Some(&header.num_table_items) {
+        return Err(corrupt("litemset item offsets do not span the item column"));
+    }
+    let mut large = Vec::with_capacity(n);
+    for i in 0..n {
+        let (start, end) = (offs[i], offs[i + 1]);
+        if start > end || end > header.num_table_items {
+            return Err(corrupt("litemset item offsets are not monotone"));
+        }
+        let set = &items[uz(start)..uz(end)];
+        if set.is_empty() || set.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("litemset items are not strictly ascending"));
+        }
+        large.push((Itemset::from_sorted(set.to_vec()), supports[i]));
+    }
+    Ok(LitemsetTable::new(large))
+}
+
+/// Re-establishes every invariant `build` guarantees, over untrusted
+/// arrays. The lookup hot path indexes without bound checks in release
+/// builds on the strength of this pass.
+fn validate(trie: &PatternTrie) -> Result<(), IoError> {
+    let nodes = trie.best_support.len();
+    let children = trie.child_ids.len();
+    let offs = &trie.child_offsets;
+    if offs.first() != Some(&0) || offs.last().copied().map(|v| v as usize) != Some(children) {
+        return Err(corrupt("child offsets do not span the child arrays"));
+    }
+    let mut reached = vec![false; nodes];
+    let mut scratch: Vec<u32> = Vec::new();
+    for n in 0..nodes {
+        let (lo, hi) = (offs[n] as usize, offs[n + 1] as usize);
+        if lo > hi || hi > children {
+            return Err(corrupt("child offsets are not monotone"));
+        }
+        let mut expected_best = trie.terminal_support[n];
+        for slot in lo..hi {
+            let child = trie.child_nodes[slot] as usize;
+            if child <= n || child >= nodes {
+                return Err(corrupt(
+                    "child node index breaks the preorder invariant (child > parent)",
+                ));
+            }
+            if reached[child] {
+                return Err(corrupt("node has two parents; not a trie"));
+            }
+            reached[child] = true;
+            if slot > lo && trie.child_ids[slot - 1] >= trie.child_ids[slot] {
+                return Err(corrupt(
+                    "child ids are not strictly ascending within a node",
+                ));
+            }
+            if (trie.child_ids[slot] as usize) >= trie.table.len() {
+                return Err(corrupt("child id outside the litemset table"));
+            }
+            expected_best = expected_best.max(trie.best_support[child]);
+        }
+        if trie.best_support[n] != expected_best {
+            return Err(corrupt(
+                "best_support is not the subtree maximum the ranking relies on",
+            ));
+        }
+        // rank_order[lo..hi] must be a permutation of lo..hi sorted by
+        // (child best support desc, id asc).
+        scratch.clear();
+        scratch.extend_from_slice(&trie.rank_order[lo..hi]);
+        scratch.sort_unstable();
+        if !scratch.iter().zip(lo..hi).all(|(&s, i)| s as usize == i) {
+            return Err(corrupt(
+                "rank_order is not a permutation of the node's slots",
+            ));
+        }
+        let rank_key = |slot: u32| -> (std::cmp::Reverse<u64>, u32) {
+            let s = slot as usize;
+            (
+                std::cmp::Reverse(trie.best_support[trie.child_nodes[s] as usize]),
+                trie.child_ids[s],
+            )
+        };
+        for pair in trie.rank_order[lo..hi].windows(2) {
+            if rank_key(pair[0]) >= rank_key(pair[1]) {
+                return Err(corrupt(
+                    "rank_order is not sorted by (best support desc, id asc)",
+                ));
+            }
+        }
+    }
+    if trie.terminal_support.first() != Some(&0) && nodes > 0 {
+        return Err(corrupt("root carries a terminal support (empty pattern)"));
+    }
+    let terminals = trie.terminal_support.iter().filter(|&&s| s > 0).count() as u64;
+    if trie.num_patterns != terminals {
+        return Err(corrupt(format!(
+            "header says {} patterns, trie stores {terminals}",
+            trie.num_patterns
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpat_core::LargeIdSequence;
+    use std::path::PathBuf;
+
+    fn sample_trie() -> PatternTrie {
+        let table = LitemsetTable::new(vec![
+            (Itemset::new(vec![30]), 4),
+            (Itemset::new(vec![40, 70]), 2),
+            (Itemset::new(vec![90]), 3),
+        ]);
+        let patterns = vec![
+            LargeIdSequence {
+                ids: vec![0, 1],
+                support: 2,
+            },
+            LargeIdSequence {
+                ids: vec![0, 2],
+                support: 3,
+            },
+            LargeIdSequence {
+                ids: vec![2],
+                support: 3,
+            },
+        ];
+        PatternTrie::build(&patterns, table, 5).unwrap()
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("seqpat-serve-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let trie = sample_trie();
+        let path = tmp_path("roundtrip.seqpats");
+        trie.save(&path).unwrap();
+        let written = std::fs::read(&path).unwrap();
+        assert_eq!(written, trie.to_bytes().unwrap());
+        assert_eq!(written.len() as u64, trie.serialized_len());
+        let loaded = PatternTrie::load(&path).unwrap();
+        assert_eq!(loaded.to_bytes().unwrap(), written);
+        assert_eq!(loaded.num_patterns(), trie.num_patterns());
+        assert_eq!(loaded.total_customers(), trie.total_customers());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn built_tries_pass_the_loader_validation() {
+        validate(&sample_trie()).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_version_endianness_and_truncation() {
+        let trie = sample_trie();
+        let path = tmp_path("reject.seqpats");
+        trie.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(PatternTrie::load(&path).is_err());
+
+        let mut bad = good.clone();
+        bad[8] = 99; // version
+        std::fs::write(&path, &bad).unwrap();
+        assert!(PatternTrie::load(&path).is_err());
+
+        let mut bad = good.clone();
+        bad[12..16].reverse(); // endianness tag
+        std::fs::write(&path, &bad).unwrap();
+        let err = PatternTrie::load(&path).unwrap_err();
+        assert!(err.to_string().contains("endianness"));
+
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(PatternTrie::load(&path).is_err());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_structural_corruption() {
+        let trie = sample_trie();
+        let path = tmp_path("structure.seqpats");
+        let good = trie.to_bytes().unwrap();
+
+        // Corrupt one rank_order entry: swap the two rank slots of the
+        // node for prefix [0] (ranked (90) before (40 70)).
+        let zero_node = trie.lookup(&[0]).unwrap() as usize;
+        let lo = trie.child_offsets[zero_node] as usize;
+        let rank_off = 128
+            + 4 * (trie.child_offsets.len())
+            + 16 * trie.best_support.len()
+            + 8 * trie.child_ids.len();
+        let a = rank_off + 4 * lo;
+        let mut bad = good.clone();
+        bad.swap(a, a + 4); // byte-level swap breaks the permutation order
+        std::fs::write(&path, &bad).unwrap();
+        assert!(PatternTrie::load(&path).is_err());
+
+        // Corrupt best_support[0] (the global subtree max).
+        let best_off = 128 + 4 * trie.child_offsets.len();
+        let mut bad = good.clone();
+        bad[best_off] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(PatternTrie::load(&path).is_err());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_trie_roundtrips() {
+        let trie = PatternTrie::build(&[], LitemsetTable::default(), 0).unwrap();
+        let path = tmp_path("empty.seqpats");
+        trie.save(&path).unwrap();
+        let loaded = PatternTrie::load(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), 1);
+        assert_eq!(loaded.num_patterns(), 0);
+        assert!(loaded.predict(&[], 4).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! # seqpat-serve — serving mined sequential patterns.
+//!
+//! Mining (the `seqpat-core` pipeline) answers "*which* sequences are
+//! frequent"; this crate answers the paper's motivating follow-up at query
+//! time: *customers who bought ⟨X Y⟩ next buy …?* The mined maximal
+//! patterns are compiled once into a compact flattened prefix trie over
+//! litemset ids, and [`PatternTrie::predict_into`] resolves a prefix to the
+//! top-k next litemsets with **zero allocations** on the hot path.
+//!
+//! ## Layout
+//!
+//! * [`trie`] — the index itself: a preorder node array plus a CSR children
+//!   table (the same flattening shape as core's `FlatNode` hash tree), with
+//!   a per-node support-ranked child permutation so top-k is a bounded scan.
+//! * [`lookup`] — the query hot path: hybrid linear/binary child probe
+//!   (the `contain.rs` idiom) and the caller-owned-scratch `predict_into`.
+//! * [`mod@format`] — the on-disk form `SEQPATS1`: validated header + sections,
+//!   positioned-read loading, mirroring the `SEQPATC1` colstore discipline.
+//! * [`oracle`] — a naive linear-scan-over-patterns reference answerer;
+//!   tests and the CI smoke diff the trie against it.
+//! * [`stats`] — the concurrent read-mostly query loop (`Arc`-shared
+//!   immutable index, chunked worker fan-out) with latency percentiles.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use seqpat_core::{Itemset, LargeIdSequence, LitemsetTable};
+//! use seqpat_serve::{PatternTrie, Prediction};
+//!
+//! let table = LitemsetTable::new(vec![
+//!     (Itemset::new(vec![30]), 4),
+//!     (Itemset::new(vec![40, 70]), 2),
+//!     (Itemset::new(vec![90]), 3),
+//! ]);
+//! let patterns = vec![
+//!     LargeIdSequence { ids: vec![0, 1], support: 2 }, // <(30)(40 70)>
+//!     LargeIdSequence { ids: vec![0, 2], support: 3 }, // <(30)(90)>
+//! ];
+//! let trie = PatternTrie::build(&patterns, table, 5).unwrap();
+//! let mut out = [Prediction::default(); 8];
+//! let n = trie.predict_into(&[0], &mut out); // after (30), what next?
+//! assert_eq!(n, 2);
+//! assert_eq!(out[0], Prediction { id: 2, support: 3 }); // (90), support 3
+//! assert_eq!(out[1], Prediction { id: 1, support: 2 }); // (40 70)
+//! ```
+
+pub mod format;
+pub mod lookup;
+pub mod oracle;
+pub mod stats;
+pub mod trie;
+
+pub use lookup::Prediction;
+pub use oracle::oracle_predict;
+pub use stats::{run_workload, LatencySummary, WorkloadOptions, WorkloadReport};
+pub use trie::{PatternTrie, TrieBuildError};

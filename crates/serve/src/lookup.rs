@@ -1,0 +1,222 @@
+//! The query hot path: prefix descent and zero-allocation top-k.
+//!
+//! [`PatternTrie::predict_into`] is the serving loop's inner function. It
+//! walks the trie from the root along the query prefix — one child probe
+//! per element — and then copies the first k entries of the landing node's
+//! pre-sorted rank permutation into a caller-owned slice. Nothing on this
+//! path allocates: the only state is the node cursor, and the output is
+//! written in place.
+//!
+//! The child probe mirrors `contain.rs`: a node's child ids are stored in
+//! ascending order, so small fan-outs take an early-exit linear scan
+//! (better branch behaviour than binary search on short runs) and large
+//! fan-outs binary-search. The crossover is `LINEAR_SCAN_MAX` (8 slots).
+//!
+//! All slice indexing below relies on the structural invariants that
+//! `PatternTrie::build` establishes and `format::load` re-validates before
+//! an index is ever queried: CSR offsets are monotone and bounded by the
+//! child arrays, child node indices are in range, and `rank_order` is a
+//! per-range permutation. Each fn states the invariant it leans on with a
+//! `debug_assert!`, checked by the debug-assertions CI job.
+
+use seqpat_core::cast::idx;
+use seqpat_core::LitemsetId;
+
+use crate::trie::PatternTrie;
+
+/// Fan-outs up to this take the early-exit linear scan; larger ranges
+/// binary-search. Same crossover as `contain.rs`'s element probe.
+pub(crate) const LINEAR_SCAN_MAX: usize = 8;
+
+/// One ranked answer: a next litemset id and the best support of any
+/// pattern that continues the query prefix with it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted next litemset.
+    pub id: LitemsetId,
+    /// Maximum support among patterns extending the prefix with `id`.
+    pub support: u64,
+}
+
+impl PatternTrie {
+    /// Child slot of `node` labelled `id`, or `None` when the edge does
+    /// not exist. Hybrid probe over the node's ascending id range.
+    #[inline]
+    fn child_slot(&self, node: u32, id: LitemsetId) -> Option<usize> {
+        let n = idx(node);
+        debug_assert!(
+            n + 1 < self.child_offsets.len()
+                && idx(self.child_offsets[n + 1]) <= self.child_ids.len(),
+            "node indices and CSR offsets are validated at build/load time"
+        );
+        let lo = idx(self.child_offsets[n]);
+        let hi = idx(self.child_offsets[n + 1]);
+        let ids = &self.child_ids[lo..hi];
+        if ids.len() <= LINEAR_SCAN_MAX {
+            for (i, &c) in ids.iter().enumerate() {
+                if c >= id {
+                    if c == id {
+                        return Some(lo + i);
+                    }
+                    return None;
+                }
+            }
+            None
+        } else {
+            match ids.binary_search(&id) {
+                Ok(i) => Some(lo + i),
+                Err(_) => None,
+            }
+        }
+    }
+
+    /// Descends from the root along `prefix`, returning the landing node,
+    /// or `None` when no stored pattern starts with the prefix. The empty
+    /// prefix resolves to the root.
+    #[inline]
+    pub fn lookup(&self, prefix: &[LitemsetId]) -> Option<u32> {
+        debug_assert!(
+            !self.child_offsets.is_empty(),
+            "build/load always materialize at least the root node"
+        );
+        let mut node = 0u32;
+        for &id in prefix {
+            let slot = self.child_slot(node, id)?;
+            node = self.child_nodes[slot];
+        }
+        Some(node)
+    }
+
+    /// Writes the top-`out.len()` next litemsets for `prefix` into `out`
+    /// and returns how many were written (0 when the prefix misses, fewer
+    /// than `out.len()` when the fan-out is smaller). Ranking is (best
+    /// subtree support descending, id ascending). **Allocation-free**: the
+    /// caller owns `out` and reuses it across calls.
+    #[inline]
+    pub fn predict_into(&self, prefix: &[LitemsetId], out: &mut [Prediction]) -> usize {
+        let Some(node) = self.lookup(prefix) else {
+            return 0;
+        };
+        let n = idx(node);
+        debug_assert!(
+            n + 1 < self.child_offsets.len()
+                && idx(self.child_offsets[n + 1]) <= self.rank_order.len()
+                && self.rank_order.len() == self.child_ids.len()
+                && self.child_nodes.len() == self.child_ids.len(),
+            "rank_order is a per-range permutation over validated CSR ranges"
+        );
+        let lo = idx(self.child_offsets[n]);
+        let hi = idx(self.child_offsets[n + 1]);
+        let k = out.len().min(hi - lo);
+        for (dst, &slot) in out.iter_mut().zip(&self.rank_order[lo..hi]) {
+            let s = idx(slot);
+            *dst = Prediction {
+                id: self.child_ids[s],
+                support: self.best_support[idx(self.child_nodes[s])],
+            };
+        }
+        k
+    }
+
+    /// Allocating convenience wrapper over [`PatternTrie::predict_into`]
+    /// for one-off callers (CLI, tests). The serving loop uses
+    /// `predict_into` with reused scratch.
+    pub fn predict(&self, prefix: &[LitemsetId], k: usize) -> Vec<Prediction> {
+        let mut out = vec![Prediction::default(); k];
+        let n = self.predict_into(prefix, &mut out);
+        out.truncate(n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpat_core::{Itemset, LargeIdSequence, LitemsetTable};
+
+    fn trie(raw: &[(&[u32], u64)]) -> PatternTrie {
+        let max_id = raw
+            .iter()
+            .flat_map(|(ids, _)| ids.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        let table = LitemsetTable::new(
+            (0..max_id)
+                .map(|i| (Itemset::new(vec![i + 1]), 5))
+                .collect(),
+        );
+        let patterns: Vec<LargeIdSequence> = raw
+            .iter()
+            .map(|&(ids, support)| LargeIdSequence {
+                ids: ids.to_vec(),
+                support,
+            })
+            .collect();
+        PatternTrie::build(&patterns, table, 100).unwrap()
+    }
+
+    #[test]
+    fn ranking_is_support_desc_then_id_asc() {
+        let t = trie(&[(&[0, 1], 3), (&[0, 2], 7), (&[0, 3], 3), (&[0], 9)]);
+        let got = t.predict(&[0], 10);
+        assert_eq!(
+            got,
+            vec![
+                Prediction { id: 2, support: 7 },
+                Prediction { id: 1, support: 3 },
+                Prediction { id: 3, support: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_prefix_ranks_first_elements() {
+        let t = trie(&[(&[0, 1], 3), (&[2], 8), (&[1, 0], 5)]);
+        let got = t.predict(&[], 2);
+        assert_eq!(
+            got,
+            vec![
+                Prediction { id: 2, support: 8 },
+                Prediction { id: 1, support: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn misses_and_exhausted_prefixes_return_zero() {
+        let t = trie(&[(&[0, 1], 3)]);
+        let mut out = [Prediction::default(); 4];
+        assert_eq!(t.predict_into(&[2], &mut out), 0); // no such edge
+        assert_eq!(t.predict_into(&[0, 1], &mut out), 0); // leaf: no next
+        assert_eq!(t.predict_into(&[0, 1, 1], &mut out), 0); // past a leaf
+        assert_eq!(t.predict_into(&[1], &mut out), 0); // wrong first element
+    }
+
+    #[test]
+    fn k_truncates_and_wide_k_returns_fanout() {
+        let t = trie(&[(&[0, 1], 1), (&[0, 2], 2), (&[0, 3], 3)]);
+        assert_eq!(t.predict(&[0], 2).len(), 2);
+        assert_eq!(t.predict(&[0], 64).len(), 3);
+        let mut out: [Prediction; 0] = [];
+        assert_eq!(t.predict_into(&[0], &mut out), 0); // k = 0 writes nothing
+    }
+
+    #[test]
+    fn binary_probe_agrees_with_linear_on_wide_nodes() {
+        // Fan-out 20 at the root forces the binary-search arm.
+        let raw: Vec<(Vec<u32>, u64)> = (0..20u32).map(|i| (vec![i], u64::from(i) + 1)).collect();
+        let borrowed: Vec<(&[u32], u64)> = raw.iter().map(|(v, s)| (v.as_slice(), *s)).collect();
+        let t = trie(&borrowed);
+        for i in 0..20u32 {
+            assert!(t.lookup(&[i]).is_some(), "id {i}");
+        }
+        assert!(t.lookup(&[20]).is_none());
+        assert_eq!(
+            t.predict(&[], 1),
+            vec![Prediction {
+                id: 19,
+                support: 20
+            }]
+        );
+    }
+}

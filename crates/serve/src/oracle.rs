@@ -1,0 +1,148 @@
+//! Naive reference answerer, and pattern extraction from a built trie.
+//!
+//! [`oracle_predict`] answers a prefix query by linearly scanning the
+//! pattern list — the obviously-correct O(patterns × prefix) formulation
+//! of what the trie computes in O(prefix + k). Property tests and the CI
+//! smoke hold [`PatternTrie::predict_into`] to exact agreement with it,
+//! including tie-breaks: both rank by (support descending, id ascending).
+
+use std::collections::BTreeMap;
+
+use seqpat_core::{LargeIdSequence, LitemsetId};
+
+use crate::lookup::Prediction;
+use crate::trie::PatternTrie;
+
+/// Top-k next litemsets after `prefix`, computed by scanning `patterns`.
+/// A pattern votes for its element right after the prefix with its own
+/// support; per candidate id the maximum support wins — exactly the
+/// trie's per-child subtree best.
+pub fn oracle_predict(
+    patterns: &[LargeIdSequence],
+    prefix: &[LitemsetId],
+    k: usize,
+) -> Vec<Prediction> {
+    let mut best: BTreeMap<LitemsetId, u64> = BTreeMap::new();
+    for p in patterns {
+        if p.ids.len() > prefix.len() && p.ids.starts_with(prefix) {
+            let id = p.ids[prefix.len()];
+            let entry = best.entry(id).or_insert(0);
+            *entry = (*entry).max(p.support);
+        }
+    }
+    let mut out: Vec<Prediction> = best
+        .into_iter()
+        .map(|(id, support)| Prediction { id, support })
+        .collect();
+    out.sort_by(|a, b| b.support.cmp(&a.support).then(a.id.cmp(&b.id)));
+    out.truncate(k);
+    out
+}
+
+impl PatternTrie {
+    /// Recovers the stored pattern set, in lexicographic id order. The
+    /// inverse of [`PatternTrie::build`] up to duplicate collapsing; the
+    /// CLI's `--oracle` mode answers queries from this list.
+    pub fn patterns(&self) -> Vec<LargeIdSequence> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.collect_patterns(0, &mut path, &mut out);
+        out
+    }
+
+    fn collect_patterns(
+        &self,
+        node: u32,
+        path: &mut Vec<LitemsetId>,
+        out: &mut Vec<LargeIdSequence>,
+    ) {
+        let n = node as usize;
+        let terminal = self.terminal_support[n];
+        if terminal > 0 {
+            out.push(LargeIdSequence {
+                ids: path.clone(),
+                support: terminal,
+            });
+        }
+        let (lo, hi) = (
+            self.child_offsets[n] as usize,
+            self.child_offsets[n + 1] as usize,
+        );
+        for slot in lo..hi {
+            path.push(self.child_ids[slot]);
+            self.collect_patterns(self.child_nodes[slot], path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpat_core::{Itemset, LitemsetTable};
+
+    fn seqs(raw: &[(&[u32], u64)]) -> Vec<LargeIdSequence> {
+        raw.iter()
+            .map(|&(ids, support)| LargeIdSequence {
+                ids: ids.to_vec(),
+                support,
+            })
+            .collect()
+    }
+
+    fn table(n: u32) -> LitemsetTable {
+        LitemsetTable::new((0..n).map(|i| (Itemset::new(vec![i + 1]), 5)).collect())
+    }
+
+    #[test]
+    fn oracle_takes_max_support_per_candidate() {
+        let patterns = seqs(&[(&[0, 1], 3), (&[0, 1, 2], 6), (&[0, 2], 2)]);
+        let got = oracle_predict(&patterns, &[0], 10);
+        assert_eq!(
+            got,
+            vec![
+                Prediction { id: 1, support: 6 },
+                Prediction { id: 2, support: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn trie_agrees_with_oracle_on_a_worked_example() {
+        let patterns = seqs(&[
+            (&[0, 1], 3),
+            (&[0, 1, 2], 6),
+            (&[0, 2], 2),
+            (&[1], 9),
+            (&[2, 0], 4),
+        ]);
+        let trie = PatternTrie::build(&patterns, table(3), 20).unwrap();
+        for prefix in [
+            &[][..],
+            &[0][..],
+            &[0, 1][..],
+            &[1][..],
+            &[2][..],
+            &[2, 1][..],
+        ] {
+            for k in [0usize, 1, 2, 8] {
+                assert_eq!(
+                    trie.predict(prefix, k),
+                    oracle_predict(&patterns, prefix, k),
+                    "prefix {prefix:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_roundtrip_through_the_trie() {
+        let mut patterns = seqs(&[(&[0, 1], 3), (&[0, 2], 2), (&[1], 9), (&[2, 0, 1], 4)]);
+        let trie = PatternTrie::build(&patterns, table(3), 20).unwrap();
+        let mut got = trie.patterns();
+        let key = |p: &LargeIdSequence| p.ids.clone();
+        patterns.sort_by_key(key);
+        got.sort_by_key(key);
+        assert_eq!(got, patterns);
+    }
+}

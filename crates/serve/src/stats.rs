@@ -1,0 +1,325 @@
+//! The concurrent read-mostly query loop, with latency accounting.
+//!
+//! Serving is embarrassingly parallel: the index is immutable after
+//! build/load, so [`run_workload`] shares it across worker threads behind
+//! an `Arc` (no locks, no copies) and fans the query list out in
+//! contiguous chunks — the same deterministic split as
+//! `seqpat_itemset::parallel::map_chunks`. Each worker owns its scratch
+//! [`Prediction`] buffer, so the per-query hot path stays allocation-free;
+//! per-query wall time is sampled with `Instant` (this file is the
+//! crate's one wall-clock site, per the workspace lint).
+//!
+//! The report's `hits`/`predictions`/`checksum` are thread-count
+//! invariant (the checksum folds per-query and combines by XOR), so two
+//! runs over the same index and workload can be diffed regardless of
+//! `--threads`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seqpat_core::LitemsetId;
+
+use crate::lookup::Prediction;
+use crate::trie::PatternTrie;
+
+/// Knobs for [`run_workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadOptions {
+    /// Worker threads (0 and 1 both mean single-threaded).
+    pub threads: usize,
+    /// How many times to replay the whole query list.
+    pub repeat: usize,
+    /// Top-k width requested per query.
+    pub k: usize,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            repeat: 1,
+            k: 5,
+        }
+    }
+}
+
+/// Order statistics over per-query latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Summarizes latency samples; sorts `samples` in place.
+pub fn summarize(samples: &mut [u64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    samples.sort_unstable();
+    let total: u64 = samples.iter().sum();
+    let n = samples.len();
+    let at = |q_num: usize, q_den: usize| -> u64 {
+        // Nearest-rank percentile: ceil(n * q) clamped into the samples.
+        let rank = (n * q_num).div_ceil(q_den).max(1);
+        samples[rank - 1]
+    };
+    LatencySummary {
+        samples: n,
+        mean_ns: total / n as u64,
+        p50_ns: at(50, 100),
+        p99_ns: at(99, 100),
+        max_ns: samples[n - 1],
+    }
+}
+
+/// What [`run_workload`] measured.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Distinct queries in the workload.
+    pub queries: usize,
+    /// Total lookups performed (`queries × repeat`).
+    pub answered: u64,
+    /// Lookups that produced at least one prediction.
+    pub hits: u64,
+    /// Total predictions written across all lookups.
+    pub predictions: u64,
+    /// Order-insensitive digest of every (id, support) answered on the
+    /// first replay of the workload; equal digests mean equal answers
+    /// regardless of thread count. (Only the first replay folds in —
+    /// XORing identical digests once per repeat would cancel them out on
+    /// even repeat counts.)
+    pub checksum: u64,
+    /// Wall time of the whole fan-out, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-query latency order statistics.
+    pub latency: LatencySummary,
+}
+
+impl WorkloadReport {
+    /// Aggregate throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.answered as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Fraction of lookups that hit a stored prefix.
+    pub fn hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.answered as f64
+    }
+}
+
+/// FNV-style fold of one prediction list into a per-query digest.
+fn digest(out: &[Prediction]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in out {
+        h = (h ^ u64::from(p.id)).wrapping_mul(0x0000_0100_0000_01b3);
+        h = (h ^ p.support).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `queries` against the shared index and returns aggregate
+/// throughput plus per-query latency statistics. Queries are split into
+/// one contiguous chunk per worker; each worker clones the `Arc`, owns a
+/// reusable scratch buffer, and times each `predict_into` call.
+pub fn run_workload(
+    index: &Arc<PatternTrie>,
+    queries: &[Vec<LitemsetId>],
+    opts: &WorkloadOptions,
+) -> WorkloadReport {
+    let threads = opts.threads.max(1).min(queries.len().max(1));
+    let repeat = opts.repeat.max(1);
+    let chunk_len = queries.len().div_ceil(threads).max(1);
+
+    struct WorkerResult {
+        latencies: Vec<u64>,
+        hits: u64,
+        predictions: u64,
+        checksum: u64,
+    }
+
+    let run_chunk = |chunk: &[Vec<LitemsetId>]| -> WorkerResult {
+        let idx = Arc::clone(index);
+        let mut out = vec![Prediction::default(); opts.k];
+        let mut latencies = Vec::with_capacity(chunk.len() * repeat);
+        let mut hits = 0u64;
+        let mut predictions = 0u64;
+        let mut checksum = 0u64;
+        for rep in 0..repeat {
+            for q in chunk {
+                let started = Instant::now();
+                let n = idx.predict_into(q, &mut out);
+                let elapsed = started.elapsed().as_nanos();
+                latencies.push(u64::try_from(elapsed).unwrap_or(u64::MAX));
+                if n > 0 {
+                    hits += 1;
+                    predictions += n as u64;
+                    if rep == 0 {
+                        checksum ^= digest(&out[..n]);
+                    }
+                }
+            }
+        }
+        WorkerResult {
+            latencies,
+            hits,
+            predictions,
+            checksum,
+        }
+    };
+
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = if threads <= 1 {
+        vec![run_chunk(queries)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    };
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let mut latencies = Vec::with_capacity(queries.len() * repeat);
+    let mut hits = 0u64;
+    let mut predictions = 0u64;
+    let mut checksum = 0u64;
+    for r in results {
+        latencies.extend_from_slice(&r.latencies);
+        hits += r.hits;
+        predictions += r.predictions;
+        checksum ^= r.checksum;
+    }
+    let latency = summarize(&mut latencies);
+    WorkloadReport {
+        queries: queries.len(),
+        answered: (queries.len() as u64) * (repeat as u64),
+        hits,
+        predictions,
+        checksum,
+        wall_ns,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpat_core::{Itemset, LargeIdSequence, LitemsetTable};
+
+    fn index() -> Arc<PatternTrie> {
+        let table = LitemsetTable::new((0..4u32).map(|i| (Itemset::new(vec![i + 1]), 5)).collect());
+        let patterns = vec![
+            LargeIdSequence {
+                ids: vec![0, 1],
+                support: 3,
+            },
+            LargeIdSequence {
+                ids: vec![0, 2],
+                support: 7,
+            },
+            LargeIdSequence {
+                ids: vec![3],
+                support: 2,
+            },
+        ];
+        Arc::new(PatternTrie::build(&patterns, table, 10).unwrap())
+    }
+
+    #[test]
+    fn summarize_order_statistics() {
+        let mut samples = vec![5, 1, 3, 2, 4];
+        let s = summarize(&mut samples);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.mean_ns, 3);
+        assert_eq!(s.p50_ns, 3);
+        assert_eq!(s.p99_ns, 5);
+        assert_eq!(s.max_ns, 5);
+        assert_eq!(summarize(&mut []), LatencySummary::default());
+    }
+
+    #[test]
+    fn report_counts_hits_and_misses() {
+        let idx = index();
+        let queries = vec![vec![0], vec![3], vec![2], vec![0, 1]];
+        let opts = WorkloadOptions {
+            threads: 1,
+            repeat: 2,
+            k: 4,
+        };
+        let report = run_workload(&idx, &queries, &opts);
+        assert_eq!(report.queries, 4);
+        assert_eq!(report.answered, 8);
+        // [0] hits (2 children); [3] and [2] and [0,1] have no extension.
+        assert_eq!(report.hits, 2);
+        assert_eq!(report.predictions, 4);
+        // An even repeat count must not cancel the checksum to zero.
+        assert_ne!(report.checksum, 0);
+        assert_eq!(report.latency.samples, 8);
+        assert!(report.qps() > 0.0);
+        assert!((report.hit_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn answers_are_thread_count_invariant() {
+        let idx = index();
+        let queries: Vec<Vec<u32>> = (0..40)
+            .map(|i| match i % 4 {
+                0 => vec![0],
+                1 => vec![3],
+                2 => vec![0, 1],
+                _ => vec![2, 2],
+            })
+            .collect();
+        let base = run_workload(
+            &idx,
+            &queries,
+            &WorkloadOptions {
+                threads: 1,
+                repeat: 1,
+                k: 3,
+            },
+        );
+        for threads in [2, 3, 8, 64] {
+            let got = run_workload(
+                &idx,
+                &queries,
+                &WorkloadOptions {
+                    threads,
+                    repeat: 1,
+                    k: 3,
+                },
+            );
+            assert_eq!(got.hits, base.hits, "threads {threads}");
+            assert_eq!(got.predictions, base.predictions, "threads {threads}");
+            assert_eq!(got.checksum, base.checksum, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_workload_reports_zeroes() {
+        let idx = index();
+        let report = run_workload(&idx, &[], &WorkloadOptions::default());
+        assert_eq!(report.answered, 0);
+        assert_eq!(report.hits, 0);
+        assert_eq!(report.qps(), 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The pattern index: a flattened prefix trie over litemset ids.
+//!
+//! Every mined maximal pattern ⟨s₁ … sₙ⟩ is a path of litemset ids; the
+//! set of patterns is therefore a trie, and a *prefix* query resolves to a
+//! trie node whose children are exactly the possible next litemsets. The
+//! builder grows a temporary pointer trie and then flattens it — the same
+//! move as core's `FlatNode` hash-tree flattening — into parallel arrays:
+//!
+//! * `child_offsets` — CSR: node *n*'s child slots are
+//!   `child_offsets[n] .. child_offsets[n+1]`. Node 0 is the root.
+//! * `child_ids` / `child_nodes` — per slot, the edge's litemset id and the
+//!   child node it leads to. Ids are **strictly ascending within a node's
+//!   range** (so the probe can stay branch-cheap), and nodes are numbered
+//!   in **preorder**, so every child index is strictly greater than its
+//!   parent's — descent can never cycle.
+//! * `best_support` — per node, the maximum support of any pattern in the
+//!   node's subtree (including a pattern ending at the node itself).
+//! * `terminal_support` — per node, the support of the pattern ending
+//!   exactly here, or 0 for interior prefixes.
+//! * `rank_order` — per node range, a permutation of that range's slot
+//!   indices sorted by (child `best_support` descending, id ascending).
+//!   Top-k is then a bounded scan of the first k entries — no heap, no
+//!   sort, no allocation at query time.
+//!
+//! The index is immutable after construction; the serving loop shares it
+//! across worker threads behind an `Arc` without further synchronization.
+
+use std::collections::BTreeMap;
+
+use seqpat_core::cast::{id32, idx, w64};
+use seqpat_core::{LargeIdSequence, LitemsetId, LitemsetTable};
+
+/// Why [`PatternTrie::build`] rejected its input. Mined output never
+/// triggers these; they guard direct construction from untrusted data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrieBuildError {
+    /// A pattern references a litemset id outside the table.
+    IdOutOfRange {
+        /// Index of the offending pattern in the input slice.
+        pattern: usize,
+        /// The out-of-range id.
+        id: LitemsetId,
+        /// Number of litemsets in the table.
+        table_len: usize,
+    },
+    /// A pattern has no elements (the empty sequence is not a pattern).
+    EmptyPattern {
+        /// Index of the offending pattern in the input slice.
+        pattern: usize,
+    },
+    /// A pattern claims zero support (large sequences are supported by
+    /// construction; zero would poison the ranking).
+    ZeroSupport {
+        /// Index of the offending pattern in the input slice.
+        pattern: usize,
+    },
+    /// The trie would exceed `u32` node indices.
+    TooManyNodes {
+        /// Number of nodes the pointer trie reached.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for TrieBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrieBuildError::IdOutOfRange {
+                pattern,
+                id,
+                table_len,
+            } => write!(
+                f,
+                "pattern {pattern} references litemset id {id}, but the table has {table_len}"
+            ),
+            TrieBuildError::EmptyPattern { pattern } => {
+                write!(f, "pattern {pattern} is empty")
+            }
+            TrieBuildError::ZeroSupport { pattern } => {
+                write!(f, "pattern {pattern} has zero support")
+            }
+            TrieBuildError::TooManyNodes { nodes } => {
+                write!(
+                    f,
+                    "trie has {nodes} nodes, more than u32 indices can address"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrieBuildError {}
+
+/// One node of the temporary pointer trie the builder grows before
+/// flattening. `children` maps edge ids to arena indices; a `BTreeMap` so
+/// flattening emits each node's child slots in ascending id order.
+#[derive(Default)]
+struct BuildNode {
+    children: BTreeMap<LitemsetId, usize>,
+    terminal: u64,
+}
+
+/// The compiled, immutable pattern index. See the module docs for the
+/// array layout and invariants.
+#[derive(Debug, Clone)]
+pub struct PatternTrie {
+    /// CSR offsets into the child arrays; length `num_nodes + 1`.
+    pub(crate) child_offsets: Vec<u32>,
+    /// Per node, the maximum pattern support in its subtree.
+    pub(crate) best_support: Vec<u64>,
+    /// Per node, the support of the pattern ending here (0 = interior).
+    pub(crate) terminal_support: Vec<u64>,
+    /// Per child slot, the edge's litemset id (ascending within a node).
+    pub(crate) child_ids: Vec<LitemsetId>,
+    /// Per child slot, the preorder index of the child node.
+    pub(crate) child_nodes: Vec<u32>,
+    /// Per node range, its slots permuted by (best support desc, id asc).
+    pub(crate) rank_order: Vec<u32>,
+    /// The litemset table the ids are expressed over.
+    pub(crate) table: LitemsetTable,
+    /// Support denominator of the mining run that produced the patterns.
+    pub(crate) total_customers: u64,
+    /// Number of distinct patterns stored (terminal nodes).
+    pub(crate) num_patterns: u64,
+}
+
+impl PatternTrie {
+    /// Compiles mined patterns into the flattened trie. Duplicate id
+    /// sequences keep their maximum support; input order does not matter
+    /// (the layout is canonical, so equal pattern sets serialize
+    /// byte-identically).
+    pub fn build(
+        patterns: &[LargeIdSequence],
+        table: LitemsetTable,
+        total_customers: u64,
+    ) -> Result<Self, TrieBuildError> {
+        let mut arena: Vec<BuildNode> = Vec::with_capacity(patterns.len() + 1);
+        arena.push(BuildNode::default());
+        for (pi, p) in patterns.iter().enumerate() {
+            if p.ids.is_empty() {
+                return Err(TrieBuildError::EmptyPattern { pattern: pi });
+            }
+            if p.support == 0 {
+                return Err(TrieBuildError::ZeroSupport { pattern: pi });
+            }
+            let mut cur = 0usize;
+            for &id in &p.ids {
+                if idx(id) >= table.len() {
+                    return Err(TrieBuildError::IdOutOfRange {
+                        pattern: pi,
+                        id,
+                        table_len: table.len(),
+                    });
+                }
+                cur = child_or_new(&mut arena, cur, id);
+            }
+            debug_assert!(cur < arena.len(), "child_or_new indices stay in the arena");
+            arena[cur].terminal = arena[cur].terminal.max(p.support);
+        }
+        if u32::try_from(arena.len()).is_err() {
+            return Err(TrieBuildError::TooManyNodes { nodes: arena.len() });
+        }
+
+        let nodes = arena.len();
+        let mut flat = PatternTrie {
+            child_offsets: Vec::with_capacity(nodes + 1),
+            best_support: Vec::with_capacity(nodes),
+            terminal_support: Vec::with_capacity(nodes),
+            child_ids: Vec::with_capacity(nodes - 1),
+            child_nodes: Vec::with_capacity(nodes - 1),
+            rank_order: Vec::with_capacity(nodes - 1),
+            table,
+            total_customers,
+            num_patterns: 0,
+        };
+        flat.child_offsets.push(0);
+        flatten(&arena, 0, &mut flat);
+        flat.num_patterns = w64(flat.terminal_support.iter().filter(|&&s| s > 0).count());
+        Ok(flat)
+    }
+
+    /// Number of trie nodes (distinct pattern prefixes, plus the root).
+    pub fn num_nodes(&self) -> usize {
+        self.best_support.len()
+    }
+
+    /// Number of edges (equals `num_nodes() - 1`).
+    pub fn num_children(&self) -> usize {
+        self.child_ids.len()
+    }
+
+    /// Number of distinct patterns stored.
+    pub fn num_patterns(&self) -> u64 {
+        self.num_patterns
+    }
+
+    /// Support denominator of the originating mining run.
+    pub fn total_customers(&self) -> u64 {
+        self.total_customers
+    }
+
+    /// The litemset table the trie's ids are expressed over.
+    pub fn table(&self) -> &LitemsetTable {
+        &self.table
+    }
+
+    /// Largest child fan-out of any node (bounds `predict` result width).
+    pub fn max_fanout(&self) -> usize {
+        self.child_offsets
+            .iter()
+            .zip(self.child_offsets.iter().skip(1))
+            .map(|(&lo, &hi)| idx(hi - lo))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resident size of the trie arrays in bytes (excluding the litemset
+    /// table), for `--stats` reporting.
+    pub fn heap_bytes(&self) -> u64 {
+        let u32s = self.child_offsets.len() + self.child_ids.len() * 2 + self.rank_order.len();
+        let u64s = self.best_support.len() + self.terminal_support.len();
+        w64(u32s) * 4 + w64(u64s) * 8
+    }
+}
+
+/// Index of the `id` child of `cur`, growing the arena when the edge is
+/// new. Kept out of the insert loop so the builder's per-node allocation
+/// happens in a loop-free fn.
+fn child_or_new(arena: &mut Vec<BuildNode>, cur: usize, id: LitemsetId) -> usize {
+    debug_assert!(cur < arena.len(), "cur was returned by a previous call");
+    if let Some(&next) = arena[cur].children.get(&id) {
+        return next;
+    }
+    let next = arena.len();
+    arena.push(BuildNode::default());
+    arena[cur].children.insert(id, next);
+    next
+}
+
+/// Emits `b`'s subtree into `flat` in preorder and returns the subtree's
+/// best support. Child slots are reserved (in ascending id order, the
+/// `BTreeMap` iteration order) before descending, so a node's slots are
+/// contiguous and `child_offsets` stays monotone.
+fn flatten(arena: &[BuildNode], b: usize, flat: &mut PatternTrie) -> (u32, u64) {
+    debug_assert!(
+        b < arena.len() && flat.child_offsets.len() == flat.best_support.len() + 1,
+        "arena indices come from child_or_new; one offset is pushed per node plus the root's 0"
+    );
+    let f = flat.best_support.len();
+    flat.best_support.push(0);
+    flat.terminal_support.push(arena[b].terminal);
+    let start = flat.child_ids.len();
+    let end = start + arena[b].children.len();
+    flat.child_offsets.push(id32(end));
+    for (off, &id) in arena[b].children.keys().enumerate() {
+        flat.child_ids.push(id);
+        flat.child_nodes.push(0);
+        flat.rank_order.push(id32(start + off));
+    }
+    let mut best = arena[b].terminal;
+    for (off, &cb) in arena[b].children.values().enumerate() {
+        let (child_index, child_best) = flatten(arena, cb, flat);
+        flat.child_nodes[start + off] = child_index;
+        best = best.max(child_best);
+    }
+    flat.best_support[f] = best;
+    let child_ids = &flat.child_ids;
+    let child_nodes = &flat.child_nodes;
+    let best_support = &flat.best_support;
+    flat.rank_order[start..end].sort_unstable_by_key(|&slot| {
+        let s = idx(slot);
+        (
+            std::cmp::Reverse(best_support[idx(child_nodes[s])]),
+            child_ids[s],
+        )
+    });
+    (id32(f), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpat_core::Itemset;
+
+    fn table(n: u32) -> LitemsetTable {
+        LitemsetTable::new((0..n).map(|i| (Itemset::new(vec![i + 1]), 5)).collect())
+    }
+
+    fn seqs(raw: &[(&[u32], u64)]) -> Vec<LargeIdSequence> {
+        raw.iter()
+            .map(|&(ids, support)| LargeIdSequence {
+                ids: ids.to_vec(),
+                support,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_pattern_set_builds_a_root_only_trie() {
+        let trie = PatternTrie::build(&[], table(3), 10).unwrap();
+        assert_eq!(trie.num_nodes(), 1);
+        assert_eq!(trie.num_children(), 0);
+        assert_eq!(trie.num_patterns(), 0);
+        assert_eq!(trie.max_fanout(), 0);
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let patterns = seqs(&[(&[0, 1], 3), (&[0, 2], 2), (&[1], 4)]);
+        let trie = PatternTrie::build(&patterns, table(3), 10).unwrap();
+        // root, 0, 0-1, 0-2, 1 — five nodes, four edges.
+        assert_eq!(trie.num_nodes(), 5);
+        assert_eq!(trie.num_children(), 4);
+        assert_eq!(trie.num_patterns(), 3);
+        assert_eq!(trie.max_fanout(), 2);
+    }
+
+    #[test]
+    fn best_support_is_the_subtree_max() {
+        let patterns = seqs(&[(&[0, 1], 3), (&[0, 2], 7), (&[1], 4)]);
+        let trie = PatternTrie::build(&patterns, table(3), 10).unwrap();
+        // Root's best is the global max; node for prefix [0] sees 7.
+        assert_eq!(trie.best_support[0], 7);
+        let zero_node = trie.lookup(&[0]).unwrap() as usize;
+        assert_eq!(trie.best_support[zero_node], 7);
+        assert_eq!(trie.terminal_support[zero_node], 0);
+    }
+
+    #[test]
+    fn duplicate_patterns_keep_the_max_support() {
+        let patterns = seqs(&[(&[0], 3), (&[0], 9)]);
+        let trie = PatternTrie::build(&patterns, table(1), 10).unwrap();
+        assert_eq!(trie.num_patterns(), 1);
+        assert_eq!(trie.best_support[0], 9);
+    }
+
+    #[test]
+    fn input_order_does_not_change_the_layout() {
+        let a = seqs(&[(&[0, 1], 3), (&[2], 5), (&[0, 2], 2)]);
+        let mut b = a.clone();
+        b.reverse();
+        let ta = PatternTrie::build(&a, table(3), 10).unwrap();
+        let tb = PatternTrie::build(&b, table(3), 10).unwrap();
+        assert_eq!(ta.child_offsets, tb.child_offsets);
+        assert_eq!(ta.child_ids, tb.child_ids);
+        assert_eq!(ta.child_nodes, tb.child_nodes);
+        assert_eq!(ta.rank_order, tb.rank_order);
+        assert_eq!(ta.best_support, tb.best_support);
+        assert_eq!(ta.terminal_support, tb.terminal_support);
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert_eq!(
+            PatternTrie::build(&seqs(&[(&[], 1)]), table(1), 10).unwrap_err(),
+            TrieBuildError::EmptyPattern { pattern: 0 }
+        );
+        assert_eq!(
+            PatternTrie::build(&seqs(&[(&[0], 0)]), table(1), 10).unwrap_err(),
+            TrieBuildError::ZeroSupport { pattern: 0 }
+        );
+        assert_eq!(
+            PatternTrie::build(&seqs(&[(&[3], 1)]), table(3), 10).unwrap_err(),
+            TrieBuildError::IdOutOfRange {
+                pattern: 0,
+                id: 3,
+                table_len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn preorder_means_children_follow_parents() {
+        let patterns = seqs(&[(&[0, 1, 2], 2), (&[0, 2], 3), (&[1, 0], 1)]);
+        let trie = PatternTrie::build(&patterns, table(3), 10).unwrap();
+        for n in 0..trie.num_nodes() {
+            let (lo, hi) = (
+                trie.child_offsets[n] as usize,
+                trie.child_offsets[n + 1] as usize,
+            );
+            for slot in lo..hi {
+                assert!(trie.child_nodes[slot] as usize > n);
+            }
+            // Ascending ids within the range.
+            for w in trie.child_ids[lo..hi].windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the serving layer: `predict` must agree exactly
+//! with the naive linear-scan oracle for arbitrary prefixes (hits,
+//! misses, empty prefixes, `k` larger than any fanout), and the
+//! `SEQPATS1` on-disk form must round-trip byte-identically.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use seqpat_core::{Itemset, LargeIdSequence, LitemsetTable};
+use seqpat_serve::{oracle_predict, PatternTrie};
+
+const UNIVERSE: u32 = 8;
+
+fn table() -> LitemsetTable {
+    LitemsetTable::new(
+        (0..UNIVERSE)
+            .map(|i| (Itemset::new(vec![i + 1]), 5))
+            .collect(),
+    )
+}
+
+/// Pattern sets over a small id alphabet so prefixes collide often.
+/// Duplicated id sequences (with different supports) are deliberately
+/// possible: the builder must collapse them to the max.
+fn patterns_strategy() -> impl Strategy<Value = Vec<LargeIdSequence>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0u32..UNIVERSE, 1..6), 1u64..50),
+        0..30,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(ids, support)| LargeIdSequence { ids, support })
+            .collect()
+    })
+}
+
+/// Query prefixes range past the table (ids 8..10 can never match), and
+/// include the empty prefix.
+fn prefix_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..(UNIVERSE + 2), 0..6)
+}
+
+fn tmp(tag: u64) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "seqpat-serve-prop-{}-{tag}.seqpats",
+        std::process::id()
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predict_agrees_with_the_linear_scan_oracle(
+        patterns in patterns_strategy(),
+        prefix in prefix_strategy(),
+        k in 0usize..12,
+    ) {
+        let trie = PatternTrie::build(&patterns, table(), 100).expect("build");
+        prop_assert_eq!(
+            trie.predict(&prefix, k),
+            oracle_predict(&patterns, &prefix, k),
+            "prefix {:?} k {}",
+            prefix,
+            k
+        );
+    }
+
+    #[test]
+    fn seqpats1_roundtrips_byte_identically(
+        patterns in patterns_strategy(),
+        tag in 0u64..u64::MAX,
+    ) {
+        let trie = PatternTrie::build(&patterns, table(), 100).expect("build");
+        let bytes = trie.to_bytes().expect("serialize");
+
+        let path = tmp(tag);
+        trie.save(&path).expect("save");
+        let loaded = PatternTrie::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        // Loading then re-serializing reproduces the exact bytes, and the
+        // loaded index answers like the original.
+        prop_assert_eq!(&loaded.to_bytes().expect("re-serialize"), &bytes);
+        prop_assert_eq!(loaded.num_patterns(), trie.num_patterns());
+        for prefix in [&[][..], &[0][..], &[0, 1][..], &[7, 7][..]] {
+            prop_assert_eq!(loaded.predict(prefix, 8), trie.predict(prefix, 8));
+        }
+
+        // The layout is canonical: rebuilding from the recovered pattern
+        // set (a different input order than the original draw) must
+        // serialize to the same bytes.
+        let rebuilt = PatternTrie::build(&loaded.patterns(), table(), 100).expect("rebuild");
+        prop_assert_eq!(&rebuilt.to_bytes().expect("rebuilt serialize"), &bytes);
+    }
+}

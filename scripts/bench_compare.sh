@@ -10,6 +10,10 @@
 #
 #   ./scripts/bench_compare.sh <fresh.json> [baseline.json]
 #
+# The same gate covers every criterion-compat JSON report: the kernel
+# benches (default baseline results/bench_kernels.json) and the serve
+# benches (pass results/bench_serve.json as the baseline explicitly).
+#
 # Environment:
 #   BENCH_COMPARE_SKIP=1        skip entirely (known-noisy hosts / CI boxes)
 #   BENCH_COMPARE_THRESHOLD=25  allowed min-time regression in percent

@@ -54,6 +54,35 @@ cargo run --release -q -p seqpat-cli -- mine \
 diff "$smoke/mem.txt" "$smoke/mmap.txt"
 echo "shard smoke: mem and mmap outputs identical ($(wc -l < "$smoke/mem.txt") patterns)"
 
+echo "==> serve smoke (gen → mine → index → query, trie vs oracle diff)"
+# End-to-end serving check through the CLI: mine an index, sample a query
+# workload from it, and require the trie's answers to be byte-identical to
+# the linear-scan oracle's over the same file (plus one fixed guaranteed
+# miss). Fails loud on an empty index or a hit-free workload — either
+# would make the diff vacuous.
+ssmoke=target/ci-results/serve-smoke
+mkdir -p "$ssmoke"
+cargo run --release -q -p seqpat-cli -- gen \
+  --out "$ssmoke/data.spmf" --customers 40 --seed 11
+cargo run --release -q -p seqpat-cli -- mine \
+  --in "$ssmoke/data.spmf" --minsup 0.05 --max-length 4 \
+  --index-out "$ssmoke/idx.seqpats" > "$ssmoke/patterns.txt" 2> /dev/null
+[ -s "$ssmoke/patterns.txt" ] || { echo "serve smoke: no patterns mined" >&2; exit 1; }
+cargo run --release -q -p seqpat-cli -- queries \
+  --index "$ssmoke/idx.seqpats" --out "$ssmoke/q.txt" --count 200 --seed 5
+[ -s "$ssmoke/q.txt" ] || { echo "serve smoke: empty index produced no queries" >&2; exit 1; }
+printf '? -1 -2\n' >> "$ssmoke/q.txt"
+cargo run --release -q -p seqpat-cli -- query \
+  --index "$ssmoke/idx.seqpats" --queries "$ssmoke/q.txt" --k 5 > "$ssmoke/trie.txt"
+cargo run --release -q -p seqpat-cli -- query \
+  --index "$ssmoke/idx.seqpats" --queries "$ssmoke/q.txt" --k 5 --oracle > "$ssmoke/oracle.txt"
+diff "$ssmoke/trie.txt" "$ssmoke/oracle.txt"
+hits=$(grep -cv ' => -$' "$ssmoke/trie.txt" || true)
+[ "$hits" -gt 0 ] || { echo "serve smoke: workload produced zero hits" >&2; exit 1; }
+cargo run --release -q -p seqpat-cli -- serve \
+  --index "$ssmoke/idx.seqpats" --queries "$ssmoke/q.txt" --threads 2 --repeat 5
+echo "serve smoke: trie and oracle answers identical ($hits hit lines)"
+
 echo "==> equivalence suites with debug assertions in release"
 # The kernels' debug_assert!s mirror the lint contract (CSR monotonicity,
 # word-span consistency, arena run boundaries); exercise them against the
@@ -90,5 +119,17 @@ echo "==> snapshot kernel bench report (perf trajectory)"
 # the kernel-performance trajectory across the stack (results/ keeps the
 # regression-gate baseline; this file is the per-PR measurement).
 cp target/ci-results/bench_kernels.json BENCH_kernels.json
+
+echo "==> serve bench (index build + per-lookup latency at two sizes, JSON report)"
+# The full serve bench is cheap enough to run unfiltered; the lookup cells
+# use one query per sample so the JSON's p50/p99 are per-lookup latencies.
+cargo bench -p seqpat-bench --bench serve -- \
+  --json "$PWD/target/ci-results/bench_serve.json"
+
+echo "==> serve regression gate (same knobs: BENCH_COMPARE_SKIP / BENCH_COMPARE_THRESHOLD)"
+./scripts/bench_compare.sh target/ci-results/bench_serve.json results/bench_serve.json
+
+echo "==> snapshot serve bench report (perf trajectory)"
+cp target/ci-results/bench_serve.json BENCH_serve.json
 
 echo "==> CI green"

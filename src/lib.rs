@@ -15,6 +15,9 @@
 //! * [`gsp`] (`seqpat-gsp`) — the EDBT'96 successor algorithm with
 //!   min-gap / max-gap / sliding-window time constraints (extension; the
 //!   '95 paper's conclusion names these generalizations as future work).
+//! * [`serve`] (`seqpat-serve`) — the pattern-serving layer: mined
+//!   patterns compiled into a flattened prefix trie with zero-allocation
+//!   top-k `predict` lookups and a validated on-disk form (`SEQPATS1`).
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -44,6 +47,7 @@ pub use seqpat_gsp as gsp;
 pub use seqpat_io as io;
 pub use seqpat_itemset as itemset;
 pub use seqpat_prefixspan as prefixspan;
+pub use seqpat_serve as serve;
 
 pub use seqpat_core::{
     Algorithm, CandidateArena, CountingStrategy, Database, Item, Itemset, MinSupport, Miner,
