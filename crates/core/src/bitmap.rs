@@ -622,8 +622,10 @@ impl BitmapState {
     /// Like [`BitmapState::build`], but over any contiguous row slice — a
     /// whole database or one shard of it.
     pub fn build_slice(customers: &[TransformedCustomer], num_ids: usize) -> Self {
+        // seqpat-lint: allow(no-wall-clock-in-kernels) index build is timed once per pass for MiningStats, never in the counting loops
         let watch = Stopwatch::start();
         let index = BitmapIndex::build_slice(customers, num_ids);
+        // seqpat-lint: allow(no-wall-clock-in-kernels) one elapsed() read per index build, reported through MiningStats
         let index_build_time = watch.elapsed();
         let customers: Vec<u32> = (0..id32(index.num_customers())).collect();
         Self {

@@ -178,6 +178,7 @@ pub fn auto_decide(ds: &dyn Dataset) -> AutoDecision {
     };
     let mut scratch = ShardScratch::new();
     for range in shard_ranges(ds.num_rows(), scan) {
+        // seqpat-lint: allow(no-io-in-kernels) shard-granular read through the Dataset contract — the whole point of out-of-core counting
         for customer in ds.load_shard(range, &mut scratch) {
             transactions += w64(customer.elements.len());
             occurrences += customer.elements.iter().map(|e| w64(e.len())).sum::<u64>();
@@ -382,9 +383,11 @@ impl CountingContext {
             None => {
                 if !self.whole_loaded {
                     self.whole.clear();
+                    // seqpat-lint: allow(no-io-in-kernels) one whole-table load through the Dataset contract when everything fits in memory
                     ds.load_shard(0..ds.num_rows(), &mut self.whole);
                     self.whole_loaded = true;
                     self.shards_processed += 1;
+                    // seqpat-lint: allow(no-io-in-kernels) byte accounting for the load above, read once from shard metadata
                     self.shard_bytes += ds.shard_bytes(0..ds.num_rows());
                 }
                 self.whole.rows()
@@ -464,18 +467,21 @@ impl CountingContext {
         sum_partials(
             ranges.into_iter().map(|range| {
                 self.shards_processed += 1;
-                // seqpat-lint: allow(no-alloc-in-hot-loop) once per shard, not per row; a Range clone is two word copies
+                // seqpat-lint: allow(no-alloc-in-hot-loop, no-io-in-kernels) once per shard, not per row; a Range clone is two word copies
                 self.shard_bytes += ds.shard_bytes(range.clone());
+                // seqpat-lint: allow(no-io-in-kernels) shard-granular read through the Dataset contract — the whole point of out-of-core counting
                 let rows = ds.load_shard(range, &mut scratch);
                 match strategy {
                     CountingStrategy::Direct => {
                         let (supports, tests) =
+                            // seqpat-lint: allow(no-alloc-in-hot-loop) counter scratch is sized once per shard, not per row
                             count_direct_slice(rows, num_litemsets, candidates, threads);
                         self.containment_tests += tests;
                         supports
                     }
                     CountingStrategy::HashTree => {
                         let (supports, tests, probes) = match &tree {
+                            // seqpat-lint: allow(no-alloc-in-hot-loop) probe scratch is sized once per shard, not per row
                             Some(tree) => probe_hash_tree(rows, tree, candidates, threads),
                             // Unreachable by construction (the tree is
                             // built above for this strategy); zero counts
@@ -491,6 +497,7 @@ impl CountingContext {
                         // cache_cap_bytes = 0: the state dies with the
                         // shard, so list retention would only waste the
                         // shard's memory budget.
+                        // seqpat-lint: allow(no-alloc-in-hot-loop) the vertical index is built once per shard, not per row
                         let mut state = VerticalState::build_slice(
                             rows,
                             num_litemsets,
@@ -505,6 +512,7 @@ impl CountingContext {
                         supports
                     }
                     CountingStrategy::Bitmap => {
+                        // seqpat-lint: allow(no-alloc-in-hot-loop) the bitmap index is built once per shard, not per row
                         let mut state = BitmapState::build_slice(rows, num_litemsets);
                         let supports = state.count(candidates, threads);
                         self.shard.bitmap_index_time += state.index_build_time;
@@ -773,8 +781,10 @@ fn large_two_sharded(
     for range in ranges {
         if streaming {
             *shards_processed += 1;
+            // seqpat-lint: allow(no-io-in-kernels) byte accounting read once from shard metadata
             *shard_bytes += ds.shard_bytes(range.clone());
         }
+        // seqpat-lint: allow(no-io-in-kernels) shard-granular read through the Dataset contract — the whole point of out-of-core counting
         let rows = ds.load_shard(range, &mut scratch);
         let partials = map_chunks(rows, threads, |chunk| {
             let mut counts = PairCounts::new(n);

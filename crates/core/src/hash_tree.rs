@@ -82,6 +82,7 @@ impl SequenceHashTree {
         };
         let mut root = Node::Leaf(Vec::new());
         for (i, cand) in candidates.iter().enumerate() {
+            // seqpat-lint: allow(no-alloc-in-hot-loop) tree construction allocates per split; the probe path is allocation-free
             insert(
                 &mut root,
                 cand,

@@ -79,6 +79,7 @@ where
         .into_iter()
         .filter(|&(_, support)| support >= min_count)
         .map(|(item, support)| LargeItemset {
+            // seqpat-lint: allow(no-alloc-in-hot-loop) one allocation per surviving large item, not per scanned row
             items: vec![item],
             support,
         })
@@ -97,6 +98,10 @@ where
         for_each_batch(replay(), batch, |matrix| {
             let (_, batch_pairs) = counting::count_pairs_direct(matrix, &l1, 1, threads);
             for pair in batch_pairs {
+                debug_assert!(
+                    pair.items.len() == 2,
+                    "count_pairs_direct yields 2-itemsets"
+                );
                 *pair_supports
                     .entry((pair.items[0], pair.items[1]))
                     .or_insert(0) += pair.support;
@@ -107,6 +112,7 @@ where
             .into_iter()
             .filter(|&(_, support)| support >= min_count)
             .map(|((a, b), support)| LargeItemset {
+                // seqpat-lint: allow(no-alloc-in-hot-loop) one allocation per surviving large pair, not per scanned row
                 items: vec![a, b],
                 support,
             })
@@ -184,6 +190,7 @@ where
         matrix.push(
             customer
                 .itemsets()
+                // seqpat-lint: allow(no-alloc-in-hot-loop) batch materialization — the counters consume owned rows and the batch spine is reused across batches
                 .map(|set| set.items().to_vec())
                 .collect(),
         );

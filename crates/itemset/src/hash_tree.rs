@@ -49,6 +49,7 @@ impl HashTree {
             len: candidates.len(),
         };
         for (i, cand) in candidates.iter().enumerate() {
+            // seqpat-lint: allow(no-alloc-in-hot-loop) tree construction allocates per split; the probe path is allocation-free
             insert(
                 &mut tree.root,
                 cand,

@@ -90,6 +90,7 @@ where
         let map = &map;
         let handles: Vec<_> = items
             .chunks(chunk_len)
+            // seqpat-lint: allow(no-spawn-in-kernels) map_chunks is the one sanctioned fan-out point — every kernel parallelizes through it, and scoped threads join before it returns
             .map(|chunk| scope.spawn(move || map(chunk)))
             .collect();
         handles

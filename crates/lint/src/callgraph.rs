@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::parser::ParsedFile;
+use crate::rules;
 
 /// Call graph over every non-test `fn` in the parsed workspace.
 pub struct CallGraph {
@@ -19,6 +20,9 @@ pub struct CallGraph {
     pub nodes: Vec<(usize, usize)>,
     /// Sorted, deduped adjacency lists (indices into `nodes`).
     edges: Vec<Vec<usize>>,
+    /// Per node, per call site (same order as `FnDef::calls`): the node IDs
+    /// the call resolved to, ascending. Empty = unresolved in the workspace.
+    resolved: Vec<Vec<Vec<usize>>>,
 }
 
 impl CallGraph {
@@ -48,20 +52,30 @@ impl CallGraph {
             })
             .collect();
         let mut edges = vec![Vec::new(); nodes.len()];
+        let mut resolved = vec![Vec::new(); nodes.len()];
         for (id, &(fi, gi)) in nodes.iter().enumerate() {
             let caller = &files[fi].fns[gi];
             let mut outs: BTreeSet<usize> = BTreeSet::new();
             for c in &caller.calls {
+                let mut targets: Vec<usize> = Vec::new();
                 let name = aliases[fi]
                     .get(c.name.as_str())
                     .copied()
                     .unwrap_or(c.name.as_str());
                 let Some(cands) = by_name.get(name) else {
+                    resolved[id].push(targets);
                     continue;
                 };
                 for &t in cands {
                     let (tfi, tgi) = nodes[t];
                     let target = &files[tfi].fns[tgi];
+                    // A self-contained crate (linter, vendored shims) is
+                    // never a resolution target from outside itself.
+                    if let Some(prefix) = rules::self_contained_crate(&files[tfi].path) {
+                        if !files[fi].path.starts_with(prefix) {
+                            continue;
+                        }
+                    }
                     let ok = if c.is_method {
                         // `.name(…)` can only land on an impl/trait method.
                         target.impl_type.is_some()
@@ -80,13 +94,30 @@ impl CallGraph {
                         target.impl_type.is_none() || tfi == fi
                     };
                     if ok {
+                        targets.push(t);
                         outs.insert(t);
                     }
                 }
+                resolved[id].push(targets);
             }
             edges[id] = outs.into_iter().collect();
         }
-        CallGraph { nodes, edges }
+        CallGraph {
+            nodes,
+            edges,
+            resolved,
+        }
+    }
+
+    /// Out-edges of `node`, ascending.
+    pub fn edges_of(&self, node: usize) -> &[usize] {
+        &self.edges[node]
+    }
+
+    /// Resolved targets of call site `call_idx` of `node` (parallel to the
+    /// fn's `calls` vector), ascending; empty when unresolved.
+    pub fn resolved_targets(&self, node: usize, call_idx: usize) -> &[usize] {
+        &self.resolved[node][call_idx]
     }
 
     /// Node IDs whose `(file, fn)` satisfy `pred`, in node order.

@@ -23,6 +23,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::callgraph::CallGraph;
+use crate::effects;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::parser::{self, ParsedFile};
 use crate::rules::{self, Violation};
@@ -38,6 +39,9 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The deterministic per-fn effect table (`effects.json` artifact):
+    /// a pure function of the scanned sources, byte-identical across runs.
+    pub effects_json: String,
 }
 
 impl Report {
@@ -79,20 +83,22 @@ pub fn run(root: &Path) -> io::Result<Report> {
         inputs.push((rel_path(root, file), src));
     }
     let files_scanned = inputs.len();
-    let (violations, suppressed) = lint_sources(&inputs);
+    let (violations, suppressed, effects_json) = lint_sources(&inputs);
     Ok(Report {
         violations,
         suppressed,
         files_scanned,
+        effects_json,
     })
 }
 
 /// The full lint pipeline over in-memory `(rel_path, source)` pairs: lexical
-/// rules, suppression handling, the parser/call-graph semantic rules, and
-/// stale-suppression accounting. Test-path files are skipped wholesale.
-/// Returns the kept violations (sorted, deduped) and the count of findings
-/// silenced by valid suppressions.
-pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
+/// rules, suppression handling, effect inference, the parser/call-graph
+/// semantic rules, and stale-suppression accounting. Test-path files are
+/// skipped wholesale. Returns the kept violations (sorted, deduped), the
+/// count of findings silenced by valid suppressions, and the rendered
+/// `effects.json` artifact.
+pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, String) {
     let mut all: Vec<Violation> = Vec::new();
     let mut sups_by_path: BTreeMap<&str, Vec<Suppression>> = BTreeMap::new();
     let mut parsed: Vec<ParsedFile> = Vec::new();
@@ -116,8 +122,10 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
         all.append(&mut rules::stats_coverage(stats_rel, stats_src, cli_src));
     }
 
-    // Semantic rules over the parsed workspace.
+    // Effect inference and the semantic rules over the parsed workspace.
     let graph = CallGraph::build(&parsed);
+    let fx = effects::infer(&parsed, &graph);
+    let effects_json = effects::to_json(&parsed, &graph, &fx);
     let mut suppressed = 0usize;
     // (path, suppression line, rule name) triples that earned their keep.
     let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
@@ -141,9 +149,13 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
             }
             hit
         };
-        all.append(&mut semantic::transitive_panic(&parsed, &graph, absorb));
+        all.append(&mut semantic::transitive_panic(
+            &parsed, &graph, &fx, absorb,
+        ));
     }
     all.append(&mut semantic::no_alloc_in_hot_loop(&parsed));
+    all.append(&mut semantic::alloc_calls_in_hot_loop(&parsed, &graph, &fx));
+    all.append(&mut semantic::effect_purity(&parsed, &graph, &fx));
     all.append(&mut semantic::exhaustive_strategy_match(&parsed));
 
     // Apply suppressions to everything else, tracking which earned use.
@@ -180,6 +192,7 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
                             "suppression allows `{r}` but no such finding fires on the \
                              covered line(s); delete or update the allow-comment"
                         ),
+                        chain: None,
                     });
                 }
             }
@@ -188,14 +201,15 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize) {
 
     kept.sort();
     kept.dedup();
-    (kept, suppressed)
+    (kept, suppressed, effects_json)
 }
 
 /// Lints one in-memory file: the per-file slice of [`lint_sources`] (the
 /// cross-file stats-coverage rule and the workspace call graph see only
 /// this file). Returns the kept violations and the suppressed count.
 pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
-    lint_sources(&[(rel.to_string(), src.to_string())])
+    let (violations, suppressed, _) = lint_sources(&[(rel.to_string(), src.to_string())]);
+    (violations, suppressed)
 }
 
 /// Workspace-relative path with `/` separators.
@@ -266,6 +280,7 @@ fn parse_suppressions(rel: &str, src: &str) -> (Vec<Suppression>, Vec<Violation>
                 line: tok.line,
                 rule: rules::SUPPRESSION,
                 message: msg,
+                chain: None,
             });
         };
         let Some(args) = rest.strip_prefix("allow") else {
@@ -359,12 +374,39 @@ pub fn to_json(report: &Report) -> String {
         s.push_str(&format!("\"path\": \"{}\", ", json_escape(&v.path)));
         s.push_str(&format!("\"line\": {}, ", v.line));
         s.push_str(&format!("\"message\": \"{}\"", json_escape(&v.message)));
+        if let Some(chain) = &v.chain {
+            s.push_str(&format!(", \"chain\": \"{}\"", json_escape(chain)));
+        }
         s.push('}');
     }
     if !report.violations.is_empty() {
         s.push_str("\n  ");
     }
     s.push_str("]\n}\n");
+    s
+}
+
+/// Renders every finding of `rule` with its full witness chain — the
+/// `--explain <rule>` view. Deterministic: findings arrive sorted from the
+/// report, and chains are hop-minimal with deterministic tie-breaks.
+pub fn explain(report: &Report, rule: &str) -> String {
+    let mut s = String::new();
+    let hits: Vec<&Violation> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .collect();
+    s.push_str(&format!("rule `{rule}`: {} finding(s)\n", hits.len()));
+    for v in &hits {
+        s.push_str(&format!("\n{}:{}\n", v.path, v.line));
+        s.push_str(&format!("  {}\n", v.message));
+        if let Some(chain) = &v.chain {
+            s.push_str(&format!("  witness: {chain}\n"));
+        }
+    }
+    if hits.is_empty() {
+        s.push_str("nothing to explain: the workspace is clean for this rule\n");
+    }
     s
 }
 
@@ -426,7 +468,7 @@ pub fn to_sarif(report: &Report) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

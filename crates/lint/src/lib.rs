@@ -2,16 +2,20 @@
 //!
 //! A dependency-free static analyzer: a hand-rolled lexer feeds both a
 //! lexical rule engine and a recursive-descent item parser; the parser's
-//! output forms a workspace symbol table and call graph that drive the
-//! semantic rules (transitive panic reachability, hot-loop allocation
-//! discipline, exhaustive strategy dispatch, stale-suppression hygiene).
-//! The rules enforce the invariants the equivalence suites rely on:
-//! panic-free and cast-checked counting kernels, order-normalized hash
-//! iteration, wall-clock confined to the stats layer, and full
-//! `MiningStats` coverage in the CLI. See DESIGN.md §"Correctness tooling"
-//! for the contracts and `rules::RULES` for the registry.
+//! output forms a workspace symbol table and call graph; an SCC-condensed
+//! fixpoint infers a per-fn effect set (panics, allocates, does-io,
+//! wall-clock, spawns, locks) that drives the semantic rules (transitive
+//! panic reachability, kernel purity for I/O / wall-clock / thread spawns,
+//! hot-loop allocation discipline, exhaustive strategy dispatch,
+//! stale-suppression hygiene). The rules enforce the invariants the
+//! equivalence suites rely on: panic-free and cast-checked counting
+//! kernels, order-normalized hash iteration, wall-clock confined to the
+//! stats layer, and full `MiningStats` coverage in the CLI. See DESIGN.md
+//! §"Correctness tooling" for the contracts and `rules::RULES` for the
+//! registry.
 
 pub mod callgraph;
+pub mod effects;
 pub mod engine;
 pub mod lexer;
 pub mod parser;

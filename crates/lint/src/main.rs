@@ -13,6 +13,11 @@ const USAGE: &str =
   --json         legacy alias for --format json (conflicts with --format)
   --rules LIST   comma-separated rule names; only their findings are
                  reported (exit code follows the filtered set)
+  --effects-out PATH
+                 write the per-fn inferred-effect table (effects.json,
+                 byte-identical across runs) to PATH
+  --explain RULE render every finding of RULE with its full witness chain
+                 (exit code still follows the full deny set)
   --list-rules   print each rule's name, severity, and tier, then exit";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -27,6 +32,8 @@ fn main() -> ExitCode {
     let mut format: Option<Format> = None;
     let mut legacy_json = false;
     let mut rule_filter: Option<Vec<String>> = None;
+    let mut effects_out: Option<PathBuf> = None;
+    let mut explain_rule: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,6 +83,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--effects-out" => match args.next() {
+                Some(path) => effects_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--effects-out needs a file path argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => match args.next() {
+                Some(name) => {
+                    if !rules::is_known_rule(&name) {
+                        let known: Vec<&str> = rules::RULES.iter().map(|r| r.name).collect();
+                        eprintln!(
+                            "--explain names unknown rule `{name}`; known rules: {}",
+                            known.join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    explain_rule = Some(name);
+                }
+                None => {
+                    eprintln!("--explain needs a rule name argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list-rules" => {
                 for r in rules::RULES {
                     println!(
@@ -116,10 +147,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &effects_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = std::fs::write(path, &report.effects_json) {
+            eprintln!("seqpat-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(filter) = &rule_filter {
         report
             .violations
             .retain(|v| filter.iter().any(|r| r == v.rule));
+    }
+    if let Some(rule) = &explain_rule {
+        print!("{}", engine::explain(&report, rule));
+        return if report.has_deny() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let human = |line: String| {

@@ -58,6 +58,8 @@ pub struct FnDef {
     pub calls: Vec<CallSite>,
     /// Panic constructs in the body (excluding `debug_assert*!` interiors).
     pub panics: Vec<PanicSite>,
+    /// I/O macro invocations (`println!`-family) in the body.
+    pub ios: Vec<IoSite>,
     /// Allocation sites in the body.
     pub allocs: Vec<AllocSite>,
     /// `match` expressions in the body.
@@ -75,6 +77,18 @@ pub struct CallSite {
     pub line: u32,
     /// True for `.name(…)` method-call syntax.
     pub is_method: bool,
+    /// True when the smallest enclosing loop scope exists and is innermost
+    /// (same scope model as [`AllocSite::in_innermost_loop`]).
+    pub in_innermost_loop: bool,
+}
+
+/// One I/O macro invocation (`println!`-family).
+#[derive(Debug)]
+pub struct IoSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description, e.g. "`println!`".
+    pub what: String,
 }
 
 /// One panic construct (`.unwrap()`, `.expect()`, `panic!`-family macro).
@@ -133,6 +147,11 @@ const GROW_METHODS: &[&str] = &["push", "extend", "extend_from_slice"];
 
 /// Associated constructors on uppercase types that allocate (or may).
 const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "default"];
+
+/// Macros that write to stdout/stderr. `write!`/`writeln!` are deliberately
+/// absent: they target `fmt::Write`/`io::Write` alike and cannot be told
+/// apart lexically.
+const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// Tokens that can directly precede the opening `|` of a closure.
 const CLOSURE_STARTERS: &[&str] = &["(", ",", "=", "{", ";", ">", "&", "move", "return", "else"];
@@ -389,6 +408,7 @@ impl Parser<'_> {
             has_body: false,
             calls: Vec::new(),
             panics: Vec::new(),
+            ios: Vec::new(),
             allocs: Vec::new(),
             matches: Vec::new(),
         };
@@ -556,6 +576,14 @@ impl Parser<'_> {
                 });
             }
 
+            // I/O macros.
+            if bang && IO_MACROS.contains(&t) {
+                def.ios.push(IoSite {
+                    line,
+                    what: format!("`{t}!`"),
+                });
+            }
+
             // Allocation sites.
             let mut alloc_what: Option<String> = None;
             if bang && (t == "vec" || t == "format") {
@@ -624,6 +652,7 @@ impl Parser<'_> {
                     path,
                     line,
                     is_method: after_dot,
+                    in_innermost_loop: enclosing(ci).is_some_and(|si| innermost[si]),
                 });
             }
 

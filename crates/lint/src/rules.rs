@@ -33,6 +33,15 @@ pub const NO_ALLOC_IN_HOT_LOOP: &str = "no-alloc-in-hot-loop";
 /// Rule: `match` on the strategy/parallelism/algorithm enums must name
 /// every variant (no catch-all arm).
 pub const EXHAUSTIVE_STRATEGY_MATCH: &str = "exhaustive-strategy-match";
+/// Rule: no file/stdio I/O reachable from a compute-kernel fn (effect
+/// query; the I/O plumbing files are the sanctioned zone).
+pub const NO_IO_IN_KERNELS: &str = "no-io-in-kernels";
+/// Rule: no wall-clock read reachable from a kernel fn (effect query; the
+/// transitive generalization of [`NO_WALL_CLOCK_OUTSIDE_STATS`]).
+pub const NO_WALL_CLOCK_IN_KERNELS: &str = "no-wall-clock-in-kernels";
+/// Rule: no thread spawn reachable from a kernel fn — kernels are leaf
+/// compute; fan-out is owned by one justified-suppressed site.
+pub const NO_SPAWN_IN_KERNELS: &str = "no-spawn-in-kernels";
 /// Meta rule: an allow-comment whose rule no longer fires on the covered
 /// line(s) must be deleted.
 pub const STALE_SUPPRESSION: &str = "stale-suppression";
@@ -169,6 +178,33 @@ pub const RULES: &[RuleInfo] = &[
                variant — no `_` or binding catch-all arm",
     },
     RuleInfo {
+        name: NO_IO_IN_KERNELS,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "no file/stdio I/O effect reachable from a compute-kernel fn \
+               through the call graph (crates/io, the CLI, and format.rs are \
+               the sanctioned zone)",
+    },
+    RuleInfo {
+        name: NO_WALL_CLOCK_IN_KERNELS,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "no Instant/SystemTime/elapsed effect reachable from a kernel fn \
+               through the call graph (the transitive form of \
+               no-wall-clock-outside-stats)",
+    },
+    RuleInfo {
+        name: NO_SPAWN_IN_KERNELS,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "no thread-spawn effect reachable from a kernel fn — kernels are \
+               leaf compute; fan-out belongs to the one suppressed map_chunks \
+               site",
+    },
+    RuleInfo {
         name: STALE_SUPPRESSION,
         severity: Severity::Deny,
         tier: Tier::Meta,
@@ -213,11 +249,15 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable explanation of the finding.
     pub message: String,
+    /// Minimal witness chain for effect-query findings (`--explain`), e.g.
+    /// `"count_pass -> helper -> deep"`. `None` for lexical/meta findings.
+    pub chain: Option<String>,
 }
 
 /// Basenames of the counting-kernel files (rules 1 and 3 apply here).
 /// `trie.rs` and `lookup.rs` are the serve layer's index builder and query
-/// hot path (`crates/serve`), held to the same discipline.
+/// hot path (`crates/serve`), held to the same discipline; `readat.rs` is
+/// the positioned-read shim on the shard hot path.
 const KERNEL_BASENAMES: &[&str] = &[
     "counting.rs",
     "vertical.rs",
@@ -229,7 +269,18 @@ const KERNEL_BASENAMES: &[&str] = &[
     "colstore.rs",
     "trie.rs",
     "lookup.rs",
+    "readat.rs",
 ];
+
+/// Path suffixes of kernel files matched by full suffix rather than
+/// basename, so an unrelated `stream.rs` elsewhere never inherits kernel
+/// discipline by name collision.
+const KERNEL_PATH_SUFFIXES: &[&str] = &["io/src/stream.rs"];
+
+/// Basenames/suffixes of the kernel files that ARE the I/O layer: they obey
+/// every kernel rule except `no-io-in-kernels`, whose sanctioned zone they
+/// define (positioned shard reads are their entire purpose).
+const IO_PLUMBING_BASENAMES: &[&str] = &["colstore.rs", "readat.rs"];
 
 /// Macros that unconditionally panic when reached (shared with the parser's
 /// panic-site extraction).
@@ -269,15 +320,71 @@ fn basename(path: &str) -> &str {
     path.rsplit('/').next().unwrap_or(path)
 }
 
-/// True for the counting-kernel files (by basename).
+/// True for the counting-kernel files (by basename or path suffix).
 pub fn is_kernel_path(path: &str) -> bool {
     KERNEL_BASENAMES.contains(&basename(path))
+        || KERNEL_PATH_SUFFIXES.iter().any(|s| path.ends_with(s))
+}
+
+/// True for the kernel files that are themselves the I/O layer (colstore,
+/// readat, the streaming colstore builder).
+pub fn is_io_plumbing_path(path: &str) -> bool {
+    IO_PLUMBING_BASENAMES.contains(&basename(path))
+        || KERNEL_PATH_SUFFIXES.iter().any(|s| path.ends_with(s))
+}
+
+/// True for the compute kernels: kernel files minus the I/O plumbing. These
+/// are the entry points of the `no-io-in-kernels` effect query.
+pub fn is_compute_kernel_path(path: &str) -> bool {
+    is_kernel_path(path) && !is_io_plumbing_path(path)
+}
+
+/// Sanctioned zone of the `DoesIo` effect: intrinsic I/O sites in these
+/// files are expected (the I/O layer, the CLI/bench front ends, datagen's
+/// writers, and the serializers). A kernel may still not *reach* them —
+/// that is the boundary finding — but the sites themselves are not flagged.
+pub fn is_io_sanctioned_path(path: &str) -> bool {
+    path.starts_with("crates/io/")
+        || path.starts_with("crates/cli/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/datagen/")
+        || basename(path) == "format.rs"
+}
+
+/// Sanctioned zone of the `WallClock` effect: mirrors the lexical
+/// `no-wall-clock-outside-stats` allowance, plus the criterion shim.
+pub fn is_clock_sanctioned_path(path: &str) -> bool {
+    basename(path) == "stats.rs"
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/cli/")
+        || path.starts_with("crates/criterion-compat/")
 }
 
 /// Paths whose whole contents are test code: integration-test trees and the
 /// property-test module kept in its own file.
 pub fn is_test_path(path: &str) -> bool {
     path.contains("/tests/") || basename(path) == "proptests.rs"
+}
+
+/// Crates no product crate depends on: the linter itself and the vendored
+/// test/bench shims (criterion/proptest API look-alikes). Their method
+/// names deliberately collide with std and external APIs (`iter`, `get`,
+/// `push`, …), so name-based resolution *into* them from another crate is
+/// always spurious — a `.iter()` in `crates/core` cannot land in a crate
+/// core does not link against. Calls within the same crate resolve
+/// normally.
+const SELF_CONTAINED_CRATES: &[&str] = &[
+    "crates/lint/",
+    "crates/criterion-compat/",
+    "crates/proptest-compat/",
+];
+
+/// The self-contained-crate prefix of `path`, if any.
+pub fn self_contained_crate(path: &str) -> Option<&'static str> {
+    SELF_CONTAINED_CRATES
+        .iter()
+        .find(|p| path.starts_with(**p))
+        .copied()
 }
 
 fn wall_clock_allowed(path: &str) -> bool {
@@ -390,6 +497,7 @@ impl Analysis<'_> {
             line,
             rule,
             message,
+            chain: None,
         });
     }
 
@@ -880,6 +988,7 @@ pub fn stats_coverage(stats_rel_path: &str, stats_src: &str, cli_src: &str) -> V
                 "public MiningStats field `{name}` is never referenced by the CLI; \
                  surface it in the --stats printer"
             ),
+            chain: None,
         })
         .collect()
 }

@@ -1,16 +1,29 @@
-//! The three call-graph / AST driven rules.
+//! The call-graph / AST driven rules, written as declarative queries
+//! against the inferred effect table ([`crate::effects`]).
 //!
 //! These run over the whole parsed workspace at once (unlike the per-file
-//! lexical rules in [`crate::rules`]): transitive panic reachability walks
-//! the call graph from the kernel entry points, the hot-loop allocation
-//! rule uses the parser's loop-scope nesting, and the exhaustive-match rule
-//! cross-references `match` arms against the workspace's own enum
-//! declarations. The fourth semantic rule, `stale-suppression`, lives in
-//! the engine because it is defined by what the other rules did (not) do.
+//! lexical rules in [`crate::rules`]). The effect-query rules come in two
+//! finding shapes, which is what keeps suppression site-granular:
+//!
+//! * **source-site** findings — an *unsanctioned* intrinsic site (a stray
+//!   `println!`, `.elapsed()`, `spawn`) in a fn reachable from the rule's
+//!   kernel entry points, reported at the site itself with the minimal
+//!   entry→site witness chain;
+//! * **boundary** findings — a call from a kernel fn into a callee whose
+//!   effect is *purely sanctioned* (e.g. `Stopwatch::start`, whose
+//!   `Instant::now()` lives legitimately in stats.rs), reported at the
+//!   kernel call line: the sanctioned site is fine where it is, the kernel
+//!   reaching it is the violation.
+//!
+//! The exhaustive-match rule cross-references `match` arms against the
+//! workspace's own enum declarations. The meta rule `stale-suppression`
+//! lives in the engine because it is defined by what the other rules did
+//! (not) do.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::callgraph::CallGraph;
+use crate::effects::{Effect, EffectTable};
 use crate::parser::ParsedFile;
 use crate::rules::{self, Violation};
 
@@ -20,8 +33,9 @@ pub const TARGET_ENUMS: &[&str] = &["CountingStrategy", "Parallelism", "Algorith
 
 /// Rule: transitive-panic-reachability.
 ///
-/// Entry points are all non-test fns defined in kernel files. Any panic
-/// construct in a *non*-kernel fn reachable from an entry point is flagged
+/// An effect query: entry points are all non-test fns defined in kernel
+/// files; every unsanctioned intrinsic `Panics` site in a *non*-kernel fn
+/// reachable from an entry point is flagged with its minimal witness chain
 /// (panic sites inside kernel files themselves are the lexical rule's
 /// domain — reporting them here too would double-count every finding).
 /// `absorb(path, line)` is consulted per panic site; returning `true`
@@ -29,39 +43,151 @@ pub const TARGET_ENUMS: &[&str] = &["CountingStrategy", "Parallelism", "Algorith
 pub fn transitive_panic(
     files: &[ParsedFile],
     graph: &CallGraph,
+    fx: &EffectTable,
     mut absorb: impl FnMut(&str, u32) -> bool,
 ) -> Vec<Violation> {
     let entries = graph.nodes_where(|fi, _| rules::is_kernel_path(&files[fi].path));
     let parents = graph.reachable_with_parents(&entries);
     let mut out = Vec::new();
-    for &node in parents.keys() {
-        let (fi, gi) = graph.nodes[node];
+    for site in fx.sites.iter().filter(|s| s.effect == Effect::Panics) {
+        if !parents.contains_key(&site.node) {
+            continue;
+        }
+        let (fi, gi) = graph.nodes[site.node];
         let file = &files[fi];
         if rules::is_kernel_path(&file.path) {
             continue;
         }
-        let f = &file.fns[gi];
-        for p in &f.panics {
-            if absorb(&file.path, p.line) {
+        if absorb(&file.path, site.line) {
+            continue;
+        }
+        let chain = graph.chain(files, &parents, site.node);
+        out.push(Violation {
+            path: file.path.clone(),
+            line: site.line,
+            rule: rules::TRANSITIVE_PANIC_REACHABILITY,
+            message: format!(
+                "{} in `{}` is reachable from kernel code ({chain}); \
+                 restructure, or suppress at this site with a justification",
+                site.what, file.fns[gi].name
+            ),
+            chain: Some(chain.clone()),
+        });
+    }
+    out
+}
+
+/// One effect-purity rule: kernels in `in_scope` must not reach `effect`.
+pub struct EffectRule {
+    /// Rule name (a `rules::` constant).
+    pub rule: &'static str,
+    /// The lattice element the rule queries.
+    pub effect: Effect,
+    /// Human noun for messages, e.g. "I/O".
+    pub noun: &'static str,
+    /// Which files' fns are the rule's entry points.
+    pub in_scope: fn(&str) -> bool,
+}
+
+/// The three kernel-purity effect rules.
+pub const EFFECT_RULES: &[EffectRule] = &[
+    EffectRule {
+        rule: rules::NO_IO_IN_KERNELS,
+        effect: Effect::DoesIo,
+        noun: "I/O",
+        in_scope: rules::is_compute_kernel_path,
+    },
+    EffectRule {
+        rule: rules::NO_WALL_CLOCK_IN_KERNELS,
+        effect: Effect::WallClock,
+        noun: "wall-clock time",
+        in_scope: rules::is_kernel_path,
+    },
+    EffectRule {
+        rule: rules::NO_SPAWN_IN_KERNELS,
+        effect: Effect::Spawns,
+        noun: "thread spawns",
+        in_scope: rules::is_kernel_path,
+    },
+];
+
+/// Rules: no-io-in-kernels / no-wall-clock-in-kernels / no-spawn-in-kernels.
+///
+/// For each rule: source-site findings at unsanctioned intrinsic sites
+/// reachable from the rule's kernel entries, then boundary findings at
+/// kernel call sites whose callee carries the effect purely from sanctioned
+/// sites (skipped when the same line already got a source-site finding —
+/// `watch.elapsed()` is both an intrinsic site and a resolved call).
+pub fn effect_purity(files: &[ParsedFile], graph: &CallGraph, fx: &EffectTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for spec in EFFECT_RULES {
+        let entries = graph.nodes_where(|fi, _| (spec.in_scope)(&files[fi].path));
+        let parents = graph.reachable_with_parents(&entries);
+        let mut site_lines: BTreeSet<(usize, u32)> = BTreeSet::new();
+        for site in fx
+            .sites
+            .iter()
+            .filter(|s| s.effect == spec.effect && !s.sanctioned)
+        {
+            if !parents.contains_key(&site.node) {
                 continue;
             }
-            let chain = graph.chain(files, &parents, node);
+            let (fi, gi) = graph.nodes[site.node];
+            let chain = graph.chain(files, &parents, site.node);
+            site_lines.insert((fi, site.line));
             out.push(Violation {
-                path: file.path.clone(),
-                line: p.line,
-                rule: rules::TRANSITIVE_PANIC_REACHABILITY,
+                path: files[fi].path.clone(),
+                line: site.line,
+                rule: spec.rule,
                 message: format!(
-                    "{} in `{}` is reachable from kernel code ({chain}); \
-                     restructure, or suppress at this site with a justification",
-                    p.what, f.name
+                    "{} in `{}` is reachable from kernel code ({chain}); kernels \
+                     must stay free of {} — restructure, or suppress at this \
+                     site with a justification",
+                    site.what, files[fi].fns[gi].name, spec.noun
                 ),
+                chain: Some(chain),
             });
+        }
+        for &n in &entries {
+            let (fi, gi) = graph.nodes[n];
+            let f = &files[fi].fns[gi];
+            for (ci, c) in f.calls.iter().enumerate() {
+                if site_lines.contains(&(fi, c.line)) {
+                    continue;
+                }
+                for &g in graph.resolved_targets(n, ci) {
+                    let (gfi, _) = graph.nodes[g];
+                    if (spec.in_scope)(&files[gfi].path)
+                        || !fx.inferred[g].contains(spec.effect)
+                        || fx.inferred_unsanctioned[g].contains(spec.effect)
+                    {
+                        continue;
+                    }
+                    let witness = fx
+                        .witness(files, graph, g, spec.effect)
+                        .unwrap_or_else(|| files[gfi].fns[graph.nodes[g].1].name.clone());
+                    let chain = format!("{} -> {witness}", f.name);
+                    out.push(Violation {
+                        path: files[fi].path.clone(),
+                        line: c.line,
+                        rule: spec.rule,
+                        message: format!(
+                            "call to `{}` in kernel fn `{}` reaches {} ({chain}); \
+                             restructure, or suppress at this call site with a \
+                             justification",
+                            c.name, f.name, spec.noun
+                        ),
+                        chain: Some(chain),
+                    });
+                    break;
+                }
+            }
         }
     }
     out
 }
 
-/// Rule: no-alloc-in-hot-loop.
+/// Rule: no-alloc-in-hot-loop (intraprocedural half).
 ///
 /// Allocation sites whose smallest enclosing loop scope (lexical loop or
 /// closure body) is innermost, in non-test fns of kernel files.
@@ -88,7 +214,58 @@ pub fn no_alloc_in_hot_loop(files: &[ParsedFile]) -> Vec<Violation> {
                          reusable scratch buffer, or suppress with a justification",
                         a.what, f.name
                     ),
+                    chain: None,
                 });
+            }
+        }
+    }
+    out
+}
+
+/// Rule: no-alloc-in-hot-loop (interprocedural half).
+///
+/// A path/free-fn call in the innermost loop of a kernel fn whose resolved
+/// callee carries the `Allocates` effect fires at the call line. Method
+/// calls are exempt: name-based method resolution is too ambiguous to pin
+/// an allocation on (`.count()` could be an iterator reduction or a
+/// counting-state method), and the intraprocedural half already covers the
+/// allocating method names directly.
+pub fn alloc_calls_in_hot_loop(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    fx: &EffectTable,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (n, &(fi, gi)) in graph.nodes.iter().enumerate() {
+        if !rules::is_kernel_path(&files[fi].path) {
+            continue;
+        }
+        let f = &files[fi].fns[gi];
+        for (ci, c) in f.calls.iter().enumerate() {
+            if !c.in_innermost_loop || c.is_method {
+                continue;
+            }
+            for &g in graph.resolved_targets(n, ci) {
+                if g == n || !fx.inferred[g].contains(Effect::Allocates) {
+                    continue;
+                }
+                let witness = fx
+                    .witness(files, graph, g, Effect::Allocates)
+                    .unwrap_or_else(|| files[graph.nodes[g].0].fns[graph.nodes[g].1].name.clone());
+                let chain = format!("{} -> {witness}", f.name);
+                out.push(Violation {
+                    path: files[fi].path.clone(),
+                    line: c.line,
+                    rule: rules::NO_ALLOC_IN_HOT_LOOP,
+                    message: format!(
+                        "`{}()` called in the innermost loop of kernel fn `{}` may \
+                         allocate ({chain}); hoist the call or its buffers, or \
+                         suppress with a justification",
+                        c.name, f.name
+                    ),
+                    chain: Some(chain),
+                });
+                break;
             }
         }
     }
@@ -155,6 +332,7 @@ pub fn exhaustive_strategy_match(files: &[ParsedFile]) -> Vec<Violation> {
                              every variant so adding one fails lint at this dispatch site",
                             f.name
                         ),
+                        chain: None,
                     });
                     continue;
                 }
@@ -178,6 +356,7 @@ pub fn exhaustive_strategy_match(files: &[ParsedFile]) -> Vec<Violation> {
                                 .collect::<Vec<_>>()
                                 .join(", ")
                         ),
+                        chain: None,
                     });
                 }
             }
@@ -189,15 +368,23 @@ pub fn exhaustive_strategy_match(files: &[ParsedFile]) -> Vec<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::effects;
     use crate::parser::parse_file;
 
     fn parsed(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
         sources.iter().map(|(p, s)| parse_file(p, s)).collect()
     }
 
+    fn analyzed(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph, EffectTable) {
+        let files = parsed(sources);
+        let g = CallGraph::build(&files);
+        let fx = effects::infer(&files, &g);
+        (files, g, fx)
+    }
+
     #[test]
     fn transitive_chain_is_caught_and_kernel_sites_are_not_double_reported() {
-        let files = parsed(&[
+        let (files, g, fx) = analyzed(&[
             (
                 "crates/core/src/counting.rs",
                 "pub fn count_supports() { helper(); local.unwrap(); }\n",
@@ -207,16 +394,16 @@ mod tests {
                 "pub fn helper() { x.unwrap(); }\n",
             ),
         ]);
-        let g = CallGraph::build(&files);
-        let v = transitive_panic(&files, &g, |_, _| false);
+        let v = transitive_panic(&files, &g, &fx, |_, _| false);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].path, "crates/core/src/helpers.rs");
         assert!(v[0].message.contains("count_supports -> helper"));
+        assert_eq!(v[0].chain.as_deref(), Some("count_supports -> helper"));
     }
 
     #[test]
     fn unreachable_panics_are_not_flagged() {
-        let files = parsed(&[
+        let (files, g, fx) = analyzed(&[
             (
                 "crates/core/src/counting.rs",
                 "pub fn count_supports() {}\n",
@@ -226,27 +413,139 @@ mod tests {
                 "pub fn island() { x.unwrap(); }\n",
             ),
         ]);
-        let g = CallGraph::build(&files);
-        assert!(transitive_panic(&files, &g, |_, _| false).is_empty());
+        assert!(transitive_panic(&files, &g, &fx, |_, _| false).is_empty());
     }
 
     #[test]
     fn absorbed_sites_are_silenced() {
-        let files = parsed(&[
+        let (files, g, fx) = analyzed(&[
             ("crates/core/src/counting.rs", "pub fn k() { helper(); }\n"),
             (
                 "crates/core/src/helpers.rs",
                 "pub fn helper() { x.unwrap(); }\n",
             ),
         ]);
-        let g = CallGraph::build(&files);
         let mut asked = Vec::new();
-        let v = transitive_panic(&files, &g, |p, l| {
+        let v = transitive_panic(&files, &g, &fx, |p, l| {
             asked.push((p.to_string(), l));
             true
         });
         assert!(v.is_empty());
         assert_eq!(asked.len(), 1);
+    }
+
+    #[test]
+    fn io_source_site_fires_with_a_witness_chain() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count_pass() { helper(); }\n",
+            ),
+            (
+                "crates/core/src/helpers.rs",
+                "pub fn helper() { println!(\"dbg\"); }\n",
+            ),
+        ]);
+        let v = effect_purity(&files, &g, &fx);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, rules::NO_IO_IN_KERNELS);
+        assert_eq!(v[0].path, "crates/core/src/helpers.rs");
+        assert_eq!(v[0].chain.as_deref(), Some("count_pass -> helper"));
+    }
+
+    #[test]
+    fn sanctioned_callee_yields_a_boundary_finding_at_the_kernel_line() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/core/src/vertical.rs",
+                "pub fn build_slice() {\n    Stopwatch::start();\n}\n",
+            ),
+            (
+                "crates/itemset/src/stats.rs",
+                "impl Stopwatch { pub fn start() -> Stopwatch { Instant::now(); Stopwatch } }\n",
+            ),
+        ]);
+        let v = effect_purity(&files, &g, &fx);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, rules::NO_WALL_CLOCK_IN_KERNELS);
+        // Reported at the kernel's call line, not inside stats.rs.
+        assert_eq!(v[0].path, "crates/core/src/vertical.rs");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("Instant"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn io_plumbing_is_exempt_from_the_io_rule_but_not_its_callers() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/io/src/readat.rs",
+                "pub fn read_block() { std::fs::read(\"x\"); }\n",
+            ),
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count_sharded() { read_block(); }\n",
+            ),
+        ]);
+        let v = effect_purity(&files, &g, &fx);
+        // readat.rs's own fs::read is sanctioned (no source-site finding);
+        // the compute kernel calling into it is the boundary violation.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, rules::NO_IO_IN_KERNELS);
+        assert_eq!(v[0].path, "crates/core/src/counting.rs");
+    }
+
+    #[test]
+    fn spawn_fires_once_at_the_source_site_for_all_kernel_callers() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count_a() { map_chunks(); }\npub fn count_b() { map_chunks(); }\n",
+            ),
+            (
+                "crates/itemset/src/parallel.rs",
+                "pub fn map_chunks() { scope.spawn(|| {});\n}\n",
+            ),
+        ]);
+        let v: Vec<_> = effect_purity(&files, &g, &fx)
+            .into_iter()
+            .filter(|v| v.rule == rules::NO_SPAWN_IN_KERNELS)
+            .collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].path, "crates/itemset/src/parallel.rs");
+    }
+
+    #[test]
+    fn hot_loop_call_into_allocating_fn_fires_interprocedurally() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count(xs: &[u32]) {\n    for x in xs {\n        boxed(*x);\n    }\n}\n",
+            ),
+            (
+                "crates/core/src/helpers.rs",
+                "pub fn boxed(x: u32) -> Vec<u32> { vec![x] }\n",
+            ),
+        ]);
+        let v = alloc_calls_in_hot_loop(&files, &g, &fx);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, rules::NO_ALLOC_IN_HOT_LOOP);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("boxed"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn hot_loop_calls_into_clean_fns_do_not_fire() {
+        let (files, g, fx) = analyzed(&[
+            (
+                "crates/core/src/counting.rs",
+                "pub fn count(xs: &[u32]) {\n    for x in xs {\n        pure(*x);\n    }\n}\n",
+            ),
+            (
+                "crates/core/src/helpers.rs",
+                "pub fn pure(x: u32) -> u32 { x }\n",
+            ),
+        ]);
+        assert!(alloc_calls_in_hot_loop(&files, &g, &fx).is_empty());
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Determinism snapshots over the fixture mini-workspace: the inferred
+//! effect table and the `--explain` rendering must be byte-identical
+//! across runs — the `effects.json` artifact is diffed in CI, so any
+//! nondeterminism (hash iteration, unstable sorts, racy SCC numbering)
+//! shows up as churn.
+
+use std::path::{Path, PathBuf};
+
+use seqpat_lint::engine::{self, Report};
+use seqpat_lint::rules;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixture_ws")
+}
+
+fn fixture_report() -> Report {
+    engine::run(&fixture_root()).expect("fixture workspace is readable")
+}
+
+#[test]
+fn effects_json_is_byte_identical_across_runs() {
+    let first = fixture_report();
+    let second = fixture_report();
+    assert!(!first.effects_json.is_empty());
+    assert_eq!(
+        first.effects_json, second.effects_json,
+        "effects.json must be a pure function of the sources"
+    );
+    // Spot-check the artifact: schema header, the SCC count covering the
+    // ping/pong cycle, and the seeded effect names.
+    assert!(first
+        .effects_json
+        .contains("\"schema\": \"seqpat-effects-v1\""));
+    assert!(first.effects_json.contains("\"fn\": \"ping\""));
+    assert!(first.effects_json.contains("does-io"));
+    assert!(first.effects_json.contains("panics"));
+}
+
+#[test]
+fn explain_renders_the_same_minimal_witness_chain_every_run() {
+    let first = engine::explain(&fixture_report(), rules::NO_IO_IN_KERNELS);
+    let second = engine::explain(&fixture_report(), rules::NO_IO_IN_KERNELS);
+    assert_eq!(first, second, "--explain output must be stable");
+    // The minimal chain into the ping/pong SCC is the one-hop route
+    // through the alias, not any longer tour around the cycle.
+    assert!(
+        first.contains("count_traced -> ping"),
+        "witness chain present: {first}"
+    );
+    assert!(first.contains("crates/engine/src/recurse.rs"));
+}
+
+#[test]
+fn explain_reports_clean_rules_as_clean() {
+    let out = engine::explain(&fixture_report(), rules::NO_SPAWN_IN_KERNELS);
+    assert!(out.contains("0 finding(s)"));
+    assert!(out.contains("nothing to explain"));
+}

@@ -2,6 +2,7 @@
 //! transitive-panic chain, one hoisted loop that must stay silent, one
 //! innermost-loop allocation that must fire, and an exhaustive match.
 
+use crate::recurse::ping as trace_ping;
 use crate::strategy::CountingStrategy;
 use crate::support::resolve_support as seeded_resolve;
 
@@ -13,6 +14,18 @@ pub fn count_pass(xs: &[u32]) -> u64 {
 /// Reaches the same chain through a `use … as …` alias.
 pub fn count_pass_aliased(xs: &[u32]) -> u64 {
     seeded_resolve(xs)
+}
+
+/// Reaches the `println!` inside the ping/pong SCC through a `use … as …`
+/// alias: the rename must not break effect propagation into the cycle.
+pub fn count_traced(n: u32) -> u64 {
+    trace_ping(n)
+}
+
+/// Reaches the seeded unwrap through the prelude re-export of `via` plus
+/// the method-call hop inside it.
+pub fn count_hopped(v: u64) -> u64 {
+    crate::prelude::via(v)
 }
 
 pub fn accumulate(xs: &[u32]) -> usize {

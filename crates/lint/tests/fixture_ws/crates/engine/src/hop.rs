@@ -1,0 +1,23 @@
+//! Seeded panic behind a method-call hop: the kernel reaches
+//! `Hopper::finish`'s unwrap only through the free fn `via` (re-exported
+//! by the prelude), whose body makes a method call — so the chain needs
+//! both the `pub use` resolution and the method-call resolution to hold.
+
+pub struct Hopper {
+    inner: Option<u64>,
+}
+
+impl Hopper {
+    pub fn wrap(v: u64) -> Self {
+        Hopper { inner: Some(v) }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.inner.unwrap()
+    }
+}
+
+pub fn via(v: u64) -> u64 {
+    let h = Hopper::wrap(v);
+    h.finish()
+}

@@ -1,7 +1,9 @@
 //! Fixture workspace root: wires the seeded-rule modules together.
 
 pub mod counting;
+pub mod hop;
 pub mod prelude;
+pub mod recurse;
 pub mod stale;
 pub mod strategy;
 pub mod support;

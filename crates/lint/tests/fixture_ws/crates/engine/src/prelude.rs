@@ -1,4 +1,6 @@
-//! Re-export surface: the kernel calls `crate::prelude::resolve_support`,
-//! so the panic chain is only visible through this `pub use`.
+//! Re-export surface: the kernel calls `crate::prelude::resolve_support`
+//! and `crate::prelude::via`, so those chains are only visible through
+//! these `pub use`s.
 
+pub use crate::hop::via;
 pub use crate::support::resolve_support;

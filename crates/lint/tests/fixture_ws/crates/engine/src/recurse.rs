@@ -1,0 +1,19 @@
+//! Seeded mutual recursion: `ping` and `pong` form a two-node SCC, so the
+//! effect fixpoint must converge via the SCC-level join instead of looping
+//! forever. The `println!` in `ping` is the SCC's only intrinsic effect:
+//! inference has to surface it on both fns and on every kernel caller.
+
+pub fn ping(n: u32) -> u64 {
+    if n == 0 {
+        println!("trace floor");
+        return 0;
+    }
+    pong(n - 1) + 1
+}
+
+pub fn pong(n: u32) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    ping(n - 1) + 1
+}

@@ -342,6 +342,7 @@ fn json_output_escapes_and_counts() {
         violations: analyze_file(KERNEL, "fn f() { panic!(\"quoted \\\"x\\\"\"); }\n"),
         suppressed: 2,
         files_scanned: 1,
+        effects_json: String::new(),
     };
     let json = to_json(&report);
     assert!(json.contains("\"violation_count\": 1"));

@@ -41,23 +41,61 @@ fn transitive_panic_fires_through_reexport_and_alias_chain() {
     let hits = rule_hits(&report, rules::TRANSITIVE_PANIC_REACHABILITY);
     assert_eq!(
         hits.len(),
-        1,
-        "one seeded panic site: {:?}",
+        2,
+        "two seeded panic sites: {:?}",
         report.violations
     );
-    let v = hits[0];
-    assert_eq!(v.path, "crates/engine/src/support.rs");
-    assert_eq!(v.line, line_of("crates/engine/src/support.rs", ".unwrap()"));
+    let support = hits
+        .iter()
+        .find(|v| v.path == "crates/engine/src/support.rs")
+        .expect("seeded support.rs unwrap fires");
+    assert_eq!(
+        support.line,
+        line_of("crates/engine/src/support.rs", ".unwrap()")
+    );
     // The chain crosses the `pub use` in prelude.rs (or the `use … as …`
     // alias — both routes land on the same helper pair).
     assert!(
-        v.message.contains("resolve_support -> deep_lookup"),
+        support.message.contains("resolve_support -> deep_lookup"),
         "chain names the route: {}",
-        v.message
+        support.message
     );
-    // The unwrap is NOT in a kernel file, so the lexical rule stays silent:
-    // only the call graph can see this finding.
+    // The second seed hides behind the prelude re-export of `via` plus a
+    // method-call hop: the chain must cross both.
+    let hop = hits
+        .iter()
+        .find(|v| v.path == "crates/engine/src/hop.rs")
+        .expect("seeded hop.rs unwrap fires");
+    assert_eq!(hop.line, line_of("crates/engine/src/hop.rs", ".unwrap()"));
+    assert!(
+        hop.message.contains("via -> finish"),
+        "chain crosses the method hop: {}",
+        hop.message
+    );
+    assert_eq!(hop.chain.as_deref(), Some("count_hopped -> via -> finish"));
+    // The unwraps are NOT in kernel files, so the lexical rule stays
+    // silent: only the call graph can see these findings.
     assert!(rule_hits(&report, rules::NO_PANIC_IN_KERNELS).is_empty());
+}
+
+#[test]
+fn mutual_recursion_converges_and_the_alias_keeps_the_io_chain() {
+    let report = fixture_report();
+    let hits = rule_hits(&report, rules::NO_IO_IN_KERNELS);
+    assert_eq!(hits.len(), 1, "{:?}", report.violations);
+    let v = hits[0];
+    // The `println!` sits inside the ping/pong SCC; the kernel reaches it
+    // through `use crate::recurse::ping as trace_ping`. The finding lands
+    // at the source site with the minimal entry→site witness chain.
+    assert_eq!(v.path, "crates/engine/src/recurse.rs");
+    assert_eq!(
+        v.line,
+        line_of("crates/engine/src/recurse.rs", "trace floor")
+    );
+    assert_eq!(v.chain.as_deref(), Some("count_traced -> ping"));
+    // The other purity rules have nothing to find in the fixture.
+    assert!(rule_hits(&report, rules::NO_WALL_CLOCK_IN_KERNELS).is_empty());
+    assert!(rule_hits(&report, rules::NO_SPAWN_IN_KERNELS).is_empty());
 }
 
 #[test]
@@ -128,7 +166,7 @@ fn tricky_parse_files_stay_silent() {
 #[test]
 fn fixture_report_covers_every_file_and_renders_to_sarif() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_scanned, 9);
     assert!(report.has_deny(), "deny-severity seeds are present");
     let sarif = to_sarif(&report);
     // The driver advertises every rule; results carry the seeded findings.

@@ -151,6 +151,7 @@ impl PatternTrie {
                         table_len: table.len(),
                     });
                 }
+                // seqpat-lint: allow(no-alloc-in-hot-loop) build-time arena growth, one node per new trie edge; serving lookups never allocate
                 cur = child_or_new(&mut arena, cur, id);
             }
             debug_assert!(cur < arena.len(), "child_or_new indices stay in the arena");

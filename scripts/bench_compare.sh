@@ -42,9 +42,22 @@ done
 
 # Flatten one result-per-line: label<TAB>min_ns. The JSON is written by
 # criterion-compat's --json mode, one object per line, so line-oriented
-# extraction is exact.
+# extraction is exact. Each key is matched by name, independently of where
+# it sits in the object — reordering keys or adding new ones (p50_ns, …)
+# must not silently break the gate.
 extract() {
-  sed -n 's/.*"label": "\([^"]*\)", "mean_ns": [0-9]*, "min_ns": \([0-9]*\).*/\1\t\2/p' "$1"
+  awk '
+    match($0, /"label"[[:space:]]*:[[:space:]]*"[^"]*"/) {
+      label = substr($0, RSTART, RLENGTH);
+      sub(/^"label"[[:space:]]*:[[:space:]]*"/, "", label);
+      sub(/"$/, "", label);
+      if (match($0, /"min_ns"[[:space:]]*:[[:space:]]*[0-9]+/)) {
+        min = substr($0, RSTART, RLENGTH);
+        sub(/^"min_ns"[[:space:]]*:[[:space:]]*/, "", min);
+        printf "%s\t%s\n", label, min;
+      }
+    }
+  ' "$1"
 }
 
 extract "$fresh" | sort > /tmp/bench_compare_fresh.$$

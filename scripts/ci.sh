@@ -7,14 +7,22 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> seqpat-lint (lexical + call-graph rules; fails on deny severity)"
+echo "==> seqpat-lint (lexical + effect-inference rules; fails on deny severity)"
 mkdir -p target/ci-results
-# Emit both report formats before gating so the artifacts exist even when
+# Emit all report formats before gating so the artifacts exist even when
 # the lint fails; the exit code is nonzero iff a deny-severity rule fired
-# (warn-severity findings are recorded but do not break the build).
+# (warn-severity findings are recorded but do not break the build). The
+# json run also writes the per-fn inferred-effect table — deny rules like
+# no-io-in-kernels are queries against it, so the artifact is the audit
+# trail for why the gate passed.
 lint_status=0
-cargo run -q -p seqpat-lint -- --format json > target/ci-results/lint.json || lint_status=$?
+cargo run -q -p seqpat-lint -- --format json \
+  --effects-out target/ci-results/effects.json \
+  > target/ci-results/lint.json || lint_status=$?
 cargo run -q -p seqpat-lint -- --format sarif > target/ci-results/lint.sarif || lint_status=$?
+[ -s target/ci-results/effects.json ] || {
+  echo "seqpat-lint: effects.json missing or empty" >&2; exit 1;
+}
 if [ "$lint_status" -ne 0 ]; then
   echo "seqpat-lint: deny-severity violations (see target/ci-results/lint.json)" >&2
   exit "$lint_status"
