@@ -1471,5 +1471,46 @@ mod proptests {
                 prop_assert_eq!(tests, serial_tests);
             }
         }
+
+        /// Dynamic counterpart of the linter's determinism rules: the
+        /// `map_chunks` → `sum_partials` reduction is a pure function of
+        /// the input — invariant under the chunking, under staggered
+        /// worker completion, and under any permutation of the partials
+        /// (integer `+=` is exact and commutative).
+        #[test]
+        fn chunk_reduction_is_invariant_under_shuffled_completion(
+            items in proptest::collection::vec(0u64..1000, 0..40),
+            threads in 1usize..9,
+            seed in 0u64..1_000_000_007,
+        ) {
+            let bins = 8usize;
+            let hist = |chunk: &[u64]| {
+                let mut h = vec![0u64; bins];
+                for &x in chunk {
+                    h[(x % bins as u64) as usize] += 1;
+                }
+                h
+            };
+            let totals = sum_partials(map_chunks(&items, 1, hist), bins);
+            let mut partials = map_chunks(&items, threads, |chunk: &[u64]| {
+                // Stagger workers by chunk contents so completion order
+                // differs from spawn order; results must still arrive in
+                // chunk order.
+                let jitter = chunk.first().map_or(0, |&x| x % 4) * 50;
+                std::thread::sleep(std::time::Duration::from_micros(jitter));
+                hist(chunk)
+            });
+            prop_assert_eq!(sum_partials(partials.clone(), bins), totals.clone());
+            // Seeded Fisher–Yates over the partials: the reduction must
+            // ignore the order chunks are merged in.
+            let mut state = seed | 1;
+            for i in (1..partials.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                partials.swap(i, (state as usize) % (i + 1));
+            }
+            prop_assert_eq!(sum_partials(partials, bins), totals);
+        }
     }
 }

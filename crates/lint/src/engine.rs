@@ -4,7 +4,7 @@
 //! Suppression grammar (inside any non-doc comment):
 //!
 //! ```text
-//! // seqpat-lint: allow(no-panic-in-kernels, deterministic-iteration) why this site is fine
+//! // seqpat-lint: allow(no-panic-in-kernels, nondeterministic-iteration-flow) why this site is fine
 //! ```
 //!
 //! The justification after `)` is mandatory. A suppression covers its own
@@ -23,6 +23,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::callgraph::CallGraph;
+use crate::dataflow;
+use crate::determinism;
 use crate::effects;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::parser::{self, ParsedFile};
@@ -42,6 +44,10 @@ pub struct Report {
     /// The deterministic per-fn effect table (`effects.json` artifact):
     /// a pure function of the scanned sources, byte-identical across runs.
     pub effects_json: String,
+    /// The determinism audit (`determinism.json` artifact): every parallel
+    /// fan-out site with its audited captures, every partial-merge reducer
+    /// with its verdict. Also byte-identical across runs.
+    pub determinism_json: String,
 }
 
 impl Report {
@@ -83,25 +89,28 @@ pub fn run(root: &Path) -> io::Result<Report> {
         inputs.push((rel_path(root, file), src));
     }
     let files_scanned = inputs.len();
-    let (violations, suppressed, effects_json) = lint_sources(&inputs);
+    let (violations, suppressed, effects_json, determinism_json) = lint_sources(&inputs);
     Ok(Report {
         violations,
         suppressed,
         files_scanned,
         effects_json,
+        determinism_json,
     })
 }
 
 /// The full lint pipeline over in-memory `(rel_path, source)` pairs: lexical
 /// rules, suppression handling, effect inference, the parser/call-graph
-/// semantic rules, and stale-suppression accounting. Test-path files are
-/// skipped wholesale. Returns the kept violations (sorted, deduped), the
-/// count of findings silenced by valid suppressions, and the rendered
-/// `effects.json` artifact.
-pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, String) {
+/// semantic rules, the determinism analyses, and stale-suppression
+/// accounting. Test-path files are skipped wholesale. Returns the kept
+/// violations (sorted, deduped), the count of findings silenced by valid
+/// suppressions, and the rendered `effects.json` and `determinism.json`
+/// artifacts.
+pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, String, String) {
     let mut all: Vec<Violation> = Vec::new();
     let mut sups_by_path: BTreeMap<&str, Vec<Suppression>> = BTreeMap::new();
     let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut reducer_audits: Vec<dataflow::ReducerAudit> = Vec::new();
 
     for (rel, src) in inputs {
         if rules::is_test_path(rel) {
@@ -111,6 +120,10 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, Stri
         sups_by_path.insert(rel.as_str(), sups);
         all.append(&mut meta);
         all.append(&mut rules::analyze_file(rel, src));
+        all.append(&mut dataflow::flow_violations(rel, src));
+        let (mut red, mut audits) = dataflow::reduction_audit(rel, src);
+        all.append(&mut red);
+        reducer_audits.append(&mut audits);
         parsed.push(parser::parse_file(rel, src));
     }
 
@@ -157,6 +170,8 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, Stri
     all.append(&mut semantic::alloc_calls_in_hot_loop(&parsed, &graph, &fx));
     all.append(&mut semantic::effect_purity(&parsed, &graph, &fx));
     all.append(&mut semantic::exhaustive_strategy_match(&parsed));
+    all.append(&mut determinism::shared_mutable_capture(&parsed));
+    let determinism_json = determinism::to_json(&parsed, &reducer_audits);
 
     // Apply suppressions to everything else, tracking which earned use.
     let mut kept = Vec::new();
@@ -201,14 +216,14 @@ pub fn lint_sources(inputs: &[(String, String)]) -> (Vec<Violation>, usize, Stri
 
     kept.sort();
     kept.dedup();
-    (kept, suppressed, effects_json)
+    (kept, suppressed, effects_json, determinism_json)
 }
 
 /// Lints one in-memory file: the per-file slice of [`lint_sources`] (the
 /// cross-file stats-coverage rule and the workspace call graph see only
 /// this file). Returns the kept violations and the suppressed count.
 pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
-    let (violations, suppressed, _) = lint_sources(&[(rel.to_string(), src.to_string())]);
+    let (violations, suppressed, _, _) = lint_sources(&[(rel.to_string(), src.to_string())]);
     (violations, suppressed)
 }
 

@@ -7,14 +7,21 @@
 //! wall-clock, spawns, locks) that drives the semantic rules (transitive
 //! panic reachability, kernel purity for I/O / wall-clock / thread spawns,
 //! hot-loop allocation discipline, exhaustive strategy dispatch,
-//! stale-suppression hygiene). The rules enforce the invariants the
-//! equivalence suites rely on: panic-free and cast-checked counting
-//! kernels, order-normalized hash iteration, wall-clock confined to the
-//! stats layer, and full `MiningStats` coverage in the CLI. See DESIGN.md
-//! §"Correctness tooling" for the contracts and `rules::RULES` for the
-//! registry.
+//! stale-suppression hygiene). A determinism stage audits the parallel
+//! paths: closure-capture analysis over fan-out sites
+//! (`shared-mutable-capture-in-parallel`), a reducer audit
+//! (`order-sensitive-reduction`), and intraprocedural taint tracking from
+//! hash-iteration order to output sinks (`nondeterministic-iteration-flow`),
+//! rendered into the `determinism.json` artifact. The rules enforce the
+//! invariants the equivalence suites rely on: panic-free and cast-checked
+//! counting kernels, bit-identical parallel reductions, wall-clock confined
+//! to the stats layer, randomness confined to datagen, and full
+//! `MiningStats` coverage in the CLI. See DESIGN.md §"Correctness tooling"
+//! for the contracts and `rules::RULES` for the registry.
 
 pub mod callgraph;
+pub mod dataflow;
+pub mod determinism;
 pub mod effects;
 pub mod engine;
 pub mod lexer;

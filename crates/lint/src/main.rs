@@ -16,6 +16,9 @@ const USAGE: &str =
   --effects-out PATH
                  write the per-fn inferred-effect table (effects.json,
                  byte-identical across runs) to PATH
+  --determinism-out PATH
+                 write the parallel-fan-out / reducer audit
+                 (determinism.json, byte-identical across runs) to PATH
   --explain RULE render every finding of RULE with its full witness chain
                  (exit code still follows the full deny set)
   --list-rules   print each rule's name, severity, and tier, then exit";
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
     let mut legacy_json = false;
     let mut rule_filter: Option<Vec<String>> = None;
     let mut effects_out: Option<PathBuf> = None;
+    let mut determinism_out: Option<PathBuf> = None;
     let mut explain_rule: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,25 +56,13 @@ fn main() -> ExitCode {
                 }
             },
             "--rules" => match args.next() {
-                Some(list) => {
-                    let names: Vec<String> = list
-                        .split(',')
-                        .map(str::trim)
-                        .filter(|s| !s.is_empty())
-                        .map(str::to_string)
-                        .collect();
-                    for name in &names {
-                        if !rules::is_known_rule(name) {
-                            let known: Vec<&str> = rules::RULES.iter().map(|r| r.name).collect();
-                            eprintln!(
-                                "--rules names unknown rule `{name}`; known rules: {}",
-                                known.join(", ")
-                            );
-                            return ExitCode::FAILURE;
-                        }
+                Some(list) => match rules::parse_rule_filter(&list) {
+                    Ok(names) => rule_filter = Some(names),
+                    Err(e) => {
+                        eprintln!("--rules: {e}");
+                        return ExitCode::FAILURE;
                     }
-                    rule_filter = Some(names);
-                }
+                },
                 None => {
                     eprintln!("--rules needs a comma-separated list of rule names\n{USAGE}");
                     return ExitCode::FAILURE;
@@ -87,6 +79,13 @@ fn main() -> ExitCode {
                 Some(path) => effects_out = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--effects-out needs a file path argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--determinism-out" => match args.next() {
+                Some(path) => determinism_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--determinism-out needs a file path argument\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -147,13 +146,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(path) = &effects_out {
+    for (path, body) in [
+        (&effects_out, &report.effects_json),
+        (&determinism_out, &report.determinism_json),
+    ] {
+        let Some(path) = path else { continue };
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 let _ = std::fs::create_dir_all(dir);
             }
         }
-        if let Err(e) = std::fs::write(path, &report.effects_json) {
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("seqpat-lint: failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -15,6 +15,8 @@
 //! inside it; an allocation site is "in the innermost loop" when its
 //! smallest enclosing loop scope is innermost.
 
+use std::collections::BTreeSet;
+
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Parsed view of one source file.
@@ -64,6 +66,69 @@ pub struct FnDef {
     pub allocs: Vec<AllocSite>,
     /// `match` expressions in the body.
     pub matches: Vec<MatchExpr>,
+    /// Signature parameters: `(name, flattened type text)`.
+    pub params: Vec<Param>,
+    /// Closure expressions in the body with their capture sets.
+    pub closures: Vec<ClosureSite>,
+}
+
+/// One fn parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// Binder name (`self` receivers are skipped).
+    pub name: String,
+    /// Type tokens joined with single spaces, e.g. `& mut Vec < u32 >`.
+    pub ty: String,
+}
+
+/// How a closure captures one outer binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// Read-only borrow.
+    ByRef,
+    /// The closure body mutates the binding (assignment, compound assign,
+    /// `&mut`, or a mutating-method receiver).
+    ByMutRef,
+    /// `move` closure taking ownership (and not mutating).
+    ByMove,
+}
+
+impl CaptureMode {
+    /// Kebab-case name, as rendered into determinism.json.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CaptureMode::ByRef => "by-ref",
+            CaptureMode::ByMutRef => "by-mut-ref",
+            CaptureMode::ByMove => "by-move",
+        }
+    }
+}
+
+/// One outer binding captured by a closure.
+#[derive(Debug)]
+pub struct Capture {
+    /// Captured binding name.
+    pub name: String,
+    /// How the closure uses the binding.
+    pub mode: CaptureMode,
+    /// The binding's type is interior-mutable (`Mutex`/`RefCell`/`Atomic*`…)
+    /// or the body calls an interior-mutability method on it
+    /// (`lock`/`borrow_mut`/`fetch_add`/`store`…).
+    pub interior_mut: bool,
+}
+
+/// One closure expression and its capture set.
+#[derive(Debug)]
+pub struct ClosureSite {
+    /// 1-based line of the opening `|` (or the `move` keyword's line).
+    pub line: u32,
+    /// Whether the closure is a `move` closure.
+    pub is_move: bool,
+    /// Name of the call this closure is an immediate argument of, e.g.
+    /// `spawn` for `scope.spawn(|| …)`. `None` for let-bound closures.
+    pub handed_to: Option<String>,
+    /// Captured outer bindings, sorted by name.
+    pub captures: Vec<Capture>,
 }
 
 /// One call site inside a fn body.
@@ -155,6 +220,82 @@ const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// Tokens that can directly precede the opening `|` of a closure.
 const CLOSURE_STARTERS: &[&str] = &["(", ",", "=", "{", ";", ">", "&", "move", "return", "else"];
+
+/// Types whose values can be mutated through a shared reference. A capture
+/// of such a binding is shared mutable state regardless of capture mode.
+const INTERIOR_MUT_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "UnsafeCell",
+];
+
+/// Method names that require a `&mut` receiver: calling one on a captured
+/// binding upgrades the capture to [`CaptureMode::ByMutRef`]. `sort*` names
+/// are matched by prefix in addition to this list.
+const MUT_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "remove",
+    "extend",
+    "extend_from_slice",
+    "clear",
+    "truncate",
+    "resize",
+    "retain",
+    "append",
+    "pop",
+    "drain",
+    "dedup",
+    "fill",
+    "copy_from_slice",
+    "get_mut",
+    "iter_mut",
+    "swap",
+    "take",
+    "set",
+];
+
+/// Method names that mutate through a shared reference (lock/cell/atomic
+/// APIs): calling one flags the capture as interior-mutable.
+const INTERIOR_MUT_METHODS: &[&str] = &[
+    "lock",
+    "borrow_mut",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "store",
+    "compare_exchange",
+    "get_or_init",
+];
+
+/// True when a flattened type-token is (or names) an interior-mutable type.
+fn interior_mut_type_token(tok: &str) -> bool {
+    INTERIOR_MUT_TYPES.contains(&tok) || tok.starts_with("Atomic")
+}
+
+/// One closure expression's spans, before capture analysis.
+struct ClosureSpan {
+    /// Code index of the opening `|`.
+    start: usize,
+    /// Parameter list interior (between the `|`s), half-open.
+    p0: usize,
+    p1: usize,
+    /// Body interior, half-open.
+    b0: usize,
+    b1: usize,
+    /// Whether the `move` keyword precedes the parameter list.
+    is_move: bool,
+}
 
 /// Parses one file. `rel_path` is carried through for attribution only.
 pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
@@ -411,7 +552,10 @@ impl Parser<'_> {
             ios: Vec::new(),
             allocs: Vec::new(),
             matches: Vec::new(),
+            params: Vec::new(),
+            closures: Vec::new(),
         };
+        def.params = self.fn_params(ci + 2);
         // Scan the signature for the body `{` (or `;` for declarations).
         let mut k = ci + 2;
         let mut depth: u32 = 0;
@@ -663,6 +807,340 @@ impl Parser<'_> {
 
             ci += 1;
         }
+
+        self.extract_closures(b0, b1, def);
+    }
+
+    /// Parses the parameter list of a fn whose signature starts at `k`
+    /// (the token after the fn name).
+    fn fn_params(&self, mut k: usize) -> Vec<Param> {
+        if self.txt(k) == "<" {
+            k = self.skip_angles(k);
+        }
+        if self.txt(k) != "(" {
+            return Vec::new();
+        }
+        let Some(close) = self.match_delim(k) else {
+            return Vec::new();
+        };
+        let mut params = Vec::new();
+        let mut j = k + 1;
+        while j < close {
+            // A binder is an ident directly followed by `:` (not `::`) at
+            // any nesting — destructured-tuple params are rare enough that
+            // only the `name: Type` shape is recognized.
+            let is_binder = self.kind(j) == Some(TokenKind::Ident)
+                && self.txt(j + 1) == ":"
+                && self.txt(j + 2) != ":"
+                && self.txt(j.wrapping_sub(1)) != ":";
+            if !is_binder {
+                j += 1;
+                continue;
+            }
+            let name = self.txt(j).trim_start_matches("r#").to_string();
+            // Type text runs to the `,` that closes this parameter.
+            let mut ty = String::new();
+            let mut depth: i32 = 0;
+            let mut angle: i32 = 0;
+            let mut t = j + 2;
+            while t < close {
+                let s = self.txt(t);
+                match s {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "<" => angle += 1,
+                    ">" if self.txt(t.wrapping_sub(1)) != "-" => angle -= 1,
+                    "," if depth == 0 && angle <= 0 => break,
+                    _ => {}
+                }
+                if !ty.is_empty() {
+                    ty.push(' ');
+                }
+                ty.push_str(s);
+                t += 1;
+            }
+            params.push(Param { name, ty });
+            j = t + 1;
+        }
+        params
+    }
+
+    /// Finds every closure in `[b0, b1)` and computes its capture set
+    /// against the enclosing fn's bindings (params and `let`s).
+    fn extract_closures(&self, b0: usize, b1: usize, def: &mut FnDef) {
+        let spans = self.closure_spans(b0, b1);
+        if spans.is_empty() {
+            return;
+        }
+        // Outer bindings: (name, code index where visible, interior-mut).
+        let mut outer: Vec<(String, usize, bool)> = def
+            .params
+            .iter()
+            .map(|p| {
+                let interior = p.ty.split(' ').any(interior_mut_type_token);
+                (p.name.clone(), b0, interior)
+            })
+            .collect();
+        let mut ci = b0;
+        while ci < b1 {
+            if self.txt(ci) == "let" {
+                // Binders run to the `=` / `;` closing the pattern; the
+                // annotation/initializer window decides interior mutability.
+                let mut names = Vec::new();
+                let mut j = ci + 1;
+                let mut depth: u32 = 0;
+                while j < b1 {
+                    match self.txt(j) {
+                        "(" | "[" | "{" | "<" => depth += 1,
+                        ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                        "=" | ";" if depth == 0 => break,
+                        s if self.kind(j) == Some(TokenKind::Ident)
+                            && !matches!(s, "mut" | "ref")
+                            && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') =>
+                        {
+                            names.push(s.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut interior = false;
+                let mut d: u32 = 0;
+                for k in ci + 1..(j + 60).min(b1) {
+                    match self.txt(k) {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d = d.saturating_sub(1),
+                        ";" if d == 0 && k > j => break,
+                        s if interior_mut_type_token(s) => interior = true,
+                        _ => {}
+                    }
+                }
+                for name in names {
+                    outer.push((name, ci, interior));
+                }
+            }
+            ci += 1;
+        }
+
+        for span in &spans {
+            let mut shadowed = self.binder_names(span.p0, span.p1);
+            self.collect_local_binders(span.b0, span.b1, &mut shadowed);
+            // Nested closures' parameters shadow too.
+            for nested in &spans {
+                if nested.start > span.start && nested.b1 <= span.b1 {
+                    shadowed.extend(self.binder_names(nested.p0, nested.p1));
+                }
+            }
+            let mut caps: std::collections::BTreeMap<String, (CaptureMode, bool)> =
+                std::collections::BTreeMap::new();
+            for k in span.b0..span.b1 {
+                if self.kind(k) != Some(TokenKind::Ident) {
+                    continue;
+                }
+                let name = self.txt(k);
+                if shadowed.contains(name) {
+                    continue;
+                }
+                // Skip field accesses, path segments, and struct-literal
+                // field names: none of them reference an outer binding.
+                let prev = self.txt(k.wrapping_sub(1));
+                if prev == "." || prev == ":" {
+                    continue;
+                }
+                if self.txt(k + 1) == ":" && self.txt(k + 2) != ":" {
+                    continue;
+                }
+                let Some(&(_, _, interior_ty)) = outer
+                    .iter()
+                    .rev()
+                    .find(|(n, decl, _)| n == name && *decl < span.start)
+                else {
+                    continue;
+                };
+                let (mutated, interior_use) = self.mutation_at(k);
+                let entry = caps
+                    .entry(name.to_string())
+                    .or_insert((CaptureMode::ByRef, false));
+                if mutated {
+                    entry.0 = CaptureMode::ByMutRef;
+                }
+                if interior_use || interior_ty {
+                    entry.1 = true;
+                }
+            }
+            let captures = caps
+                .into_iter()
+                .map(|(name, (mode, interior_mut))| Capture {
+                    name,
+                    mode: if span.is_move && mode == CaptureMode::ByRef {
+                        CaptureMode::ByMove
+                    } else {
+                        mode
+                    },
+                    interior_mut,
+                })
+                .collect();
+            let walk_from = if span.is_move {
+                span.start.wrapping_sub(1)
+            } else {
+                span.start
+            };
+            def.closures.push(ClosureSite {
+                line: self.line(span.start),
+                is_move: span.is_move,
+                handed_to: self.enclosing_call(walk_from, b0),
+                captures,
+            });
+        }
+    }
+
+    /// Whether the ident at `k` is used mutably at this occurrence, and
+    /// whether the use goes through an interior-mutability method.
+    fn mutation_at(&self, k: usize) -> (bool, bool) {
+        let mut mutated = false;
+        let mut interior = false;
+        // `&mut name`.
+        if k >= 2 && self.txt(k - 1) == "mut" && self.txt(k - 2) == "&" {
+            mutated = true;
+        }
+        // Method receiver: `name.method(` / `name[i].method(`.
+        let mut m = k + 1;
+        if self.txt(m) == "[" {
+            if let Some(c) = self.match_delim(m) {
+                m = c + 1;
+            }
+        }
+        if self.txt(m) == "."
+            && self.kind(m + 1) == Some(TokenKind::Ident)
+            && self.txt(m + 2) == "("
+        {
+            let meth = self.txt(m + 1);
+            if MUT_METHODS.contains(&meth) || meth.starts_with("sort") {
+                mutated = true;
+            }
+            if INTERIOR_MUT_METHODS.contains(&meth) {
+                interior = true;
+            }
+        }
+        // Assignment / compound assignment: `name = …`, `name += …`,
+        // `name[i] -= …` (the index was already skipped above).
+        match self.txt(m) {
+            "=" if self.txt(m + 1) != "=" => mutated = true,
+            "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|"
+                if self.txt(m + 1) == "=" && self.txt(m + 2) != "=" =>
+            {
+                mutated = true;
+            }
+            _ => {}
+        }
+        (mutated, interior)
+    }
+
+    /// Binder names in a closure parameter list `[p0, p1)`: idents outside
+    /// type-annotation positions.
+    fn binder_names(&self, p0: usize, p1: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut k = p0;
+        while k < p1 {
+            match self.txt(k) {
+                ":" if self.txt(k + 1) != ":" => {
+                    // Skip the annotation until a depth-0 `,`.
+                    let mut depth: i32 = 0;
+                    k += 1;
+                    while k < p1 {
+                        match self.txt(k) {
+                            "(" | "[" | "{" | "<" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ">" if self.txt(k.wrapping_sub(1)) != "-" => depth -= 1,
+                            "," if depth <= 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                s if self.kind(k) == Some(TokenKind::Ident) && !matches!(s, "mut" | "ref") => {
+                    out.insert(s.to_string());
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        out
+    }
+
+    /// Adds every binder declared inside `[b0, b1)` (`let` patterns, `for`
+    /// binders, `match`-arm and `if let` patterns are approximated by their
+    /// lowercase idents) to `out`.
+    fn collect_local_binders(&self, b0: usize, b1: usize, out: &mut BTreeSet<String>) {
+        let mut ci = b0;
+        while ci < b1 {
+            let t = self.txt(ci);
+            if t == "let" {
+                let mut j = ci + 1;
+                let mut depth: u32 = 0;
+                while j < b1 {
+                    match self.txt(j) {
+                        "(" | "[" | "{" | "<" => depth += 1,
+                        ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                        "=" | ";" if depth == 0 => break,
+                        s if self.kind(j) == Some(TokenKind::Ident)
+                            && !matches!(s, "mut" | "ref")
+                            && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') =>
+                        {
+                            out.insert(s.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else if t == "for" && self.kind(ci) == Some(TokenKind::Ident) {
+                let mut j = ci + 1;
+                while j < b1 && self.txt(j) != "in" && self.txt(j) != "{" {
+                    if self.kind(j) == Some(TokenKind::Ident)
+                        && !matches!(self.txt(j), "mut" | "ref")
+                    {
+                        out.insert(self.txt(j).to_string());
+                    }
+                    j += 1;
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    /// Name of the innermost call the token at `k` is an argument of, found
+    /// by walking backwards to an unmatched `(` preceded by an ident.
+    fn enclosing_call(&self, mut k: usize, b0: usize) -> Option<String> {
+        let mut depth: u32 = 0;
+        while k > b0 {
+            k -= 1;
+            match self.txt(k) {
+                ")" | "]" | "}" => depth += 1,
+                "(" => {
+                    if depth > 0 {
+                        depth -= 1;
+                    } else {
+                        return (self.kind(k.wrapping_sub(1)) == Some(TokenKind::Ident)
+                            && !NON_CALL_KEYWORDS.contains(&self.txt(k.wrapping_sub(1))))
+                        .then(|| {
+                            self.txt(k.wrapping_sub(1))
+                                .trim_start_matches("r#")
+                                .to_string()
+                        });
+                    }
+                }
+                "[" | "{" => {
+                    if depth > 0 {
+                        depth -= 1;
+                    } else {
+                        return None;
+                    }
+                }
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        None
     }
 
     /// `debug_assert*!(…)` interiors as inclusive code-index spans.
@@ -716,75 +1194,97 @@ impl Parser<'_> {
                         _ => k += 1,
                     }
                 }
-            } else if t == "|"
-                && ci > b0
-                && CLOSURE_STARTERS.contains(&self.txt(ci.wrapping_sub(1)))
-            {
-                // Closure: `|params| body` or `|| body`.
-                let params_end = if self.txt(ci + 1) == "|" {
-                    ci + 1
-                } else {
-                    let mut k = ci + 1;
-                    let mut depth: u32 = 0;
-                    loop {
-                        match self.txt(k) {
-                            "" | ";" | "{" => break,
-                            "(" | "[" => {
-                                depth += 1;
-                                k += 1;
-                            }
-                            ")" | "]" => {
-                                depth = depth.saturating_sub(1);
-                                k += 1;
-                            }
-                            "<" => k = self.skip_angles(k),
-                            "|" if depth == 0 => break,
-                            _ => k += 1,
-                        }
-                    }
-                    k
-                };
-                if self.txt(params_end) == "|" {
-                    let mut k = params_end + 1;
-                    if self.txt(k) == "-" && self.txt(k + 1) == ">" {
-                        // Return type forces a braced body.
-                        k += 2;
-                        while !matches!(self.txt(k), "{" | "" | ";") {
-                            k = if self.txt(k) == "<" {
-                                self.skip_angles(k)
-                            } else {
-                                k + 1
-                            };
-                        }
-                    }
-                    if self.txt(k) == "{" {
-                        if let Some(close) = self.match_delim(k) {
-                            scopes.push((k + 1, close));
-                        }
-                    } else {
-                        // Expression body: up to a depth-0 `,` `)` `}` `;`.
-                        let start = k;
-                        let mut depth: u32 = 0;
-                        loop {
-                            match self.txt(k) {
-                                "" => break,
-                                "(" | "[" | "{" => depth += 1,
-                                ")" | "]" | "}" if depth == 0 => break,
-                                ")" | "]" | "}" => depth -= 1,
-                                "," | ";" if depth == 0 => break,
-                                _ => {}
-                            }
-                            k += 1;
-                        }
-                        if k > start {
-                            scopes.push((start, k));
-                        }
-                    }
-                }
             }
             ci += 1;
         }
+        scopes.extend(self.closure_spans(b0, b1).into_iter().map(|c| (c.b0, c.b1)));
         scopes
+    }
+
+    /// Closure expressions in `[b0, b1)` with their parameter and body spans.
+    fn closure_spans(&self, b0: usize, b1: usize) -> Vec<ClosureSpan> {
+        let mut out = Vec::new();
+        let mut ci = b0;
+        while ci < b1 {
+            if self.txt(ci) != "|"
+                || ci == b0
+                || !CLOSURE_STARTERS.contains(&self.txt(ci.wrapping_sub(1)))
+            {
+                ci += 1;
+                continue;
+            }
+            // Closure: `|params| body` or `|| body`.
+            let params_end = if self.txt(ci + 1) == "|" {
+                ci + 1
+            } else {
+                let mut k = ci + 1;
+                let mut depth: u32 = 0;
+                loop {
+                    match self.txt(k) {
+                        "" | ";" | "{" => break,
+                        "(" | "[" => {
+                            depth += 1;
+                            k += 1;
+                        }
+                        ")" | "]" => {
+                            depth = depth.saturating_sub(1);
+                            k += 1;
+                        }
+                        "<" => k = self.skip_angles(k),
+                        "|" if depth == 0 => break,
+                        _ => k += 1,
+                    }
+                }
+                k
+            };
+            if self.txt(params_end) != "|" {
+                ci += 1;
+                continue;
+            }
+            let mut k = params_end + 1;
+            if self.txt(k) == "-" && self.txt(k + 1) == ">" {
+                // Return type forces a braced body.
+                k += 2;
+                while !matches!(self.txt(k), "{" | "" | ";") {
+                    k = if self.txt(k) == "<" {
+                        self.skip_angles(k)
+                    } else {
+                        k + 1
+                    };
+                }
+            }
+            let body = if self.txt(k) == "{" {
+                self.match_delim(k).map(|close| (k + 1, close))
+            } else {
+                // Expression body: up to a depth-0 `,` `)` `}` `;`.
+                let start = k;
+                let mut depth: u32 = 0;
+                loop {
+                    match self.txt(k) {
+                        "" => break,
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" if depth == 0 => break,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," | ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                (k > start).then_some((start, k))
+            };
+            if let Some((cb0, cb1)) = body {
+                out.push(ClosureSpan {
+                    start: ci,
+                    p0: ci + 1,
+                    p1: params_end,
+                    b0: cb0,
+                    b1: cb1,
+                    is_move: self.txt(ci.wrapping_sub(1)) == "move",
+                });
+            }
+            ci += 1;
+        }
+        out
     }
 
     /// If a call's argument list opens at `ci` (directly `(` or after a
@@ -1128,6 +1628,100 @@ fn f() {
         let src = "fn f(v: &[u32]) { debug_assert!(v.first().unwrap() < &10); }\n";
         let f = parse_file("x.rs", src);
         assert!(f.fns[0].panics.is_empty());
+    }
+
+    #[test]
+    fn closure_mut_capture_and_handed_to_are_recorded() {
+        let src = r#"
+fn count_bad(items: &[u32], threads: usize) -> Vec<u64> {
+    let mut totals = vec![0u64; 4];
+    map_chunks(items, threads, |chunk: &[u32]| {
+        for &x in chunk {
+            totals[(x as usize) % 4] += 1;
+        }
+    });
+    totals
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let c = &f.fns[0].closures[0];
+        assert_eq!(c.handed_to.as_deref(), Some("map_chunks"));
+        assert!(!c.is_move);
+        let cap = c.captures.iter().find(|c| c.name == "totals").unwrap();
+        assert_eq!(cap.mode, CaptureMode::ByMutRef);
+        assert!(!cap.interior_mut);
+        // `items`/`threads` appear only outside the closure; `chunk` and
+        // `x` are closure-local.
+        assert_eq!(c.captures.len(), 1);
+    }
+
+    #[test]
+    fn move_closures_capture_params_by_move_and_locals_shadow() {
+        let src = r#"
+fn run<M: Fn(&[u32]) -> u64>(items: &[u32], map: M) -> u64 {
+    scope.spawn(move || {
+        let mut local = Vec::new();
+        local.push(1);
+        map(items)
+    });
+    0
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let c = &f.fns[0].closures[0];
+        assert!(c.is_move);
+        assert_eq!(c.handed_to.as_deref(), Some("spawn"));
+        let map = c.captures.iter().find(|c| c.name == "map").unwrap();
+        assert_eq!(map.mode, CaptureMode::ByMove);
+        // The loop-local scratch buffer is not a capture.
+        assert!(c.captures.iter().all(|c| c.name != "local"));
+    }
+
+    #[test]
+    fn interior_mutability_is_flagged_from_type_and_method() {
+        let src = r#"
+fn tally(hits: &AtomicU64, cells: &RefCell<Vec<u32>>) {
+    spawn(|| hits.fetch_add(1, Ordering::Relaxed));
+    spawn(|| cells.borrow_mut().push(1));
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let cs = &f.fns[0].closures;
+        assert_eq!(cs.len(), 2);
+        assert!(cs[0]
+            .captures
+            .iter()
+            .any(|c| c.name == "hits" && c.interior_mut));
+        assert!(cs[1]
+            .captures
+            .iter()
+            .any(|c| c.name == "cells" && c.interior_mut));
+    }
+
+    #[test]
+    fn let_bound_closures_have_no_handed_to() {
+        let src = r#"
+fn f(n: u32) -> u32 {
+    let add = |x: u32| x + n;
+    add(3)
+}
+"#;
+        let f = parse_file("x.rs", src);
+        let c = &f.fns[0].closures[0];
+        assert!(c.handed_to.is_none());
+        let n = c.captures.iter().find(|c| c.name == "n").unwrap();
+        assert_eq!(n.mode, CaptureMode::ByRef);
+    }
+
+    #[test]
+    fn fn_params_record_names_and_types() {
+        let src = "fn f(a: &mut Vec<u32>, b: usize) -> usize { b }\n";
+        let f = parse_file("x.rs", src);
+        let p = &f.fns[0].params;
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].name, "a");
+        assert_eq!(p[0].ty, "& mut Vec < u32 >");
+        assert_eq!(p[1].name, "b");
     }
 
     #[test]

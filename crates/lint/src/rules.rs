@@ -1,11 +1,13 @@
-//! The five seqpat lint rules, built on top of the lexer.
+//! The seqpat lint rule registry and the per-file lexical rules.
 //!
-//! All rules are lexical heuristics, tuned for this workspace's idioms. They
-//! are deliberately simple: the goal is to catch the classes of drift named
-//! in DESIGN.md (nondeterministic iteration, panics and lossy casts in the
-//! counting kernels, stray wall-clock reads, unreported stats), not to parse
-//! Rust. Anything a heuristic gets wrong can be silenced at the site with
-//! an allow-comment naming the rule (see `engine` for the grammar).
+//! The rules here are lexical heuristics, tuned for this workspace's idioms.
+//! They are deliberately simple: the goal is to catch the classes of drift
+//! named in DESIGN.md (panics and lossy casts in the counting kernels, stray
+//! wall-clock reads, stray RNG construction, unreported stats), not to parse
+//! Rust. The semantic rules live in `semantic`, `effects`, `dataflow`, and
+//! `determinism`; the registry below covers every tier. Anything a heuristic
+//! gets wrong can be silenced at the site with an allow-comment naming the
+//! rule (see `engine` for the grammar).
 
 use std::collections::BTreeSet;
 
@@ -14,8 +16,6 @@ use crate::lexer::{lex, Token, TokenKind};
 /// Rule: no `unwrap()`/`expect()`/panic-family macros/unguarded indexing in
 /// kernel files outside `#[cfg(test)]`.
 pub const NO_PANIC_IN_KERNELS: &str = "no-panic-in-kernels";
-/// Rule: iteration over hash containers must be order-normalized.
-pub const DETERMINISTIC_ITERATION: &str = "deterministic-iteration";
 /// Rule: no bare `as <integer>` casts in kernel files.
 pub const NO_LOSSY_CASTS_IN_KERNELS: &str = "no-lossy-casts-in-kernels";
 /// Rule: `Instant`/`SystemTime` only in stats.rs, the bench crate, the CLI.
@@ -45,6 +45,20 @@ pub const NO_SPAWN_IN_KERNELS: &str = "no-spawn-in-kernels";
 /// Meta rule: an allow-comment whose rule no longer fires on the covered
 /// line(s) must be deleted.
 pub const STALE_SUPPRESSION: &str = "stale-suppression";
+/// Rule: a closure handed to a parallel fan-out (`thread::scope`/`spawn`/
+/// `map_chunks`) must not capture `&mut` state or interior-mutable shared
+/// state — racing writers make chunk results timing-dependent.
+pub const SHARED_MUTABLE_CAPTURE: &str = "shared-mutable-capture-in-parallel";
+/// Rule: partial-merge fns (merge*/combine*/reduce*/*_partials) must combine
+/// chunk results with associative + commutative ops only.
+pub const ORDER_SENSITIVE_REDUCTION: &str = "order-sensitive-reduction";
+/// Rule: hash-container iteration order must not flow to an order-sensitive
+/// sink without normalization (the dataflow successor of the retired lexical
+/// `deterministic-iteration` heuristic).
+pub const NONDET_ITERATION_FLOW: &str = "nondeterministic-iteration-flow";
+/// Rule: RNG construction (thread_rng/from_entropy/OsRng/seed_from_u64/…)
+/// is confined to datagen, bench, the rand shims, and tests.
+pub const UNSEEDED_RANDOMNESS: &str = "unseeded-randomness-outside-datagen";
 
 /// How a rule's findings gate the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,14 +136,6 @@ pub const RULES: &[RuleInfo] = &[
                or slice-index outside debug_assert-guarded fns (non-test code)",
     },
     RuleInfo {
-        name: DETERMINISTIC_ITERATION,
-        severity: Severity::Deny,
-        tier: Tier::Lexical,
-        suppressible: true,
-        desc: "iterating a HashMap/HashSet (incl. FxHash*) requires a following \
-               sort or a BTree/order-insensitive sink",
-    },
-    RuleInfo {
         name: NO_LOSSY_CASTS_IN_KERNELS,
         severity: Severity::Deny,
         tier: Tier::Lexical,
@@ -205,6 +211,42 @@ pub const RULES: &[RuleInfo] = &[
                site",
     },
     RuleInfo {
+        name: SHARED_MUTABLE_CAPTURE,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "closures handed to thread::scope/spawn/map_chunks must not \
+               capture &mut or interior-mutable (Mutex/RefCell/Atomic*) shared \
+               state",
+    },
+    RuleInfo {
+        name: ORDER_SENSITIVE_REDUCTION,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "partial-merge fns (merge*/combine*/reduce*/*_partials) must \
+               combine chunk results associatively and commutatively — no \
+               -=//=/%=, no float +=/*=",
+    },
+    RuleInfo {
+        name: NONDET_ITERATION_FLOW,
+        severity: Severity::Deny,
+        tier: Tier::Semantic,
+        suppressible: true,
+        desc: "hash-container iteration order must not reach an output, a \
+               format!, a float accumulator, or a general fold without a sort \
+               or order-insensitive reduction on the way",
+    },
+    RuleInfo {
+        name: UNSEEDED_RANDOMNESS,
+        severity: Severity::Deny,
+        tier: Tier::Lexical,
+        suppressible: true,
+        desc: "RNG construction (thread_rng/from_entropy/OsRng/seed_from_u64) \
+               is confined to crates/datagen, crates/bench, the rand/proptest \
+               shims, and test code",
+    },
+    RuleInfo {
         name: STALE_SUPPRESSION,
         severity: Severity::Deny,
         tier: Tier::Meta,
@@ -236,6 +278,27 @@ pub fn is_known_rule(name: &str) -> bool {
 /// none, but the total function keeps call sites simple).
 pub fn severity_of(name: &str) -> Severity {
     rule_info(name).map_or(Severity::Deny, |r| r.severity)
+}
+
+/// Parses a `--rules` comma list into rule names, rejecting unknown names
+/// with an error that lists the registry (instead of silently filtering
+/// every finding away).
+pub fn parse_rule_filter(list: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !is_known_rule(name) {
+            let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+            return Err(format!(
+                "unknown rule `{name}`; known rules: {}",
+                known.join(", ")
+            ));
+        }
+        out.push(name.to_string());
+    }
+    if out.is_empty() {
+        return Err("empty --rules filter; pass a comma-separated rule list".to_string());
+    }
+    Ok(out)
 }
 
 /// One lint finding, attributed to a workspace-relative path and line.
@@ -290,23 +353,24 @@ const INT_TYPES: &[&str] = &[
     "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
 ];
 
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+/// Hash-container type names (order of iteration is nondeterministic).
+/// Shared with the `dataflow` taint analysis.
+pub(crate) const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 
-/// Methods that expose a hash container's (nondeterministic) iteration order.
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "into_iter",
-    "keys",
-    "into_keys",
-    "values",
-    "values_mut",
-    "into_values",
-    "drain",
+/// Constructors/methods that mint randomness. Matched as `name(`-style calls
+/// or `::Name` paths; `seed_from_u64`/`from_seed` are included because a
+/// seeded RNG outside datagen still makes product output depend on the seed
+/// plumbing rather than the input data.
+const RNG_CONSTRUCTORS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "ThreadRng",
+    "seed_from_u64",
+    "from_seed",
+    "from_rng",
 ];
-
-/// Order-insensitive reductions: iterating into these is deterministic.
-const REDUCERS: &[&str] = &["sum", "count", "min", "max", "all", "any", "fold_first"];
 
 /// Idents that may legitimately precede `[` without it being an index
 /// expression (array literals after `return`, slice patterns, etc.).
@@ -363,7 +427,17 @@ pub fn is_clock_sanctioned_path(path: &str) -> bool {
 /// Paths whose whole contents are test code: integration-test trees and the
 /// property-test module kept in its own file.
 pub fn is_test_path(path: &str) -> bool {
-    path.contains("/tests/") || basename(path) == "proptests.rs"
+    path.contains("/tests/") || path.starts_with("tests/") || basename(path) == "proptests.rs"
+}
+
+/// Sanctioned zone of RNG construction: the synthetic-data generator, the
+/// bench harness, and the rand/proptest shims (which *define* the
+/// constructor names as trait methods).
+pub fn is_random_sanctioned_path(path: &str) -> bool {
+    path.starts_with("crates/datagen/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/rand-compat/")
+        || path.starts_with("crates/proptest-compat/")
 }
 
 /// Crates no product crate depends on: the linter itself and the vendored
@@ -442,7 +516,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Violation> {
     a.rule_no_panic();
     a.rule_no_lossy_casts();
     a.rule_no_wall_clock();
-    a.rule_deterministic_iteration();
+    a.rule_unseeded_randomness();
     a.out.sort();
     a.out.dedup();
     a.out
@@ -786,180 +860,47 @@ impl Analysis<'_> {
         }
     }
 
-    /// Rule 2: deterministic-iteration.
-    fn rule_deterministic_iteration(&mut self) {
-        // Pass A: fns in this file whose return type mentions a hash type.
-        let mut hash_fns: BTreeSet<String> = BTreeSet::new();
-        for ci in 0..self.code.len() {
-            if self.txt(ci) != "fn" || self.kind(ci + 1) != Some(TokenKind::Ident) {
-                continue;
-            }
-            let name = self.txt(ci + 1).to_string();
-            let mut k = ci + 2;
-            let mut after_arrow = false;
-            for _ in 0..300 {
-                match self.txt(k) {
-                    "" | "{" | ";" => break,
-                    "-" if self.txt(k + 1) == ">" => {
-                        after_arrow = true;
-                        k += 2;
-                    }
-                    s => {
-                        if after_arrow && HASH_TYPES.contains(&s) {
-                            hash_fns.insert(name.clone());
-                        }
-                        k += 1;
-                    }
-                }
-            }
+    /// Rule: unseeded-randomness-outside-datagen.
+    fn rule_unseeded_randomness(&mut self) {
+        if is_random_sanctioned_path(self.path) {
+            return;
         }
-
-        // Pass B: idents known to hold hash containers.
-        let mut hash_idents: BTreeSet<String> = BTreeSet::new();
-        // B1: `name : <type containing a hash type>` — params, fields, and
-        // annotated lets.
-        for ci in 0..self.code.len() {
-            let is_typed_name = self.kind(ci) == Some(TokenKind::Ident)
-                && self.txt(ci + 1) == ":"
-                && self.txt(ci + 2) != ":"
-                && (ci == 0 || self.txt(ci - 1) != ":");
-            if !is_typed_name {
-                continue;
-            }
-            let mut angle: u32 = 0;
-            for k in ci + 2..ci + 32 {
-                let s = self.txt(k);
-                match s {
-                    "" => break,
-                    "<" => angle += 1,
-                    ">" => angle = angle.saturating_sub(1),
-                    "," | ";" | "=" | ")" | "{" | "}" if angle == 0 => break,
-                    _ => {
-                        if HASH_TYPES.contains(&s) {
-                            hash_idents.insert(self.txt(ci).to_string());
-                        }
-                    }
-                }
-            }
-        }
-        // B2: `let name = <rhs mentioning a hash type or hash-returning fn>`.
-        for ci in 0..self.code.len() {
-            if self.txt(ci) != "let" {
-                continue;
-            }
-            let mut j = ci + 1;
-            if self.txt(j) == "mut" {
-                j += 1;
-            }
-            if self.kind(j) != Some(TokenKind::Ident) || self.txt(j + 1) != "=" {
-                continue;
-            }
-            let mut depth: u32 = 0;
-            for k in j + 2..j + 502 {
-                let s = self.txt(k);
-                match s {
-                    "" => break,
-                    "(" | "{" | "[" => depth += 1,
-                    ")" | "}" | "]" => depth = depth.saturating_sub(1),
-                    ";" if depth == 0 => break,
-                    _ => {
-                        if HASH_TYPES.contains(&s) || hash_fns.contains(s) {
-                            hash_idents.insert(self.txt(j).to_string());
-                        }
-                    }
-                }
-            }
-        }
-
-        // Pass C: flag order-exposing uses of those idents.
-        let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
         let mut found: Vec<(u32, String)> = Vec::new();
         for ci in 0..self.code.len() {
             let Some(tok) = self.tok(ci) else { break };
-            if self.in_test(tok.start) {
+            if tok.kind != TokenKind::Ident || self.in_test(tok.start) {
                 continue;
             }
             let s = self.txt(ci);
-            if tok.kind == TokenKind::Ident
-                && hash_idents.contains(s)
-                && self.txt(ci + 1) == "."
-                && ITER_METHODS.contains(&self.txt(ci + 2))
-                && self.txt(ci + 3) == "("
-                && !self.iteration_is_normalized(ci)
-                && seen.insert((tok.line, s.to_string()))
-            {
+            if !RNG_CONSTRUCTORS.contains(&s) {
+                continue;
+            }
+            // A call `name(`, a path segment `::Name`, or a turbofish
+            // `Name::`; a bare ident in a `use` line or doc position is not
+            // RNG construction.
+            let constructs = self.txt(ci + 1) == "("
+                || (ci >= 2 && self.txt(ci - 1) == ":" && self.txt(ci - 2) == ":")
+                || (self.txt(ci + 1) == ":" && self.txt(ci + 2) == ":");
+            let in_use = (0..ci)
+                .rev()
+                .take(12)
+                .map(|k| self.txt(k))
+                .take_while(|t| *t != ";" && *t != "}")
+                .any(|t| t == "use");
+            if constructs && !in_use {
                 found.push((
                     tok.line,
                     format!(
-                        "`{s}.{}()` iterates a hash container in nondeterministic order; \
-                         sort the result or collect into a BTree container",
-                        self.txt(ci + 2)
+                        "`{s}` constructs randomness outside the sanctioned zone \
+                         (crates/datagen, crates/bench, the rand/proptest shims, tests); \
+                         product output must be a function of the input data"
                     ),
                 ));
             }
-            if s == "for" && tok.kind == TokenKind::Ident {
-                // `for <pat> in <expr> {` — flag when <expr> names a hash ident.
-                let mut k = ci + 1;
-                let mut in_at = None;
-                for _ in 0..25 {
-                    match self.txt(k) {
-                        "" | "{" => break,
-                        "in" => {
-                            in_at = Some(k);
-                            break;
-                        }
-                        _ => k += 1,
-                    }
-                }
-                if let Some(in_at) = in_at {
-                    for k in in_at + 1..in_at + 41 {
-                        let e = self.txt(k);
-                        if e.is_empty() || e == "{" {
-                            break;
-                        }
-                        if self.kind(k) == Some(TokenKind::Ident)
-                            && hash_idents.contains(e)
-                            && !self.iteration_is_normalized(ci)
-                            && seen.insert((tok.line, e.to_string()))
-                        {
-                            found.push((
-                                tok.line,
-                                format!(
-                                    "`for … in` over hash container `{e}` is \
-                                     nondeterministic; sort into a Vec (or BTree) first"
-                                ),
-                            ));
-                            break;
-                        }
-                    }
-                }
-            }
         }
         for (line, msg) in found {
-            self.push(DETERMINISTIC_ITERATION, line, msg);
+            self.push(UNSEEDED_RANDOMNESS, line, msg);
         }
-    }
-
-    /// True if the hash iteration starting at code index `ci` is made
-    /// deterministic downstream: an order-insensitive reduction right after
-    /// it, or a sort/BTree within the next ~150 code tokens.
-    fn iteration_is_normalized(&self, ci: usize) -> bool {
-        // `.sum()` / `.count()` / … directly on the iterator chain.
-        for k in ci..(ci + 14).min(self.code.len()) {
-            if self.txt(k) == "." && REDUCERS.contains(&self.txt(k + 1)) && self.txt(k + 2) == "(" {
-                return true;
-            }
-        }
-        // A sort or a BTree sink not far behind.
-        for k in ci..(ci + 150).min(self.code.len()) {
-            if self.kind(k) == Some(TokenKind::Ident) {
-                let s = self.txt(k);
-                if s.starts_with("sort") || s.contains("BTree") {
-                    return true;
-                }
-            }
-        }
-        false
     }
 }
 

@@ -1,0 +1,42 @@
+//! Seeds for `shared-mutable-capture-in-parallel`: fan-out closures racing
+//! on shared state, plus the clean chunk-owned-scratch shape that must stay
+//! silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seqpat_itemset::parallel::{map_chunks, sum_partials};
+
+/// Seeded: the chunk closure mutates a shared buffer captured by `&mut` —
+/// chunks race on `totals`, so the result depends on scheduling.
+pub fn count_bad(xs: &[u32], totals: &mut Vec<u64>) {
+    map_chunks(xs, 4, |chunk| {
+        for x in chunk {
+            totals[0] += u64::from(*x);
+        }
+    });
+}
+
+/// Seeded: an interior-mutable counter shared across chunks — the atomic
+/// makes it race-free but the update order is still scheduling-dependent.
+pub fn count_atomic(xs: &[u32], hits: &AtomicU64) {
+    map_chunks(xs, 4, |chunk| {
+        for x in chunk {
+            if *x > 0 {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Clean: each chunk owns its scratch; only the order-insensitive integer
+/// sum crosses the thread boundary.
+pub fn count_good(xs: &[u32]) -> u64 {
+    let partials = map_chunks(xs, 4, |chunk| {
+        let mut local = 0u64;
+        for x in chunk {
+            local += u64::from(*x);
+        }
+        local
+    });
+    sum_partials(&partials)
+}

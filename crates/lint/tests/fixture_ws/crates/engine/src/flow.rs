@@ -1,0 +1,40 @@
+//! Seeds for `nondeterministic-iteration-flow`: hash-iteration order
+//! escaping into fn results, next to the sorted and reduced flows the
+//! retired lexical rule used to flag as false positives.
+
+use std::collections::HashMap;
+
+/// Seeded: pushes in hash order straight into the returned Vec — callers
+/// observe a different row order on every run.
+pub fn export_bad(m: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+/// Seeded: hash order baked into rendered text — no later sort can fix a
+/// concatenated string.
+pub fn render_bad(m: &HashMap<u32, u64>) -> String {
+    let mut s = String::new();
+    for (k, v) in m.iter() {
+        s.push_str(&format!("{}={};", k, v));
+    }
+    s
+}
+
+/// Clean: collect-then-sort normalizes the order before it escapes. The
+/// lexical rule needed a 150-token window to see the sort; the dataflow
+/// version tracks the binding itself.
+pub fn export_good(m: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut rows: Vec<(u32, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Clean: an order-insensitive reduction — iteration order cannot change a
+/// sum of u64s.
+pub fn total(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}

@@ -1,9 +1,13 @@
 //! Fixture workspace root: wires the seeded-rule modules together.
 
+pub mod capture;
 pub mod counting;
+pub mod flow;
 pub mod hop;
 pub mod prelude;
 pub mod recurse;
+pub mod reducer;
+pub mod rng;
 pub mod stale;
 pub mod strategy;
 pub mod support;

@@ -1,0 +1,18 @@
+//! Seeds for `order-sensitive-reduction`: a float partial-merge (addition
+//! is not associative, so chunk boundaries leak into the total) next to the
+//! clean integer merge.
+
+/// Seeded: float `+=` across partials — re-chunking changes the bits.
+pub fn merge_scores(total: &mut [f64], partial: &[f64]) {
+    for (t, p) in total.iter_mut().zip(partial) {
+        *t += *p;
+    }
+}
+
+/// Clean: integer addition is associative and commutative, so any chunking
+/// and any merge order produce the same totals.
+pub fn merge_counts(total: &mut [u64], partial: &[u64]) {
+    for (t, p) in total.iter_mut().zip(partial) {
+        *t += *p;
+    }
+}

@@ -1,0 +1,24 @@
+//! Seed for `unseeded-randomness-outside-datagen`: product code minting its
+//! own RNG. The `use` line itself must not fire — only construction does.
+
+use seqpat_rand::{thread_rng, RngCore};
+
+/// Seeded: a thread-local RNG in product code makes output depend on the
+/// process, not the input data.
+pub fn jittered_len(base: u32) -> u32 {
+    let mut rng = thread_rng();
+    base + (rng.next_u32() % 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clean: RNG construction inside test code is sanctioned.
+    #[test]
+    fn jitter_stays_close() {
+        let mut rng = thread_rng();
+        let _ = rng.next_u32();
+        assert!(jittered_len(5) >= 5);
+    }
+}

@@ -1,6 +1,6 @@
 //! A suppression whose named rule never fires on its lines.
 
-// seqpat-lint: allow(deterministic-iteration) seeded stale suppression — nothing below iterates a hash map
+// seqpat-lint: allow(nondeterministic-iteration-flow) seeded stale suppression — nothing below iterates a hash map
 pub fn stable_order() -> u32 {
     7
 }

@@ -6,6 +6,7 @@
 //! file lives under `tests/`, which the real lint run whole-file-exempts,
 //! so the seeded violations below never show up in `seqpat-lint` output.
 
+use seqpat_lint::dataflow;
 use seqpat_lint::engine::{lint_source, to_json, Report};
 use seqpat_lint::rules::{self, analyze_file, stats_coverage};
 
@@ -80,23 +81,44 @@ mod tests {
     assert!(fired("crates/core/src/proptests.rs", loose).is_empty());
 }
 
-// ---- rule 2: deterministic-iteration -------------------------------------
+// ---- rule: nondeterministic-iteration-flow (dataflow) --------------------
+
+/// Distinct rule names fired by the iteration-flow analysis on `src`.
+fn flow_fired(src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = dataflow::flow_violations(NON_KERNEL, src)
+        .iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
 
 #[test]
-fn hash_map_iteration_without_normalization_fires() {
+fn hash_iteration_reaching_the_returned_vec_fires_with_a_chain() {
     let src = r#"
 use std::collections::HashMap;
-fn f(m: &HashMap<u32, u32>) {
-    for (k, v) in m.iter() {
-        println!("{k} {v}");
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
     }
+    out
 }
 "#;
-    assert_eq!(fired(NON_KERNEL, src), vec![rules::DETERMINISTIC_ITERATION]);
+    let hits = dataflow::flow_violations(NON_KERNEL, src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, rules::NONDET_ITERATION_FLOW);
+    let chain = hits[0]
+        .chain
+        .as_deref()
+        .expect("flow findings carry chains");
+    assert!(chain.contains("hash container `m`"), "{chain}");
+    assert!(chain.contains("appends in hash order"), "{chain}");
 }
 
 #[test]
-fn hash_map_iteration_followed_by_sort_is_clean() {
+fn sorted_collect_kills_the_taint() {
     let src = r#"
 use std::collections::HashMap;
 fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
@@ -105,7 +127,7 @@ fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
     keys
 }
 "#;
-    assert!(fired(NON_KERNEL, src).is_empty());
+    assert!(flow_fired(src).is_empty());
 }
 
 #[test]
@@ -116,20 +138,85 @@ fn f(m: &HashMap<u32, u32>) -> usize {
     m.iter().count()
 }
 "#;
-    assert!(fired(NON_KERNEL, src).is_empty());
+    assert!(flow_fired(src).is_empty());
+    let sum = r#"
+use std::collections::HashMap;
+fn g(m: &HashMap<u32, u32>) -> u32 {
+    let total: u32 = m.values().sum();
+    total
+}
+"#;
+    assert!(flow_fired(sum).is_empty());
 }
 
 #[test]
-fn hash_typed_let_binding_is_tracked() {
+fn hash_typed_let_binding_is_tracked_through_the_loop() {
     let src = r#"
-fn f() {
-    let m = std::collections::HashMap::<u32, u32>::new();
-    for k in m.keys() {
-        println!("{k}");
+fn f(rows: &[u32]) -> Vec<u32> {
+    let mut m = std::collections::HashMap::<u32, u32>::new();
+    for r in rows {
+        m.insert(*r, 1);
     }
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
 }
 "#;
-    assert_eq!(fired(NON_KERNEL, src), vec![rules::DETERMINISTIC_ITERATION]);
+    assert_eq!(flow_fired(src), vec![rules::NONDET_ITERATION_FLOW]);
+}
+
+#[test]
+fn float_accumulation_of_hash_ordered_values_fires() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, f64>, acc: f64) -> f64 {
+    let mut acc = acc;
+    for v in m.values() {
+        acc += *v;
+    }
+    acc
+}
+"#;
+    // The shadowing `let mut acc = acc;` keeps `acc` float-typed via the
+    // param; the += of the tainted loop binder is the sink.
+    let hits = dataflow::flow_violations(NON_KERNEL, src);
+    assert!(
+        hits.iter()
+            .any(|v| v.message.contains("float accumulation")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn general_fold_over_a_hash_container_fires_but_sum_does_not() {
+    let folded = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    m.iter().fold(0, |a, (_, v)| a.wrapping_mul(31).wrapping_add(*v))
+}
+"#;
+    assert_eq!(flow_fired(folded), vec![rules::NONDET_ITERATION_FLOW]);
+}
+
+#[test]
+fn direct_extend_from_hash_iter_taints_the_receiver() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>, out: &mut Vec<(u32, u32)>) {
+    out.extend(m.iter().map(|(k, v)| (*k, *v)));
+}
+"#;
+    assert_eq!(flow_fired(src), vec![rules::NONDET_ITERATION_FLOW]);
+    let sorted = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>, out: &mut Vec<(u32, u32)>) {
+    out.extend(m.iter().map(|(k, v)| (*k, *v)));
+    out.sort_unstable();
+}
+"#;
+    assert!(flow_fired(sorted).is_empty());
 }
 
 // ---- rule 3: no-lossy-casts-in-kernels -----------------------------------
@@ -343,6 +430,7 @@ fn json_output_escapes_and_counts() {
         suppressed: 2,
         files_scanned: 1,
         effects_json: String::new(),
+        determinism_json: String::new(),
     };
     let json = to_json(&report);
     assert!(json.contains("\"violation_count\": 1"));

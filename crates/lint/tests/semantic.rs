@@ -148,7 +148,7 @@ fn stale_suppression_is_reported_at_the_allow_comment() {
         v.line,
         line_of("crates/engine/src/stale.rs", "seqpat-lint: allow")
     );
-    assert!(v.message.contains("deterministic-iteration"));
+    assert!(v.message.contains("nondeterministic-iteration-flow"));
 }
 
 #[test]
@@ -166,7 +166,7 @@ fn tricky_parse_files_stay_silent() {
 #[test]
 fn fixture_report_covers_every_file_and_renders_to_sarif() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 9);
+    assert_eq!(report.files_scanned, 13);
     assert!(report.has_deny(), "deny-severity seeds are present");
     let sarif = to_sarif(&report);
     // The driver advertises every rule; results carry the seeded findings.

@@ -7,21 +7,28 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> seqpat-lint (lexical + effect-inference rules; fails on deny severity)"
+echo "==> seqpat-lint (lexical + effect-inference + determinism rules; fails on deny severity)"
 mkdir -p target/ci-results
 # Emit all report formats before gating so the artifacts exist even when
 # the lint fails; the exit code is nonzero iff a deny-severity rule fired
 # (warn-severity findings are recorded but do not break the build). The
-# json run also writes the per-fn inferred-effect table — deny rules like
-# no-io-in-kernels are queries against it, so the artifact is the audit
-# trail for why the gate passed.
+# json run also writes the per-fn inferred-effect table and the
+# determinism audit (every parallel fan-out site with its capture
+# verdicts, every chunk-merge reducer with its order-sensitivity
+# verdict) — deny rules like no-io-in-kernels and
+# shared-mutable-capture-in-parallel are queries against these tables,
+# so the artifacts are the audit trail for why the gate passed.
 lint_status=0
 cargo run -q -p seqpat-lint -- --format json \
   --effects-out target/ci-results/effects.json \
+  --determinism-out target/ci-results/determinism.json \
   > target/ci-results/lint.json || lint_status=$?
 cargo run -q -p seqpat-lint -- --format sarif > target/ci-results/lint.sarif || lint_status=$?
 [ -s target/ci-results/effects.json ] || {
   echo "seqpat-lint: effects.json missing or empty" >&2; exit 1;
+}
+[ -s target/ci-results/determinism.json ] || {
+  echo "seqpat-lint: determinism.json missing or empty" >&2; exit 1;
 }
 if [ "$lint_status" -ne 0 ]; then
   echo "seqpat-lint: deny-severity violations (see target/ci-results/lint.json)" >&2
